@@ -1,0 +1,39 @@
+# Impala reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+cover:
+	$(GO) test -cover ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/nids
+	$(GO) run ./examples/motif
+	$(GO) run ./examples/entityresolution
+	$(GO) run ./examples/toolchain
+
+# Regenerate every paper table/figure (writes CSVs under out/).
+experiments:
+	$(GO) run ./cmd/impala-bench -exp all -scale 0.02 -dump out/
+
+clean:
+	rm -rf out/

@@ -1,0 +1,89 @@
+// impala-bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	impala-bench -exp all                 # every experiment
+//	impala-bench -exp fig11 -scale 0.05   # one experiment, larger scale
+//	impala-bench -exp table4 -bench Snort,TCP -strides 1,2,4
+//	impala-bench -list
+//
+// Experiment IDs: fig2 table1 table4 table5 fig13 fig14 fig11 fig12 table6
+// fig8 fig9 fig10 casestudy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"impala/internal/exp"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment ID(s), comma-separated, or 'all'")
+		scale   = flag.Float64("scale", 0.02, "benchmark scale relative to paper size (1.0 = full)")
+		seed    = flag.Int64("seed", 1, "generator/search seed")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 21)")
+		inputKB = flag.Int("input-kb", 64, "input stream size for energy experiments")
+		strides = flag.String("strides", "", "comma-separated stride list for table4 (default 1,2,4,8)")
+		dumpDir = flag.String("dump", "", "write each table as CSV into this directory")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	o := exp.Options{Scale: *scale, Seed: *seed, InputKB: *inputKB, DumpDir: *dumpDir}
+	if *benches != "" {
+		o.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *strides != "" {
+		for _, s := range strings.Split(*strides, ",") {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				fatal(fmt.Errorf("bad stride %q", s))
+			}
+			o.Strides = append(o.Strides, v)
+		}
+	}
+
+	reg := exp.Registry()
+	ids := exp.IDs()
+	if *expID != "all" {
+		ids = strings.Split(*expID, ",")
+		for _, id := range ids {
+			if reg[id] == nil {
+				fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+			}
+		}
+	}
+
+	for _, id := range ids {
+		t0 := time.Now()
+		tables, err := reg[id](o)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		if err := exp.Dump(o, tables); err != nil {
+			fatal(fmt.Errorf("%s: dump: %w", id, err))
+		}
+		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "impala-bench:", err)
+	os.Exit(1)
+}

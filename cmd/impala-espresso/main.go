@@ -1,0 +1,68 @@
+// impala-espresso is a standalone multi-valued two-level logic minimizer
+// with espresso-style text I/O (the §5.1.2 interface): it reads an ON-set
+// cover of multi-valued cubes from a .mv PLA file (or stdin), minimizes it,
+// and writes the minimal cover. Each output product term is guaranteed to
+// cause no false positives and can be configured on one Impala capsule.
+//
+// Usage:
+//
+//	impala-espresso < states.pla > minimized.pla
+//	impala-espresso -in states.pla -out minimized.pla -iters 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"impala/internal/espresso"
+)
+
+func main() {
+	var (
+		inFile  = flag.String("in", "", "input PLA file (default stdin)")
+		outFile = flag.String("out", "", "output PLA file (default stdout)")
+		iters   = flag.Int("iters", 0, "max EXPAND/IRREDUNDANT/REDUCE iterations (0 = default)")
+		stats   = flag.Bool("v", false, "print cube statistics to stderr")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	pla, err := espresso.ParsePLA(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	min := espresso.Minimize(pla.On, pla.Stride, pla.Bits, espresso.Options{MaxIterations: *iters})
+	if *stats {
+		fmt.Fprintf(os.Stderr, "impala-espresso: %d variables x %d values, %d -> %d product terms\n",
+			pla.Stride, 1<<pla.Bits, len(pla.On), len(min))
+	}
+
+	var out io.Writer = os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := espresso.WritePLA(out, min, pla.Stride, pla.Bits); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "impala-espresso:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// impala-sim runs an input stream through a compiled automaton (from
+// impalac -o, or compiled on the fly from -patterns) and prints the match
+// reports and activity statistics.
+//
+// Usage:
+//
+//	impala-sim -nfa out.json -in payload.bin
+//	impala-sim -patterns 'GET /,POST /' -stride 4 -in payload.bin
+//	impala-sim -patterns needle -text 'haystack needle'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"impala/internal/arch"
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/core"
+	"impala/internal/regexc"
+	"impala/internal/sim"
+)
+
+func main() {
+	var (
+		nfaFile  = flag.String("nfa", "", "transformed automaton JSON (from impalac -o)")
+		bitFile  = flag.String("bitstream", "", "device configuration (from impalac -bitstream): run at the capsule level")
+		patterns = flag.String("patterns", "", "comma-separated regexes to compile on the fly")
+		stride   = flag.Int("stride", 4, "stride for on-the-fly compilation")
+		caMode   = flag.Bool("ca", false, "CA design point for on-the-fly compilation")
+		inFile   = flag.String("in", "", "input stream file")
+		text     = flag.String("text", "", "inline input text (alternative to -in)")
+		workers  = flag.Int("workers", 1, "parallel input-splitting replicas (graph simulator only)")
+		overlap  = flag.Int("overlap", -1, "segment overlap bytes for -workers (-1 = derive from match span)")
+		quiet    = flag.Bool("q", false, "suppress per-match lines, print summary only")
+		trace    = flag.Bool("trace", false, "print per-cycle active-state traces (graph simulator only)")
+	)
+	flag.Parse()
+
+	var input []byte
+	var err error
+	switch {
+	case *inFile != "":
+		input, err = os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+	case *text != "":
+		input = []byte(*text)
+	default:
+		fatal(fmt.Errorf("one of -in, -text is required"))
+	}
+
+	if *bitFile != "" {
+		f, err := os.Open(*bitFile)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := arch.ReadConfig(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		reports, stats := m.Run(input)
+		if !*quiet {
+			for _, r := range reports {
+				fmt.Printf("match: pattern %d at byte %d\n", r.Code, r.BitPos/8)
+			}
+		}
+		fmt.Printf("input: %d bytes, %d cycles (%d bits/cycle, capsule level)\n",
+			len(input), stats.Cycles, m.Bits*m.Stride)
+		fmt.Printf("reports: %d   local switch activations: %d   cross-block signals: %d\n",
+			len(reports), stats.LocalSwitchActivations, stats.CrossBlockSignals)
+		return
+	}
+
+	nfa, err := loadAutomaton(*nfaFile, *patterns, *stride, *caMode)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		e, err := sim.NewEngine(nfa)
+		if err != nil {
+			fatal(err)
+		}
+		reports, stats := e.Run(input, &cycleTracer{})
+		fmt.Printf("input: %d bytes, %d cycles, %d reports\n", len(input), stats.Cycles, len(reports))
+		return
+	}
+	if *workers > 1 {
+		reports, err := sim.RunParallel(nfa, input, *workers, *overlap)
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			for _, r := range reports {
+				fmt.Printf("match: pattern %d at byte %d\n", r.Code, r.BitPos/8)
+			}
+		}
+		fmt.Printf("input: %d bytes across %d workers, %d reports\n", len(input), *workers, len(reports))
+		return
+	}
+	reports, stats, err := sim.Run(nfa, input)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		for _, r := range reports {
+			fmt.Printf("match: pattern %d at byte %d\n", r.Code, r.BitPos/8)
+		}
+	}
+	fmt.Printf("input: %d bytes, %d cycles (%d bits/cycle)\n", len(input), stats.Cycles, nfa.BitsPerCycle())
+	fmt.Printf("reports: %d   active/cycle avg: %.2f   peak active: %d\n",
+		stats.Reports, stats.ActivePerCycleAvg, stats.PeakActive)
+}
+
+// cycleTracer prints a compact per-cycle activity line.
+type cycleTracer struct{}
+
+func (cycleTracer) OnCycle(cycle int, enabled, active bitvec.Words) {
+	ids := make([]int, 0, 8)
+	active.ForEach(func(i int) {
+		if len(ids) < 8 {
+			ids = append(ids, i)
+		}
+	})
+	fmt.Printf("cycle %5d: enabled %4d active %4d %v\n", cycle, enabled.Count(), active.Count(), ids)
+}
+
+func loadAutomaton(nfaFile, patterns string, stride int, caMode bool) (*automata.NFA, error) {
+	if nfaFile != "" {
+		data, err := os.ReadFile(nfaFile)
+		if err != nil {
+			return nil, err
+		}
+		var n automata.NFA
+		if err := json.Unmarshal(data, &n); err != nil {
+			return nil, err
+		}
+		return &n, nil
+	}
+	if patterns == "" {
+		return nil, fmt.Errorf("one of -nfa, -patterns is required")
+	}
+	var rules []regexc.Rule
+	for i, p := range strings.Split(patterns, ",") {
+		rules = append(rules, regexc.Rule{Pattern: p, Code: i})
+	}
+	n, err := regexc.Compile(rules)
+	if err != nil {
+		return nil, err
+	}
+	bits := 4
+	if caMode {
+		bits = 8
+	}
+	res, err := core.Compile(n, core.Config{TargetBits: bits, StrideDims: stride})
+	if err != nil {
+		return nil, err
+	}
+	return res.NFA, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "impala-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,211 @@
+// impalac is the offline compiler: it reads patterns (one regex per line)
+// or an automaton JSON file, runs the V-TeSS pipeline at the chosen design
+// point, places the result onto G4 switch units, and reports the
+// transformation statistics and hardware model. Optionally it writes the
+// transformed automaton as JSON for impala-sim.
+//
+// Usage:
+//
+//	impalac -rules rules.txt [-stride 4] [-ca] [-o out.json] [-seed 1]
+//	impalac -nfa automaton.json -stride 2
+//	echo 'GET /|POST /' | impalac -patterns 'GET /,POST /'
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"impala/internal/anml"
+	"impala/internal/automata"
+	"impala/internal/core"
+	"impala/internal/place"
+	"impala/internal/regexc"
+
+	"impala/internal/arch"
+)
+
+func main() {
+	var (
+		rulesFile = flag.String("rules", "", "file with one regex per line (lines starting with # ignored)")
+		nfaFile   = flag.String("nfa", "", "automaton JSON file (8-bit stride-1)")
+		anmlFile  = flag.String("anml", "", "ANML XML automaton file")
+		patterns  = flag.String("patterns", "", "comma-separated regex patterns (alternative to -rules)")
+		stride    = flag.Int("stride", 4, "sub-symbols per cycle (4-bit: 1/2/4/8; CA mode: 1/2)")
+		caMode    = flag.Bool("ca", false, "target the Cache-Automaton 8-bit design point")
+		out       = flag.String("o", "", "write the transformed automaton JSON here")
+		bitFile   = flag.String("bitstream", "", "write the full device configuration (bitstream) here")
+		seed      = flag.Int64("seed", 1, "placement search seed")
+		compare   = flag.Bool("compare", false, "compile at every design point and print a comparison table")
+	)
+	flag.Parse()
+
+	nfa, err := loadInput(*rulesFile, *nfaFile, *anmlFile, *patterns)
+	if err != nil {
+		fatal(err)
+	}
+	if *compare {
+		compareDesigns(nfa)
+		return
+	}
+
+	bits := 4
+	if *caMode {
+		bits = 8
+	}
+	cfg := core.Config{TargetBits: bits, StrideDims: *stride}
+	res, err := core.Compile(nfa, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("input automaton : %d states, %d transitions\n", nfa.NumStates(), nfa.NumTransitions())
+	for _, st := range res.Stages {
+		fmt.Printf("stage %-16s: %6d states, %7d transitions  (%s)\n", st.Name, st.States, st.Transitions, st.Duration.Round(0))
+	}
+	fmt.Printf("state overhead  : %.2fx   transition overhead: %.2fx\n",
+		res.StateOverhead(nfa), res.TransitionOverhead(nfa))
+	fmt.Printf("espresso splits : %d extra states\n", res.SplitStates)
+	fmt.Printf("compile time    : %s\n", res.CompileTime)
+
+	pl, err := place.Place(res.NFA, place.Options{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("placement       : %d G4 units, %.1f states/G4, %d uncovered, GA used %dx\n",
+		len(pl.G4s), pl.AvgStatesPerG4(), pl.TotalUncovered, pl.GAInvocations)
+	if !pl.Valid() {
+		fatal(fmt.Errorf("placement failed: %d transitions unrouted", pl.TotalUncovered))
+	}
+
+	m, err := arch.Build(res.NFA, pl)
+	if err != nil {
+		fatal(err)
+	}
+	d := arch.Design{Arch: arch.Impala, Bits: bits, Stride: *stride}
+	if *caMode {
+		d.Arch = arch.CacheAutomaton
+	}
+	area := arch.AreaBreakdown(d, res.NFA.NumStates())
+	fmt.Printf("design point    : %s, %.2f GHz, %.1f Gbps\n", d, d.FreqGHz(), d.ThroughputGbps())
+	fmt.Printf("area            : %.3f mm² (match %.3f + interconnect %.3f)\n",
+		area.TotalMM2(), area.StateMatchMM2, area.InterconnectMM2)
+	fmt.Printf("bitstream       : %d bytes\n", m.BitstreamBytes())
+
+	if *out != "" {
+		data, err := json.Marshal(res.NFA)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *bitFile != "" {
+		f, err := os.Create(*bitFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.WriteConfig(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *bitFile)
+	}
+}
+
+// compareDesigns compiles the automaton at every supported design point and
+// prints the resulting shape, throughput and area side by side.
+func compareDesigns(nfa *automata.NFA) {
+	type point struct {
+		label string
+		cfg   core.Config
+		d     arch.Design
+	}
+	points := []point{
+		{"CA 8-bit", core.Config{TargetBits: 8, StrideDims: 1}, arch.Design{Arch: arch.CacheAutomaton, Bits: 8, Stride: 1}},
+		{"CA 16-bit", core.Config{TargetBits: 8, StrideDims: 2}, arch.Design{Arch: arch.CacheAutomaton, Bits: 8, Stride: 2}},
+		{"Impala 4-bit", core.Config{TargetBits: 4, StrideDims: 1}, arch.Design{Arch: arch.Impala, Bits: 4, Stride: 1}},
+		{"Impala 8-bit", core.Config{TargetBits: 4, StrideDims: 2}, arch.Design{Arch: arch.Impala, Bits: 4, Stride: 2}},
+		{"Impala 16-bit", core.Config{TargetBits: 4, StrideDims: 4}, arch.Design{Arch: arch.Impala, Bits: 4, Stride: 4}},
+		{"Impala 32-bit", core.Config{TargetBits: 4, StrideDims: 8}, arch.Design{Arch: arch.Impala, Bits: 4, Stride: 8}},
+	}
+	fmt.Printf("%-14s %8s %8s %9s %10s %10s %12s\n",
+		"design", "states", "overhead", "Gbps", "area mm2", "Gbps/mm2", "compile")
+	for _, pt := range points {
+		res, err := core.Compile(nfa, pt.cfg)
+		if err != nil {
+			fmt.Printf("%-14s error: %v\n", pt.label, err)
+			continue
+		}
+		area := arch.AreaBreakdown(pt.d, res.NFA.NumStates())
+		fmt.Printf("%-14s %8d %8.2f %9.1f %10.3f %10.2f %12s\n",
+			pt.label, res.NFA.NumStates(), res.StateOverhead(nfa),
+			pt.d.ThroughputGbps(), area.TotalMM2(),
+			arch.ThroughputPerArea(pt.d, res.NFA.NumStates()),
+			res.CompileTime.Round(0))
+	}
+}
+
+func loadInput(rulesFile, nfaFile, anmlFile, patterns string) (*automata.NFA, error) {
+	switch {
+	case anmlFile != "":
+		f, err := os.Open(anmlFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return anml.Parse(f)
+	case nfaFile != "":
+		data, err := os.ReadFile(nfaFile)
+		if err != nil {
+			return nil, err
+		}
+		var n automata.NFA
+		if err := json.Unmarshal(data, &n); err != nil {
+			return nil, err
+		}
+		return &n, nil
+	case rulesFile != "":
+		f, err := os.Open(rulesFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var rules []regexc.Rule
+		sc := bufio.NewScanner(f)
+		code := 0
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			rules = append(rules, regexc.Rule{Pattern: line, Code: code})
+			code++
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return regexc.Compile(rules)
+	case patterns != "":
+		var rules []regexc.Rule
+		for i, p := range strings.Split(patterns, ",") {
+			rules = append(rules, regexc.Rule{Pattern: p, Code: i})
+		}
+		return regexc.Compile(rules)
+	default:
+		return nil, fmt.Errorf("impalac: one of -rules, -nfa, -anml, -patterns is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "impalac:", err)
+	os.Exit(1)
+}

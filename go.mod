@@ -1,0 +1,3 @@
+module impala
+
+go 1.22

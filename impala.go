@@ -1,0 +1,243 @@
+// Package impala is a software reproduction of "Impala: Algorithm/
+// Architecture Co-Design for In-Memory Multi-Stride Pattern Matching"
+// (HPCA 2020): a full offline compiler (V-TeSS squashing and striding,
+// Espresso capsule refinement, genetic-algorithm placement onto the G4
+// switch fabric) plus a cycle-accurate capsule-level machine that executes
+// the resulting bitstreams, and analytical models for the architecture's
+// throughput, area, energy and power.
+//
+// The package is a thin facade: give it regex rules and a design point, get
+// back a Machine that matches input streams exactly as the hardware would,
+// along with the performance model for that configuration.
+//
+//	m, err := impala.CompileRegex([]string{"GET /", "POST /"}, impala.DefaultConfig())
+//	matches := m.Run(packetBytes)
+//	model := m.Model() // 80 Gbps, mm², states, ...
+package impala
+
+import (
+	"fmt"
+	"io"
+
+	"impala/internal/anml"
+	"impala/internal/arch"
+	"impala/internal/automata"
+	"impala/internal/core"
+	"impala/internal/espresso"
+	"impala/internal/place"
+	"impala/internal/regexc"
+	"impala/internal/sim"
+)
+
+// Config selects a design point of the compiler and machine.
+type Config struct {
+	// StrideDims is the number of 4-bit symbols processed per cycle:
+	// 1, 2, 4 (the paper's best design, 16 bits/cycle) or 8.
+	StrideDims int
+	// CAMode targets the Cache-Automaton baseline instead: 8-bit symbols
+	// with 256-row columns; StrideDims must then be 1 or 2.
+	CAMode bool
+	// Seed drives the placement search (deterministic given a value).
+	Seed int64
+	// DisableMinimize and DisableRefine expose the compiler ablations.
+	DisableMinimize bool
+	DisableRefine   bool
+}
+
+// DefaultConfig returns the paper's best design point: 4-stride 4-bit
+// processing (16 bits per cycle at 5 GHz = 80 Gbps).
+func DefaultConfig() Config { return Config{StrideDims: 4} }
+
+func (c Config) coreConfig() core.Config {
+	bits := 4
+	if c.CAMode {
+		bits = 8
+	}
+	return core.Config{
+		TargetBits:      bits,
+		StrideDims:      c.StrideDims,
+		DisableMinimize: c.DisableMinimize,
+		DisableRefine:   c.DisableRefine,
+		Espresso:        espresso.Options{},
+	}
+}
+
+// Match is one pattern hit.
+type Match struct {
+	// End is the 1-based byte offset just past the last matched byte (a
+	// match of "abc" against "xabc" has End 4).
+	End int
+	// Pattern is the index of the matching pattern in the CompileRegex
+	// input slice.
+	Pattern int
+}
+
+// Machine is a compiled, placed, configured pattern-matching engine.
+type Machine struct {
+	cfg         Config
+	original    *automata.NFA
+	transformed *automata.NFA
+	placement   *place.Placement
+	machine     *arch.Machine
+	compile     *core.Result
+}
+
+// CompileRegex compiles the patterns through the full Impala pipeline:
+// regex → homogeneous 8-bit NFA → V-TeSS transformation → Espresso
+// refinement → G4 placement → bitstream.
+func CompileRegex(patterns []string, cfg Config) (*Machine, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("impala: no patterns")
+	}
+	rules := make([]regexc.Rule, len(patterns))
+	for i, p := range patterns {
+		rules[i] = regexc.Rule{Pattern: p, Code: i}
+	}
+	nfa, err := regexc.Compile(rules)
+	if err != nil {
+		return nil, err
+	}
+	return CompileAutomaton(nfa, cfg)
+}
+
+// CompileANML compiles an ANML XML document (the Micron AP / ANMLZoo
+// format) through the pipeline. ANML report codes become Match.Pattern
+// values.
+func CompileANML(r io.Reader, cfg Config) (*Machine, error) {
+	nfa, err := anml.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return CompileAutomaton(nfa, cfg)
+}
+
+// CompileAutomaton runs the pipeline on an existing homogeneous 8-bit
+// stride-1 automaton (for workloads not expressed as regex). Report codes
+// of the automaton become Match.Pattern values.
+func CompileAutomaton(nfa *automata.NFA, cfg Config) (*Machine, error) {
+	res, err := core.Compile(nfa, cfg.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	pl, err := place.Place(res.NFA, place.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if !pl.Valid() {
+		return nil, fmt.Errorf("impala: placement left %d transitions unrouted", pl.TotalUncovered)
+	}
+	m, err := arch.Build(res.NFA, pl)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		cfg:         cfg,
+		original:    nfa,
+		transformed: res.NFA,
+		placement:   pl,
+		machine:     m,
+		compile:     res,
+	}, nil
+}
+
+// Run matches the input against all patterns using the capsule-level
+// machine (the hardware execution model) and returns matches sorted by end
+// offset.
+func (m *Machine) Run(input []byte) []Match {
+	reports, _ := m.machine.Run(input)
+	return toMatches(reports)
+}
+
+// RunParallel splits the input across `workers` concurrent replicas of the
+// automaton (the parallel-automata-processor technique): throughput scales
+// with workers when hardware capacity allows replication. overlapBytes < 0
+// derives the safe segment overlap from the automaton's maximum match span
+// (an error is returned if spans are unbounded — loops on reporting paths).
+func (m *Machine) RunParallel(input []byte, workers, overlapBytes int) ([]Match, error) {
+	reports, err := sim.RunParallel(m.transformed, input, workers, overlapBytes)
+	if err != nil {
+		return nil, err
+	}
+	return toMatches(reports), nil
+}
+
+// Simulate matches the input using the functional graph simulator instead
+// of the capsule-level machine. The two always agree; Simulate exists for
+// cross-checking and for workloads where the graph engine is faster.
+func (m *Machine) Simulate(input []byte) ([]Match, error) {
+	reports, _, err := sim.Run(m.transformed, input)
+	if err != nil {
+		return nil, err
+	}
+	return toMatches(reports), nil
+}
+
+func toMatches(reports []sim.Report) []Match {
+	seen := make(map[Match]bool, len(reports))
+	out := make([]Match, 0, len(reports))
+	for _, r := range reports {
+		mt := Match{End: r.BitPos / 8, Pattern: r.Code}
+		if !seen[mt] {
+			seen[mt] = true
+			out = append(out, mt)
+		}
+	}
+	return out
+}
+
+// Model summarizes the machine's hardware cost and performance.
+type Model struct {
+	// Design point.
+	BitsPerCycle int
+	FreqGHz      float64
+	// ThroughputGbps is the deterministic line rate.
+	ThroughputGbps float64
+	// States is the number of STEs after transformation; OriginalStates
+	// before.
+	States, OriginalStates int
+	// G4s is the number of group-of-four switch units used.
+	G4s int
+	// AreaMM2 is the silicon area of the configured design at 14nm.
+	AreaMM2 float64
+	// ThroughputPerMM2 is the Figure 11 metric for this workload.
+	ThroughputPerMM2 float64
+	// BitstreamBytes is the configuration payload size.
+	BitstreamBytes int
+	// CompileStages traces the V-TeSS pipeline (name, states, transitions).
+	CompileStages []StageInfo
+}
+
+// StageInfo mirrors one compiler stage for the model report.
+type StageInfo struct {
+	Name        string
+	States      int
+	Transitions int
+}
+
+// Model returns the performance/cost model of this machine.
+func (m *Machine) Model() Model {
+	d := m.design()
+	area := arch.AreaBreakdown(d, m.transformed.NumStates())
+	md := Model{
+		BitsPerCycle:     d.BitsPerCycle(),
+		FreqGHz:          d.FreqGHz(),
+		ThroughputGbps:   d.ThroughputGbps(),
+		States:           m.transformed.NumStates(),
+		OriginalStates:   m.original.NumStates(),
+		G4s:              len(m.placement.G4s),
+		AreaMM2:          area.TotalMM2(),
+		ThroughputPerMM2: arch.ThroughputPerArea(d, m.transformed.NumStates()),
+		BitstreamBytes:   m.machine.BitstreamBytes(),
+	}
+	for _, s := range m.compile.Stages {
+		md.CompileStages = append(md.CompileStages, StageInfo{Name: s.Name, States: s.States, Transitions: s.Transitions})
+	}
+	return md
+}
+
+func (m *Machine) design() arch.Design {
+	if m.cfg.CAMode {
+		return arch.Design{Arch: arch.CacheAutomaton, Bits: 8, Stride: m.cfg.StrideDims}
+	}
+	return arch.Design{Arch: arch.Impala, Bits: 4, Stride: m.cfg.StrideDims}
+}

@@ -1,0 +1,184 @@
+package impala
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+func TestCompileRegexAndRun(t *testing.T) {
+	m, err := CompileRegex([]string{"GET /", "POST /", `\d+\.\d+`}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := m.Run([]byte("GET /index 12.5 POST /x"))
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	wantGET := Match{End: 5, Pattern: 0}
+	found := false
+	for _, mt := range matches {
+		if mt == wantGET {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("GET match missing: %v", matches)
+	}
+}
+
+func TestRunAgreesWithSimulate(t *testing.T) {
+	m, err := CompileRegex([]string{"ab+c", "x[yz]"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		input := make([]byte, 1+r.Intn(50))
+		for i := range input {
+			input[i] = "abcxyz"[r.Intn(6)]
+		}
+		hw := m.Run(input)
+		sw, err := m.Simulate(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hw) != len(sw) {
+			t.Fatalf("hw=%v sw=%v", hw, sw)
+		}
+		for i := range hw {
+			if hw[i] != sw[i] {
+				t.Fatalf("hw=%v sw=%v", hw, sw)
+			}
+		}
+	}
+}
+
+func TestAllDesignPoints(t *testing.T) {
+	patterns := []string{"hello", "wor[lk]d"}
+	input := []byte("say hello world work")
+	re := regexp.MustCompile("hello|wor[lk]d")
+	want := len(re.FindAllString(string(input), -1))
+	for _, cfg := range []Config{
+		{StrideDims: 1},
+		{StrideDims: 2},
+		{StrideDims: 4},
+		{StrideDims: 8},
+		{StrideDims: 1, CAMode: true},
+		{StrideDims: 2, CAMode: true},
+	} {
+		m, err := CompileRegex(patterns, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		got := m.Run(input)
+		if len(got) != want {
+			t.Fatalf("%+v: matches = %v, want %d", cfg, got, want)
+		}
+	}
+}
+
+func TestModel(t *testing.T) {
+	m, err := CompileRegex([]string{"abcdef"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := m.Model()
+	if md.BitsPerCycle != 16 || md.ThroughputGbps < 79 || md.ThroughputGbps > 81 {
+		t.Fatalf("model = %+v", md)
+	}
+	if md.States == 0 || md.OriginalStates != 6 || md.G4s != 1 {
+		t.Fatalf("model = %+v", md)
+	}
+	if md.AreaMM2 <= 0 || md.ThroughputPerMM2 <= 0 || md.BitstreamBytes <= 0 {
+		t.Fatalf("model = %+v", md)
+	}
+	if len(md.CompileStages) == 0 {
+		t.Fatal("no compile stages")
+	}
+}
+
+func TestCompileRegexErrors(t *testing.T) {
+	if _, err := CompileRegex(nil, DefaultConfig()); err == nil {
+		t.Fatal("empty pattern list accepted")
+	}
+	if _, err := CompileRegex([]string{"("}, DefaultConfig()); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	if _, err := CompileRegex([]string{"a"}, Config{StrideDims: 3}); err == nil {
+		t.Fatal("bad stride accepted")
+	}
+}
+
+func TestCompileAutomaton(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddChain([]bitvec.ByteSet{bitvec.ByteRange('a', 'c'), bitvec.ByteOf('!')}, automata.StartAllInput, 9)
+	m, err := CompileAutomaton(n, Config{StrideDims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Run([]byte("xa!b!"))
+	if len(got) != 2 || got[0].Pattern != 9 {
+		t.Fatalf("matches = %v", got)
+	}
+}
+
+func ExampleCompileRegex() {
+	m, err := CompileRegex([]string{"needle"}, DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for _, match := range m.Run([]byte("haystack needle haystack")) {
+		fmt.Printf("pattern %d ends at byte %d\n", match.Pattern, match.End)
+	}
+	// Output: pattern 0 ends at byte 15
+}
+
+func TestCompileANMLFacade(t *testing.T) {
+	doc := `<automata-network id="t">
+	  <state-transition-element id="a" symbol-set="h" start="all-input">
+	    <activate-on-match element="b"/>
+	  </state-transition-element>
+	  <state-transition-element id="b" symbol-set="i">
+	    <report-on-match reportcode="5"/>
+	  </state-transition-element>
+	</automata-network>`
+	m, err := CompileANML(strings.NewReader(doc), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Run([]byte("say hi twice: hi"))
+	if len(got) != 2 || got[0].Pattern != 5 || got[0].End != 6 {
+		t.Fatalf("matches = %v", got)
+	}
+	if _, err := CompileANML(strings.NewReader("not xml"), DefaultConfig()); err == nil {
+		t.Fatal("bad ANML accepted")
+	}
+}
+
+func TestRunParallelFacade(t *testing.T) {
+	m, err := CompileRegex([]string{"needle"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := bytes.Repeat([]byte("haystack needle "), 50)
+	seq := m.Run(input)
+	par, err := m.RunParallel(input, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 50 || len(par) != len(seq) {
+		t.Fatalf("seq=%d par=%d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}

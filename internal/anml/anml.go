@@ -1,0 +1,291 @@
+// Package anml reads and writes the Micron Automata Network Markup
+// Language (ANML), the XML format the AP toolchain and ANMLZoo use. It maps
+// ANML's homogeneous automata (state-transition-elements with symbol-sets,
+// activate-on-match edges, and report-on-match markers) onto the internal
+// NFA model, so real ANMLZoo files can be fed straight into the V-TeSS
+// compiler.
+package anml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+// xmlNetwork is the on-disk schema subset we support.
+type xmlNetwork struct {
+	XMLName xml.Name `xml:"automata-network"`
+	ID      string   `xml:"id,attr"`
+	Name    string   `xml:"name,attr"`
+	STEs    []xmlSTE `xml:"state-transition-element"`
+}
+
+type xmlSTE struct {
+	ID        string        `xml:"id,attr"`
+	SymbolSet string        `xml:"symbol-set,attr"`
+	Start     string        `xml:"start,attr"`
+	Reports   []xmlReport   `xml:"report-on-match"`
+	Activates []xmlActivate `xml:"activate-on-match"`
+}
+
+type xmlReport struct {
+	ReportCode string `xml:"reportcode,attr"`
+}
+
+type xmlActivate struct {
+	Element string `xml:"element,attr"`
+}
+
+// Parse reads an ANML document into a homogeneous 8-bit automaton.
+func Parse(r io.Reader) (*automata.NFA, error) {
+	var doc xmlNetwork
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	n := automata.New(8, 1)
+	idOf := make(map[string]automata.StateID, len(doc.STEs))
+	for _, ste := range doc.STEs {
+		if ste.ID == "" {
+			return nil, fmt.Errorf("anml: state-transition-element without id")
+		}
+		if _, dup := idOf[ste.ID]; dup {
+			return nil, fmt.Errorf("anml: duplicate element id %q", ste.ID)
+		}
+		set, err := ParseSymbolSet(ste.SymbolSet)
+		if err != nil {
+			return nil, fmt.Errorf("anml: element %q: %w", ste.ID, err)
+		}
+		var start automata.StartKind
+		switch ste.Start {
+		case "", "none":
+			start = automata.StartNone
+		case "all-input":
+			start = automata.StartAllInput
+		case "start-of-data":
+			start = automata.StartOfData
+		default:
+			return nil, fmt.Errorf("anml: element %q: unknown start kind %q", ste.ID, ste.Start)
+		}
+		s := automata.State{
+			Match: automata.MatchSet{automata.Rect{set}},
+			Start: start,
+		}
+		if len(ste.Reports) > 0 {
+			s.Report = true
+			if rc := ste.Reports[0].ReportCode; rc != "" {
+				code, err := strconv.Atoi(rc)
+				if err != nil {
+					return nil, fmt.Errorf("anml: element %q: bad reportcode %q", ste.ID, rc)
+				}
+				s.ReportCode = code
+			}
+		}
+		idOf[ste.ID] = n.AddState(s)
+	}
+	for _, ste := range doc.STEs {
+		from := idOf[ste.ID]
+		for _, act := range ste.Activates {
+			to, ok := idOf[act.Element]
+			if !ok {
+				return nil, fmt.Errorf("anml: element %q activates unknown element %q", ste.ID, act.Element)
+			}
+			n.AddEdge(from, to)
+		}
+	}
+	n.DedupEdges()
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("anml: document produced invalid automaton: %w", err)
+	}
+	return n, nil
+}
+
+// Write emits an 8-bit stride-1 automaton as an ANML document.
+func Write(w io.Writer, n *automata.NFA, networkID string) error {
+	if n.Bits != 8 || n.Stride != 1 {
+		return fmt.Errorf("anml: only 8-bit stride-1 automata have an ANML form")
+	}
+	if networkID == "" {
+		networkID = "network"
+	}
+	doc := xmlNetwork{ID: networkID, Name: networkID}
+	for i := range n.States {
+		s := &n.States[i]
+		var set bitvec.ByteSet
+		for _, r := range s.Match {
+			set = set.Union(r[0])
+		}
+		ste := xmlSTE{
+			ID:        fmt.Sprintf("ste%d", i),
+			SymbolSet: FormatSymbolSet(set),
+		}
+		switch s.Start {
+		case automata.StartAllInput:
+			ste.Start = "all-input"
+		case automata.StartOfData:
+			ste.Start = "start-of-data"
+		case automata.StartEven:
+			return fmt.Errorf("anml: StartEven has no ANML equivalent (state %d)", i)
+		}
+		if s.Report {
+			ste.Reports = []xmlReport{{ReportCode: strconv.Itoa(s.ReportCode)}}
+		}
+		outs := append([]automata.StateID(nil), s.Out...)
+		sort.Slice(outs, func(a, b int) bool { return outs[a] < outs[b] })
+		for _, t := range outs {
+			ste.Activates = append(ste.Activates, xmlActivate{Element: fmt.Sprintf("ste%d", t)})
+		}
+		doc.STEs = append(doc.STEs, ste)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ParseSymbolSet parses ANML symbol-set syntax: a single character, an
+// escape (\xHH, \n, \t, \r, \\, \], \[, \-), a bracket expression with
+// ranges and ^ negation, or "*" for the full alphabet.
+func ParseSymbolSet(src string) (bitvec.ByteSet, error) {
+	if src == "" {
+		return bitvec.ByteSet{}, fmt.Errorf("empty symbol-set")
+	}
+	if src == "*" {
+		return bitvec.ByteAll(), nil
+	}
+	if src[0] != '[' {
+		// Single symbol (possibly escaped).
+		v, rest, err := parseOne(src)
+		if err != nil {
+			return bitvec.ByteSet{}, err
+		}
+		if rest != "" {
+			return bitvec.ByteSet{}, fmt.Errorf("trailing characters %q in symbol-set", rest)
+		}
+		return bitvec.ByteOf(v), nil
+	}
+	if !strings.HasSuffix(src, "]") {
+		return bitvec.ByteSet{}, fmt.Errorf("unterminated bracket expression")
+	}
+	body := src[1 : len(src)-1]
+	negate := false
+	if strings.HasPrefix(body, "^") {
+		negate = true
+		body = body[1:]
+	}
+	var set bitvec.ByteSet
+	for body != "" {
+		lo, rest, err := parseOne(body)
+		if err != nil {
+			return bitvec.ByteSet{}, err
+		}
+		body = rest
+		if strings.HasPrefix(body, "-") && len(body) > 1 {
+			hi, rest, err := parseOne(body[1:])
+			if err != nil {
+				return bitvec.ByteSet{}, err
+			}
+			if hi < lo {
+				return bitvec.ByteSet{}, fmt.Errorf("reversed range %q", src)
+			}
+			set = set.Union(bitvec.ByteRange(lo, hi))
+			body = rest
+			continue
+		}
+		set = set.Add(lo)
+	}
+	if negate {
+		set = set.Complement()
+	}
+	if set.Empty() {
+		return bitvec.ByteSet{}, fmt.Errorf("empty symbol-set %q", src)
+	}
+	return set, nil
+}
+
+func parseOne(s string) (byte, string, error) {
+	if s == "" {
+		return 0, "", fmt.Errorf("empty symbol")
+	}
+	if s[0] != '\\' {
+		return s[0], s[1:], nil
+	}
+	if len(s) < 2 {
+		return 0, "", fmt.Errorf("trailing backslash")
+	}
+	switch s[1] {
+	case 'x':
+		if len(s) < 4 {
+			return 0, "", fmt.Errorf("truncated \\x escape")
+		}
+		v, err := strconv.ParseUint(s[2:4], 16, 8)
+		if err != nil {
+			return 0, "", fmt.Errorf("bad \\x escape in %q", s)
+		}
+		return byte(v), s[4:], nil
+	case 'n':
+		return '\n', s[2:], nil
+	case 'r':
+		return '\r', s[2:], nil
+	case 't':
+		return '\t', s[2:], nil
+	case '0':
+		return 0, s[2:], nil
+	default:
+		return s[1], s[2:], nil
+	}
+}
+
+// FormatSymbolSet renders a byte set in ANML symbol-set syntax.
+func FormatSymbolSet(set bitvec.ByteSet) string {
+	if set.Full() {
+		return "*"
+	}
+	vals := set.Values()
+	if len(vals) == 1 {
+		return escapeSym(vals[0])
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < len(vals); {
+		lo := vals[i]
+		j := i
+		for j+1 < len(vals) && vals[j+1] == vals[j]+1 {
+			j++
+		}
+		hi := vals[j]
+		b.WriteString(escapeSym(lo))
+		if hi > lo {
+			if hi > lo+1 {
+				b.WriteByte('-')
+			}
+			b.WriteString(escapeSym(hi))
+		}
+		i = j + 1
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func escapeSym(v byte) string {
+	switch v {
+	case '\\', ']', '[', '-', '^', '*':
+		return "\\" + string(v)
+	}
+	if v >= 0x20 && v < 0x7F {
+		return string(v)
+	}
+	return fmt.Sprintf(`\x%02x`, v)
+}

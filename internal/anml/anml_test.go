@@ -1,0 +1,155 @@
+package anml
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/sim"
+)
+
+const fig1ANML = `<?xml version="1.0" encoding="UTF-8"?>
+<automata-network id="fig1" name="fig1">
+  <state-transition-element id="ste0" symbol-set="[AC]" start="all-input">
+    <activate-on-match element="ste0"/>
+    <activate-on-match element="ste1"/>
+  </state-transition-element>
+  <state-transition-element id="ste1" symbol-set="[CT]" start="all-input">
+    <activate-on-match element="ste3"/>
+  </state-transition-element>
+  <state-transition-element id="ste2" symbol-set="[CT]" start="all-input">
+    <activate-on-match element="ste3"/>
+  </state-transition-element>
+  <state-transition-element id="ste3" symbol-set="G">
+    <report-on-match reportcode="7"/>
+    <activate-on-match element="ste3"/>
+  </state-transition-element>
+</automata-network>`
+
+func TestParseFig1(t *testing.T) {
+	n, err := Parse(strings.NewReader(fig1ANML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumStates() != 4 || n.NumTransitions() != 5 {
+		t.Fatalf("shape = %d states %d transitions", n.NumStates(), n.NumTransitions())
+	}
+	// Language check: (A|C)*(C|T)G+ over ACGT.
+	reports, _, err := sim.Run(n, []byte("ACGG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[0].Code != 7 {
+		t.Fatalf("reports = %v", reports)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<automata-network><state-transition-element symbol-set="a"/></automata-network>`,                                                                   // no id
+		`<automata-network><state-transition-element id="a" symbol-set="a"/><state-transition-element id="a" symbol-set="b"/></automata-network>`,           // dup id
+		`<automata-network><state-transition-element id="a" symbol-set=""/></automata-network>`,                                                             // empty set
+		`<automata-network><state-transition-element id="a" symbol-set="a" start="bogus"/></automata-network>`,                                              // bad start
+		`<automata-network><state-transition-element id="a" symbol-set="a"><activate-on-match element="zz"/></state-transition-element></automata-network>`, // bad edge
+		`<automata-network><state-transition-element id="a" symbol-set="a"><report-on-match reportcode="x"/></state-transition-element></automata-network>`, // bad code
+		`not xml at all`,
+	}
+	for _, doc := range bad {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("accepted bad document: %.60s", doc)
+		}
+	}
+}
+
+func TestSymbolSetSyntax(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bitvec.ByteSet
+	}{
+		{"a", bitvec.ByteOf('a')},
+		{`\x41`, bitvec.ByteOf('A')},
+		{`\n`, bitvec.ByteOf('\n')},
+		{`\\`, bitvec.ByteOf('\\')},
+		{"*", bitvec.ByteAll()},
+		{"[abc]", bitvec.ByteOf('a').Union(bitvec.ByteOf('b')).Union(bitvec.ByteOf('c'))},
+		{"[a-c]", bitvec.ByteRange('a', 'c')},
+		{`[\x00-\x0f]`, bitvec.ByteRange(0, 15)},
+		{"[^a]", bitvec.ByteOf('a').Complement()},
+		{`[\]]`, bitvec.ByteOf(']')},
+	}
+	for _, c := range cases {
+		got, err := ParseSymbolSet(c.src)
+		if err != nil {
+			t.Errorf("ParseSymbolSet(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSymbolSet(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "[a", "[z-a]", `\x4`, "ab", "[]"} {
+		if _, err := ParseSymbolSet(bad); err == nil {
+			t.Errorf("ParseSymbolSet(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: FormatSymbolSet/ParseSymbolSet round-trip random sets exactly.
+func TestSymbolSetRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		var set bitvec.ByteSet
+		n := 1 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			set = set.Add(byte(r.Intn(256)))
+		}
+		back, err := ParseSymbolSet(FormatSymbolSet(set))
+		if err != nil {
+			t.Fatalf("round trip of %v: %v", set, err)
+		}
+		if back != set {
+			t.Fatalf("round trip changed %v -> %v (via %q)", set, back, FormatSymbolSet(set))
+		}
+	}
+}
+
+// Property: Write/Parse round-trips whole automata with identical language.
+func TestDocumentRoundTrip(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("hello", automata.StartAllInput, 3)
+	n.AddChain([]bitvec.ByteSet{bitvec.ByteRange('0', '9'), bitvec.ByteAll()}, automata.StartOfData, 5)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, n, "test"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse of own output: %v\n%s", err, buf.String())
+	}
+	if back.NumStates() != n.NumStates() || back.NumTransitions() != n.NumTransitions() {
+		t.Fatal("round trip changed shape")
+	}
+	for _, input := range []string{"hello", "xhello", "3k", "x3k", ""} {
+		r1, _, _ := sim.Run(n, []byte(input))
+		r2, _, _ := sim.Run(back, []byte(input))
+		if !sim.SameReports(r1, r2) {
+			t.Fatalf("language changed on %q", input)
+		}
+	}
+}
+
+func TestWriteRejectsNonByteAutomata(t *testing.T) {
+	n := automata.New(4, 2)
+	n.AddState(automata.State{
+		Match:        automata.MatchSet{automata.FullRect(2, 4)},
+		Start:        automata.StartAllInput,
+		ReportOffset: 2,
+	})
+	if err := Write(&bytes.Buffer{}, n, ""); err == nil {
+		t.Fatal("accepted 4-bit automaton")
+	}
+}

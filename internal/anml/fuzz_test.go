@@ -1,0 +1,54 @@
+package anml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary documents either fail cleanly or yield automata that
+// survive an ANML round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(fig1ANML)
+	f.Add(`<automata-network id="x"><state-transition-element id="a" symbol-set="[^b]" start="all-input"><report-on-match reportcode="1"/></state-transition-element></automata-network>`)
+	f.Add(`<automata-network/>`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		n, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, n, "fuzz"); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v\n%s", err, buf.String())
+		}
+		if back.NumStates() != n.NumStates() {
+			t.Fatalf("round trip changed state count")
+		}
+	})
+}
+
+// FuzzParseSymbolSet: the symbol-set microsyntax never panics and always
+// round-trips through FormatSymbolSet.
+func FuzzParseSymbolSet(f *testing.F) {
+	for _, seed := range []string{"a", "*", "[a-z]", `[\x00-\xff]`, "[^x]", `\n`, "[", "]", `\\`} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		set, err := ParseSymbolSet(src)
+		if err != nil {
+			return
+		}
+		back, err := ParseSymbolSet(FormatSymbolSet(set))
+		if err != nil {
+			t.Fatalf("format of %q (%v) unparsable: %v", src, set, err)
+		}
+		if back != set {
+			t.Fatalf("round trip changed %q: %v -> %v", src, set, back)
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"impala/internal/sim"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// Table 5: pipeline delays and operating frequencies.
+func TestTable5Pipeline(t *testing.T) {
+	ip := ImpalaPipeline()
+	approx(t, "Impala state match", ip.StateMatchPs, 180, 0.01)
+	approx(t, "Impala local", ip.LocalSwitchPs, 150, 0.01)
+	approx(t, "Impala global", ip.GlobalSwitchPs, 170, 0.01)
+	approx(t, "Impala max freq", ip.MaxFreqGHz(), 5.55, 0.01)
+	approx(t, "Impala operating freq", ip.OperatingFreqGHz(), 5.0, 0.01)
+
+	cp := CAPipeline()
+	approx(t, "CA state match", cp.StateMatchPs, 220, 0.01)
+	approx(t, "CA global", cp.GlobalSwitchPs, 249, 0.01)
+	approx(t, "CA max freq", cp.MaxFreqGHz(), 4.01, 0.02)
+	approx(t, "CA operating freq", cp.OperatingFreqGHz(), 3.61, 0.02)
+}
+
+// Figure 13: overall throughput of the design points.
+func TestFig13Throughput(t *testing.T) {
+	imp4 := Design{Arch: Impala, Bits: 4, Stride: 4}
+	approx(t, "Impala 16-bit", imp4.ThroughputGbps(), 80, 0.5)
+	imp2 := Design{Arch: Impala, Bits: 4, Stride: 2}
+	approx(t, "Impala 8-bit", imp2.ThroughputGbps(), 40, 0.3)
+	imp1 := Design{Arch: Impala, Bits: 4, Stride: 1}
+	approx(t, "Impala 4-bit", imp1.ThroughputGbps(), 20, 0.2)
+	ca8 := Design{Arch: CacheAutomaton, Bits: 8, Stride: 1}
+	approx(t, "CA 8-bit", ca8.ThroughputGbps(), 28.8, 0.3)
+	ap := Design{Arch: AutomataProcessor, Bits: 8, Stride: 1}
+	approx(t, "AP 8-bit", ap.ThroughputGbps(), 1.06, 0.01)
+	ap14 := Design{Arch: AutomataProcessor, Bits: 8, Stride: 1, Projected14nm: true}
+	approx(t, "AP 14nm", ap14.ThroughputGbps(), 13.5, 0.1)
+
+	// Headline claims: Impala 16-bit is 2.8× CA and 5.9× AP(14nm).
+	approx(t, "Impala/CA", imp4.ThroughputGbps()/ca8.ThroughputGbps(), 2.78, 0.05)
+	approx(t, "Impala/AP14", imp4.ThroughputGbps()/ap14.ThroughputGbps(), 5.9, 0.1)
+}
+
+// Figure 14: area for 32K STEs.
+func TestFig14Area(t *testing.T) {
+	imp := AreaBreakdown(Design{Arch: Impala, Bits: 4, Stride: 4}, 32*1024)
+	ca := AreaBreakdown(Design{Arch: CacheAutomaton, Bits: 8, Stride: 1}, 32*1024)
+	ap := AreaBreakdown(Design{Arch: AutomataProcessor, Bits: 8, Stride: 1}, 32*1024)
+
+	// State-matching: Impala 5.2× smaller than CA, 34.5× smaller than AP.
+	approx(t, "SM CA/Impala", ca.StateMatchMM2/imp.StateMatchMM2, 5.2, 0.1)
+	approx(t, "SM AP/Impala", ap.StateMatchMM2/imp.StateMatchMM2, 34.5, 0.1)
+	// Totals: paper reports 1.34× and 3.9×; our interconnect model gives
+	// ~1.28× for CA (we model identical switch fabrics) and 3.9× for AP by
+	// construction.
+	ratioCA := ca.TotalMM2() / imp.TotalMM2()
+	if ratioCA < 1.2 || ratioCA > 1.45 {
+		t.Fatalf("total CA/Impala = %v, want ~1.28-1.34", ratioCA)
+	}
+	approx(t, "total AP/Impala", ap.TotalMM2()/imp.TotalMM2(), 3.9, 0.05)
+
+	// Absolute sanity: Impala state matching for 32K strided states is
+	// 128 blocks × 4 subarrays × 453 µm².
+	approx(t, "Impala SM mm²", imp.StateMatchMM2, 128*4*453.0/1e6, 1e-9)
+}
+
+func TestAreaZeroStates(t *testing.T) {
+	b := AreaBreakdown(Design{Arch: Impala, Bits: 4, Stride: 4}, 0)
+	if b.TotalMM2() != 0 {
+		t.Fatal("zero states should have zero area")
+	}
+}
+
+func TestStandardUnit(t *testing.T) {
+	hu := StandardUnit(Design{Arch: Impala, Bits: 4, Stride: 4})
+	if hu.Capacity != 32*1024 {
+		t.Fatalf("capacity = %d", hu.Capacity)
+	}
+	if hu.UnitsFor(1) != 1 || hu.UnitsFor(32*1024) != 1 || hu.UnitsFor(32*1024+1) != 2 {
+		t.Fatal("UnitsFor rounding wrong")
+	}
+	if hu.UnitsFor(0) != 0 {
+		t.Fatal("UnitsFor(0) != 0")
+	}
+	ap := StandardUnit(Design{Arch: AutomataProcessor, Bits: 8, Stride: 1})
+	if ap.Capacity != 48*1024 {
+		t.Fatalf("AP capacity = %d", ap.Capacity)
+	}
+}
+
+func TestThroughputPerAreaOrdering(t *testing.T) {
+	// For a benchmark with modest striding overhead, Impala 16-bit should
+	// dominate CA 8-bit and the AP in Gbps/mm² (the Figure 11 headline).
+	states := 10000
+	imp := ThroughputPerArea(Design{Arch: Impala, Bits: 4, Stride: 4}, int(float64(states)*1.7))
+	ca := ThroughputPerArea(Design{Arch: CacheAutomaton, Bits: 8, Stride: 1}, states)
+	ap := ThroughputPerArea(Design{Arch: AutomataProcessor, Bits: 8, Stride: 1, Projected14nm: true}, states)
+	if imp <= ca || ca <= ap {
+		t.Fatalf("ordering broken: impala=%v ca=%v ap=%v", imp, ca, ap)
+	}
+	ratio := imp / ca
+	if ratio < 1.5 || ratio > 4.5 {
+		t.Fatalf("Impala/CA throughput-per-area = %v, expected around 2-3.7×", ratio)
+	}
+}
+
+func TestEnergyModelBasics(t *testing.T) {
+	blocks, g4s := OccupancyFor(1000)
+	if blocks != 4 || g4s != 1 {
+		t.Fatalf("occupancy = %d/%d", blocks, g4s)
+	}
+	m := EnergyModel{
+		Design:         Design{Arch: Impala, Bits: 4, Stride: 4},
+		OccupiedBlocks: blocks,
+		OccupiedG4s:    g4s,
+	}
+	stats := ActivityStats{
+		Cycles:                  1000,
+		LocalSwitchActivations:  2000,
+		GlobalSwitchActivations: 100,
+		CrossBlockSignals:       150,
+	}
+	r := m.Evaluate(stats, 2000)
+	if r.TotalPJ <= 0 || r.PJPerByte <= 0 || r.AvgPowerMW <= 0 {
+		t.Fatalf("degenerate report: %+v", r)
+	}
+	if got := r.StateMatchPJ + r.LocalSwitchPJ + r.GlobalSwitchPJ + r.WirePJ; math.Abs(got-r.TotalPJ) > 1e-9 {
+		t.Fatal("total does not sum")
+	}
+	// Zero cycles -> zero report.
+	if z := m.Evaluate(ActivityStats{}, 100); z.TotalPJ != 0 {
+		t.Fatal("zero-cycle run should cost nothing")
+	}
+}
+
+// The CA design at the same occupancy must burn more state-matching energy
+// per byte than Impala 16-bit (the core of the Figure 12 claim).
+func TestEnergyCAvsImpala(t *testing.T) {
+	const inputBytes = 100000
+	// Impala 16-bit: 2 bytes/cycle; overhead 1.39× states.
+	impBlocks, impG4 := OccupancyFor(14000)
+	imp := EnergyModel{Design: Design{Arch: Impala, Bits: 4, Stride: 4}, OccupiedBlocks: impBlocks, OccupiedG4s: impG4}
+	impCycles := int64(inputBytes / 2)
+	impStats := ActivityStats{
+		Cycles:                  impCycles,
+		LocalSwitchActivations:  impCycles * int64(impBlocks) / 4, // ~25% blocks active
+		GlobalSwitchActivations: impCycles / 10,
+		CrossBlockSignals:       impCycles / 10,
+	}
+	caBlocks, caG4 := OccupancyFor(10000)
+	ca := EnergyModel{Design: Design{Arch: CacheAutomaton, Bits: 8, Stride: 1}, OccupiedBlocks: caBlocks, OccupiedG4s: caG4}
+	caCycles := int64(inputBytes)
+	caStats := ActivityStats{
+		Cycles:                  caCycles,
+		LocalSwitchActivations:  caCycles * int64(caBlocks) / 4,
+		GlobalSwitchActivations: caCycles / 10,
+		CrossBlockSignals:       caCycles / 10,
+	}
+	re := imp.Evaluate(impStats, inputBytes)
+	rc := ca.Evaluate(caStats, inputBytes)
+	ratio := rc.PJPerByte / re.PJPerByte
+	if ratio <= 1.0 {
+		t.Fatalf("CA should cost more energy/byte, ratio = %v", ratio)
+	}
+	t.Logf("energy/byte ratio CA/Impala = %.2f (paper: 1.7)", ratio)
+	powerRatio := rc.AvgPowerMW / re.AvgPowerMW
+	if powerRatio <= 1.0 {
+		t.Fatalf("CA should burn more power, ratio = %v", powerRatio)
+	}
+	t.Logf("power ratio CA/Impala = %.2f (paper: 1.22)", powerRatio)
+}
+
+func TestFPGAConstants(t *testing.T) {
+	imp := Design{Arch: Impala, Bits: 4, Stride: 4}
+	if r := imp.FreqGHz() / FPGAYang.ClockGHz; r < 20 || r > 25 {
+		t.Fatalf("freq ratio vs Yang = %v, want ~23.6 (paper: ~20×)", r)
+	}
+	if r := imp.ThroughputGbps() / FPGAYamagaki.ThroughputGbps; r < 18 || r > 23 {
+		t.Fatalf("throughput ratio vs Yamagaki = %v (paper: ~20×)", r)
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	d := Design{Arch: Impala, Bits: 4, Stride: 4}
+	if d.String() != "Impala (16-bit)" {
+		t.Fatalf("String = %q", d.String())
+	}
+	if CacheAutomaton.String() != "Cache Automaton" || AutomataProcessor.String() != "AP" {
+		t.Fatal("arch names wrong")
+	}
+}
+
+func TestSystemModel(t *testing.T) {
+	// Paper Section 6: 5 GHz 4-bit engine, 1 MHz interrupt -> 5000
+	// cycles/interrupt -> 2.5 KB input buffer.
+	sys := DefaultSystem(Design{Arch: Impala, Bits: 4, Stride: 1})
+	rep := sys.Analyze(0)
+	approx(t, "cycles/interrupt", rep.CyclesPerInterrupt, 5000, 20)
+	approx(t, "IB bytes", rep.IBBytes, 2500, 10)
+	if sys.OBBytes() != 2048 {
+		t.Fatalf("OB bytes = %d, want 2048", sys.OBBytes())
+	}
+	// OB budget: 512 reports per 5000 cycles.
+	approx(t, "max reports/cycle", rep.MaxReportsPerCycle, 0.1024, 0.001)
+	if over := sys.Analyze(0.2); !over.OBOverflow {
+		t.Fatal("0.2 reports/cycle should overflow the OB budget")
+	}
+	if ok := sys.Analyze(0.05); ok.OBOverflow {
+		t.Fatal("0.05 reports/cycle should fit")
+	}
+}
+
+func TestSimulateOB(t *testing.T) {
+	sys := DefaultSystem(Design{Arch: Impala, Bits: 4, Stride: 4})
+	// 5 GHz / 1 MHz = 5000 cycles per interrupt; OB holds 512 entries.
+	mk := func(cycle int) sim.Report { return sim.Report{BitPos: cycle * 16} }
+	// 600 reports burst within the first period: 512 fit, 88 drop.
+	var burst []sim.Report
+	for i := 0; i < 600; i++ {
+		burst = append(burst, mk(i))
+	}
+	res := sys.SimulateOB(burst, 10000)
+	if res.Dropped != 88 || res.Delivered != 512 || res.PeakOccupancy != 512 {
+		t.Fatalf("burst result = %+v", res)
+	}
+	// The same 600 reports spread over two periods: no drops.
+	var spread []sim.Report
+	for i := 0; i < 600; i++ {
+		spread = append(spread, mk(i*15))
+	}
+	res = sys.SimulateOB(spread, 10000)
+	if res.Dropped != 0 || res.Delivered != 600 {
+		t.Fatalf("spread result = %+v", res)
+	}
+	if res.PeakOccupancy == 0 || res.PeakOccupancy > 512 {
+		t.Fatalf("peak = %d", res.PeakOccupancy)
+	}
+	// Empty stream.
+	if z := sys.SimulateOB(nil, 100); z.Delivered != 0 || z.Dropped != 0 {
+		t.Fatalf("empty = %+v", z)
+	}
+}
+
+func TestReconfigModel(t *testing.T) {
+	imp := ReconfigModel{
+		Design: Design{Arch: Impala, Bits: 4, Stride: 4},
+		Unit:   StandardUnit(Design{Arch: Impala, Bits: 4, Stride: 4}),
+	}
+	small := imp.Evaluate(10000, 10<<20)
+	if small.Rounds != 1 {
+		t.Fatalf("small rounds = %d", small.Rounds)
+	}
+	// A fitting workload runs below line rate only by the one-time
+	// configuration cost (a 32K-unit bitstream is ~26 MB, non-trivial
+	// against a 10 MB stream).
+	if small.EffectiveGbps < 50 || small.EffectiveGbps > 80 {
+		t.Fatalf("small eff = %v", small.EffectiveGbps)
+	}
+	big := imp.Evaluate(100*1024, 10<<20)
+	if big.Rounds != 4 {
+		t.Fatalf("big rounds = %d", big.Rounds)
+	}
+	if big.EffectiveGbps >= small.EffectiveGbps/3 {
+		t.Fatalf("4 rounds should quarter the throughput: %v vs %v", big.EffectiveGbps, small.EffectiveGbps)
+	}
+	if big.ProcessSeconds <= 0 || big.ConfigSeconds <= 0 {
+		t.Fatalf("times = %+v", big)
+	}
+}
+
+func TestReconfigCrossover(t *testing.T) {
+	// A hypothetical fast-but-tiny design must eventually lose to a
+	// slower-but-denser one.
+	fast := ReconfigModel{
+		Design: Design{Arch: Impala, Bits: 4, Stride: 4},
+		Unit:   HardwareUnit{Design: Design{Arch: Impala, Bits: 4, Stride: 4}, Capacity: 8 * 1024},
+	}
+	dense := ReconfigModel{
+		Design: Design{Arch: CacheAutomaton, Bits: 8, Stride: 1},
+		Unit:   HardwareUnit{Design: Design{Arch: CacheAutomaton, Bits: 8, Stride: 1}, Capacity: 64 * 1024},
+	}
+	x := CrossoverStates(fast, dense, 1.0, 1.0, 10<<20, 1<<20)
+	if x <= 0 {
+		t.Fatal("no crossover found")
+	}
+	// Below the crossover the fast design must win.
+	rf := fast.Evaluate(x/2, 10<<20)
+	rd := dense.Evaluate(x/2, 10<<20)
+	if rf.EffectiveGbps < rd.EffectiveGbps {
+		t.Fatalf("fast should win below crossover: %v vs %v", rf.EffectiveGbps, rd.EffectiveGbps)
+	}
+}

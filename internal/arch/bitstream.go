@@ -1,0 +1,255 @@
+package arch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/interconnect"
+)
+
+// Bitstream serialization: the full device configuration — matching
+// subarray images, switch images, start/occupancy vectors and report
+// metadata — as a flat byte stream, the payload a host transfers over
+// memory-mapped I/O or DMA at configuration time (Section 6). WriteConfig
+// and ReadConfig round-trip a Machine exactly, enabling compile-once /
+// configure-later flows (impalac -bitstream).
+
+const (
+	bitstreamMagic   = 0x494D504C // "IMPL"
+	bitstreamVersion = 1
+
+	groupKindG4  = 0
+	groupKindG16 = 1
+)
+
+// WriteConfig serializes the machine configuration.
+func (m *Machine) WriteConfig(w io.Writer) error {
+	bw := &binWriter{w: w}
+	bw.u32(bitstreamMagic)
+	bw.u32(bitstreamVersion)
+	bw.u32(uint32(m.Bits))
+	bw.u32(uint32(m.Stride))
+	bw.u32(uint32(len(m.Groups)))
+	for _, g := range m.Groups {
+		slots := g.Switches.Slots()
+		switch g.Switches.(type) {
+		case *interconnect.G4:
+			bw.u32(groupKindG4)
+		case *interconnect.G16:
+			bw.u32(groupKindG16)
+		default:
+			return fmt.Errorf("arch: unknown fabric type")
+		}
+		// Matching subarrays.
+		for b := range g.Match {
+			for _, mat := range g.Match[b] {
+				bw.matrix(mat)
+			}
+		}
+		// Switch images.
+		switch f := g.Switches.(type) {
+		case *interconnect.G4:
+			writeG4(bw, f)
+		case *interconnect.G16:
+			for _, u := range f.G4s {
+				writeG4(bw, u)
+			}
+			bw.matrix(f.Hyper)
+		}
+		// Start / occupancy vectors.
+		bw.words(g.always)
+		bw.words(g.even)
+		bw.words(g.anchored)
+		bw.words(g.occupied)
+		// Report metadata and state identities per slot.
+		for s := 0; s < slots; s++ {
+			r := g.reports[s]
+			flag := uint32(0)
+			if r.report {
+				flag = 1
+			}
+			bw.u32(flag)
+			bw.u32(uint32(int32(r.code)))
+			bw.u32(uint32(r.offset))
+			bw.u32(uint32(int32(g.states[s])))
+		}
+	}
+	return bw.err
+}
+
+func writeG4(bw *binWriter, g *interconnect.G4) {
+	for _, l := range g.Locals {
+		bw.matrix(l)
+	}
+	bw.matrix(g.Global)
+}
+
+// ReadConfig deserializes a machine configuration.
+func ReadConfig(r io.Reader) (*Machine, error) {
+	br := &binReader{r: r}
+	if br.u32() != bitstreamMagic {
+		return nil, fmt.Errorf("arch: not an Impala bitstream")
+	}
+	if v := br.u32(); v != bitstreamVersion {
+		return nil, fmt.Errorf("arch: unsupported bitstream version %d", v)
+	}
+	m := &Machine{Bits: int(br.u32()), Stride: int(br.u32())}
+	if br.err != nil {
+		return nil, br.err
+	}
+	if m.Bits != 4 && m.Bits != 8 {
+		return nil, fmt.Errorf("arch: bad symbol width %d", m.Bits)
+	}
+	if m.Stride < 1 || m.Stride > 8 {
+		return nil, fmt.Errorf("arch: bad stride %d", m.Stride)
+	}
+	domain := automata.DomainSize(m.Bits)
+	groups := int(br.u32())
+	if groups < 0 || groups > 1<<20 {
+		return nil, fmt.Errorf("arch: implausible group count %d", groups)
+	}
+	for gi := 0; gi < groups; gi++ {
+		kind := br.u32()
+		var fabric interconnect.Fabric
+		switch kind {
+		case groupKindG4:
+			fabric = interconnect.NewG4()
+		case groupKindG16:
+			fabric = interconnect.NewG16()
+		default:
+			return nil, fmt.Errorf("arch: unknown group kind %d", kind)
+		}
+		slots := fabric.Slots()
+		blocks := slots / interconnect.LocalSwitchSize
+		g := &Group{
+			Switches: fabric,
+			Match:    make([][]*bitvec.Matrix, blocks),
+			always:   bitvec.NewWords(slots),
+			even:     bitvec.NewWords(slots),
+			anchored: bitvec.NewWords(slots),
+			occupied: bitvec.NewWords(slots),
+			reports:  make([]slotReport, slots),
+			states:   make([]automata.StateID, slots),
+		}
+		for b := 0; b < blocks; b++ {
+			g.Match[b] = make([]*bitvec.Matrix, m.Stride)
+			for d := 0; d < m.Stride; d++ {
+				g.Match[b][d] = bitvec.NewMatrix(domain, interconnect.LocalSwitchSize)
+				br.matrix(g.Match[b][d])
+			}
+		}
+		switch f := fabric.(type) {
+		case *interconnect.G4:
+			readG4(br, f)
+		case *interconnect.G16:
+			for _, u := range f.G4s {
+				readG4(br, u)
+			}
+			br.matrix(f.Hyper)
+		}
+		br.words(g.always)
+		br.words(g.even)
+		br.words(g.anchored)
+		br.words(g.occupied)
+		for s := 0; s < slots; s++ {
+			flag := br.u32()
+			code := int(int32(br.u32()))
+			offset := int(br.u32())
+			state := automata.StateID(int32(br.u32()))
+			g.reports[s] = slotReport{report: flag != 0, code: code, offset: offset}
+			g.states[s] = state
+		}
+		if br.err != nil {
+			return nil, br.err
+		}
+		m.Groups = append(m.Groups, g)
+	}
+	return m, br.err
+}
+
+func readG4(br *binReader, g *interconnect.G4) {
+	for _, l := range g.Locals {
+		br.matrix(l)
+	}
+	br.matrix(g.Global)
+}
+
+// ---- little-endian framing helpers ----
+
+type binWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (b *binWriter) u32(v uint32) {
+	if b.err != nil {
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, b.err = b.w.Write(buf[:])
+}
+
+func (b *binWriter) u64(v uint64) {
+	if b.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, b.err = b.w.Write(buf[:])
+}
+
+func (b *binWriter) words(w bitvec.Words) {
+	for _, x := range w {
+		b.u64(x)
+	}
+}
+
+func (b *binWriter) matrix(m *bitvec.Matrix) {
+	for r := 0; r < m.Rows(); r++ {
+		for _, x := range m.Row(r) {
+			b.u64(x)
+		}
+	}
+}
+
+type binReader struct {
+	r   io.Reader
+	err error
+}
+
+func (b *binReader) u32() uint32 {
+	if b.err != nil {
+		return 0
+	}
+	var buf [4]byte
+	_, b.err = io.ReadFull(b.r, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (b *binReader) u64() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	_, b.err = io.ReadFull(b.r, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (b *binReader) words(w bitvec.Words) {
+	for i := range w {
+		w[i] = b.u64()
+	}
+}
+
+func (b *binReader) matrix(m *bitvec.Matrix) {
+	for r := 0; r < m.Rows(); r++ {
+		row := m.MutableRow(r)
+		for i := range row {
+			row[i] = b.u64()
+		}
+	}
+}

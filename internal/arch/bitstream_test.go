@@ -1,0 +1,112 @@
+package arch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/core"
+	"impala/internal/place"
+	"impala/internal/sim"
+)
+
+func TestBitstreamRoundTrip(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("config", automata.StartAllInput, 1)
+	n.AddLiteral("me", automata.StartOfData, 2)
+	m, _ := compileAndBuild(t, n, core.Config{TargetBits: 4, StrideDims: 4})
+
+	var buf bytes.Buffer
+	if err := m.WriteConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bits != m.Bits || back.Stride != m.Stride || len(back.Groups) != len(m.Groups) {
+		t.Fatal("shape changed")
+	}
+	// The reloaded machine must run identically.
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		input := make([]byte, 1+r.Intn(50))
+		for i := range input {
+			input[i] = "configme xyz"[r.Intn(12)]
+		}
+		r1, s1 := m.Run(input)
+		r2, s2 := back.Run(input)
+		if !sim.SameReports(r1, r2) {
+			t.Fatalf("reloaded machine diverges on %q", input)
+		}
+		if s1 != s2 {
+			t.Fatalf("activity stats diverge: %+v vs %+v", s1, s2)
+		}
+	}
+}
+
+func TestBitstreamRoundTripHierarchical(t *testing.T) {
+	// Chain > 1024 states: exercises G16 serialization.
+	n := automata.New(8, 1)
+	prev := automata.StateID(-1)
+	for i := 0; i < 1100; i++ {
+		kind := automata.StartNone
+		if i == 0 {
+			kind = automata.StartAllInput
+		}
+		id := n.AddState(automata.State{
+			Match:        automata.MatchSet{automata.Rect{automata.Domain(8)}},
+			Start:        kind,
+			Report:       i == 1099,
+			ReportCode:   9,
+			ReportOffset: 1,
+		})
+		if prev >= 0 {
+			n.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	p, err := place.Place(n, place.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]byte, 1500)
+	r1, _ := m.Run(input)
+	r2, _ := back.Run(input)
+	if !sim.SameReports(r1, r2) {
+		t.Fatal("hierarchical reload diverges")
+	}
+}
+
+func TestBitstreamRejectsGarbage(t *testing.T) {
+	if _, err := ReadConfig(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadConfig(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Truncated valid prefix.
+	n := automata.New(8, 1)
+	n.AddLiteral("x", automata.StartAllInput, 1)
+	m, _ := compileAndBuild(t, n, core.Config{TargetBits: 4, StrideDims: 2})
+	var buf bytes.Buffer
+	if err := m.WriteConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadConfig(bytes.NewReader(buf.Bytes()[:100])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

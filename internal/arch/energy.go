@@ -1,0 +1,121 @@
+package arch
+
+import "impala/internal/interconnect"
+
+// Energy model (Section 8.5, Figure 12).
+//
+// State-matching arrays cannot be power-gated cycle-by-cycle (the match and
+// the next-potential-state computation happen simultaneously, so the
+// potential next states are not known in advance): every *occupied* matching
+// subarray burns read power every cycle. Unoccupied arrays are gated off.
+// Switch subarrays are activated only when a state they serve is active
+// (their word lines are driven by active states). Cross-block signals pay a
+// wire-energy cost proportional to the design's global wire length — the
+// density advantage of Impala directly shows up here.
+
+// WireEnergyPJPerMMBit is the estimated energy to drive one signal over one
+// mm of global wire at 14nm/0.8V (typical published range 0.1–0.3 pJ/bit/mm;
+// we use the midpoint).
+const WireEnergyPJPerMMBit = 0.2
+
+// ActivityStats aggregates per-cycle switch activity of a run, collected by
+// the capsule-level machine (or derivable from the functional simulator plus
+// a placement).
+type ActivityStats struct {
+	Cycles int64
+	// LocalSwitchActivations sums, over cycles, the number of local-switch
+	// partitions with at least one driving (active) state.
+	LocalSwitchActivations int64
+	// GlobalSwitchActivations sums, over cycles, the number of global
+	// switches with at least one driving port node.
+	GlobalSwitchActivations int64
+	// CrossBlockSignals counts enable signals that crossed local-switch
+	// boundaries (drove global wires).
+	CrossBlockSignals int64
+}
+
+// EnergyModel evaluates a design's energy for a run.
+type EnergyModel struct {
+	Design Design
+	// OccupiedBlocks is the number of 256-state blocks holding states.
+	OccupiedBlocks int
+	// OccupiedG4s is the number of G4 groups in use.
+	OccupiedG4s int
+}
+
+// EnergyReport is the model output.
+type EnergyReport struct {
+	StateMatchPJ   float64
+	LocalSwitchPJ  float64
+	GlobalSwitchPJ float64
+	WirePJ         float64
+	TotalPJ        float64
+	// PJPerSymbol is energy per processed symbol, i.e. per cycle — the
+	// Figure 12 left metric. Note the paper's convention: Impala 16-bit's
+	// "symbol" is a 16-bit chunk while CA's is one byte, so the per-byte
+	// ratio is twice the per-symbol ratio.
+	PJPerSymbol float64
+	// PJPerByte is energy per input byte (geometry-independent variant).
+	PJPerByte float64
+	// AvgPowerMW is total energy over total run time (Figure 12 right).
+	AvgPowerMW float64
+}
+
+// matchSubarraysPerBlock returns how many matching subarrays serve one
+// 256-state block.
+func (m EnergyModel) matchSubarraysPerBlock() float64 {
+	switch m.Design.Arch {
+	case Impala:
+		return float64(m.Design.Stride)
+	case CacheAutomaton:
+		return float64(m.Design.Stride)
+	default:
+		panic("arch: energy model supports Impala and CA only")
+	}
+}
+
+func (m EnergyModel) matchSubarrayPowerMW() float64 {
+	if m.Design.Arch == Impala {
+		return ImpalaMatchSubarray.ReadPowMW
+	}
+	return CAMatchSubarray.ReadPowMW
+}
+
+func (m EnergyModel) globalWireMM() float64 {
+	if m.Design.Arch == Impala {
+		return ImpalaGlobalWire / WireDelayPsPerMM
+	}
+	return CAGlobalWireMM
+}
+
+// Evaluate computes the energy report for a run over inputBytes bytes.
+func (m EnergyModel) Evaluate(stats ActivityStats, inputBytes int) EnergyReport {
+	var r EnergyReport
+	if stats.Cycles == 0 {
+		return r
+	}
+	cycleNS := 1.0 / m.Design.FreqGHz()
+	// State matching: all occupied subarrays, every cycle.
+	smPerCycleMW := float64(m.OccupiedBlocks) * m.matchSubarraysPerBlock() * m.matchSubarrayPowerMW()
+	r.StateMatchPJ = smPerCycleMW * cycleNS * float64(stats.Cycles)
+	// Switches: only on activation.
+	r.LocalSwitchPJ = float64(stats.LocalSwitchActivations) * SwitchSubarray.ReadPowMW * cycleNS
+	r.GlobalSwitchPJ = float64(stats.GlobalSwitchActivations) * SwitchSubarray.ReadPowMW * cycleNS
+	// Wires: cross-block enables drive global wires.
+	r.WirePJ = float64(stats.CrossBlockSignals) * WireEnergyPJPerMMBit * m.globalWireMM()
+	r.TotalPJ = r.StateMatchPJ + r.LocalSwitchPJ + r.GlobalSwitchPJ + r.WirePJ
+	r.PJPerSymbol = r.TotalPJ / float64(stats.Cycles)
+	if inputBytes > 0 {
+		r.PJPerByte = r.TotalPJ / float64(inputBytes)
+	}
+	r.AvgPowerMW = r.TotalPJ / (cycleNS * float64(stats.Cycles))
+	return r
+}
+
+// OccupancyFor derives block/G4 occupancy from a state count (uniform
+// packing assumption for analytical comparisons without a placement).
+func OccupancyFor(states int) (blocks, g4s int) {
+	blocks = (states + interconnect.LocalSwitchSize - 1) / interconnect.LocalSwitchSize
+	g4s = (blocks + interconnect.LocalsPerG4 - 1) / interconnect.LocalsPerG4
+	return blocks, g4s
+}

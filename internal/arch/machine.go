@@ -1,0 +1,274 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/interconnect"
+	"impala/internal/place"
+	"impala/internal/sim"
+)
+
+// Machine is the capsule-level execution model of a configured Impala (or
+// CA-mode) device: per-group state-matching subarray images plus
+// interconnect switch images, executed exactly the way the hardware
+// pipeline operates — read one row per dimension per block, AND across a
+// capsule's columns, AND with the enable vector produced by the wired-OR
+// switch fabric. It is the architectural twin of the functional simulator
+// and must produce identical reports for any input.
+//
+// Groups are either plain G4s or (for components beyond 1024 states)
+// hierarchical G16s with a hyper switch — the paper's higher-level-switch
+// extension.
+type Machine struct {
+	// Bits and Stride define the symbol geometry.
+	Bits, Stride int
+	// Groups are the configured switch groups.
+	Groups []*Group
+}
+
+// Group is one switch group's full configuration.
+type Group struct {
+	// Match[block][dim] is a (domain-size × 256) subarray image: cell
+	// (v, c) is 1 iff the state in block slot c accepts sub-symbol v at
+	// dimension dim.
+	Match [][]*bitvec.Matrix
+	// Switches is the crossbar configuration (G4 or G16).
+	Switches interconnect.Fabric
+	// Per-slot start/occupancy vectors.
+	always, even, anchored, occupied bitvec.Words
+	// report metadata per slot (report counters/IDs in hardware).
+	reports []slotReport
+	// states maps slots back to automaton state IDs (debug/report identity).
+	states []automata.StateID
+}
+
+type slotReport struct {
+	report bool
+	code   int
+	offset int
+}
+
+// Build configures a machine from a capsule-legal automaton and a valid
+// placement of it.
+func Build(n *automata.NFA, p *place.Placement) (*Machine, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("arch: Build input invalid: %w", err)
+	}
+	if !p.Valid() {
+		return nil, fmt.Errorf("arch: placement has %d uncovered transitions", p.TotalUncovered)
+	}
+	m := &Machine{Bits: n.Bits, Stride: n.Stride}
+	domain := automata.DomainSize(n.Bits)
+
+	// Map every state to (group, slot).
+	type loc struct {
+		group int
+		slot  int
+	}
+	locOf := make(map[automata.StateID]loc, n.NumStates())
+	for gi, g := range p.G4s {
+		for slot, id := range g.Slots {
+			if id >= 0 {
+				locOf[id] = loc{group: gi, slot: slot}
+			}
+		}
+	}
+	if len(locOf) != n.NumStates() {
+		return nil, fmt.Errorf("arch: placement covers %d of %d states", len(locOf), n.NumStates())
+	}
+
+	for _, gp := range p.G4s {
+		var fabric interconnect.Fabric
+		if gp.Hierarchical {
+			fabric = interconnect.NewG16()
+		} else {
+			fabric = interconnect.NewG4()
+		}
+		slots := fabric.Slots()
+		if len(gp.Slots) != slots {
+			return nil, fmt.Errorf("arch: placement group has %d slots, fabric %d", len(gp.Slots), slots)
+		}
+		blocks := slots / interconnect.LocalSwitchSize
+		u := &Group{
+			Switches: fabric,
+			Match:    make([][]*bitvec.Matrix, blocks),
+			always:   bitvec.NewWords(slots),
+			even:     bitvec.NewWords(slots),
+			anchored: bitvec.NewWords(slots),
+			occupied: bitvec.NewWords(slots),
+			reports:  make([]slotReport, slots),
+			states:   make([]automata.StateID, slots),
+		}
+		for b := 0; b < blocks; b++ {
+			u.Match[b] = make([]*bitvec.Matrix, n.Stride)
+			for d := 0; d < n.Stride; d++ {
+				u.Match[b][d] = bitvec.NewMatrix(domain, interconnect.LocalSwitchSize)
+			}
+		}
+		for i := range u.states {
+			u.states[i] = -1
+		}
+		m.Groups = append(m.Groups, u)
+	}
+
+	for i := range n.States {
+		s := &n.States[i]
+		cover := s.Match.Normalize()
+		if len(cover) != 1 {
+			return nil, fmt.Errorf("arch: state %d is not capsule-legal (%d rects); run Refine first", i, len(cover))
+		}
+		rect := cover[0]
+		l := locOf[automata.StateID(i)]
+		u := m.Groups[l.group]
+		block, col := l.slot/interconnect.LocalSwitchSize, l.slot%interconnect.LocalSwitchSize
+		for d := 0; d < n.Stride; d++ {
+			for _, v := range rect[d].Values() {
+				u.Match[block][d].Set(int(v), col)
+			}
+		}
+		u.occupied.Set(l.slot)
+		u.states[l.slot] = automata.StateID(i)
+		switch s.Start {
+		case automata.StartAllInput:
+			u.always.Set(l.slot)
+		case automata.StartOfData:
+			u.anchored.Set(l.slot)
+		case automata.StartEven:
+			u.even.Set(l.slot)
+		}
+		if s.Report {
+			u.reports[l.slot] = slotReport{report: true, code: s.ReportCode, offset: s.ReportOffset}
+		}
+		for _, t := range s.Out {
+			tl := locOf[t]
+			if tl.group != l.group {
+				return nil, fmt.Errorf("arch: edge %d->%d crosses switch groups", i, t)
+			}
+			if err := u.Switches.Connect(l.slot, tl.slot); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// Run executes the machine over a byte input and returns reports (sorted
+// like the functional simulator's) plus switch-activity statistics for the
+// energy model.
+func (m *Machine) Run(input []byte) ([]sim.Report, ActivityStats) {
+	syms := sim.SubSymbols(m.Bits, input)
+	S := m.Stride
+	totalBits := len(syms) * m.Bits
+	cycles := (len(syms) + S - 1) / S
+
+	var stats ActivityStats
+	var reports []sim.Report
+	chunk := make([]byte, S)
+
+	type groupState struct {
+		active, prev, enable bitvec.Words
+		matchVec             bitvec.Words
+	}
+	gs := make([]groupState, len(m.Groups))
+	for i := range gs {
+		slots := m.Groups[i].Switches.Slots()
+		gs[i] = groupState{
+			active:   bitvec.NewWords(slots),
+			prev:     bitvec.NewWords(slots),
+			enable:   bitvec.NewWords(slots),
+			matchVec: bitvec.NewWords(slots),
+		}
+	}
+
+	for t := 0; t < cycles; t++ {
+		for i := 0; i < S; i++ {
+			p := t*S + i
+			if p < len(syms) {
+				chunk[i] = syms[p]
+			} else {
+				chunk[i] = 0
+			}
+		}
+		for gi, u := range m.Groups {
+			st := &gs[gi]
+			// --- interconnect phase: propagate previous active states ---
+			u.Switches.Propagate(st.prev, st.enable)
+			lb, gr, cs := u.Switches.Activity(st.prev)
+			stats.LocalSwitchActivations += int64(lb)
+			stats.GlobalSwitchActivations += int64(gr)
+			stats.CrossBlockSignals += int64(cs)
+			// Start kinds.
+			for w := range st.enable {
+				st.enable[w] |= u.always[w]
+				if t == 0 {
+					st.enable[w] |= u.anchored[w]
+				}
+				if t%2 == 0 {
+					st.enable[w] |= u.even[w]
+				}
+			}
+
+			// --- state-match phase: row reads + capsule AND ---
+			for w := range st.matchVec {
+				st.matchVec[w] = ^uint64(0)
+			}
+			for b := range u.Match {
+				base := b * interconnect.LocalSwitchSize / 64
+				for d := 0; d < S; d++ {
+					row := u.Match[b][d].Row(int(chunk[d]))
+					for w, word := range row {
+						st.matchVec[base+w] &= word
+					}
+				}
+			}
+			// active = enable ∧ match ∧ occupied.
+			for w := range st.active {
+				st.active[w] = st.enable[w] & st.matchVec[w] & u.occupied[w]
+			}
+
+			// --- reporting ---
+			st.active.ForEach(func(slot int) {
+				r := u.reports[slot]
+				if !r.report {
+					return
+				}
+				bitPos := (t*S + r.offset) * m.Bits
+				if bitPos <= totalBits {
+					reports = append(reports, sim.Report{BitPos: bitPos, Code: r.code, State: u.states[slot]})
+				}
+			})
+
+			st.prev, st.active = st.active, st.prev
+		}
+	}
+	stats.Cycles = int64(cycles)
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].BitPos != reports[j].BitPos {
+			return reports[i].BitPos < reports[j].BitPos
+		}
+		if reports[i].Code != reports[j].Code {
+			return reports[i].Code < reports[j].Code
+		}
+		return reports[i].State < reports[j].State
+	})
+	return reports, stats
+}
+
+// BitstreamBytes returns the total configuration payload size of the
+// machine in bytes (matching subarrays + switch images), the quantity the
+// host transfers over memory-mapped I/O at configuration time.
+func (m *Machine) BitstreamBytes() int {
+	total := 0
+	for _, u := range m.Groups {
+		for b := range u.Match {
+			for _, mat := range u.Match[b] {
+				total += mat.Rows() * mat.Cols() / 8
+			}
+		}
+		total += u.Switches.ConfigBytes()
+	}
+	return total
+}

@@ -1,0 +1,190 @@
+// Package arch models Impala's hardware: the 14nm subarray parameters the
+// paper publishes (Table 3), the pipeline delay and operating-frequency
+// derivation (Table 5), area (Figure 14), throughput (Figure 13), capacity
+// and replication, energy/power (Figure 12), and a capsule-level machine
+// that executes compiled bitstreams — the architectural twin of the
+// functional simulator.
+package arch
+
+import "fmt"
+
+// SubarrayParams describes one memory subarray design point as reported by
+// the paper's memory compiler (Table 3, 14nm, 0.8V, peripheral overhead
+// included).
+type SubarrayParams struct {
+	Name      string
+	CellType  string  // "6T" or "8T"
+	Rows      int     // word lines
+	Cols      int     // bit lines
+	DelayPs   float64 // read access latency
+	ReadPowMW float64 // read power
+	AreaUM2   float64 // area in µm²
+}
+
+// Table 3 of the paper. The Impala state-matching subarray is 16 rows of
+// 256 columns (one row per nibble value; each column is one capsule
+// dimension of one state): 453 µm² at 180 ps — the short-bit-line design the
+// architecture is built on. The CA state-matching subarray is the classic
+// 256×256; the interconnect switch is an 8T 256×256 array (8T is faster but
+// bigger).
+var (
+	ImpalaMatchSubarray = SubarrayParams{
+		Name: "state-matching (Impala)", CellType: "6T",
+		Rows: 16, Cols: 256, DelayPs: 180, ReadPowMW: 0.58, AreaUM2: 453,
+	}
+	CAMatchSubarray = SubarrayParams{
+		Name: "state-matching (CA)", CellType: "6T",
+		Rows: 256, Cols: 256, DelayPs: 220, ReadPowMW: 5.52, AreaUM2: 9394,
+	}
+	SwitchSubarray = SubarrayParams{
+		Name: "interconnect", CellType: "8T",
+		Rows: 256, Cols: 256, DelayPs: 150, ReadPowMW: 6.07, AreaUM2: 20102,
+	}
+)
+
+// Wire model (Section 8.2): SPICE-modelled global wire delay, and the
+// distance between SRAM arrays and the global switch in each design. The CA
+// slice is 3.19mm × 3mm, so CA's global wires run ~1.5mm; Impala's
+// state-matching footprint is ~5× smaller, giving ~0.3mm (20 ps).
+const (
+	WireDelayPsPerMM = 66.0
+	CAGlobalWireMM   = 1.5
+	ImpalaGlobalWire = 20.0 // ps, directly as the paper states
+	// FreqDerate is the paper's 10% operating-frequency safety margin.
+	FreqDerate = 0.9
+)
+
+// Pipeline holds the per-stage delays of a spatial automata architecture
+// (Table 5). The cycle time is set by the slowest stage.
+type Pipeline struct {
+	StateMatchPs   float64
+	LocalSwitchPs  float64
+	GlobalSwitchPs float64
+}
+
+// ImpalaPipeline returns Impala's pipeline. Striding does not change stage
+// delays: all capsule columns are read in parallel and only the capsule AND
+// gate grows (a <4 ps effect the paper neglects as <2% of the stage).
+func ImpalaPipeline() Pipeline {
+	return Pipeline{
+		StateMatchPs:   ImpalaMatchSubarray.DelayPs,
+		LocalSwitchPs:  SwitchSubarray.DelayPs,
+		GlobalSwitchPs: SwitchSubarray.DelayPs + ImpalaGlobalWire,
+	}
+}
+
+// CAPipeline returns the Cache Automaton pipeline.
+func CAPipeline() Pipeline {
+	return Pipeline{
+		StateMatchPs:   CAMatchSubarray.DelayPs,
+		LocalSwitchPs:  SwitchSubarray.DelayPs,
+		GlobalSwitchPs: SwitchSubarray.DelayPs + CAGlobalWireMM*WireDelayPsPerMM,
+	}
+}
+
+// SlowestStagePs returns the critical stage delay.
+func (p Pipeline) SlowestStagePs() float64 {
+	m := p.StateMatchPs
+	if p.LocalSwitchPs > m {
+		m = p.LocalSwitchPs
+	}
+	if p.GlobalSwitchPs > m {
+		m = p.GlobalSwitchPs
+	}
+	return m
+}
+
+// MaxFreqGHz returns 1/slowest-stage in GHz.
+func (p Pipeline) MaxFreqGHz() float64 { return 1000.0 / p.SlowestStagePs() }
+
+// OperatingFreqGHz returns the derated operating frequency (Table 5's
+// "Operating Freq.": Impala 5 GHz, CA 3.6 GHz).
+func (p Pipeline) OperatingFreqGHz() float64 { return FreqDerate * p.MaxFreqGHz() }
+
+// The Automata Processor's frequencies (Table 5): as built in 50nm DRAM,
+// and ideally projected to 14nm.
+const (
+	APFreqGHz     = 0.133
+	APFreq14nmGHz = 1.69
+)
+
+// FPGA multi-stride comparison points (Table 6): published clock rates and
+// throughputs of the two best FPGA solutions at a 16-bit/cycle processing
+// rate on Snort.
+type FPGAPoint struct {
+	Name           string
+	BitsPerCycle   int
+	ClockGHz       float64
+	ThroughputGbps float64
+}
+
+var (
+	FPGAYang     = FPGAPoint{Name: "Yang et al. (Virtex-5)", BitsPerCycle: 16, ClockGHz: 0.212, ThroughputGbps: 3.47}
+	FPGAYamagaki = FPGAPoint{Name: "Yamagaki et al. (Stratix II)", BitsPerCycle: 16, ClockGHz: 0.239, ThroughputGbps: 3.91}
+)
+
+// Architecture identifies a spatial automata processing design family.
+type Architecture int
+
+const (
+	Impala Architecture = iota
+	CacheAutomaton
+	AutomataProcessor
+)
+
+func (a Architecture) String() string {
+	switch a {
+	case Impala:
+		return "Impala"
+	case CacheAutomaton:
+		return "Cache Automaton"
+	case AutomataProcessor:
+		return "AP"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// Design is a concrete design point: an architecture at a symbol geometry.
+type Design struct {
+	Arch Architecture
+	// Bits per sub-symbol (4 for Impala, 8 for CA/AP).
+	Bits int
+	// Stride is sub-symbols per cycle.
+	Stride int
+	// Projected14nm applies only to the AP: use the ideal 14nm frequency
+	// projection instead of the 50nm silicon.
+	Projected14nm bool
+}
+
+// BitsPerCycle returns input bits consumed per cycle.
+func (d Design) BitsPerCycle() int { return d.Bits * d.Stride }
+
+// FreqGHz returns the design's operating frequency.
+func (d Design) FreqGHz() float64 {
+	switch d.Arch {
+	case Impala:
+		return ImpalaPipeline().OperatingFreqGHz()
+	case CacheAutomaton:
+		return CAPipeline().OperatingFreqGHz()
+	case AutomataProcessor:
+		if d.Projected14nm {
+			return APFreq14nmGHz
+		}
+		return APFreqGHz
+	default:
+		panic("arch: unknown architecture")
+	}
+}
+
+// ThroughputGbps returns the deterministic line rate: frequency × bits per
+// cycle (Figure 13). Spatial architectures process one chunk per cycle
+// independent of input content.
+func (d Design) ThroughputGbps() float64 {
+	return d.FreqGHz() * float64(d.BitsPerCycle())
+}
+
+// String names the design point like the paper's figures.
+func (d Design) String() string {
+	return fmt.Sprintf("%s (%d-bit)", d.Arch, d.BitsPerCycle())
+}

@@ -1,0 +1,92 @@
+package arch
+
+import "math"
+
+// Multi-round reconfiguration model. The paper's density argument
+// (Sections 1 and 4.1): real rule sets are often too big for one hardware
+// unit, so either the unit is replicated or the rule set is partitioned
+// into R groups and the input is streamed R times with a reconfiguration
+// between rounds. Higher state density (Impala's 9.4× memory-cell
+// reduction) means fewer rounds and higher effective throughput.
+type ReconfigModel struct {
+	Design Design
+	// Unit is the hardware unit being reconfigured.
+	Unit HardwareUnit
+	// ConfigBandwidthGBs is the host-to-device configuration bandwidth in
+	// GB/s (memory-mapped I/O or DMA; a PCIe-3 x8-class default of 8 GB/s
+	// is used when zero).
+	ConfigBandwidthGBs float64
+}
+
+// ReconfigReport describes the execution of one workload under
+// reconfiguration rounds.
+type ReconfigReport struct {
+	// Rounds is the number of rule-set partitions (1 = fits the unit).
+	Rounds int
+	// ProcessSeconds is the time spent streaming the input (Rounds passes).
+	ProcessSeconds float64
+	// ConfigSeconds is the time spent loading bitstreams between rounds.
+	ConfigSeconds float64
+	// EffectiveGbps is input bits over total wall time — the line rate
+	// divided by rounds, further degraded by configuration overhead.
+	EffectiveGbps float64
+}
+
+// Evaluate computes the effective throughput for a workload of `states`
+// STEs (after this design's transformation) over inputBytes of input.
+func (m ReconfigModel) Evaluate(states, inputBytes int) ReconfigReport {
+	bw := m.ConfigBandwidthGBs
+	if bw == 0 {
+		bw = 8
+	}
+	rounds := m.Unit.UnitsFor(states)
+	if rounds < 1 {
+		rounds = 1
+	}
+	lineGbps := m.Design.ThroughputGbps()
+	process := float64(rounds) * float64(inputBytes) * 8 / (lineGbps * 1e9)
+	// Per-round configuration: the unit's full bitstream image. Matching
+	// bits + interconnect bits, approximated from the area model's block
+	// counts (stride × 16×256 matching subarrays + 5 switch images per
+	// 4-block group).
+	blocks := (m.Unit.Capacity + 255) / 256
+	var matchBits int
+	switch m.Design.Arch {
+	case Impala:
+		matchBits = blocks * m.Design.Stride * 16 * 256
+	default:
+		matchBits = blocks * m.Design.Stride * 256 * 256
+	}
+	switchBits := (blocks + blocks/4 + 1) * 256 * 256
+	configBytesPerRound := (matchBits + switchBits) / 8
+	config := float64(rounds) * float64(configBytesPerRound) / (bw * 1e9)
+	total := process + config
+	eff := float64(inputBytes) * 8 / (total * 1e9)
+	return ReconfigReport{
+		Rounds:         rounds,
+		ProcessSeconds: process,
+		ConfigSeconds:  config,
+		EffectiveGbps:  eff,
+	}
+}
+
+// CrossoverStates returns the workload size (in original 8-bit states) at
+// which design a's effective throughput first drops below design b's, given
+// each design's state-overhead factor — or -1 if no crossover occurs below
+// the cap. This is the density argument quantified: a faster design with a
+// smaller effective capacity loses once its extra reconfiguration rounds
+// outweigh its line-rate advantage.
+func CrossoverStates(a, b ReconfigModel, overheadA, overheadB float64, inputBytes, capStates int) int {
+	step := capStates / 512
+	if step < 1 {
+		step = 1
+	}
+	for s := step; s <= capStates; s += step {
+		ra := a.Evaluate(int(math.Ceil(float64(s)*overheadA)), inputBytes)
+		rb := b.Evaluate(int(math.Ceil(float64(s)*overheadB)), inputBytes)
+		if ra.EffectiveGbps < rb.EffectiveGbps {
+			return s
+		}
+	}
+	return -1
+}

@@ -1,0 +1,107 @@
+package arch
+
+import "impala/internal/sim"
+
+// System-integration model (Section 6): Impala is a memory-mapped
+// peripheral with two asynchronous FIFOs — an input buffer (IB) the host
+// ISR refills and an output buffer (OB) it drains. The paper sizes the IB
+// so a 1 MHz interrupt keeps a 5 GHz engine fed (2.5 KB at 4 bits/cycle)
+// and the OB at 512 four-byte entries based on the observation that 10 of
+// 12 ANMLZoo benchmarks report fewer than 0.5 reports/cycle.
+
+// SystemConfig describes the host-device coupling.
+type SystemConfig struct {
+	Design Design
+	// InterruptHz is the host service rate (paper: 1 MHz).
+	InterruptHz float64
+	// OBEntries is the output FIFO depth (paper: 512).
+	OBEntries int
+	// OBEntryBytes is the report record size (paper: 4 bytes of metadata).
+	OBEntryBytes int
+}
+
+// DefaultSystem returns the paper's Section 6 operating point for a design.
+func DefaultSystem(d Design) SystemConfig {
+	return SystemConfig{Design: d, InterruptHz: 1e6, OBEntries: 512, OBEntryBytes: 4}
+}
+
+// SystemReport is the buffer-sizing analysis.
+type SystemReport struct {
+	// CyclesPerInterrupt is how many engine cycles elapse between ISR runs.
+	CyclesPerInterrupt float64
+	// IBBytes is the input-buffer size needed to keep the engine fed for
+	// one interrupt period.
+	IBBytes float64
+	// OBDrainPerInterrupt is how many reports the OB can absorb per period.
+	OBDrainPerInterrupt int
+	// MaxReportsPerCycle is the highest sustained reporting rate the OB
+	// supports without overflow at this interrupt rate.
+	MaxReportsPerCycle float64
+	// OBOverflow indicates the observed workload rate exceeds the budget.
+	OBOverflow bool
+	// ObservedReportsPerCycle echoes the workload measurement (if given).
+	ObservedReportsPerCycle float64
+}
+
+// Analyze sizes the buffers. observedReportsPerCycle may be 0 when no
+// workload measurement is available.
+func (c SystemConfig) Analyze(observedReportsPerCycle float64) SystemReport {
+	freqHz := c.Design.FreqGHz() * 1e9
+	cycles := freqHz / c.InterruptHz
+	bytesPerCycle := float64(c.Design.BitsPerCycle()) / 8
+	r := SystemReport{
+		CyclesPerInterrupt:      cycles,
+		IBBytes:                 cycles * bytesPerCycle,
+		OBDrainPerInterrupt:     c.OBEntries,
+		MaxReportsPerCycle:      float64(c.OBEntries) / cycles,
+		ObservedReportsPerCycle: observedReportsPerCycle,
+	}
+	r.OBOverflow = observedReportsPerCycle > r.MaxReportsPerCycle
+	return r
+}
+
+// OBBytes returns the output buffer's size in bytes.
+func (c SystemConfig) OBBytes() int { return c.OBEntries * c.OBEntryBytes }
+
+// OBSimResult is the outcome of a cycle-accurate output-FIFO simulation.
+type OBSimResult struct {
+	Delivered int
+	Dropped   int
+	// PeakOccupancy is the largest FIFO fill level observed.
+	PeakOccupancy int
+}
+
+// SimulateOB replays a report stream against the output FIFO: reports
+// enqueue at their generating cycle, and the interrupt service routine
+// drains the whole FIFO once per interrupt period. Reports arriving at a
+// full FIFO are dropped — the §6 bottleneck the 512-entry sizing is meant
+// to avoid for sub-0.5-reports/cycle workloads.
+func (c SystemConfig) SimulateOB(reports []sim.Report, totalCycles int64) OBSimResult {
+	bitsPerCycle := c.Design.BitsPerCycle()
+	freqHz := c.Design.FreqGHz() * 1e9
+	cyclesPerInterrupt := int64(freqHz / c.InterruptHz)
+	if cyclesPerInterrupt < 1 {
+		cyclesPerInterrupt = 1
+	}
+	var res OBSimResult
+	occ := 0
+	nextDrain := cyclesPerInterrupt
+	for _, r := range reports {
+		cycle := int64(r.BitPos) / int64(bitsPerCycle)
+		for cycle >= nextDrain {
+			res.Delivered += occ
+			occ = 0
+			nextDrain += cyclesPerInterrupt
+		}
+		if occ >= c.OBEntries {
+			res.Dropped++
+			continue
+		}
+		occ++
+		if occ > res.PeakOccupancy {
+			res.PeakOccupancy = occ
+		}
+	}
+	res.Delivered += occ
+	return res
+}

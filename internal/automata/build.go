@@ -1,0 +1,76 @@
+package automata
+
+import "impala/internal/bitvec"
+
+// AddChain appends a linear pattern to an 8-bit stride-1 automaton: one STE
+// per symbol set, the first carrying the start kind, the last reporting with
+// the given code. It returns the IDs of the first and last states. This is
+// the basic building block for keyword and regex automata.
+func (n *NFA) AddChain(sets []bitvec.ByteSet, start StartKind, code int) (first, last StateID) {
+	if n.Bits != 8 || n.Stride != 1 {
+		panic("automata: AddChain requires an 8-bit stride-1 automaton")
+	}
+	if len(sets) == 0 {
+		panic("automata: AddChain with empty pattern")
+	}
+	var prev StateID = -1
+	for i, set := range sets {
+		k := StartNone
+		if i == 0 {
+			k = start
+		}
+		id := n.AddState(State{
+			Match:  MatchSet{Rect{set}},
+			Start:  k,
+			Report: i == len(sets)-1,
+		})
+		if i == len(sets)-1 {
+			n.States[id].ReportCode = code
+		}
+		if prev >= 0 {
+			n.AddEdge(prev, id)
+		} else {
+			first = id
+		}
+		prev = id
+	}
+	return first, prev
+}
+
+// AddLiteral appends a literal byte-string pattern (see AddChain).
+func (n *NFA) AddLiteral(pattern string, start StartKind, code int) (first, last StateID) {
+	sets := make([]bitvec.ByteSet, len(pattern))
+	for i := 0; i < len(pattern); i++ {
+		sets[i] = bitvec.ByteOf(pattern[i])
+	}
+	return n.AddChain(sets, start, code)
+}
+
+// AddRing appends a ring of n single-symbol states (the structure of the
+// ANMLZoo synthetic ring benchmarks): state i matches symbol syms[i] and
+// enables state (i+1) mod n; the first state is an all-input start and the
+// last reports.
+func (n *NFA) AddRing(syms []byte, code int) []StateID {
+	if n.Bits != 8 || n.Stride != 1 {
+		panic("automata: AddRing requires an 8-bit stride-1 automaton")
+	}
+	ids := make([]StateID, len(syms))
+	for i, b := range syms {
+		k := StartNone
+		if i == 0 {
+			k = StartAllInput
+		}
+		ids[i] = n.AddState(State{
+			Match:  MatchSet{Rect{bitvec.ByteOf(b)}},
+			Start:  k,
+			Report: i == len(syms)-1,
+		})
+		if i == len(syms)-1 {
+			n.States[ids[i]].ReportCode = code
+		}
+	}
+	for i := range ids {
+		n.AddEdge(ids[i], ids[(i+1)%len(ids)])
+	}
+	return ids
+}

@@ -1,0 +1,103 @@
+package automata
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"impala/internal/bitvec"
+)
+
+// jsonNFA is the on-disk form: an ANML-like JSON document. Symbol sets are
+// stored as sorted value lists to stay diff-friendly and host-independent.
+type jsonNFA struct {
+	Bits   int         `json:"bits"`
+	Stride int         `json:"stride"`
+	States []jsonState `json:"states"`
+}
+
+type jsonState struct {
+	Match        [][][]byte `json:"match"` // rects -> dims -> sorted values
+	Start        string     `json:"start,omitempty"`
+	Report       bool       `json:"report,omitempty"`
+	ReportCode   int        `json:"reportCode,omitempty"`
+	ReportOffset int        `json:"reportOffset,omitempty"`
+	Out          []StateID  `json:"out,omitempty"`
+}
+
+// MarshalJSON encodes the automaton in the ANML-like JSON form.
+func (n *NFA) MarshalJSON() ([]byte, error) {
+	j := jsonNFA{Bits: n.Bits, Stride: n.Stride, States: make([]jsonState, len(n.States))}
+	for i, s := range n.States {
+		js := jsonState{
+			Report:       s.Report,
+			ReportCode:   s.ReportCode,
+			ReportOffset: s.ReportOffset,
+			Out:          s.Out,
+		}
+		switch s.Start {
+		case StartAllInput:
+			js.Start = "all-input"
+		case StartOfData:
+			js.Start = "start-of-data"
+		case StartEven:
+			js.Start = "even-cycles"
+		}
+		js.Match = make([][][]byte, len(s.Match))
+		for ri, r := range s.Match {
+			dims := make([][]byte, len(r))
+			for di, d := range r {
+				dims[di] = d.Values()
+			}
+			js.Match[ri] = dims
+		}
+		j.States[i] = js
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the ANML-like JSON form.
+func (n *NFA) UnmarshalJSON(data []byte) error {
+	var j jsonNFA
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	out := NFA{Bits: j.Bits, Stride: j.Stride, States: make([]State, len(j.States))}
+	for i, js := range j.States {
+		s := State{
+			Report:       js.Report,
+			ReportCode:   js.ReportCode,
+			ReportOffset: js.ReportOffset,
+			Out:          js.Out,
+		}
+		switch js.Start {
+		case "":
+			s.Start = StartNone
+		case "all-input":
+			s.Start = StartAllInput
+		case "start-of-data":
+			s.Start = StartOfData
+		case "even-cycles":
+			s.Start = StartEven
+		default:
+			return fmt.Errorf("automata: unknown start kind %q", js.Start)
+		}
+		s.Match = make(MatchSet, len(js.Match))
+		for ri, dims := range js.Match {
+			r := make(Rect, len(dims))
+			for di, vals := range dims {
+				var set bitvec.ByteSet
+				for _, v := range vals {
+					set = set.Add(v)
+				}
+				r[di] = set
+			}
+			s.Match[ri] = r
+		}
+		out.States[i] = s
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*n = out
+	return nil
+}

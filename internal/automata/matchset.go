@@ -1,0 +1,261 @@
+package automata
+
+import (
+	"sort"
+	"strings"
+)
+
+// MatchSet is a union of Rects, all of the same stride: the full matching
+// rule of one STE. A MatchSet with a single rect can be configured on a
+// single Impala capsule with no false positives; multi-rect match sets need
+// Espresso refinement (state splitting) before hardware mapping.
+type MatchSet []Rect
+
+// Stride returns the stride of the match set (0 if empty).
+func (m MatchSet) Stride() int {
+	if len(m) == 0 {
+		return 0
+	}
+	return m[0].Stride()
+}
+
+// Empty reports whether the set denotes no tuples.
+func (m MatchSet) Empty() bool {
+	for _, r := range m {
+		if !r.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Has reports whether the tuple sym is in the union.
+func (m MatchSet) Has(sym []byte) bool {
+	for _, r := range m {
+		if r.Has(sym) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add appends a rect (dropping it if empty) and returns the new set.
+func (m MatchSet) Add(r Rect) MatchSet {
+	if r.Empty() {
+		return m
+	}
+	return append(m, r)
+}
+
+// Union returns m ∪ o.
+func (m MatchSet) Union(o MatchSet) MatchSet {
+	out := make(MatchSet, 0, len(m)+len(o))
+	out = append(out, m...)
+	for _, r := range o {
+		if !r.Empty() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m MatchSet) Clone() MatchSet {
+	out := make(MatchSet, len(m))
+	for i, r := range m {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// Normalize sorts rects by canonical key, drops empty rects, and removes
+// exact duplicates and rects contained in another single rect. The result is
+// a stable (though not semantically canonical) form suitable for use as a
+// dedup key during homogenization.
+func (m MatchSet) Normalize() MatchSet {
+	keep := make(MatchSet, 0, len(m))
+	for _, r := range m {
+		if !r.Empty() {
+			keep = append(keep, r)
+		}
+	}
+	// Drop rects single-rect-contained in another.
+	out := keep[:0]
+	for i, r := range keep {
+		dominated := false
+		for j, o := range keep {
+			if i == j {
+				continue
+			}
+			if o.Contains(r) && (!r.Contains(o) || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Key returns a canonical string key for the normalized set. Callers should
+// normalize first; Key itself normalizes a copy to be safe.
+func (m MatchSet) Key() string {
+	n := m.Normalize()
+	var b strings.Builder
+	for _, r := range n {
+		b.WriteString(r.Key())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Equal reports whether m and o have identical normalized rect lists. This
+// is syntactic equality of covers, not semantic set equality (use
+// SameLanguage for that).
+func (m MatchSet) Equal(o MatchSet) bool { return m.Key() == o.Key() }
+
+// SameLanguage reports whether m and o denote the same set of tuples. It is
+// exact: it subtracts each cover from the other using rect sharps.
+func (m MatchSet) SameLanguage(o MatchSet) bool {
+	return m.SubsetOf(o) && o.SubsetOf(m)
+}
+
+// SubsetOf reports whether every tuple of m is in o.
+func (m MatchSet) SubsetOf(o MatchSet) bool {
+	for _, r := range m {
+		if r.Empty() {
+			continue
+		}
+		if !coveredBy(r, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// coveredBy reports whether rect r ⊆ union(cover), by recursively sharping r
+// against the cover rects.
+func coveredBy(r Rect, cover MatchSet) bool {
+	if r.Empty() {
+		return true
+	}
+	for _, c := range cover {
+		if c.Contains(r) {
+			return true
+		}
+	}
+	// Split r on the first cover rect that intersects it, recurse on the
+	// pieces of r outside that rect.
+	for _, c := range cover {
+		if !r.Intersects(c) {
+			continue
+		}
+		for _, piece := range SharpRect(r, c) {
+			if !coveredBy(piece, cover) {
+				return false
+			}
+		}
+		return true
+	}
+	return false // non-empty r intersecting nothing in cover
+}
+
+// SharpRect computes r \ c as a list of disjoint rects (the "sharp"
+// operation of cube algebra). The result rects are pairwise disjoint and
+// their union is exactly r minus c.
+func SharpRect(r, c Rect) []Rect {
+	if len(r) != len(c) {
+		panic("automata: rect stride mismatch in sharp")
+	}
+	if !r.Intersects(c) {
+		if r.Empty() {
+			return nil
+		}
+		return []Rect{r.Clone()}
+	}
+	var out []Rect
+	prefix := r.Clone() // dims < i narrowed to r∩c, dims >= i from r
+	for i := range r {
+		diff := r[i].Minus(c[i])
+		if !diff.Empty() {
+			piece := prefix.Clone()
+			piece[i] = diff
+			if !piece.Empty() {
+				out = append(out, piece)
+			}
+		}
+		prefix[i] = r[i].Intersect(c[i])
+		if prefix[i].Empty() {
+			return out
+		}
+	}
+	return out
+}
+
+// Minus returns m \ o as a cover of disjoint-from-o rects.
+func (m MatchSet) Minus(o MatchSet) MatchSet {
+	cur := make([]Rect, 0, len(m))
+	for _, r := range m {
+		if !r.Empty() {
+			cur = append(cur, r.Clone())
+		}
+	}
+	for _, c := range o {
+		if c.Empty() {
+			continue
+		}
+		var next []Rect
+		for _, r := range cur {
+			next = append(next, SharpRect(r, c)...)
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	return cur
+}
+
+// Complement returns the complement of m within the full (stride, bits)
+// space as a cover of rects.
+func (m MatchSet) Complement(stride, bits int) MatchSet {
+	full := MatchSet{FullRect(stride, bits)}
+	return full.Minus(m)
+}
+
+// Size returns the exact number of tuples in the union (inclusion-exclusion
+// via disjointing: it disjoints the cover first, so cost grows with overlap).
+func (m MatchSet) Size() int {
+	var disjoint []Rect
+	for _, r := range m {
+		pieces := []Rect{r}
+		for _, d := range disjoint {
+			var next []Rect
+			for _, p := range pieces {
+				next = append(next, SharpRect(p, d)...)
+			}
+			pieces = next
+			if len(pieces) == 0 {
+				break
+			}
+		}
+		disjoint = append(disjoint, pieces...)
+	}
+	n := 0
+	for _, r := range disjoint {
+		n += r.Size()
+	}
+	return n
+}
+
+// String renders the union, e.g. "{(\xa,\xb),(*,[1-3])}".
+func (m MatchSet) String() string {
+	parts := make([]string, len(m))
+	for i, r := range m {
+		parts[i] = r.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

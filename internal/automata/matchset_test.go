@@ -1,0 +1,189 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randMatchSet(r *rand.Rand, stride, bits, maxRects int) MatchSet {
+	n := 1 + r.Intn(maxRects)
+	m := make(MatchSet, 0, n)
+	for i := 0; i < n; i++ {
+		m = m.Add(randRect(r, stride, bits))
+	}
+	return m
+}
+
+func enumerate(stride, bits int, fn func(tuple []byte)) {
+	n := DomainSize(bits)
+	total := 1
+	for i := 0; i < stride; i++ {
+		total *= n
+	}
+	tuple := make([]byte, stride)
+	for x := 0; x < total; x++ {
+		v := x
+		for i := 0; i < stride; i++ {
+			tuple[i] = byte(v % n)
+			v /= n
+		}
+		fn(tuple)
+	}
+}
+
+func TestMatchSetHasUnion(t *testing.T) {
+	m := MatchSet{
+		{nib(0xA), nib(0xB)},
+		{nibRange(0, 3), nib(0xF)},
+	}
+	if !m.Has([]byte{0xA, 0xB}) || !m.Has([]byte{2, 0xF}) {
+		t.Fatal("Has missed member")
+	}
+	if m.Has([]byte{0xA, 0xF}) {
+		t.Fatal("Has matched non-member")
+	}
+	o := MatchSet{{nib(1), nib(1)}}
+	u := m.Union(o)
+	if !u.Has([]byte{1, 1}) || len(u) != 3 {
+		t.Fatal("Union wrong")
+	}
+}
+
+func TestMatchSetAddDropsEmpty(t *testing.T) {
+	var m MatchSet
+	m = m.Add(Rect{nib(1), {}})
+	if len(m) != 0 {
+		t.Fatal("Add kept empty rect")
+	}
+	m = m.Add(Rect{nib(1), nib(2)})
+	if len(m) != 1 {
+		t.Fatal("Add dropped valid rect")
+	}
+}
+
+func TestMatchSetNormalize(t *testing.T) {
+	big := Rect{nibRange(0, 7), nibRange(0, 7)}
+	small := Rect{nib(1), nib(1)}
+	dup := big.Clone()
+	m := MatchSet{small, big, dup, {nib(1), {}}}
+	n := m.Normalize()
+	if len(n) != 1 || !n[0].Equal(big) {
+		t.Fatalf("Normalize = %v, want just %v", n, big)
+	}
+}
+
+func TestMatchSetKeyEqual(t *testing.T) {
+	a := MatchSet{{nib(1), nib(2)}, {nib(3), nib(4)}}
+	b := MatchSet{{nib(3), nib(4)}, {nib(1), nib(2)}} // different order
+	if !a.Equal(b) {
+		t.Fatal("order should not affect Equal")
+	}
+	c := MatchSet{{nib(1), nib(2)}}
+	if a.Equal(c) {
+		t.Fatal("different sets Equal")
+	}
+}
+
+// Property: Minus is exact set difference.
+func TestMatchSetMinusExact(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		stride := 1 + r.Intn(2)
+		a := randMatchSet(r, stride, 4, 3)
+		b := randMatchSet(r, stride, 4, 3)
+		d := a.Minus(b)
+		enumerate(stride, 4, func(tuple []byte) {
+			want := a.Has(tuple) && !b.Has(tuple)
+			if got := d.Has(tuple); got != want {
+				t.Fatalf("Minus wrong at %v: got %v want %v (a=%v b=%v)", tuple, got, want, a, b)
+			}
+		})
+	}
+}
+
+// Property: Complement is exact.
+func TestMatchSetComplementExact(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		stride := 1 + r.Intn(2)
+		a := randMatchSet(r, stride, 4, 3)
+		c := a.Complement(stride, 4)
+		enumerate(stride, 4, func(tuple []byte) {
+			if a.Has(tuple) == c.Has(tuple) {
+				t.Fatalf("Complement overlaps/misses at %v", tuple)
+			}
+		})
+	}
+}
+
+// Property: SubsetOf / SameLanguage agree with tuple-level semantics.
+func TestMatchSetSubsetSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		stride := 1 + r.Intn(2)
+		a := randMatchSet(r, stride, 4, 3)
+		b := randMatchSet(r, stride, 4, 3)
+		wantSubset := true
+		enumerate(stride, 4, func(tuple []byte) {
+			if a.Has(tuple) && !b.Has(tuple) {
+				wantSubset = false
+			}
+		})
+		if got := a.SubsetOf(b); got != wantSubset {
+			t.Fatalf("SubsetOf = %v, want %v (a=%v b=%v)", got, wantSubset, a, b)
+		}
+	}
+}
+
+func TestMatchSetSameLanguageDifferentCovers(t *testing.T) {
+	// [0-7]x[0-15] as one rect vs two halves.
+	a := MatchSet{{nibRange(0, 7), nibRange(0, 15)}}
+	b := MatchSet{
+		{nibRange(0, 3), nibRange(0, 15)},
+		{nibRange(4, 7), nibRange(0, 15)},
+	}
+	if !a.SameLanguage(b) {
+		t.Fatal("equal languages reported different")
+	}
+	c := MatchSet{{nibRange(0, 6), nibRange(0, 15)}}
+	if a.SameLanguage(c) {
+		t.Fatal("different languages reported same")
+	}
+}
+
+// Property: Size matches exhaustive counting even with overlapping rects.
+func TestMatchSetSizeExact(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		stride := 1 + r.Intn(2)
+		a := randMatchSet(r, stride, 4, 4)
+		want := 0
+		enumerate(stride, 4, func(tuple []byte) {
+			if a.Has(tuple) {
+				want++
+			}
+		})
+		if got := a.Size(); got != want {
+			t.Fatalf("Size = %d, want %d (a=%v)", got, want, a)
+		}
+	}
+}
+
+func TestMatchSetEmptyStride(t *testing.T) {
+	var m MatchSet
+	if !m.Empty() || m.Stride() != 0 {
+		t.Fatal("empty MatchSet basics wrong")
+	}
+	m = MatchSet{{nib(1)}}
+	if m.Stride() != 1 {
+		t.Fatal("Stride wrong")
+	}
+}
+
+func TestMatchSetString(t *testing.T) {
+	m := MatchSet{{nib(1), nibRange(2, 4)}}
+	s := m.String()
+	if s == "" || s[0] != '{' {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,149 @@
+package automata
+
+// testing/quick property tests over the vector-symbol algebra: generators
+// produce arbitrary nibble-domain rects and match sets, and the checked
+// properties are the algebraic laws the V-TeSS compiler depends on.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"impala/internal/bitvec"
+)
+
+// qRect wraps Rect with a quick.Generator producing 2-dimensional 4-bit
+// rects (small enough that exhaustive checking stays cheap).
+type qRect struct{ R Rect }
+
+func (qRect) Generate(r *rand.Rand, size int) reflect.Value {
+	rect := make(Rect, 2)
+	for d := range rect {
+		var s bitvec.ByteSet
+		n := 1 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			s = s.Add(byte(r.Intn(16)))
+		}
+		rect[d] = s
+	}
+	return reflect.ValueOf(qRect{R: rect})
+}
+
+// qMatchSet wraps MatchSet similarly (1–3 rects).
+type qMatchSet struct{ M MatchSet }
+
+func (qMatchSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(3)
+	m := make(MatchSet, 0, n)
+	for i := 0; i < n; i++ {
+		m = append(m, qRect{}.Generate(r, size).Interface().(qRect).R)
+	}
+	return reflect.ValueOf(qMatchSet{M: m})
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestQuickRectIntersectCommutative(t *testing.T) {
+	f := func(a, b qRect) bool {
+		return a.R.Intersect(b.R).Equal(b.R.Intersect(a.R))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRectContainsAntisymmetric(t *testing.T) {
+	f := func(a, b qRect) bool {
+		if a.R.Contains(b.R) && b.R.Contains(a.R) {
+			return a.R.Equal(b.R) || a.R.Empty() && b.R.Empty()
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRectIntersectionIsLowerBound(t *testing.T) {
+	f := func(a, b qRect) bool {
+		x := a.R.Intersect(b.R)
+		return a.R.Contains(x) && b.R.Contains(x)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSharpDisjointFromSubtrahend(t *testing.T) {
+	f := func(a, b qRect) bool {
+		for _, piece := range SharpRect(a.R, b.R) {
+			if piece.Intersects(b.R) {
+				return false
+			}
+			if !a.R.Contains(piece) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMatchSetMinusDisjoint(t *testing.T) {
+	f := func(a, b qMatchSet) bool {
+		d := a.M.Minus(b.M)
+		// d ∩ b = ∅ and d ⊆ a.
+		for _, r := range d {
+			for _, br := range b.M {
+				if r.Intersects(br) {
+					return false
+				}
+			}
+		}
+		return d.SubsetOf(a.M)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMatchSetUnionUpperBound(t *testing.T) {
+	f := func(a, b qMatchSet) bool {
+		u := a.M.Union(b.M)
+		return a.M.SubsetOf(u) && b.M.SubsetOf(u)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizePreservesLanguage(t *testing.T) {
+	f := func(a qMatchSet) bool {
+		return a.M.SameLanguage(a.M.Normalize())
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComplementInvolution(t *testing.T) {
+	f := func(a qMatchSet) bool {
+		cc := a.M.Complement(2, 4).Complement(2, 4)
+		return a.M.SameLanguage(cc)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSizeMonotone(t *testing.T) {
+	f := func(a, b qMatchSet) bool {
+		return a.M.Union(b.M).Size() >= a.M.Size()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

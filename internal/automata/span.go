@@ -1,0 +1,102 @@
+package automata
+
+// MaxMatchSpan returns the maximum number of cycles (sub-symbol chunks) any
+// single match can span: the longest path from a start-enabled state to a
+// reporting state, counting both endpoints. It returns ok=false when some
+// start→report path passes through a cycle (loops or self-loops), in which
+// case matches can be arbitrarily long.
+//
+// The bound drives input-stream splitting (the parallel-automata-processor
+// technique): a worker's segment must be extended backwards by at least
+// MaxMatchSpan-1 chunks to catch matches straddling the split point.
+func (n *NFA) MaxMatchSpan() (cycles int, ok bool) {
+	// Relevant states: reachable from a start AND co-reachable to a report.
+	reach := make([]bool, len(n.States))
+	var stack []StateID
+	for i := range n.States {
+		if n.States[i].Start != StartNone {
+			reach[i] = true
+			stack = append(stack, StateID(i))
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.States[cur].Out {
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	in := n.InEdges()
+	co := make([]bool, len(n.States))
+	for i := range n.States {
+		if n.States[i].Report {
+			co[i] = true
+			stack = append(stack, StateID(i))
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range in[cur] {
+			if !co[p] {
+				co[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	relevant := make([]bool, len(n.States))
+	for i := range relevant {
+		relevant[i] = reach[i] && co[i]
+	}
+
+	// Longest path on the relevant subgraph via DFS with cycle detection.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(n.States))
+	depth := make([]int, len(n.States)) // longest path (in states) starting here
+	cyclic := false
+	var dfs func(u StateID) int
+	dfs = func(u StateID) int {
+		if color[u] == gray {
+			cyclic = true
+			return 0
+		}
+		if color[u] == black {
+			return depth[u]
+		}
+		color[u] = gray
+		best := 0
+		for _, t := range n.States[u].Out {
+			if !relevant[t] {
+				continue
+			}
+			if d := dfs(t); d > best {
+				best = d
+			}
+			if cyclic {
+				break
+			}
+		}
+		color[u] = black
+		depth[u] = best + 1
+		return depth[u]
+	}
+	maxSpan := 0
+	for i := range n.States {
+		if relevant[i] && n.States[i].Start != StartNone {
+			if d := dfs(StateID(i)); d > maxSpan {
+				maxSpan = d
+			}
+			if cyclic {
+				return 0, false
+			}
+		}
+	}
+	return maxSpan, true
+}

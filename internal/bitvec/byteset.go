@@ -1,0 +1,172 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// ByteSet is a set of 8-bit symbols stored as a 256-bit mask. It is exactly
+// the content of one 256-cell memory column in an 8-bit state-matching
+// subarray (the Cache Automaton / AP design point). The zero value is the
+// empty set.
+type ByteSet [4]uint64
+
+// ByteAll returns the full byte set (all 256 values).
+func ByteAll() ByteSet {
+	return ByteSet{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+
+// ByteOf returns the singleton set {v}.
+func ByteOf(v byte) ByteSet {
+	var s ByteSet
+	s[v>>6] = 1 << (v & 63)
+	return s
+}
+
+// ByteRange returns the inclusive range {lo..hi}. lo must be <= hi.
+func ByteRange(lo, hi byte) ByteSet {
+	if lo > hi {
+		panic(fmt.Sprintf("bitvec: bad byte range [%d,%d]", lo, hi))
+	}
+	var s ByteSet
+	for v := int(lo); v <= int(hi); v++ {
+		s[v>>6] |= 1 << (uint(v) & 63)
+	}
+	return s
+}
+
+// Has reports whether v is in the set.
+func (s ByteSet) Has(v byte) bool { return s[v>>6]&(1<<(v&63)) != 0 }
+
+// Add returns s with v added.
+func (s ByteSet) Add(v byte) ByteSet {
+	s[v>>6] |= 1 << (v & 63)
+	return s
+}
+
+// Union returns s ∪ t.
+func (s ByteSet) Union(t ByteSet) ByteSet {
+	for i := range s {
+		s[i] |= t[i]
+	}
+	return s
+}
+
+// Intersect returns s ∩ t.
+func (s ByteSet) Intersect(t ByteSet) ByteSet {
+	for i := range s {
+		s[i] &= t[i]
+	}
+	return s
+}
+
+// Minus returns s \ t.
+func (s ByteSet) Minus(t ByteSet) ByteSet {
+	for i := range s {
+		s[i] &^= t[i]
+	}
+	return s
+}
+
+// Complement returns the complement of s within the 256-value universe.
+func (s ByteSet) Complement() ByteSet {
+	for i := range s {
+		s[i] = ^s[i]
+	}
+	return s
+}
+
+// Empty reports whether the set has no elements.
+func (s ByteSet) Empty() bool { return s == ByteSet{} }
+
+// Full reports whether the set contains all 256 values.
+func (s ByteSet) Full() bool { return s == ByteAll() }
+
+// Count returns the number of elements in the set.
+func (s ByteSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Contains reports whether t ⊆ s.
+func (s ByteSet) Contains(t ByteSet) bool {
+	for i := range s {
+		if t[i]&^s[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Values returns the members in ascending order.
+func (s ByteSet) Values() []byte {
+	out := make([]byte, 0, s.Count())
+	for w := 0; w < 4; w++ {
+		word := s[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, byte(w<<6+b))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// HiNibbles returns the set of high nibbles that occur in s.
+func (s ByteSet) HiNibbles() NibbleSet {
+	var ns NibbleSet
+	for hi := 0; hi < 16; hi++ {
+		if !s.LoSetFor(byte(hi)).Empty() {
+			ns |= 1 << hi
+		}
+	}
+	return ns
+}
+
+// LoSetFor returns the set of low nibbles v such that (hi<<4 | v) ∈ s.
+func (s ByteSet) LoSetFor(hi byte) NibbleSet {
+	// Bytes hi<<4 .. hi<<4+15 live in 16 consecutive bits of one word.
+	base := uint(hi) << 4
+	word := s[base>>6]
+	shift := base & 63
+	return NibbleSet(uint16(word >> shift))
+}
+
+// String renders the set as compact hex ranges, e.g. "[\x41-\x5a]".
+func (s ByteSet) String() string {
+	if s.Empty() {
+		return "[]"
+	}
+	if s.Full() {
+		return "[*]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	first := true
+	for v := 0; v < 256; {
+		if !s.Has(byte(v)) {
+			v++
+			continue
+		}
+		hi := v
+		for hi+1 < 256 && s.Has(byte(hi+1)) {
+			hi++
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		if hi == v {
+			fmt.Fprintf(&b, `\x%02x`, v)
+		} else {
+			fmt.Fprintf(&b, `\x%02x-\x%02x`, v, hi)
+		}
+		v = hi + 1
+	}
+	b.WriteByte(']')
+	return b.String()
+}

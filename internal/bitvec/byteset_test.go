@@ -1,0 +1,134 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randByteSet(r *rand.Rand) ByteSet {
+	var s ByteSet
+	for i := range s {
+		s[i] = r.Uint64()
+	}
+	return s
+}
+
+func TestByteOf(t *testing.T) {
+	for v := 0; v < 256; v++ {
+		s := ByteOf(byte(v))
+		if !s.Has(byte(v)) || s.Count() != 1 {
+			t.Fatalf("ByteOf(%d) wrong", v)
+		}
+	}
+}
+
+func TestByteRange(t *testing.T) {
+	s := ByteRange(0x41, 0x5A) // A-Z
+	if s.Count() != 26 || !s.Has('A') || !s.Has('Z') || s.Has('a') {
+		t.Fatalf("ByteRange A-Z wrong: %v", s)
+	}
+	if !ByteRange(0, 255).Full() {
+		t.Fatal("ByteRange(0,255) not full")
+	}
+}
+
+func TestByteRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range did not panic")
+		}
+	}()
+	ByteRange(10, 5)
+}
+
+func TestByteSetOps(t *testing.T) {
+	a := ByteRange(0, 99)
+	b := ByteRange(50, 149)
+	if a.Union(b).Count() != 150 {
+		t.Error("Union count wrong")
+	}
+	if a.Intersect(b).Count() != 50 {
+		t.Error("Intersect count wrong")
+	}
+	if a.Minus(b).Count() != 50 {
+		t.Error("Minus count wrong")
+	}
+	if a.Complement().Count() != 156 {
+		t.Error("Complement count wrong")
+	}
+	if !a.Contains(ByteRange(10, 20)) || a.Contains(b) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestByteSetValues(t *testing.T) {
+	s := ByteOf(3).Union(ByteOf(200)).Union(ByteOf(64))
+	got := s.Values()
+	want := []byte{3, 64, 200}
+	if len(got) != 3 {
+		t.Fatalf("Values = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestByteSetNibbleDecomposition(t *testing.T) {
+	// \xAB has hi nibble 0xA and lo nibble 0xB.
+	s := ByteOf(0xAB)
+	if s.HiNibbles() != NibbleOf(0xA) {
+		t.Errorf("HiNibbles = %v", s.HiNibbles())
+	}
+	if s.LoSetFor(0xA) != NibbleOf(0xB) {
+		t.Errorf("LoSetFor(0xA) = %v", s.LoSetFor(0xA))
+	}
+	if !s.LoSetFor(0xB).Empty() {
+		t.Errorf("LoSetFor(0xB) = %v, want empty", s.LoSetFor(0xB))
+	}
+}
+
+// Property: for every byte set, the hi/lo decomposition exactly tiles the set:
+// union over hi of {hi<<4|lo : lo in LoSetFor(hi)} == s.
+func TestByteSetNibbleDecompositionExact(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		s := randByteSet(r)
+		var rebuilt ByteSet
+		for _, hi := range s.HiNibbles().Values() {
+			for _, lo := range s.LoSetFor(hi).Values() {
+				rebuilt = rebuilt.Add(hi<<4 | lo)
+			}
+		}
+		if rebuilt != s {
+			t.Fatalf("decomposition not exact: %v != %v", rebuilt, s)
+		}
+	}
+}
+
+func TestByteSetDeMorgan(t *testing.T) {
+	f := func(aw, bw [4]uint64) bool {
+		a, b := ByteSet(aw), ByteSet(bw)
+		return a.Union(b).Complement() == a.Complement().Intersect(b.Complement())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteSetString(t *testing.T) {
+	if got := (ByteSet{}).String(); got != "[]" {
+		t.Errorf("empty = %q", got)
+	}
+	if got := ByteAll().String(); got != "[*]" {
+		t.Errorf("full = %q", got)
+	}
+	if got := ByteOf(0xAB).String(); got != `[\xab]` {
+		t.Errorf("singleton = %q", got)
+	}
+	if got := ByteRange(0x10, 0x20).String(); got != `[\x10-\x20]` {
+		t.Errorf("range = %q", got)
+	}
+}

@@ -1,0 +1,148 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixSetGetClear(t *testing.T) {
+	m := NewMatrix(256, 256)
+	m.Set(0, 0)
+	m.Set(255, 255)
+	m.Set(10, 200)
+	if !m.Get(0, 0) || !m.Get(255, 255) || !m.Get(10, 200) {
+		t.Fatal("Set/Get broken")
+	}
+	if m.Get(1, 1) {
+		t.Fatal("unset cell reads 1")
+	}
+	m.Clear(10, 200)
+	if m.Get(10, 200) {
+		t.Fatal("Clear broken")
+	}
+	if m.PopCount() != 2 {
+		t.Fatalf("PopCount = %d, want 2", m.PopCount())
+	}
+}
+
+func TestMatrixBounds(t *testing.T) {
+	m := NewMatrix(4, 4)
+	for _, fn := range []func(){
+		func() { m.Set(4, 0) },
+		func() { m.Get(0, 4) },
+		func() { m.Set(-1, 0) },
+		func() { m.Row(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatrixOrRowInto(t *testing.T) {
+	m := NewMatrix(3, 128)
+	m.Set(0, 5)
+	m.Set(1, 70)
+	m.Set(2, 5)
+	acc := make([]uint64, m.WordsPerRow())
+	m.OrRowInto(0, acc)
+	m.OrRowInto(1, acc)
+	w := Words(acc)
+	if !w.Get(5) || !w.Get(70) || w.Count() != 2 {
+		t.Fatalf("OrRowInto produced %v bits", w.Count())
+	}
+}
+
+func TestMatrixUtilization(t *testing.T) {
+	m := NewMatrix(10, 10)
+	if m.Utilization() != 0 {
+		t.Fatal("empty utilization != 0")
+	}
+	for i := 0; i < 10; i++ {
+		m.Set(i, i)
+	}
+	if got := m.Utilization(); got != 0.1 {
+		t.Fatalf("Utilization = %v, want 0.1", got)
+	}
+	empty := NewMatrix(0, 0)
+	if empty.Utilization() != 0 {
+		t.Fatal("0x0 utilization != 0")
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := NewMatrix(8, 8)
+	m.Set(3, 3)
+	c := m.Clone()
+	c.Set(4, 4)
+	if m.Get(4, 4) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Get(3, 3) {
+		t.Fatal("Clone lost data")
+	}
+}
+
+func TestMatrixRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	m := NewMatrix(100, 300)
+	ref := map[[2]int]bool{}
+	for i := 0; i < 2000; i++ {
+		rr, cc := r.Intn(100), r.Intn(300)
+		if r.Intn(2) == 0 {
+			m.Set(rr, cc)
+			ref[[2]int{rr, cc}] = true
+		} else {
+			m.Clear(rr, cc)
+			delete(ref, [2]int{rr, cc})
+		}
+	}
+	count := 0
+	for rr := 0; rr < 100; rr++ {
+		for cc := 0; cc < 300; cc++ {
+			if m.Get(rr, cc) != ref[[2]int{rr, cc}] {
+				t.Fatalf("mismatch at (%d,%d)", rr, cc)
+			}
+			if m.Get(rr, cc) {
+				count++
+			}
+		}
+	}
+	if count != m.PopCount() {
+		t.Fatalf("PopCount = %d, counted %d", m.PopCount(), count)
+	}
+}
+
+func TestWords(t *testing.T) {
+	w := NewWords(130)
+	w.Set(0)
+	w.Set(64)
+	w.Set(129)
+	if !w.Get(0) || !w.Get(64) || !w.Get(129) || w.Get(1) {
+		t.Fatal("Words Set/Get broken")
+	}
+	if w.Count() != 3 || !w.Any() {
+		t.Fatal("Count/Any broken")
+	}
+	var got []int
+	w.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Fatalf("ForEach = %v", got)
+	}
+	other := NewWords(130)
+	other.Set(64)
+	dst := NewWords(130)
+	w.AndInto(other, dst)
+	if dst.Count() != 1 || !dst.Get(64) {
+		t.Fatal("AndInto broken")
+	}
+	w.ClearAll()
+	if w.Any() {
+		t.Fatal("ClearAll broken")
+	}
+}

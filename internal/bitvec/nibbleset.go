@@ -1,0 +1,124 @@
+// Package bitvec provides the small dense bit-set types that underpin the
+// Impala toolchain: NibbleSet (a set of 4-bit symbols, i.e. one memory column
+// of a 16-row Impala subarray), ByteSet (a set of 8-bit symbols, i.e. one
+// memory column of a 256-row Cache-Automaton subarray), and Matrix (a dense
+// bit matrix used for crossbar switch images).
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// NibbleSet is a set of 4-bit symbols represented as a 16-bit mask. Bit i is
+// set iff nibble value i is in the set. The zero value is the empty set.
+//
+// A NibbleSet is exactly the content of one 16-cell memory column in Impala's
+// state-matching subarrays.
+type NibbleSet uint16
+
+// NibbleAll is the full nibble set (all 16 values), i.e. a wildcard column.
+const NibbleAll NibbleSet = 0xFFFF
+
+// NibbleOf returns the singleton set {v}. v must be < 16.
+func NibbleOf(v byte) NibbleSet {
+	if v > 15 {
+		panic(fmt.Sprintf("bitvec: nibble value %d out of range", v))
+	}
+	return 1 << v
+}
+
+// NibbleRange returns the set {lo..hi} inclusive. lo and hi must be < 16 and
+// lo <= hi.
+func NibbleRange(lo, hi byte) NibbleSet {
+	if lo > hi || hi > 15 {
+		panic(fmt.Sprintf("bitvec: bad nibble range [%d,%d]", lo, hi))
+	}
+	width := uint(hi - lo + 1)
+	return NibbleSet(((1 << width) - 1) << lo)
+}
+
+// Has reports whether v is in the set.
+func (s NibbleSet) Has(v byte) bool { return v < 16 && s&(1<<v) != 0 }
+
+// Add returns s with v added.
+func (s NibbleSet) Add(v byte) NibbleSet { return s | NibbleOf(v) }
+
+// Union returns s ∪ t.
+func (s NibbleSet) Union(t NibbleSet) NibbleSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s NibbleSet) Intersect(t NibbleSet) NibbleSet { return s & t }
+
+// Minus returns s \ t.
+func (s NibbleSet) Minus(t NibbleSet) NibbleSet { return s &^ t }
+
+// Complement returns the complement of s within the 16-value universe.
+func (s NibbleSet) Complement() NibbleSet { return ^s }
+
+// Empty reports whether the set has no elements.
+func (s NibbleSet) Empty() bool { return s == 0 }
+
+// Full reports whether the set contains every nibble value.
+func (s NibbleSet) Full() bool { return s == NibbleAll }
+
+// Count returns the number of elements in the set.
+func (s NibbleSet) Count() int { return bits.OnesCount16(uint16(s)) }
+
+// Contains reports whether t ⊆ s.
+func (s NibbleSet) Contains(t NibbleSet) bool { return t&^s == 0 }
+
+// Values returns the members of the set in ascending order.
+func (s NibbleSet) Values() []byte {
+	out := make([]byte, 0, s.Count())
+	for v := byte(0); v < 16; v++ {
+		if s.Has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Min returns the smallest member. It panics on the empty set.
+func (s NibbleSet) Min() byte {
+	if s == 0 {
+		panic("bitvec: Min of empty NibbleSet")
+	}
+	return byte(bits.TrailingZeros16(uint16(s)))
+}
+
+// String renders the set as compact hex ranges, e.g. "[2-5,a,c-f]".
+func (s NibbleSet) String() string {
+	if s == 0 {
+		return "[]"
+	}
+	if s == NibbleAll {
+		return "[*]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	first := true
+	for v := 0; v < 16; {
+		if !s.Has(byte(v)) {
+			v++
+			continue
+		}
+		hi := v
+		for hi+1 < 16 && s.Has(byte(hi+1)) {
+			hi++
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		if hi == v {
+			fmt.Fprintf(&b, "%x", v)
+		} else {
+			fmt.Fprintf(&b, "%x-%x", v, hi)
+		}
+		v = hi + 1
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNibbleOf(t *testing.T) {
+	for v := byte(0); v < 16; v++ {
+		s := NibbleOf(v)
+		if !s.Has(v) {
+			t.Fatalf("NibbleOf(%d) missing %d", v, v)
+		}
+		if s.Count() != 1 {
+			t.Fatalf("NibbleOf(%d) count = %d, want 1", v, s.Count())
+		}
+	}
+}
+
+func TestNibbleOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NibbleOf(16) did not panic")
+		}
+	}()
+	NibbleOf(16)
+}
+
+func TestNibbleRange(t *testing.T) {
+	s := NibbleRange(2, 5)
+	want := []byte{2, 3, 4, 5}
+	got := s.Values()
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+	if NibbleRange(0, 15) != NibbleAll {
+		t.Fatal("NibbleRange(0,15) != NibbleAll")
+	}
+}
+
+func TestNibbleRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range did not panic")
+		}
+	}()
+	NibbleRange(5, 2)
+}
+
+func TestNibbleSetOps(t *testing.T) {
+	a := NibbleRange(0, 7)
+	b := NibbleRange(4, 11)
+	if got := a.Union(b); got != NibbleRange(0, 11) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != NibbleRange(4, 7) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got != NibbleRange(0, 3) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := a.Complement(); got != NibbleRange(8, 15) {
+		t.Errorf("Complement = %v", got)
+	}
+	if !a.Contains(NibbleRange(2, 3)) {
+		t.Error("Contains(2-3) = false")
+	}
+	if a.Contains(b) {
+		t.Error("Contains(b) = true")
+	}
+}
+
+func TestNibbleSetEmptyFull(t *testing.T) {
+	var e NibbleSet
+	if !e.Empty() || e.Full() {
+		t.Error("zero value should be empty, not full")
+	}
+	if NibbleAll.Empty() || !NibbleAll.Full() {
+		t.Error("NibbleAll should be full")
+	}
+	if e.Count() != 0 || NibbleAll.Count() != 16 {
+		t.Error("bad counts")
+	}
+}
+
+func TestNibbleSetMin(t *testing.T) {
+	if NibbleRange(3, 9).Min() != 3 {
+		t.Error("Min wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min of empty did not panic")
+		}
+	}()
+	NibbleSet(0).Min()
+}
+
+func TestNibbleSetString(t *testing.T) {
+	cases := []struct {
+		s    NibbleSet
+		want string
+	}{
+		{0, "[]"},
+		{NibbleAll, "[*]"},
+		{NibbleOf(10), "[a]"},
+		{NibbleRange(2, 5).Add(10).Union(NibbleRange(12, 15)), "[2-5,a,c-f]"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String(%016b) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+// Property: De Morgan duality holds for all nibble sets.
+func TestNibbleSetDeMorgan(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := NibbleSet(a), NibbleSet(b)
+		return x.Union(y).Complement() == x.Complement().Intersect(y.Complement())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Values round-trips the set.
+func TestNibbleSetValuesRoundTrip(t *testing.T) {
+	f := func(a uint16) bool {
+		s := NibbleSet(a)
+		var r NibbleSet
+		for _, v := range s.Values() {
+			r = r.Add(v)
+		}
+		return r == s && len(s.Values()) == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/espresso"
+	"impala/internal/sim"
+)
+
+// ---- test automaton builders ----
+
+// litNFA builds an 8-bit automaton matching a set of literal patterns.
+func litNFA(anchored bool, patterns ...string) *automata.NFA {
+	n := automata.New(8, 1)
+	kind := automata.StartAllInput
+	if anchored {
+		kind = automata.StartOfData
+	}
+	for i, p := range patterns {
+		n.AddLiteral(p, kind, i+1)
+	}
+	return n
+}
+
+// fig3NFA models the paper's Figure 3(a): \xAB then (\xBD | \xDE-ish range)
+// loop then \xAB, reporting.
+func fig3NFA() *automata.NFA {
+	n := automata.New(8, 1)
+	s0 := n.AddState(automata.ByteMatchState(bitvec.ByteOf(0xAB), automata.StartAllInput, false))
+	s1 := n.AddState(automata.ByteMatchState(bitvec.ByteOf(0xBD).Union(bitvec.ByteOf(0xEB)), automata.StartNone, false))
+	s2 := n.AddState(automata.ByteMatchState(bitvec.ByteOf(0xAB), automata.StartNone, true))
+	n.States[s2].ReportCode = 3
+	n.AddEdge(s0, s1)
+	n.AddEdge(s1, s1)
+	n.AddEdge(s1, s2)
+	return n
+}
+
+// rangeLoopNFA exercises ranges, loops and multiple reports.
+func rangeLoopNFA() *automata.NFA {
+	n := automata.New(8, 1)
+	s0 := n.AddState(automata.ByteMatchState(bitvec.ByteRange(0x20, 0x7E), automata.StartAllInput, false))
+	s1 := n.AddState(automata.ByteMatchState(bitvec.ByteRange(0x30, 0x39), automata.StartNone, true))
+	n.States[s1].ReportCode = 1
+	s2 := n.AddState(automata.ByteMatchState(bitvec.ByteOf('!').Union(bitvec.ByteOf('?')), automata.StartNone, true))
+	n.States[s2].ReportCode = 2
+	n.AddEdge(s0, s0)
+	n.AddEdge(s0, s1)
+	n.AddEdge(s1, s1)
+	n.AddEdge(s1, s2)
+	n.AddEdge(s2, s0)
+	return n
+}
+
+// randNFA generates a random small automaton with loops, ranges, branches.
+func randNFA(r *rand.Rand, nStates int) *automata.NFA {
+	n := automata.New(8, 1)
+	for i := 0; i < nStates; i++ {
+		var set bitvec.ByteSet
+		switch r.Intn(3) {
+		case 0: // singleton
+			set = bitvec.ByteOf(byte(r.Intn(256)))
+		case 1: // small range
+			lo := byte(r.Intn(200))
+			set = bitvec.ByteRange(lo, lo+byte(r.Intn(40)))
+		default: // scattered values
+			for k := 0; k < 1+r.Intn(5); k++ {
+				set = set.Add(byte(r.Intn(256)))
+			}
+		}
+		kind := automata.StartNone
+		if i == 0 || r.Intn(5) == 0 {
+			kind = automata.StartAllInput
+		}
+		n.AddState(automata.State{
+			Match:      automata.MatchSet{automata.Rect{set}},
+			Start:      kind,
+			Report:     r.Intn(4) == 0 || i == nStates-1,
+			ReportCode: i,
+		})
+	}
+	// Random edges: mostly forward chain plus random extras and loops.
+	for i := 0; i < nStates-1; i++ {
+		n.AddEdge(automata.StateID(i), automata.StateID(i+1))
+	}
+	for k := 0; k < nStates; k++ {
+		a := automata.StateID(r.Intn(nStates))
+		b := automata.StateID(r.Intn(nStates))
+		n.AddEdge(a, b)
+	}
+	n.DedupEdges()
+	return n
+}
+
+// randInput generates an input that is biased to contain pattern symbols so
+// matches actually occur.
+func randInput(r *rand.Rand, n *automata.NFA, length int) []byte {
+	// Collect symbols appearing in the automaton.
+	var pool []byte
+	for i := range n.States {
+		for _, rect := range n.States[i].Match {
+			vals := rect[0].Values()
+			if len(vals) > 4 {
+				vals = vals[:4]
+			}
+			pool = append(pool, vals...)
+		}
+	}
+	if len(pool) == 0 {
+		pool = []byte{0}
+	}
+	out := make([]byte, length)
+	for i := range out {
+		if r.Intn(4) == 0 {
+			out[i] = byte(r.Intn(256))
+		} else {
+			out[i] = pool[r.Intn(len(pool))]
+		}
+	}
+	return out
+}
+
+// checkEquivalent runs both automata on the input and compares report keys.
+func checkEquivalent(t *testing.T, ref, got *automata.NFA, input []byte, label string) {
+	t.Helper()
+	rRef, _, err := sim.Run(ref, input)
+	if err != nil {
+		t.Fatalf("%s: ref run: %v", label, err)
+	}
+	rGot, _, err := sim.Run(got, input)
+	if err != nil {
+		t.Fatalf("%s: got run: %v", label, err)
+	}
+	if !sim.SameReports(rRef, rGot) {
+		t.Fatalf("%s: reports differ on input %q\n ref=%v\n got=%v",
+			label, input, sim.ReportKeys(rRef), sim.ReportKeys(rGot))
+	}
+}
+
+// ---- Squash ----
+
+func TestSquashLiteral(t *testing.T) {
+	n := litNFA(false, "ab", "xyz")
+	sq, err := Squash(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.Bits != 4 || sq.Stride != 1 {
+		t.Fatalf("geometry = %d/%d", sq.Bits, sq.Stride)
+	}
+	// Singleton byte states squash to exactly one hi/lo pair each.
+	if sq.NumStates() != 2*n.NumStates() {
+		t.Fatalf("states = %d, want %d", sq.NumStates(), 2*n.NumStates())
+	}
+	for _, in := range []string{"ab", "xab", "abxyzab", "aab", "ba", "xyxyz"} {
+		checkEquivalent(t, n, sq, []byte(in), "squash:"+in)
+	}
+}
+
+func TestSquashByteAlignment(t *testing.T) {
+	// Pattern 0xBB must not match the nibble sequence spanning a byte
+	// boundary: input 0xAB 0xB0 contains nibbles A,B,B,0 — "BB" spans
+	// bytes and must NOT report.
+	n := automata.New(8, 1)
+	n.AddChain([]bitvec.ByteSet{bitvec.ByteOf(0xBB)}, automata.StartAllInput, 1)
+	sq, err := Squash(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, _, err := sim.Run(sq, []byte{0xAB, 0xB0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("byte-misaligned match reported: %v", reports)
+	}
+	reports, _, _ = sim.Run(sq, []byte{0xBB})
+	if len(reports) != 1 || reports[0].BitPos != 8 {
+		t.Fatalf("aligned match missing: %v", reports)
+	}
+}
+
+func TestSquashAnchored(t *testing.T) {
+	n := litNFA(true, "ab")
+	sq, err := Squash(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"ab", "abab", "xab", "a"} {
+		checkEquivalent(t, n, sq, []byte(in), "anchored:"+in)
+	}
+}
+
+func TestSquashRangesAndLoops(t *testing.T) {
+	n := rangeLoopNFA()
+	sq, err := Squash(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		in := randInput(r, n, 1+r.Intn(40))
+		checkEquivalent(t, n, sq, in, "rangeloop")
+	}
+}
+
+func TestSquashRejectsWrongGeometry(t *testing.T) {
+	n := automata.New(4, 1)
+	n.AddState(automata.State{Match: automata.MatchSet{automata.Rect{bitvec.ByteOf(1)}}, Start: automata.StartAllInput, Report: true})
+	if _, err := Squash(n); err == nil {
+		t.Fatal("accepted 4-bit input")
+	}
+}
+
+// Property: squashing preserves the language on random automata and inputs.
+func TestSquashEquivalenceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := randNFA(r, 3+r.Intn(8))
+		sq, err := Squash(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 5; k++ {
+			in := randInput(r, n, 1+r.Intn(50))
+			checkEquivalent(t, n, sq, in, fmt.Sprintf("rand%d", trial))
+		}
+	}
+}
+
+// ---- Stride ----
+
+func TestStrideLiteral2Dims(t *testing.T) {
+	n := litNFA(false, "abc")
+	st, err := Stride(n, 4, 2, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bits != 4 || st.Stride != 2 {
+		t.Fatalf("geometry = %d/%d", st.Bits, st.Stride)
+	}
+	for _, in := range []string{"abc", "xabc", "abcabc", "ababc", "ab", "zzabcz"} {
+		checkEquivalent(t, n, st, []byte(in), "stride2:"+in)
+	}
+}
+
+func TestStride4DimsMidChunkReports(t *testing.T) {
+	// 16-bit chunks (2 bytes): matches ending mid-chunk need wildcard
+	// padding and exact offsets.
+	n := litNFA(false, "a", "xyz")
+	st, err := Stride(n, 4, 4, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"a", "za", "xyz", "zxyz", "axyza", "aaaa", "xyzxyz"} {
+		checkEquivalent(t, n, st, []byte(in), "stride4:"+in)
+	}
+}
+
+func TestStride8Dims(t *testing.T) {
+	n := litNFA(false, "ab", "hello")
+	st, err := Stride(n, 4, 8, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"ab", "hello", "zzzhellozzz", "ababab", "hell", "xhellox"} {
+		checkEquivalent(t, n, st, []byte(in), "stride8:"+in)
+	}
+}
+
+func TestStrideCA16Bit(t *testing.T) {
+	// CA-mode striding: 8-bit sub-symbols, 2 per cycle.
+	n := litNFA(false, "abc", "q")
+	st, err := Stride(n, 8, 2, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bits != 8 || st.Stride != 2 {
+		t.Fatalf("geometry = %d/%d", st.Bits, st.Stride)
+	}
+	for _, in := range []string{"abc", "xabc", "q", "xq", "abcq", "ab"} {
+		checkEquivalent(t, n, st, []byte(in), "ca16:"+in)
+	}
+}
+
+func TestStrideFig3(t *testing.T) {
+	n := fig3NFA()
+	st, err := Stride(n, 4, 4, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// \xAB (\xBD|\xEB)+ \xAB; try several alignments.
+	inputs := [][]byte{
+		{0xAB, 0xBD, 0xAB},
+		{0x00, 0xAB, 0xBD, 0xAB},
+		{0xAB, 0xBD, 0xEB, 0xBD, 0xAB},
+		{0xAB, 0xAB},
+		{0xBD, 0xEB, 0xAB},
+		{0xAB, 0xBD, 0xEB, 0xBD}, // no final AB: no report
+	}
+	for i, in := range inputs {
+		checkEquivalent(t, n, st, in, fmt.Sprintf("fig3:%d", i))
+	}
+	// The paper's false-positive check: (\xB,\xD,\xE,\xB) after \xAB-chunk
+	// patterns — covered by equivalence, but assert the headline input.
+	reports, _, _ := sim.Run(st, []byte{0xAB, 0xBD, 0xEB, 0xBD})
+	for _, r := range reports {
+		if r.BitPos == 32 {
+			t.Fatal("false positive at chunk boundary")
+		}
+	}
+}
+
+func TestStrideAnchored(t *testing.T) {
+	n := litNFA(true, "abcd")
+	st, err := Stride(n, 4, 4, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"abcd", "abcdabcd", "xabcd", "abc"} {
+		checkEquivalent(t, n, st, []byte(in), "anchored4:"+in)
+	}
+}
+
+func TestStrideRejectsBadDims(t *testing.T) {
+	n := litNFA(false, "ab")
+	if _, err := Stride(n, 4, 3, espresso.Options{}); err == nil {
+		t.Fatal("non-power-of-two dims accepted")
+	}
+	if _, err := Stride(n, 4, 1, espresso.Options{}); err == nil {
+		t.Fatal("dims below base accepted")
+	}
+	if _, err := Stride(n, 16, 2, espresso.Options{}); err == nil {
+		t.Fatal("bad target bits accepted")
+	}
+}
+
+// Property: striding preserves the language across random automata, strides
+// and inputs — the central V-TeSS invariant.
+func TestStrideEquivalenceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 15; trial++ {
+		n := randNFA(r, 3+r.Intn(6))
+		for _, dims := range []int{2, 4} {
+			st, err := Stride(n, 4, dims, espresso.Options{MaxIterations: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 4; k++ {
+				in := randInput(r, n, 1+r.Intn(40))
+				checkEquivalent(t, n, st, in, fmt.Sprintf("strideRand%d/%d", trial, dims))
+			}
+		}
+	}
+}
+
+// ---- Refine ----
+
+func TestRefineSplitsMultiRect(t *testing.T) {
+	// Build a 2-dim state with a non-rectangular match set.
+	n := automata.New(4, 2)
+	ms := automata.MatchSet{
+		automata.Rect{bitvec.ByteOf(0xA), bitvec.ByteOf(0xB)},
+		automata.Rect{bitvec.ByteOf(0xB), bitvec.ByteOf(0xD)},
+	}
+	id := n.AddState(automata.State{Match: ms, Start: automata.StartAllInput, Report: true, ReportOffset: 2})
+	n.AddEdge(id, id)
+	added, err := Refine(n, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || n.NumStates() != 2 {
+		t.Fatalf("added=%d states=%d", added, n.NumStates())
+	}
+	if !CapsuleLegal(n) {
+		t.Fatal("not capsule legal after refine")
+	}
+	// Self-loop must become a full interconnect.
+	if n.NumTransitions() != 4 {
+		t.Fatalf("transitions = %d, want 4", n.NumTransitions())
+	}
+}
+
+func TestRefinePreservesLanguage(t *testing.T) {
+	n := fig3NFA()
+	st, err := Stride(n, 4, 4, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := st.Clone()
+	if _, err := Refine(st, espresso.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !CapsuleLegal(st) {
+		t.Fatal("not capsule legal")
+	}
+	r := rand.New(rand.NewSource(5))
+	for k := 0; k < 20; k++ {
+		in := randInput(r, n, 1+r.Intn(30))
+		checkEquivalent(t, ref, st, in, "refine")
+	}
+}
+
+// ---- Full pipeline ----
+
+func TestCompileAllDesignPoints(t *testing.T) {
+	n := litNFA(false, "ab", "hello", "hi")
+	r := rand.New(rand.NewSource(7))
+	configs := []Config{
+		{TargetBits: 8, StrideDims: 1},
+		{TargetBits: 8, StrideDims: 2},
+		{TargetBits: 4, StrideDims: 1},
+		{TargetBits: 4, StrideDims: 2},
+		{TargetBits: 4, StrideDims: 4},
+		{TargetBits: 4, StrideDims: 8},
+	}
+	for _, cfg := range configs {
+		res, err := Compile(n, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.NFA.Bits != cfg.TargetBits || res.NFA.Stride != cfg.StrideDims {
+			t.Fatalf("%+v: geometry %d/%d", cfg, res.NFA.Bits, res.NFA.Stride)
+		}
+		if !CapsuleLegal(res.NFA) {
+			t.Fatalf("%+v: not capsule legal", cfg)
+		}
+		if len(res.Stages) == 0 || res.CompileTime <= 0 {
+			t.Fatalf("%+v: missing stage stats", cfg)
+		}
+		for k := 0; k < 6; k++ {
+			in := randInput(r, n, 1+r.Intn(30))
+			checkEquivalent(t, n, res.NFA, in, fmt.Sprintf("compile %db x%d", cfg.TargetBits, cfg.StrideDims))
+		}
+	}
+}
+
+func TestCompileAblations(t *testing.T) {
+	n := litNFA(false, "abc", "abd")
+	base, err := Compile(n, Config{TargetBits: 4, StrideDims: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMin, err := Compile(n, Config{TargetBits: 4, StrideDims: 4, DisableMinimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noMin.NFA.NumStates() < base.NFA.NumStates() {
+		t.Fatalf("minimize made it worse: %d < %d", noMin.NFA.NumStates(), base.NFA.NumStates())
+	}
+	noRef, err := Compile(n, Config{TargetBits: 4, StrideDims: 4, DisableRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without refinement the automaton is still equivalent, possibly not
+	// capsule-legal.
+	r := rand.New(rand.NewSource(3))
+	for k := 0; k < 5; k++ {
+		in := randInput(r, n, 1+r.Intn(20))
+		checkEquivalent(t, n, noRef.NFA, in, "noRefine")
+		checkEquivalent(t, n, noMin.NFA, in, "noMinimize")
+	}
+}
+
+func TestCompileRejectsBadConfig(t *testing.T) {
+	n := litNFA(false, "ab")
+	for _, cfg := range []Config{
+		{TargetBits: 4, StrideDims: 3},
+		{TargetBits: 8, StrideDims: 4},
+		{TargetBits: 16, StrideDims: 1},
+	} {
+		if _, err := Compile(n, cfg); err == nil {
+			t.Fatalf("accepted %+v", cfg)
+		}
+	}
+}
+
+func TestCompileOverheadMetrics(t *testing.T) {
+	n := litNFA(false, "hello", "world")
+	res, err := Compile(n, Config{TargetBits: 4, StrideDims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StateOverhead(n) <= 0 || res.TransitionOverhead(n) <= 0 {
+		t.Fatal("overhead metrics not positive")
+	}
+}
+
+// TestStride2StatesNearOriginal checks the paper's key density claim
+// (Table 4): 2-stride 4-bit state count is close to the original 8-bit
+// automaton for simple patterns (ASCII literals have identity hi/lo
+// decompositions).
+func TestStride2StatesNearOriginal(t *testing.T) {
+	n := litNFA(false, "hello", "world", "pattern")
+	res, err := Compile(n, Config{TargetBits: 4, StrideDims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh := res.StateOverhead(n)
+	if oh > 2.0 {
+		t.Fatalf("2-stride overhead %.2f too high for literals", oh)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"impala/internal/automata"
+	"impala/internal/espresso"
+)
+
+// Config selects a design point of the V-TeSS compiler.
+type Config struct {
+	// TargetBits is the sub-symbol width the hardware matches per memory
+	// column: 4 for Impala (16-row subarrays), 8 for the Cache-Automaton
+	// design point (256-row subarrays), or 2 (4-row subarrays) for the
+	// squash-width ablation.
+	TargetBits int
+	// StrideDims is the number of sub-symbols consumed per cycle. For
+	// TargetBits=4 the supported values are 1 (squash only), 2, 4, 8
+	// (= 4, 8, 16, 32 bits/cycle); for TargetBits=8 they are 1 and 2
+	// (= 8, 16 bits/cycle).
+	StrideDims int
+	// DisableMinimize skips the prefix/suffix merge passes (ablation).
+	DisableMinimize bool
+	// DisableRefine skips Espresso capsule refinement (ablation; the result
+	// may not be capsule-legal).
+	DisableRefine bool
+	// Espresso tunes the logic minimizer.
+	Espresso espresso.Options
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch c.TargetBits {
+	case 2:
+		switch c.StrideDims {
+		case 4, 8:
+		default:
+			return fmt.Errorf("core: 2-bit target supports stride dims 4/8, got %d", c.StrideDims)
+		}
+	case 4:
+		switch c.StrideDims {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("core: 4-bit target supports stride dims 1/2/4/8, got %d", c.StrideDims)
+		}
+	case 8:
+		switch c.StrideDims {
+		case 1, 2:
+		default:
+			return fmt.Errorf("core: 8-bit target supports stride dims 1/2, got %d", c.StrideDims)
+		}
+	default:
+		return fmt.Errorf("core: unsupported target bits %d", c.TargetBits)
+	}
+	return nil
+}
+
+// BitsPerCycle returns the input bits consumed per cycle at this design
+// point.
+func (c Config) BitsPerCycle() int { return c.TargetBits * c.StrideDims }
+
+// StageStats records one pipeline stage's outcome.
+type StageStats struct {
+	Name        string
+	States      int
+	Transitions int
+	Duration    time.Duration
+}
+
+// Result is the output of the V-TeSS compiler.
+type Result struct {
+	// NFA is the transformed, homogeneous, (unless refinement was disabled)
+	// capsule-legal automaton.
+	NFA *automata.NFA
+	// Config echoes the design point.
+	Config Config
+	// Stages traces every pipeline stage (Figure 4).
+	Stages []StageStats
+	// SplitStates is the number of states added by Espresso refinement.
+	SplitStates int
+	// CompileTime is the total wall-clock transformation time.
+	CompileTime time.Duration
+}
+
+// StateOverhead returns #states of the result normalized to the original
+// automaton (the Table 4 metric).
+func (r *Result) StateOverhead(original *automata.NFA) float64 {
+	if original.NumStates() == 0 {
+		return 0
+	}
+	return float64(r.NFA.NumStates()) / float64(original.NumStates())
+}
+
+// TransitionOverhead returns #transitions normalized to the original.
+func (r *Result) TransitionOverhead(original *automata.NFA) float64 {
+	if original.NumTransitions() == 0 {
+		return 0
+	}
+	return float64(r.NFA.NumTransitions()) / float64(original.NumTransitions())
+}
+
+// Compile runs the full V-TeSS pipeline (Figure 4) on an 8-bit stride-1
+// homogeneous automaton: squash/stride to the configured design point,
+// minimize, Espresso-refine to capsule-legal form, minimize again. The input
+// automaton is not modified.
+func Compile(n *automata.NFA, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("core: Compile input invalid: %w", err)
+	}
+	start := time.Now()
+	res := &Result{Config: cfg}
+	record := func(name string, a *automata.NFA, t0 time.Time) {
+		res.Stages = append(res.Stages, StageStats{
+			Name:        name,
+			States:      a.NumStates(),
+			Transitions: a.NumTransitions(),
+			Duration:    time.Since(t0),
+		})
+	}
+
+	var cur *automata.NFA
+	var err error
+	t0 := time.Now()
+	switch {
+	case cfg.TargetBits == 8 && cfg.StrideDims == 1:
+		// The identity design point (classic CA): clone so later stages may
+		// rewrite freely.
+		cur = n.Clone()
+		record("identity", cur, t0)
+	case cfg.TargetBits == 4 && cfg.StrideDims == 1:
+		cur, err = Squash(n)
+		if err != nil {
+			return nil, err
+		}
+		record("squash", cur, t0)
+	default:
+		cur, err = Stride(n, cfg.TargetBits, cfg.StrideDims, cfg.Espresso)
+		if err != nil {
+			return nil, err
+		}
+		record("v-tess", cur, t0)
+	}
+
+	if !cfg.DisableMinimize {
+		t0 = time.Now()
+		automata.Minimize(cur)
+		record("minimize", cur, t0)
+	}
+
+	if !cfg.DisableRefine {
+		t0 = time.Now()
+		res.SplitStates, err = Refine(cur, cfg.Espresso)
+		if err != nil {
+			return nil, err
+		}
+		record("espresso-refine", cur, t0)
+
+		if !cfg.DisableMinimize {
+			t0 = time.Now()
+			automata.Minimize(cur)
+			record("minimize-2", cur, t0)
+		}
+	}
+
+	res.NFA = cur
+	res.CompileTime = time.Since(start)
+	return res, nil
+}

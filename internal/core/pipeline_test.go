@@ -1,0 +1,263 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/espresso"
+	"impala/internal/sim"
+)
+
+// Property: the full pipeline yields capsule-legal automata whose language
+// matches the original, for random automata at every supported design
+// point — the paper's central correctness requirement, checked end to end.
+func TestCompileCapsuleLegalRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 10; trial++ {
+		n := randNFA(r, 3+r.Intn(6))
+		for _, cfg := range []Config{
+			{TargetBits: 4, StrideDims: 2},
+			{TargetBits: 4, StrideDims: 4},
+		} {
+			res, err := Compile(n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !CapsuleLegal(res.NFA) {
+				t.Fatalf("trial %d cfg %+v: not capsule legal", trial, cfg)
+			}
+			for i := range res.NFA.States {
+				if len(res.NFA.States[i].Match.Normalize()) != 1 {
+					t.Fatalf("state %d has %d rects", i, len(res.NFA.States[i].Match))
+				}
+			}
+		}
+	}
+}
+
+// Compile must be deterministic: same input, same output shape.
+func TestCompileDeterministic(t *testing.T) {
+	n := litNFA(false, "deterministic", "output")
+	a, err := Compile(n, Config{TargetBits: 4, StrideDims: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(n, Config{TargetBits: 4, StrideDims: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NFA.NumStates() != b.NFA.NumStates() || a.NFA.NumTransitions() != b.NFA.NumTransitions() {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d",
+			a.NFA.NumStates(), a.NFA.NumTransitions(), b.NFA.NumStates(), b.NFA.NumTransitions())
+	}
+	da, _ := json.Marshal(a.NFA)
+	db, _ := json.Marshal(b.NFA)
+	if string(da) != string(db) {
+		t.Fatal("serialized outputs differ")
+	}
+}
+
+// Compile must not mutate its input.
+func TestCompileDoesNotMutateInput(t *testing.T) {
+	n := litNFA(false, "immutable")
+	before, _ := json.Marshal(n)
+	if _, err := Compile(n, Config{TargetBits: 4, StrideDims: 4}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := json.Marshal(n)
+	if string(before) != string(after) {
+		t.Fatal("Compile mutated its input")
+	}
+}
+
+func TestCompileStageNames(t *testing.T) {
+	n := litNFA(false, "abc")
+	res, err := Compile(n, Config{TargetBits: 4, StrideDims: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range res.Stages {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"v-tess", "minimize", "espresso-refine"} {
+		if !names[want] {
+			t.Fatalf("missing stage %q in %v", want, res.Stages)
+		}
+	}
+	sq, err := Compile(n, Config{TargetBits: 4, StrideDims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.Stages[0].Name != "squash" {
+		t.Fatalf("1-stride first stage = %q", sq.Stages[0].Name)
+	}
+	id, err := Compile(n, Config{TargetBits: 8, StrideDims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Stages[0].Name != "identity" {
+		t.Fatalf("CA first stage = %q", id.Stages[0].Name)
+	}
+}
+
+// Strided compiled automata survive a JSON round trip with identical
+// language (exercises multi-rect, multi-dim, report-offset serialization).
+func TestCompiledJSONRoundTrip(t *testing.T) {
+	n := litNFA(false, "a", "xyz") // mid-chunk reports at stride 4
+	res, err := Compile(n, Config{TargetBits: 4, StrideDims: 4, DisableRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res.NFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back automata.NFA
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	for k := 0; k < 10; k++ {
+		in := randInput(r, n, 1+r.Intn(30))
+		checkEquivalent(t, res.NFA, &back, in, "jsonRoundTrip")
+	}
+}
+
+// Refine is idempotent: a second pass changes nothing.
+func TestRefineIdempotent(t *testing.T) {
+	n := fig3NFA()
+	st, err := Stride(n, 4, 4, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refine(st, espresso.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	s1, t1 := st.NumStates(), st.NumTransitions()
+	added, err := Refine(st, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || st.NumStates() != s1 || st.NumTransitions() != t1 {
+		t.Fatalf("second Refine changed automaton: +%d states", added)
+	}
+}
+
+// Mid-chunk report offsets: a 1-byte pattern at 4-stride must report at
+// every byte offset within a chunk, with exact positions.
+func TestStrideReportOffsetsExhaustive(t *testing.T) {
+	n := litNFA(false, "q")
+	st, err := Stride(n, 4, 4, espresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < 6; pos++ {
+		input := make([]byte, 6)
+		for i := range input {
+			input[i] = 'x'
+		}
+		input[pos] = 'q'
+		reports, _, err := sim.Run(st, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) != 1 || reports[0].BitPos != (pos+1)*8 {
+			t.Fatalf("pos %d: reports = %v", pos, reports)
+		}
+	}
+}
+
+// The paper's Table 4 observation for rings: BlockRings/CoreRings-style
+// automata with uniform structure have ~no overhead at 2-stride.
+func TestStrideRingNoOverhead(t *testing.T) {
+	n := automata.New(8, 1)
+	syms := make([]byte, 16)
+	for i := range syms {
+		syms[i] = byte('A' + i%4)
+	}
+	n.AddRing(syms, 1)
+	res, err := Compile(n, Config{TargetBits: 4, StrideDims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh := res.StateOverhead(n); oh > 1.5 {
+		t.Fatalf("ring 2-stride overhead = %.2f, want ~1.0", oh)
+	}
+	r := rand.New(rand.NewSource(6))
+	for k := 0; k < 10; k++ {
+		in := randInput(r, n, 1+r.Intn(40))
+		checkEquivalent(t, n, res.NFA, in, "ring2")
+	}
+}
+
+// Espresso options propagate: fewer iterations may not be worse than none.
+func TestCompileEspressoOptions(t *testing.T) {
+	n := litNFA(false, "hello", "help", "hel[pl]o")
+	for _, iters := range []int{1, 2, 8} {
+		res, err := Compile(n, Config{
+			TargetBits: 4, StrideDims: 4,
+			Espresso: espresso.Options{MaxIterations: iters},
+		})
+		if err != nil {
+			t.Fatalf("iters=%d: %v", iters, err)
+		}
+		if !CapsuleLegal(res.NFA) {
+			t.Fatalf("iters=%d: not capsule legal", iters)
+		}
+	}
+}
+
+func TestResultOverheadZeroDivision(t *testing.T) {
+	n := litNFA(false, "x")
+	res, err := Compile(n, Config{TargetBits: 4, StrideDims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := automata.New(8, 1)
+	if res.StateOverhead(empty) != 0 || res.TransitionOverhead(empty) != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+}
+
+func ExampleCompile() {
+	n := automata.New(8, 1)
+	n.AddLiteral("hi", automata.StartAllInput, 1)
+	res, err := Compile(n, Config{TargetBits: 4, StrideDims: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d-bit x%d, capsule legal: %v\n",
+		res.NFA.Bits, res.NFA.Stride, CapsuleLegal(res.NFA))
+	// Output: 4-bit x4, capsule legal: true
+}
+
+// 2-bit ("crumb") squash-width ablation support: the transformation is
+// language-preserving at 4 and 8 dims (16/32 bits per cycle... dims are
+// 2-bit sub-symbols, so 4 dims = 1 byte/cycle, 8 dims = 2 bytes/cycle).
+func TestCompile2BitTarget(t *testing.T) {
+	n := litNFA(false, "ab", "q[0-9]x")
+	r := rand.New(rand.NewSource(44))
+	for _, dims := range []int{4, 8} {
+		res, err := Compile(n, Config{TargetBits: 2, StrideDims: dims})
+		if err != nil {
+			t.Fatalf("dims=%d: %v", dims, err)
+		}
+		if res.NFA.Bits != 2 || res.NFA.Stride != dims {
+			t.Fatalf("geometry %d/%d", res.NFA.Bits, res.NFA.Stride)
+		}
+		if !CapsuleLegal(res.NFA) {
+			t.Fatalf("dims=%d: not capsule legal", dims)
+		}
+		for k := 0; k < 8; k++ {
+			in := randInput(r, n, 1+r.Intn(30))
+			checkEquivalent(t, n, res.NFA, in, fmt.Sprintf("2bit-d%d", dims))
+		}
+	}
+	if _, err := Compile(n, Config{TargetBits: 2, StrideDims: 2}); err == nil {
+		t.Fatal("sub-byte 2-bit stride accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"impala/internal/automata"
+	"impala/internal/espresso"
+)
+
+// Refine makes an automaton capsule-legal: every state whose match set is
+// not a single rectangle is Espresso-minimized and split into one state per
+// product term (Figure 7 of the paper). The automaton is rebuilt so that
+// every original edge q -> r becomes the complete bipartite connection
+// splits(q) × splits(r); a self loop therefore yields the full interconnect
+// among a state's splits, preserving the language. Each split inherits the
+// original's start kind and report attributes.
+//
+// Refine returns the number of extra states created.
+func Refine(n *automata.NFA, esp espresso.Options) (int, error) {
+	if err := n.Validate(); err != nil {
+		return 0, fmt.Errorf("core: Refine input invalid: %w", err)
+	}
+
+	out := automata.New(n.Bits, n.Stride)
+	splits := make([][]automata.StateID, n.NumStates())
+	added := 0
+	for i := range n.States {
+		s := n.States[i]
+		cover := s.Match.Normalize()
+		if len(cover) > 1 {
+			cover = espresso.Minimize(cover, n.Stride, n.Bits, esp)
+		}
+		if len(cover) == 0 {
+			return 0, fmt.Errorf("core: state %d minimized to an empty cover", i)
+		}
+		added += len(cover) - 1
+		for _, rect := range cover {
+			id := out.AddState(automata.State{
+				Match:        automata.MatchSet{rect},
+				Start:        s.Start,
+				Report:       s.Report,
+				ReportCode:   s.ReportCode,
+				ReportOffset: s.ReportOffset,
+			})
+			splits[i] = append(splits[i], id)
+		}
+	}
+	for q := range n.States {
+		for _, r := range n.States[q].Out {
+			for _, a := range splits[q] {
+				for _, b := range splits[r] {
+					out.AddEdge(a, b)
+				}
+			}
+		}
+	}
+	out.DedupEdges()
+	if err := out.Validate(); err != nil {
+		return 0, fmt.Errorf("core: Refine produced invalid automaton: %w", err)
+	}
+	*n = *out
+	return added, nil
+}
+
+// CapsuleLegal reports whether every state's match set is a single
+// rectangle (the property Refine establishes).
+func CapsuleLegal(n *automata.NFA) bool {
+	for i := range n.States {
+		if len(n.States[i].Match.Normalize()) > 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+// Package core implements the paper's primary contribution: the V-TeSS
+// compiler (Vectorized Temporal Squashing and Striding). It transforms 8-bit
+// homogeneous automata into functionally equivalent 4-bit automata
+// (squashing), re-shapes them to consume multiple sub-symbols per cycle
+// (vectorized temporal striding), splits states whose match sets a single
+// capsule cannot implement without false positives (Espresso refinement),
+// and runs the compiler minimizations (prefix/suffix merge) between stages —
+// the offline pre-processing pipeline of Figure 4.
+package core
+
+import (
+	"fmt"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/espresso"
+)
+
+// Squash converts an 8-bit stride-1 homogeneous automaton into an equivalent
+// 4-bit stride-1 automaton that consumes one nibble per cycle (high nibble of
+// each input byte first). Every 8-bit STE becomes one or more (hi, lo) state
+// pairs — one pair per rectangle of the Espresso decomposition of its byte
+// set — so each resulting state's match set fits a single 16-cell memory
+// column.
+//
+// Start semantics are preserved at byte granularity: an all-input-start byte
+// state becomes hi states with StartEven (enabled on even nibble cycles,
+// i.e. byte boundaries); an anchored byte state becomes hi states with
+// StartOfData.
+func Squash(n *automata.NFA) (*automata.NFA, error) {
+	if n.Bits != 8 || n.Stride != 1 {
+		return nil, fmt.Errorf("core: Squash requires an 8-bit stride-1 automaton, got %d-bit stride %d", n.Bits, n.Stride)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("core: Squash input invalid: %w", err)
+	}
+	out := automata.New(4, 1)
+
+	// Decompose every state's byte set and create its hi/lo pairs.
+	his := make([][]automata.StateID, n.NumStates()) // per original: hi state IDs
+	los := make([][]automata.StateID, n.NumStates()) // per original: lo state IDs
+	for i := range n.States {
+		s := &n.States[i]
+		set := byteSetOf(s.Match)
+		rects := espresso.DecomposeByteSet(set)
+		for _, hl := range rects {
+			startKind := automata.StartNone
+			switch s.Start {
+			case automata.StartAllInput:
+				startKind = automata.StartEven
+			case automata.StartOfData:
+				startKind = automata.StartOfData
+			case automata.StartEven:
+				return nil, fmt.Errorf("core: Squash input state %d already uses StartEven", i)
+			}
+			hi := out.AddState(automata.State{
+				Match: automata.MatchSet{automata.Rect{nibbleSet(hl.Hi)}},
+				Start: startKind,
+			})
+			lo := out.AddState(automata.State{
+				Match:      automata.MatchSet{automata.Rect{nibbleSet(hl.Lo)}},
+				Report:     s.Report,
+				ReportCode: s.ReportCode,
+			})
+			out.AddEdge(hi, lo)
+			his[i] = append(his[i], hi)
+			los[i] = append(los[i], lo)
+		}
+	}
+
+	// Original edge q->r becomes lo(q) -> hi(r) for every pair combination.
+	for q := range n.States {
+		for _, r := range n.States[q].Out {
+			for _, lo := range los[q] {
+				for _, hi := range his[r] {
+					out.AddEdge(lo, hi)
+				}
+			}
+		}
+	}
+	out.DedupEdges()
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: Squash output invalid: %w", err)
+	}
+	return out, nil
+}
+
+// byteSetOf flattens a stride-1 match set into a single byte set.
+func byteSetOf(m automata.MatchSet) bitvec.ByteSet {
+	var s bitvec.ByteSet
+	for _, r := range m {
+		if len(r) != 1 {
+			panic("core: stride-1 match set expected")
+		}
+		s = s.Union(r[0])
+	}
+	return s
+}
+
+func nibbleSet(n bitvec.NibbleSet) bitvec.ByteSet {
+	var s bitvec.ByteSet
+	s[0] = uint64(n)
+	return s
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/espresso"
+)
+
+// Vectorized temporal striding works on an edge-labeled transition graph
+// rather than directly on the homogeneous automaton: nodes are the original
+// 8-bit states plus two virtual sources (one for all-input starts, one for
+// anchored starts), and every edge carries a MatchSet of stride-dims vector
+// symbols. Striding then "repeatedly squares the input alphabet": one
+// doubling step composes every two-edge path into a single edge whose label
+// is the concatenation (cross product) of the two labels, Espresso-minimized.
+// Reports that would fire mid-chunk are tracked as wildcard-padded report
+// entries with their true sub-symbol offset — the paper's padding method.
+// A final homogenization splits every node by distinct incoming label,
+// yielding a homogeneous NFA that consumes dims sub-symbols per cycle.
+
+// repKey identifies a mid-chunk report class: offset in sub-symbols within
+// the chunk, and the report code.
+type repKey struct {
+	offset int
+	code   int
+}
+
+// lgraph is the labeled transition graph.
+type lgraph struct {
+	bits int // sub-symbol width: 4 (Impala) or 8 (CA-mode)
+	dims int // current stride: sub-symbols per chunk
+	// adj[q][r] is the union of vector symbols labelling q -> r.
+	adj []map[int32]automata.MatchSet
+	// rep[q] holds mid-chunk report entries reachable from q (offset < dims).
+	rep []map[repKey]automata.MatchSet
+	// reportCode[e] is the report code of node e, or -1 if e does not report.
+	reportCode []int
+	vAll, v0   int32 // virtual source nodes
+	esp        espresso.Options
+}
+
+// buildGraph constructs the base labeled graph from an 8-bit stride-1
+// homogeneous automaton. For targetBits=4 the base chunk is one byte = two
+// nibble dimensions (labels are Espresso decompositions of byte sets); for
+// targetBits=8 it is one byte = one dimension.
+func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options) (*lgraph, error) {
+	if n.Bits != 8 || n.Stride != 1 {
+		return nil, fmt.Errorf("core: striding requires an 8-bit stride-1 automaton, got %d-bit stride %d", n.Bits, n.Stride)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("core: striding input invalid: %w", err)
+	}
+	var dims int
+	switch targetBits {
+	case 2:
+		dims = 4
+	case 4:
+		dims = 2
+	case 8:
+		dims = 1
+	default:
+		return nil, fmt.Errorf("core: unsupported target symbol width %d", targetBits)
+	}
+
+	N := n.NumStates()
+	g := &lgraph{
+		bits:       targetBits,
+		dims:       dims,
+		adj:        make([]map[int32]automata.MatchSet, N+2),
+		rep:        make([]map[repKey]automata.MatchSet, N+2),
+		reportCode: make([]int, N+2),
+		vAll:       int32(N),
+		v0:         int32(N + 1),
+		esp:        esp,
+	}
+	for i := range g.adj {
+		g.adj[i] = map[int32]automata.MatchSet{}
+		g.rep[i] = map[repKey]automata.MatchSet{}
+		g.reportCode[i] = -1
+	}
+
+	// Per-state base label: the state's byte set as a dims-dimensional
+	// vector-symbol union.
+	labels := make([]automata.MatchSet, N)
+	for i := range n.States {
+		set := byteSetOf(n.States[i].Match)
+		switch targetBits {
+		case 8:
+			labels[i] = automata.MatchSet{automata.Rect{set}}
+		case 4:
+			rects := espresso.DecomposeByteSet(set)
+			ms := make(automata.MatchSet, 0, len(rects))
+			for _, hl := range rects {
+				ms = append(ms, automata.Rect{nibbleSet(hl.Hi), nibbleSet(hl.Lo)})
+			}
+			labels[i] = ms
+		case 2:
+			labels[i] = decomposeCrumbs(set)
+		}
+		if n.States[i].Report {
+			g.reportCode[i] = n.States[i].ReportCode
+		}
+	}
+
+	for q := range n.States {
+		for _, r := range n.States[q].Out {
+			g.adj[q][int32(r)] = g.adj[q][int32(r)].Union(labels[r]).Normalize()
+		}
+		switch n.States[q].Start {
+		case automata.StartAllInput:
+			g.adj[g.vAll][int32(q)] = labels[q].Clone()
+		case automata.StartOfData:
+			g.adj[g.v0][int32(q)] = labels[q].Clone()
+		case automata.StartEven:
+			return nil, fmt.Errorf("core: striding input state %d uses StartEven", q)
+		}
+	}
+	// The all-input source restarts at every chunk boundary: a full-wildcard
+	// self loop.
+	g.adj[g.vAll][g.vAll] = automata.MatchSet{automata.FullRect(dims, targetBits)}
+	return g, nil
+}
+
+// minimizeLabel normalizes a label and Espresso-minimizes it when it has
+// more than one rectangle.
+func (g *lgraph) minimizeLabel(ms automata.MatchSet) automata.MatchSet {
+	ms = ms.Normalize()
+	if len(ms) <= 1 {
+		return ms
+	}
+	return espresso.Minimize(ms, g.dims, g.bits, g.esp)
+}
+
+// cross concatenates every rect of a with every rect of b.
+func cross(a, b automata.MatchSet) automata.MatchSet {
+	out := make(automata.MatchSet, 0, len(a)*len(b))
+	for _, ra := range a {
+		for _, rb := range b {
+			out = append(out, ra.Concat(rb))
+		}
+	}
+	return out
+}
+
+// padWild appends extra full-wildcard dimensions to every rect of ms.
+func padWild(ms automata.MatchSet, extra, bits int) automata.MatchSet {
+	out := make(automata.MatchSet, len(ms))
+	for i, r := range ms {
+		out[i] = r.Concat(automata.FullRect(extra, bits))
+	}
+	return out
+}
+
+// double squares the graph's alphabet: edges become two-edge paths, mid-chunk
+// reports are carried forward with wildcard padding, and first-half chunk
+// ends at reporting nodes become new mid-chunk report entries.
+func (g *lgraph) double() *lgraph {
+	S := g.dims
+	n := len(g.adj)
+	out := &lgraph{
+		bits:       g.bits,
+		dims:       2 * S,
+		adj:        make([]map[int32]automata.MatchSet, n),
+		rep:        make([]map[repKey]automata.MatchSet, n),
+		reportCode: g.reportCode,
+		vAll:       g.vAll,
+		v0:         g.v0,
+		esp:        g.esp,
+	}
+	for i := range out.adj {
+		out.adj[i] = map[int32]automata.MatchSet{}
+		out.rep[i] = map[repKey]automata.MatchSet{}
+	}
+
+	for q := range g.adj {
+		// Deterministic iteration: sorted adjacency and report keys.
+		mids := sortedAdjKeys(g.adj[q])
+		// Path composition.
+		for _, m := range mids {
+			lqm := g.adj[q][m]
+			for _, r := range sortedAdjKeys(g.adj[m]) {
+				out.adj[q][r] = out.adj[q][r].Union(cross(lqm, g.adj[m][r]))
+			}
+		}
+		// Reports from the first half, padded to the new width.
+		for _, k := range sortedRepKeys(g.rep[q]) {
+			out.rep[q][k] = out.rep[q][k].Union(padWild(g.rep[q][k], S, g.bits))
+		}
+		// Chunk-aligned first-half ends at reporting nodes become mid-chunk
+		// reports at offset S.
+		for _, e := range mids {
+			if code := g.reportCode[e]; code >= 0 {
+				k := repKey{offset: S, code: code}
+				out.rep[q][k] = out.rep[q][k].Union(padWild(g.adj[q][e], S, g.bits))
+			}
+		}
+		// Reports from the second half: first-half path then a report entry.
+		for _, m := range mids {
+			lqm := g.adj[q][m]
+			for _, k := range sortedRepKeys(g.rep[m]) {
+				nk := repKey{offset: S + k.offset, code: k.code}
+				out.rep[q][nk] = out.rep[q][nk].Union(cross(lqm, g.rep[m][k]))
+			}
+		}
+	}
+
+	// Minimize all labels.
+	for q := range out.adj {
+		for _, r := range sortedAdjKeys(out.adj[q]) {
+			out.adj[q][r] = out.minimizeLabel(out.adj[q][r])
+		}
+		for _, k := range sortedRepKeys(out.rep[q]) {
+			out.rep[q][k] = out.minimizeLabel(out.rep[q][k])
+		}
+	}
+	return out
+}
+
+func sortedAdjKeys(m map[int32]automata.MatchSet) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortedRepKeys(m map[repKey]automata.MatchSet) []repKey {
+	keys := make([]repKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].offset != keys[j].offset {
+			return keys[i].offset < keys[j].offset
+		}
+		return keys[i].code < keys[j].code
+	})
+	return keys
+}
+
+// homogenize converts the labeled graph into a homogeneous NFA: each node is
+// split per distinct incoming label; mid-chunk report entries become
+// dedicated wildcard-padded reporting STEs with exact report offsets.
+func (g *lgraph) homogenize() (*automata.NFA, error) {
+	out := automata.New(g.bits, g.dims)
+
+	type steKey struct {
+		node  int32
+		label string
+	}
+	steOf := map[steKey]automata.StateID{}
+	// ensureSTE returns (creating if needed) the STE for node r entered with
+	// the given label.
+	ensureSTE := func(r int32, label automata.MatchSet) automata.StateID {
+		label = label.Normalize()
+		k := steKey{node: r, label: label.Key()}
+		if id, ok := steOf[k]; ok {
+			return id
+		}
+		s := automata.State{Match: label}
+		if code := g.reportCode[r]; code >= 0 {
+			s.Report = true
+			s.ReportCode = code
+			s.ReportOffset = g.dims
+		}
+		id := out.AddState(s)
+		steOf[k] = id
+		return id
+	}
+
+	type repSTEKey struct {
+		label  string
+		offset int
+		code   int
+	}
+	repOf := map[repSTEKey]automata.StateID{}
+	ensureRepSTE := func(label automata.MatchSet, offset, code int) automata.StateID {
+		label = label.Normalize()
+		k := repSTEKey{label: label.Key(), offset: offset, code: code}
+		if id, ok := repOf[k]; ok {
+			return id
+		}
+		id := out.AddState(automata.State{
+			Match:        label,
+			Report:       true,
+			ReportCode:   code,
+			ReportOffset: offset,
+		})
+		repOf[k] = id
+		return id
+	}
+
+	// Pass 1: create all STEs reachable via edges and set start kinds from
+	// the virtual sources.
+	nodes := make([]int32, 0, len(g.adj))
+	for q := range g.adj {
+		nodes = append(nodes, int32(q))
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	// stesOf[q] collects the STEs representing node q (the split copies).
+	stesOf := map[int32][]automata.StateID{}
+	addSTE := func(q int32, id automata.StateID) {
+		for _, e := range stesOf[q] {
+			if e == id {
+				return
+			}
+		}
+		stesOf[q] = append(stesOf[q], id)
+	}
+
+	promoteStart := func(id automata.StateID, kind automata.StartKind) {
+		cur := out.States[id].Start
+		if kind == automata.StartAllInput || cur == automata.StartNone {
+			out.States[id].Start = kind
+		}
+	}
+
+	for _, q := range nodes {
+		virtual := q == g.vAll || q == g.v0
+		for _, r := range sortedAdjKeys(g.adj[q]) {
+			if r == g.vAll || r == g.v0 {
+				continue // virtual self-loop; start handling is implicit
+			}
+			id := ensureSTE(r, g.adj[q][r])
+			addSTE(r, id)
+			if virtual {
+				if q == g.vAll {
+					promoteStart(id, automata.StartAllInput)
+				} else {
+					promoteStart(id, automata.StartOfData)
+				}
+			}
+		}
+		for _, k := range sortedRepKeys(g.rep[q]) {
+			id := ensureRepSTE(g.rep[q][k], k.offset, k.code)
+			if virtual {
+				if q == g.vAll {
+					promoteStart(id, automata.StartAllInput)
+				} else {
+					promoteStart(id, automata.StartOfData)
+				}
+			}
+		}
+	}
+
+	// Pass 2: wire edges — every STE of node q enables the STE (r, label)
+	// for each outgoing edge, and q's report STEs.
+	for _, q := range nodes {
+		if q == g.vAll || q == g.v0 {
+			continue
+		}
+		srcs := stesOf[q]
+		if len(srcs) == 0 {
+			continue // node never entered: unreachable
+		}
+		for _, r := range sortedAdjKeys(g.adj[q]) {
+			if r == g.vAll || r == g.v0 {
+				continue
+			}
+			dst := ensureSTE(r, g.adj[q][r])
+			for _, s := range srcs {
+				out.AddEdge(s, dst)
+			}
+		}
+		for _, k := range sortedRepKeys(g.rep[q]) {
+			dst := ensureRepSTE(g.rep[q][k], k.offset, k.code)
+			for _, s := range srcs {
+				out.AddEdge(s, dst)
+			}
+		}
+	}
+	out.DedupEdges()
+	automata.RemoveUnreachable(out)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: homogenize produced invalid automaton: %w", err)
+	}
+	return out, nil
+}
+
+// decomposeCrumbs splits a byte set into a minimal-ish union of
+// 4-dimensional rectangles over 2-bit sub-symbols ("crumbs"): first the
+// hi/lo nibble decomposition, then each nibble set into 2-crumb rectangles,
+// cross-producted and Espresso-minimized.
+func decomposeCrumbs(set bitvec.ByteSet) automata.MatchSet {
+	var out automata.MatchSet
+	for _, hl := range espresso.DecomposeByteSet(set) {
+		hiRects := decomposeNibbleCrumbs(hl.Hi)
+		loRects := decomposeNibbleCrumbs(hl.Lo)
+		for _, hr := range hiRects {
+			for _, lr := range loRects {
+				out = append(out, hr.Concat(lr))
+			}
+		}
+	}
+	if len(out) > 1 {
+		out = espresso.Minimize(out, 4, 2, espresso.Options{MaxIterations: 2})
+	}
+	return out
+}
+
+// decomposeNibbleCrumbs splits a nibble set into 2-dimensional crumb
+// rectangles.
+func decomposeNibbleCrumbs(ns bitvec.NibbleSet) automata.MatchSet {
+	var on automata.MatchSet
+	for _, v := range ns.Values() {
+		on = append(on, automata.Rect{
+			bitvec.ByteOf(v >> 2),
+			bitvec.ByteOf(v & 3),
+		})
+	}
+	if len(on) > 1 {
+		on = espresso.Minimize(on, 2, 2, espresso.Options{MaxIterations: 2})
+	}
+	return on
+}
+
+// Stride transforms an 8-bit stride-1 homogeneous automaton into an
+// equivalent homogeneous automaton over targetBits-wide sub-symbols (2, 4
+// or 8) consuming dims sub-symbols per cycle. dims must be the base chunk
+// size (4 for 2-bit targets, 2 for 4-bit, 1 for 8-bit) times a power of
+// two.
+func Stride(n *automata.NFA, targetBits, dims int, esp espresso.Options) (*automata.NFA, error) {
+	g, err := buildGraph(n, targetBits, esp)
+	if err != nil {
+		return nil, err
+	}
+	if dims < g.dims {
+		return nil, fmt.Errorf("core: stride %d below base chunk %d", dims, g.dims)
+	}
+	for cur := g.dims; cur < dims; cur *= 2 {
+		g = g.double()
+	}
+	if g.dims != dims {
+		return nil, fmt.Errorf("core: stride %d is not a power-of-two multiple of the base chunk", dims)
+	}
+	return g.homogenize()
+}

@@ -1,0 +1,213 @@
+// Package dfa implements a classic software baseline: subset-construction
+// determinization of the 8-bit homogeneous NFA into a table-driven DFA,
+// plus a byte-per-iteration matcher. It exists to ground the paper's
+// software comparison (spatial architectures vs CPU matching): the DFA
+// matcher is the fastest simple software technique, its table is the
+// memory-wall problem the paper opens with, and its worst-case state
+// blowup on complex rule sets is the classic reason NFAs are preferred in
+// spatial hardware.
+//
+// Construction is capped (MaxStates) because determinization can explode
+// exponentially — hitting the cap is a faithful outcome, not a failure of
+// the implementation, and is reported as ErrStateBlowup.
+package dfa
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/sim"
+)
+
+// ErrStateBlowup is returned when determinization exceeds the state cap.
+var ErrStateBlowup = errors.New("dfa: state blowup exceeds cap")
+
+// Options tunes construction.
+type Options struct {
+	// MaxStates caps the subset construction (default 1<<16).
+	MaxStates int
+}
+
+// DFA is a dense table-driven matcher over bytes.
+type DFA struct {
+	// next[s*256+c] is the successor of state s on byte c.
+	next []int32
+	// reports[s] lists the report codes emitted upon entering state s.
+	reports [][]int
+	// start is the initial state (anchored states enabled); steady is the
+	// state reached conceptually "before" any input with only all-input
+	// starts enabled — the base frontier folded into every transition.
+	start int32
+}
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.reports) }
+
+// TableBytes returns the transition-table footprint — the quantity that
+// blows caches and makes DFA matching memory-bound (the paper's opening
+// observation).
+func (d *DFA) TableBytes() int { return len(d.next) * 4 }
+
+// Build determinizes an 8-bit stride-1 homogeneous automaton.
+func Build(n *automata.NFA, opts Options) (*DFA, error) {
+	if n.Bits != 8 || n.Stride != 1 {
+		return nil, fmt.Errorf("dfa: requires an 8-bit stride-1 automaton")
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("dfa: invalid automaton: %w", err)
+	}
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 1 << 16
+	}
+
+	N := n.NumStates()
+	words := (N + 63) / 64
+	var always, anchored bitvec.Words = make([]uint64, words), make([]uint64, words)
+	for i := range n.States {
+		switch n.States[i].Start {
+		case automata.StartAllInput:
+			always.Set(i)
+		case automata.StartOfData:
+			anchored.Set(i)
+		case automata.StartEven:
+			return nil, fmt.Errorf("dfa: StartEven automata are not byte-deterministic")
+		}
+	}
+
+	// Per-state byte sets for fast matching during construction.
+	match := make([]bitvec.ByteSet, N)
+	for i := range n.States {
+		var set bitvec.ByteSet
+		for _, r := range n.States[i].Match {
+			set = set.Union(r[0])
+		}
+		match[i] = set
+	}
+
+	key := func(w bitvec.Words) string {
+		var b strings.Builder
+		b.Grow(len(w) * 8)
+		for _, x := range w {
+			for k := 0; k < 8; k++ {
+				b.WriteByte(byte(x >> (8 * k)))
+			}
+		}
+		return b.String()
+	}
+
+	d := &DFA{}
+	idOf := map[string]int32{}
+	var frontiers []bitvec.Words
+	var isStart []bool
+
+	// The start state must be distinct from a mid-stream empty frontier:
+	// anchored NFA states are enabled only from the former.
+	intern := func(w bitvec.Words, start bool) (int32, bool) {
+		k := key(w)
+		if start {
+			k = "S" + k
+		}
+		if id, ok := idOf[k]; ok {
+			return id, false
+		}
+		id := int32(len(frontiers))
+		cp := make(bitvec.Words, len(w))
+		copy(cp, w)
+		idOf[k] = id
+		frontiers = append(frontiers, cp)
+		isStart = append(isStart, start)
+		var reps []int
+		seen := map[int]bool{}
+		cp.ForEach(func(i int) {
+			if n.States[i].Report && !seen[n.States[i].ReportCode] {
+				seen[n.States[i].ReportCode] = true
+				reps = append(reps, n.States[i].ReportCode)
+			}
+		})
+		sort.Ints(reps)
+		d.reports = append(d.reports, reps)
+		return id, true
+	}
+
+	// Initial state: empty frontier with anchored+always enabled for the
+	// first byte. We encode "enabled sets" implicitly: the DFA state is the
+	// set of *active* NFA states after consuming the input so far; the
+	// first transition uses (always ∪ anchored), later ones (always ∪
+	// out(active)).
+	empty := make(bitvec.Words, words)
+	startID, _ := intern(empty, true)
+	d.start = startID
+
+	enabledBuf := make(bitvec.Words, words)
+	activeBuf := make(bitvec.Words, words)
+
+	for processed := 0; processed < len(frontiers); processed++ {
+		cur := frontiers[processed]
+		// Enabled set for the next byte.
+		for i := range enabledBuf {
+			enabledBuf[i] = always[i]
+		}
+		if isStart[processed] {
+			for i := range enabledBuf {
+				enabledBuf[i] |= anchored[i]
+			}
+		}
+		cur.ForEach(func(i int) {
+			for _, t := range n.States[i].Out {
+				enabledBuf.Set(int(t))
+			}
+		})
+		// One transition per byte value.
+		row := make([]int32, 256)
+		for c := 0; c < 256; c++ {
+			for i := range activeBuf {
+				activeBuf[i] = 0
+			}
+			enabledBuf.ForEach(func(i int) {
+				if match[i].Has(byte(c)) {
+					activeBuf.Set(i)
+				}
+			})
+			id, fresh := intern(activeBuf, false)
+			if fresh && len(frontiers) > maxStates {
+				return nil, fmt.Errorf("%w (cap %d)", ErrStateBlowup, maxStates)
+			}
+			row[c] = id
+		}
+		d.next = append(d.next, row...)
+	}
+	return d, nil
+}
+
+// Run matches input and returns reports compatible with the functional
+// simulator's (BitPos in consumed bits, deduplicated per position/code).
+func (d *DFA) Run(input []byte) []sim.Report {
+	var out []sim.Report
+	s := d.start
+	for pos, c := range input {
+		s = d.next[int(s)*256+int(c)]
+		for _, code := range d.reports[s] {
+			out = append(out, sim.Report{BitPos: (pos + 1) * 8, Code: code})
+		}
+	}
+	return out
+}
+
+// Scan matches input counting matches only — the throughput-benchmark
+// loop, free of allocation.
+func (d *DFA) Scan(input []byte) int {
+	count := 0
+	s := d.start
+	next := d.next
+	reports := d.reports
+	for _, c := range input {
+		s = next[int(s)*256+int(c)]
+		count += len(reports[s])
+	}
+	return count
+}

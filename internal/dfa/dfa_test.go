@@ -1,0 +1,131 @@
+package dfa
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/regexc"
+	"impala/internal/sim"
+)
+
+func build(t *testing.T, rules ...regexc.Rule) (*DFA, *automata.NFA) {
+	t.Helper()
+	n := regexc.MustCompile(rules)
+	d, err := Build(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, n
+}
+
+func TestDFALiteral(t *testing.T) {
+	d, n := build(t, regexc.Rule{Pattern: "abc", Code: 1})
+	input := []byte("xxabcxabc")
+	want, _, err := sim.Run(n, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Run(input)
+	if !sim.SameReports(want, got) {
+		t.Fatalf("dfa=%v nfa=%v", sim.ReportKeys(got), sim.ReportKeys(want))
+	}
+	if d.Scan(input) != len(got) {
+		t.Fatal("Scan count disagrees with Run")
+	}
+}
+
+func TestDFAAnchoredMidstream(t *testing.T) {
+	// The anchored pattern must not fire if the DFA returns to an empty
+	// frontier mid-stream (the start-state aliasing trap).
+	d, n := build(t,
+		regexc.Rule{Pattern: "^head", Code: 1},
+		regexc.Rule{Pattern: "zz", Code: 2},
+	)
+	input := []byte("qqqqhead zz head")
+	want, _, err := sim.Run(n, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Run(input)
+	if !sim.SameReports(want, got) {
+		t.Fatalf("dfa=%v nfa=%v", sim.ReportKeys(got), sim.ReportKeys(want))
+	}
+	if len(got) != 1 { // only the "zz"
+		t.Fatalf("got %v", got)
+	}
+	// And it must fire at position 0.
+	got2 := d.Run([]byte("head"))
+	if len(got2) != 1 || got2[0].Code != 1 {
+		t.Fatalf("anchored at 0: %v", got2)
+	}
+}
+
+// Property: DFA equals NFA simulator on random rule sets and inputs.
+func TestDFAMatchesNFARandom(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	patterns := []string{
+		"ab+c", "x[yz]{1,3}", `\d\d`, "(ab|ba)c", "a.b", "^go+al", "q",
+	}
+	for trial := 0; trial < 10; trial++ {
+		k := 1 + r.Intn(len(patterns))
+		var rules []regexc.Rule
+		for i := 0; i < k; i++ {
+			rules = append(rules, regexc.Rule{Pattern: patterns[(trial+i)%len(patterns)], Code: i})
+		}
+		d, n := build(t, rules...)
+		for inTrial := 0; inTrial < 6; inTrial++ {
+			input := make([]byte, 1+r.Intn(120))
+			for i := range input {
+				input[i] = "abcxyz019goq "[r.Intn(13)]
+			}
+			want, _, err := sim.Run(n, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := d.Run(input)
+			if !sim.SameReports(want, got) {
+				t.Fatalf("trial %d input %q: dfa=%v nfa=%v",
+					trial, input, sim.ReportKeys(got), sim.ReportKeys(want))
+			}
+		}
+	}
+}
+
+func TestDFABlowupCap(t *testing.T) {
+	// Classic exponential case: .*a.{12} forces the DFA to remember 2^12
+	// recent positions of 'a'.
+	n := regexc.MustCompile([]regexc.Rule{{Pattern: "a.{12}b", Code: 1}})
+	_, err := Build(n, Options{MaxStates: 1024})
+	if !errors.Is(err, ErrStateBlowup) {
+		t.Fatalf("expected blowup, got %v", err)
+	}
+}
+
+func TestDFARejectsBadInput(t *testing.T) {
+	n4 := automata.New(4, 1)
+	n4.AddState(automata.State{
+		Match: automata.MatchSet{automata.Rect{bitvec.ByteOf(1)}},
+		Start: automata.StartAllInput, Report: true,
+	})
+	if _, err := Build(n4, Options{}); err == nil {
+		t.Fatal("4-bit automaton accepted")
+	}
+	even := automata.New(8, 1)
+	even.AddState(automata.State{
+		Match: automata.MatchSet{automata.Rect{bitvec.ByteOf(1)}},
+		Start: automata.StartEven, Report: true,
+	})
+	if _, err := Build(even, Options{}); err == nil {
+		t.Fatal("StartEven automaton accepted")
+	}
+}
+
+func TestDFATableBytes(t *testing.T) {
+	d, _ := build(t, regexc.Rule{Pattern: "ab", Code: 1})
+	if d.TableBytes() != d.NumStates()*256*4 {
+		t.Fatalf("TableBytes = %d for %d states", d.TableBytes(), d.NumStates())
+	}
+}

@@ -1,0 +1,248 @@
+// Package espresso implements a from-scratch multi-valued two-level logic
+// minimizer in the spirit of the Espresso CAD tool the paper leans on
+// (Rudell & Sangiovanni-Vincentelli's multiple-valued minimization for PLA
+// optimization).
+//
+// The problem instance is exactly the capsule-refinement problem of Impala:
+// an STE's matching rule is a union of "rectangles" (cartesian products of
+// per-dimension symbol sets — multi-valued cubes with S variables of 16 or
+// 256 values each), a single capsule can implement exactly one rectangle,
+// and the compiler needs the minimum number of rectangles whose union equals
+// the rule exactly (no false positives, no false negatives). Each product
+// term of the minimized cover becomes one split state mapped to one capsule.
+//
+// The minimizer runs the classic EXPAND → IRREDUNDANT → REDUCE loop over
+// cube covers, using the sharp operation for complements and containment
+// checks. It is heuristic (minimum set cover is NP-hard) but exact in
+// semantics: the returned cover always denotes precisely the input union —
+// a property the test suite checks exhaustively.
+package espresso
+
+import (
+	"sort"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+// Options tunes the minimization loop.
+type Options struct {
+	// MaxIterations bounds the EXPAND/IRREDUNDANT/REDUCE loop. 0 means the
+	// default of 4.
+	MaxIterations int
+}
+
+// Minimize returns a heuristically minimal cover of the union denoted by
+// "on", over the (stride, bits) symbol space. Every cube of the result is a
+// single rectangle contained in the union, and the union of the result
+// equals the input union exactly.
+func Minimize(on automata.MatchSet, stride, bits int, opts Options) automata.MatchSet {
+	f := on.Normalize()
+	if len(f) <= 1 {
+		return f
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = 4
+	}
+
+	off := on.Complement(stride, bits)
+	best := f.Clone()
+	cur := f.Clone()
+	for iter := 0; iter < maxIter; iter++ {
+		cur = expand(cur, off, bits)
+		cur = irredundant(cur)
+		if cost(cur) < cost(best) {
+			best = cur.Clone()
+		} else if iter > 0 {
+			break // no improvement this round
+		}
+		cur = reduce(cur)
+	}
+	return best.Normalize()
+}
+
+// cost orders covers primarily by cube count, then by total literal count
+// (sum of dimension-set cardinalities) — fewer, larger cubes win.
+func cost(m automata.MatchSet) int {
+	lits := 0
+	for _, r := range m {
+		for _, d := range r {
+			lits += d.Count()
+		}
+	}
+	return len(m)*1_000_000 + lits
+}
+
+// expand raises every cube of f to a prime-like maximal cube that does not
+// intersect the OFF-set, then drops cubes covered by a single other cube.
+// Cubes are processed largest-first so big cubes absorb small ones.
+func expand(f, off automata.MatchSet, bits int) automata.MatchSet {
+	cubes := f.Clone()
+	sort.Slice(cubes, func(i, j int) bool {
+		si, sj := cubes[i].Size(), cubes[j].Size()
+		if si != sj {
+			return si > sj
+		}
+		return cubes[i].Key() < cubes[j].Key() // deterministic tie-break
+	})
+	dom := automata.Domain(bits)
+	for ci, c := range cubes {
+		e := c.Clone()
+		// Dimension-at-a-time raising: try to lift each dimension to the
+		// full domain first (cheap win), then value-by-value.
+		for d := range e {
+			saved := e[d]
+			e[d] = dom
+			if intersectsAny(e, off) {
+				e[d] = saved
+			}
+		}
+		for d := range e {
+			if e[d] == dom {
+				continue
+			}
+			missing := dom.Minus(e[d])
+			for _, v := range missing.Values() {
+				saved := e[d]
+				e[d] = e[d].Add(v)
+				if intersectsAny(e, off) {
+					e[d] = saved
+				}
+			}
+		}
+		cubes[ci] = e
+	}
+	// Single-cube containment pruning.
+	var out automata.MatchSet
+	for i, c := range cubes {
+		covered := false
+		for j, o := range cubes {
+			if i == j {
+				continue
+			}
+			if o.Contains(c) && (!c.Contains(o) || j < i) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func intersectsAny(r automata.Rect, cover automata.MatchSet) bool {
+	for _, c := range cover {
+		if r.Intersects(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// irredundant greedily removes cubes covered by the union of the remaining
+// cubes, trying smallest cubes first.
+func irredundant(f automata.MatchSet) automata.MatchSet {
+	cubes := f.Clone()
+	sort.Slice(cubes, func(i, j int) bool {
+		si, sj := cubes[i].Size(), cubes[j].Size()
+		if si != sj {
+			return si < sj
+		}
+		return cubes[i].Key() < cubes[j].Key() // deterministic tie-break
+	})
+	alive := make([]bool, len(cubes))
+	for i := range alive {
+		alive[i] = true
+	}
+	for i := range cubes {
+		rest := make(automata.MatchSet, 0, len(cubes)-1)
+		for j := range cubes {
+			if j != i && alive[j] {
+				rest = append(rest, cubes[j])
+			}
+		}
+		if (automata.MatchSet{cubes[i]}).SubsetOf(rest) {
+			alive[i] = false
+		}
+	}
+	var out automata.MatchSet
+	for i := range cubes {
+		if alive[i] {
+			out = append(out, cubes[i])
+		}
+	}
+	return out
+}
+
+// reduce shrinks every cube to the bounding rectangle of the part of the
+// ON-set that only it covers, giving the next EXPAND room to move.
+func reduce(f automata.MatchSet) automata.MatchSet {
+	out := make(automata.MatchSet, 0, len(f))
+	cur := f.Clone()
+	for i := range cur {
+		others := make(automata.MatchSet, 0, len(cur)-1)
+		others = append(others, out...) // already reduced
+		others = append(others, cur[i+1:]...)
+		leftover := automata.MatchSet{cur[i]}.Minus(others)
+		if len(leftover) == 0 {
+			continue // fully covered by others; drop
+		}
+		out = append(out, boundingRect(leftover))
+	}
+	return out
+}
+
+// boundingRect returns the smallest rectangle containing the union of
+// rects: the dimension-wise union.
+func boundingRect(rects automata.MatchSet) automata.Rect {
+	stride := rects[0].Stride()
+	out := make(automata.Rect, stride)
+	for d := 0; d < stride; d++ {
+		var s bitvec.ByteSet
+		for _, r := range rects {
+			s = s.Union(r[d])
+		}
+		out[d] = s
+	}
+	return out
+}
+
+// DecomposeByteSet splits an arbitrary 8-bit symbol set into a minimal
+// union of (hi-nibble set × lo-nibble set) rectangles — the squashing
+// decomposition that turns one 8-bit STE into hi/lo 4-bit state pairs.
+func DecomposeByteSet(set bitvec.ByteSet) []HiLo {
+	// Build the ON-set as one rect per hi nibble with a non-empty row, then
+	// minimize in the 2-dimensional 16-valued space.
+	var on automata.MatchSet
+	for hi := byte(0); hi < 16; hi++ {
+		lo := set.LoSetFor(hi)
+		if lo.Empty() {
+			continue
+		}
+		on = append(on, automata.Rect{nibbleToByteSet(bitvec.NibbleOf(hi)), nibbleToByteSet(lo)})
+	}
+	min := Minimize(on, 2, 4, Options{})
+	out := make([]HiLo, len(min))
+	for i, r := range min {
+		out[i] = HiLo{Hi: byteSetToNibble(r[0]), Lo: byteSetToNibble(r[1])}
+	}
+	return out
+}
+
+// HiLo is one rectangle of a byte-set decomposition.
+type HiLo struct {
+	Hi, Lo bitvec.NibbleSet
+}
+
+func nibbleToByteSet(n bitvec.NibbleSet) bitvec.ByteSet {
+	var s bitvec.ByteSet
+	s[0] = uint64(n)
+	return s
+}
+
+func byteSetToNibble(s bitvec.ByteSet) bitvec.NibbleSet {
+	return bitvec.NibbleSet(uint16(s[0]))
+}

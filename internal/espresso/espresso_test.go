@@ -1,0 +1,243 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+func nib(vals ...byte) bitvec.ByteSet {
+	var s bitvec.ByteSet
+	for _, v := range vals {
+		s = s.Add(v)
+	}
+	return s
+}
+
+func nibRange(lo, hi byte) bitvec.ByteSet { return bitvec.ByteRange(lo, hi) }
+
+func enumerate(stride, bits int, fn func(tuple []byte)) {
+	n := automata.DomainSize(bits)
+	total := 1
+	for i := 0; i < stride; i++ {
+		total *= n
+	}
+	tuple := make([]byte, stride)
+	for x := 0; x < total; x++ {
+		v := x
+		for i := 0; i < stride; i++ {
+			tuple[i] = byte(v % n)
+			v /= n
+		}
+		fn(tuple)
+	}
+}
+
+func checkExact(t *testing.T, on, min automata.MatchSet, stride, bits int) {
+	t.Helper()
+	enumerate(stride, bits, func(tuple []byte) {
+		if on.Has(tuple) != min.Has(tuple) {
+			t.Fatalf("cover differs at %v: on=%v min=%v", tuple, on.Has(tuple), min.Has(tuple))
+		}
+	})
+}
+
+func TestMinimizeSingleCube(t *testing.T) {
+	on := automata.MatchSet{{nib(1), nib(2)}}
+	min := Minimize(on, 2, 4, Options{})
+	if len(min) != 1 {
+		t.Fatalf("single cube grew to %d", len(min))
+	}
+	checkExact(t, on, min, 2, 4)
+}
+
+func TestMinimizeMergesAdjacent(t *testing.T) {
+	// {0}x[0-15] ∪ {1}x[0-15] should merge to [0-1]x[0-15].
+	on := automata.MatchSet{
+		{nib(0), nibRange(0, 15)},
+		{nib(1), nibRange(0, 15)},
+	}
+	min := Minimize(on, 2, 4, Options{})
+	if len(min) != 1 {
+		t.Fatalf("adjacent cubes not merged: %v", min)
+	}
+	checkExact(t, on, min, 2, 4)
+}
+
+func TestMinimizeFig6Shape(t *testing.T) {
+	// The paper's Figure 6: seven colored regions that minimize to three
+	// rectangles (pink, dark blue, light blue). We model a structurally
+	// similar instance: an L-shaped union built from many small tiles.
+	// [2-5]x[1-3] ∪ [2-5]x[4-9] ∪ [6-8]x[4-9] => two rects.
+	on := automata.MatchSet{
+		{nibRange(2, 5), nibRange(1, 3)},
+		{nibRange(2, 3), nibRange(4, 9)},
+		{nibRange(4, 5), nibRange(4, 9)},
+		{nibRange(6, 8), nibRange(4, 6)},
+		{nibRange(6, 8), nibRange(7, 9)},
+	}
+	min := Minimize(on, 2, 4, Options{})
+	if len(min) > 2 {
+		t.Fatalf("L-shape needs 2 rects, got %d: %v", len(min), min)
+	}
+	checkExact(t, on, min, 2, 4)
+}
+
+func TestMinimizeDropsRedundant(t *testing.T) {
+	on := automata.MatchSet{
+		{nibRange(0, 9), nibRange(0, 9)},
+		{nibRange(2, 3), nibRange(2, 3)}, // contained
+		{nibRange(5, 6), nibRange(5, 6)}, // contained
+	}
+	min := Minimize(on, 2, 4, Options{})
+	if len(min) != 1 {
+		t.Fatalf("redundant cubes kept: %v", min)
+	}
+	checkExact(t, on, min, 2, 4)
+}
+
+// Property: minimization is always exact and never grows the cover, over
+// random unions in 1..3 dimensions.
+func TestMinimizeExactRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		stride := 1 + r.Intn(2)
+		nr := 1 + r.Intn(5)
+		var on automata.MatchSet
+		for i := 0; i < nr; i++ {
+			rect := make(automata.Rect, stride)
+			for d := range rect {
+				lo := byte(r.Intn(16))
+				hi := lo + byte(r.Intn(int(16-lo)))
+				rect[d] = nibRange(lo, hi)
+			}
+			on = on.Add(rect)
+		}
+		min := Minimize(on, stride, 4, Options{})
+		if len(min) > len(on.Normalize()) {
+			t.Fatalf("cover grew: %d -> %d", len(on.Normalize()), len(min))
+		}
+		checkExact(t, on, min, stride, 4)
+	}
+}
+
+// Property: every result cube is a subset of the ON-set (capsule-legal: no
+// false positives).
+func TestMinimizeCubesAreSubsets(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		var on automata.MatchSet
+		for i := 0; i < 4; i++ {
+			rect := automata.Rect{
+				nibRange(byte(r.Intn(8)), byte(8+r.Intn(8))),
+				nib(byte(r.Intn(16)), byte(r.Intn(16))),
+			}
+			on = on.Add(rect)
+		}
+		min := Minimize(on, 2, 4, Options{})
+		for _, c := range min {
+			if !(automata.MatchSet{c}).SubsetOf(on) {
+				t.Fatalf("cube %v escapes ON-set %v", c, on)
+			}
+		}
+	}
+}
+
+func TestMinimizeFourDimensions(t *testing.T) {
+	// The paper's Figure 3(e/f): ST E4_0 with vectors (\xA,\xB,*,*) and
+	// (\xB,\xD,\xE,\xD),(\xB,\xD,\xB,\xD),(\xB,\xD,[\xB\xE],\xD)... modeled:
+	// two vectors whose single-capsule merge would false-positive.
+	wild := nibRange(0, 15)
+	on := automata.MatchSet{
+		{nib(0xA), nib(0xB), wild, wild},
+		{nib(0xB), nib(0xD), nib(0xE, 0xB), nib(0xD)},
+	}
+	min := Minimize(on, 4, 4, Options{})
+	// These two are not mergeable into one rect without false positives.
+	if len(min) != 2 {
+		t.Fatalf("got %d cubes: %v", len(min), min)
+	}
+	// Spot-check the false-positive tuple from the paper: (\xB,\xD,\xE,\xB)
+	// must NOT be matched.
+	if min.Has([]byte{0xB, 0xD, 0xE, 0xB}) {
+		t.Fatal("false positive tuple matched")
+	}
+	if !min.Has([]byte{0xA, 0xB, 0x3, 0x9}) || !min.Has([]byte{0xB, 0xD, 0xB, 0xD}) {
+		t.Fatal("true tuples missed")
+	}
+}
+
+func TestDecomposeByteSetSingleton(t *testing.T) {
+	d := DecomposeByteSet(bitvec.ByteOf(0xAB))
+	if len(d) != 1 || d[0].Hi != bitvec.NibbleOf(0xA) || d[0].Lo != bitvec.NibbleOf(0xB) {
+		t.Fatalf("DecomposeByteSet(0xAB) = %v", d)
+	}
+}
+
+func TestDecomposeByteSetRange(t *testing.T) {
+	// [0x20-0x3F]: hi in [2,3], lo anything — one rectangle.
+	d := DecomposeByteSet(bitvec.ByteRange(0x20, 0x3F))
+	if len(d) != 1 || d[0].Hi != bitvec.NibbleRange(2, 3) || d[0].Lo != bitvec.NibbleAll {
+		t.Fatalf("DecomposeByteSet = %v", d)
+	}
+}
+
+func TestDecomposeByteSetRaggedRange(t *testing.T) {
+	// [0x25-0x3A] needs up to 3 rectangles: 2x[5-F], 3x[0-A].
+	set := bitvec.ByteRange(0x25, 0x3A)
+	d := DecomposeByteSet(set)
+	if len(d) > 3 {
+		t.Fatalf("too many rects: %v", d)
+	}
+	// Exactness.
+	var rebuilt bitvec.ByteSet
+	for _, hl := range d {
+		for _, hi := range hl.Hi.Values() {
+			for _, lo := range hl.Lo.Values() {
+				rebuilt = rebuilt.Add(hi<<4 | lo)
+			}
+		}
+	}
+	if rebuilt != set {
+		t.Fatalf("decomposition not exact")
+	}
+}
+
+// Property: DecomposeByteSet is exact for random byte sets.
+func TestDecomposeByteSetExactRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		var set bitvec.ByteSet
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			set = set.Add(byte(r.Intn(256)))
+		}
+		d := DecomposeByteSet(set)
+		var rebuilt bitvec.ByteSet
+		for _, hl := range d {
+			for _, hi := range hl.Hi.Values() {
+				for _, lo := range hl.Lo.Values() {
+					rebuilt = rebuilt.Add(hi<<4 | lo)
+				}
+			}
+		}
+		if rebuilt != set {
+			t.Fatalf("decomposition not exact for %v", set)
+		}
+		// Never worse than one rect per occupied hi row.
+		if len(d) > set.HiNibbles().Count() {
+			t.Fatalf("decomposition %d rects > %d hi rows", len(d), set.HiNibbles().Count())
+		}
+	}
+}
+
+func TestMinimizeEmptyAndNil(t *testing.T) {
+	if got := Minimize(nil, 2, 4, Options{}); len(got) != 0 {
+		t.Fatalf("nil -> %v", got)
+	}
+	if got := Minimize(automata.MatchSet{}, 2, 4, Options{}); len(got) != 0 {
+		t.Fatalf("empty -> %v", got)
+	}
+}

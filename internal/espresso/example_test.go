@@ -1,0 +1,49 @@
+package espresso_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/espresso"
+)
+
+// Two adjacent vector symbols merge into one capsule-implementable
+// rectangle.
+func ExampleMinimize() {
+	on := automata.MatchSet{
+		automata.Rect{bitvec.ByteOf(0x2), bitvec.ByteRange(0, 15)},
+		automata.Rect{bitvec.ByteOf(0x3), bitvec.ByteRange(0, 15)},
+	}
+	min := espresso.Minimize(on, 2, 4, espresso.Options{})
+	fmt.Println(len(min), "product term(s)")
+	// Output: 1 product term(s)
+}
+
+// The §5.1.2 file interface: multi-valued truth tables in, minimal product
+// terms out.
+func ExampleParsePLA() {
+	doc := `.mv 2 0 16 16
+.p 2
+1000000000000000|1111111111111111
+0100000000000000|1111111111111111
+.e`
+	pla, _ := espresso.ParsePLA(strings.NewReader(doc))
+	min := espresso.Minimize(pla.On, pla.Stride, pla.Bits, espresso.Options{})
+	espresso.WritePLA(os.Stdout, min, pla.Stride, pla.Bits)
+	// Output:
+	// .mv 2 0 16 16
+	// .p 1
+	// 1100000000000000|1111111111111111
+	// .e
+}
+
+// DecomposeByteSet is the squashing step: one 8-bit symbol set becomes
+// (hi, lo) nibble rectangles.
+func ExampleDecomposeByteSet() {
+	rects := espresso.DecomposeByteSet(bitvec.ByteRange(0x20, 0x3F))
+	fmt.Println(len(rects), "hi/lo pair(s):", rects[0].Hi, "x", rects[0].Lo)
+	// Output: 1 hi/lo pair(s): [2-3] x [*]
+}

@@ -1,0 +1,30 @@
+package espresso
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParsePLA: arbitrary PLA text either fails cleanly or yields a cover
+// that minimizes and round-trips without panicking.
+func FuzzParsePLA(f *testing.F) {
+	f.Add(samplePLA)
+	f.Add(".mv 1 0 16\n1111111111111111\n.e\n")
+	f.Add(".mv 2 0 256 256\n.p 0\n.e\n")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, doc string) {
+		p, err := ParsePLA(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		min := Minimize(p.On, p.Stride, p.Bits, Options{MaxIterations: 1})
+		var buf bytes.Buffer
+		if err := WritePLA(&buf, min, p.Stride, p.Bits); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		if _, err := ParsePLA(&buf); err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, buf.String())
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package espresso
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+// Multi-valued PLA text I/O — the interface the paper describes in §5.1.2:
+// "The input for Espresso is a text file containing the matching vector of
+// the under-process states, represented as multi-valued truth tables. The
+// output ... specifies the minimum number of required product terms."
+//
+// The format follows espresso's -Dmv conventions restricted to what capsule
+// refinement needs: S multi-valued variables of equal domain size (16 for
+// nibbles, 256 for bytes), no binary part, ON-set cubes only.
+//
+//	.mv 4 0 16 16 16 16
+//	.p 2
+//	0000010000000000|1111111111111111|0000000000000001|1111111111111111
+//	1000000000000000|0000000000000010|1111111111111111|1111111111111111
+//	.e
+//
+// Each cube is S groups of domain-size '0'/'1' characters (position v set
+// to '1' means symbol value v is accepted in that dimension), separated by
+// '|' or whitespace.
+
+// PLA is a parsed multi-valued cover.
+type PLA struct {
+	// Stride is the number of multi-valued variables.
+	Stride int
+	// Bits is the per-variable symbol width (4 or 8).
+	Bits int
+	// On is the ON-set cover.
+	On automata.MatchSet
+}
+
+// ParsePLA reads a multi-valued PLA document.
+func ParsePLA(r io.Reader) (*PLA, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	p := &PLA{}
+	var domain int
+	lineNo := 0
+	declared := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".mv"):
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("espresso: line %d: malformed .mv", lineNo)
+			}
+			total, err1 := strconv.Atoi(fields[1])
+			binary, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || binary != 0 || total < 1 {
+				return nil, fmt.Errorf("espresso: line %d: unsupported .mv header (need N multi-valued vars, 0 binary)", lineNo)
+			}
+			if len(fields) != 3+total {
+				return nil, fmt.Errorf("espresso: line %d: .mv declares %d variables but lists %d sizes", lineNo, total, len(fields)-3)
+			}
+			for _, f := range fields[3:] {
+				size, err := strconv.Atoi(f)
+				if err != nil || (size != 16 && size != 256) {
+					return nil, fmt.Errorf("espresso: line %d: variable size %q (only 16 and 256 supported)", lineNo, f)
+				}
+				if domain == 0 {
+					domain = size
+				} else if domain != size {
+					return nil, fmt.Errorf("espresso: line %d: mixed variable sizes", lineNo)
+				}
+				domain = size
+			}
+			p.Stride = total
+			if domain == 16 {
+				p.Bits = 4
+			} else {
+				p.Bits = 8
+			}
+		case strings.HasPrefix(line, ".p"):
+			fields := strings.Fields(line)
+			if len(fields) == 2 {
+				v, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, fmt.Errorf("espresso: line %d: malformed .p", lineNo)
+				}
+				declared = v
+			}
+		case line == ".e" || line == ".end":
+			if declared >= 0 && declared != len(p.On) {
+				return nil, fmt.Errorf("espresso: .p declared %d cubes but %d given", declared, len(p.On))
+			}
+			return finishPLA(p)
+		default:
+			if p.Stride == 0 {
+				return nil, fmt.Errorf("espresso: line %d: cube before .mv header", lineNo)
+			}
+			rect, err := parseCube(line, p.Stride, domain)
+			if err != nil {
+				return nil, fmt.Errorf("espresso: line %d: %w", lineNo, err)
+			}
+			p.On = append(p.On, rect)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if declared >= 0 && declared != len(p.On) {
+		return nil, fmt.Errorf("espresso: .p declared %d cubes but %d given", declared, len(p.On))
+	}
+	return finishPLA(p)
+}
+
+func finishPLA(p *PLA) (*PLA, error) {
+	if p.Stride == 0 {
+		return nil, fmt.Errorf("espresso: missing .mv header")
+	}
+	return p, nil
+}
+
+func parseCube(line string, stride, domain int) (automata.Rect, error) {
+	line = strings.ReplaceAll(line, "|", " ")
+	parts := strings.Fields(line)
+	if len(parts) != stride {
+		return nil, fmt.Errorf("cube has %d parts, want %d", len(parts), stride)
+	}
+	rect := make(automata.Rect, stride)
+	for d, part := range parts {
+		if len(part) != domain {
+			return nil, fmt.Errorf("part %d has %d positions, want %d", d, len(part), domain)
+		}
+		var set bitvec.ByteSet
+		for v := 0; v < domain; v++ {
+			switch part[v] {
+			case '1':
+				set = set.Add(byte(v))
+			case '0':
+				// absent
+			default:
+				return nil, fmt.Errorf("part %d: invalid character %q", d, part[v])
+			}
+		}
+		rect[d] = set
+	}
+	return rect, nil
+}
+
+// WritePLA emits a cover in the multi-valued PLA format.
+func WritePLA(w io.Writer, on automata.MatchSet, stride, bits int) error {
+	domain := automata.DomainSize(bits)
+	header := fmt.Sprintf(".mv %d 0", stride)
+	for i := 0; i < stride; i++ {
+		header += fmt.Sprintf(" %d", domain)
+	}
+	if _, err := fmt.Fprintf(w, "%s\n.p %d\n", header, len(on)); err != nil {
+		return err
+	}
+	for _, rect := range on {
+		if rect.Stride() != stride {
+			return fmt.Errorf("espresso: cube stride %d != %d", rect.Stride(), stride)
+		}
+		parts := make([]string, stride)
+		for d := 0; d < stride; d++ {
+			var b strings.Builder
+			b.Grow(domain)
+			for v := 0; v < domain; v++ {
+				if rect[d].Has(byte(v)) {
+					b.WriteByte('1')
+				} else {
+					b.WriteByte('0')
+				}
+			}
+			parts[d] = b.String()
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, "|")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, ".e")
+	return err
+}

@@ -1,0 +1,131 @@
+package espresso
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"impala/internal/automata"
+)
+
+const samplePLA = `# two cubes, 2 nibble variables
+.mv 2 0 16 16
+.p 2
+1000000000000000|0100000000000000
+0000000000000001|1111111111111111
+.e
+`
+
+func TestParsePLA(t *testing.T) {
+	p, err := ParsePLA(strings.NewReader(samplePLA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stride != 2 || p.Bits != 4 || len(p.On) != 2 {
+		t.Fatalf("parsed %+v", p)
+	}
+	// First cube: {0} x {1}.
+	if !p.On.Has([]byte{0, 1}) {
+		t.Fatal("cube 1 missing")
+	}
+	// Second cube: {15} x anything.
+	if !p.On.Has([]byte{15, 9}) {
+		t.Fatal("cube 2 missing")
+	}
+	if p.On.Has([]byte{3, 3}) {
+		t.Fatal("phantom tuple")
+	}
+}
+
+func TestParsePLAErrors(t *testing.T) {
+	bad := []string{
+		"",                                 // no header
+		".mv 2 0 16\n.e\n",                 // size count mismatch
+		".mv 2 1 16 16\n.e\n",              // binary vars unsupported
+		".mv 1 0 13\n.e\n",                 // bad domain
+		".mv 2 0 16 16\n.p 1\n.e\n",        // declared vs actual
+		".mv 1 0 16\n01\n.e\n",             // short cube
+		".mv 1 0 16\n1000000000000002\n.e", // bad character
+		"1111111111111111\n.e\n",           // cube before header
+		".mv 2 0 16 256\n.e\n",             // mixed sizes
+	}
+	for _, doc := range bad {
+		if _, err := ParsePLA(strings.NewReader(doc)); err == nil {
+			t.Errorf("accepted bad PLA: %q", doc)
+		}
+	}
+}
+
+func TestPLAWithoutTrailingE(t *testing.T) {
+	doc := ".mv 1 0 16\n1111111111111111\n"
+	p, err := ParsePLA(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.On) != 1 {
+		t.Fatalf("cubes = %d", len(p.On))
+	}
+}
+
+// Property: WritePLA/ParsePLA round-trips random covers exactly.
+func TestPLARoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 100; trial++ {
+		stride := 1 + r.Intn(4)
+		bits := 4
+		if r.Intn(4) == 0 {
+			bits = 8
+		}
+		var on automata.MatchSet
+		nc := 1 + r.Intn(5)
+		for c := 0; c < nc; c++ {
+			rect := make(automata.Rect, stride)
+			for d := range rect {
+				for k := 0; k < 1+r.Intn(5); k++ {
+					rect[d] = rect[d].Add(byte(r.Intn(automata.DomainSize(bits))))
+				}
+			}
+			on = append(on, rect)
+		}
+		var buf bytes.Buffer
+		if err := WritePLA(&buf, on, stride, bits); err != nil {
+			t.Fatal(err)
+		}
+		p, err := ParsePLA(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse: %v", err)
+		}
+		if p.Stride != stride || p.Bits != bits || len(p.On) != len(on) {
+			t.Fatalf("round trip shape changed: %+v", p)
+		}
+		for i := range on {
+			if !p.On[i].Equal(on[i]) {
+				t.Fatalf("cube %d changed: %v -> %v", i, on[i], p.On[i])
+			}
+		}
+	}
+}
+
+// End-to-end: the PLA round trip composes with Minimize (the paper's
+// file-in/file-out Espresso usage).
+func TestPLAMinimizeFlow(t *testing.T) {
+	p, err := ParsePLA(strings.NewReader(`.mv 2 0 16 16
+1000000000000000|1111111111111111
+0100000000000000|1111111111111111
+.e`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := Minimize(p.On, p.Stride, p.Bits, Options{})
+	if len(min) != 1 {
+		t.Fatalf("adjacent cubes not merged: %v", min)
+	}
+	var buf bytes.Buffer
+	if err := WritePLA(&buf, min, p.Stride, p.Bits); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ".p 1") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}

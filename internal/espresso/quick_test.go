@@ -1,0 +1,81 @@
+package espresso
+
+// testing/quick properties of the minimizer: exactness (no false positives
+// or negatives), non-growth, and capsule legality of every product term.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+type qCover struct{ On automata.MatchSet }
+
+func (qCover) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(4)
+	m := make(automata.MatchSet, 0, n)
+	for i := 0; i < n; i++ {
+		rect := make(automata.Rect, 2)
+		for d := range rect {
+			var s bitvec.ByteSet
+			k := 1 + r.Intn(6)
+			for j := 0; j < k; j++ {
+				s = s.Add(byte(r.Intn(16)))
+			}
+			rect[d] = s
+		}
+		m = append(m, rect)
+	}
+	return reflect.ValueOf(qCover{On: m})
+}
+
+var quickCfg = &quick.Config{MaxCount: 150}
+
+func TestQuickMinimizeExact(t *testing.T) {
+	f := func(c qCover) bool {
+		min := Minimize(c.On, 2, 4, Options{})
+		return min.SameLanguage(c.On)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinimizeNeverGrows(t *testing.T) {
+	f := func(c qCover) bool {
+		return len(Minimize(c.On, 2, 4, Options{})) <= len(c.On.Normalize())
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinimizeCubesCapsuleLegal(t *testing.T) {
+	f := func(c qCover) bool {
+		for _, cube := range Minimize(c.On, 2, 4, Options{}) {
+			// Each product term is one rectangle inside the ON-set.
+			if !(automata.MatchSet{cube}).SubsetOf(c.On) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinimizeIdempotent(t *testing.T) {
+	f := func(c qCover) bool {
+		once := Minimize(c.On, 2, 4, Options{})
+		twice := Minimize(once, 2, 4, Options{})
+		return len(twice) <= len(once) && twice.SameLanguage(once)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

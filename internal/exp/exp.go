@@ -1,0 +1,241 @@
+// Package exp is the experiment harness: one runner per table and figure of
+// the paper's evaluation (Section 8), producing the same rows/series the
+// paper reports, plus the Section 5.2.1 placement case study. Absolute
+// numbers come from our models and synthetic suite; the shapes — who wins,
+// by what factor, where the crossovers fall — are the reproduction targets
+// and are recorded against the paper's numbers in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"impala/internal/automata"
+	"impala/internal/workload"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Scale shrinks every benchmark relative to paper size (1.0). The
+	// default 0.02 keeps the full suite laptop-scale.
+	Scale float64
+	// Seed drives all generators and search heuristics.
+	Seed int64
+	// Benchmarks restricts the suite (nil = all 21).
+	Benchmarks []string
+	// InputKB is the input stream size for activity-driven experiments
+	// (the paper uses 10 MB; default here 64 KB).
+	InputKB int
+	// Strides restricts Table 4 stride columns (nil = 1,2,4,8).
+	Strides []int
+	// DumpDir, when set, receives one CSV file per rendered table for
+	// external plotting.
+	DumpDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.02
+	}
+	if o.InputKB == 0 {
+		o.InputKB = 64
+	}
+	if len(o.Strides) == 0 {
+		o.Strides = []int{1, 2, 4, 8}
+	}
+	return o
+}
+
+func (o Options) suite() []workload.Benchmark {
+	if len(o.Benchmarks) == 0 {
+		return workload.Suite()
+	}
+	var out []workload.Benchmark
+	for _, name := range o.Benchmarks {
+		if b, ok := workload.Get(name); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (o Options) generate(b workload.Benchmark) (*automata.NFA, error) {
+	return b.Generate(o.Scale, o.Seed)
+}
+
+// Table is a simple column-aligned text table used for all experiment
+// output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV writes the table as a CSV file (header + rows; notes as trailing
+// comment lines).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slugify turns a table title into a file name.
+func slugify(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_' || r == ':':
+			b.WriteByte('-')
+		}
+	}
+	out := b.String()
+	for strings.Contains(out, "--") {
+		out = strings.ReplaceAll(out, "--", "-")
+	}
+	return strings.Trim(out, "-")
+}
+
+// Dump writes every table to o.DumpDir as CSV (no-op when unset).
+func Dump(o Options, tables []*Table) error {
+	if o.DumpDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.DumpDir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		path := filepath.Join(o.DumpDir, slugify(t.Title)+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// Runner executes one experiment and returns its rendered table(s).
+type Runner func(o Options) ([]*Table, error)
+
+// Registry maps experiment IDs (as used by impala-bench -exp) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig2":      Figure2,
+		"table1":    Table1CompileTime,
+		"table4":    Table4VTeSS,
+		"table5":    Table5Pipeline,
+		"fig13":     Figure13Throughput,
+		"fig14":     Figure14Area,
+		"fig11":     Figure11ThroughputPerArea,
+		"fig12":     Figure12EnergyPower,
+		"table6":    Table6FPGA,
+		"fig8":      Figure8Utilization,
+		"fig9":      Figure9Heatmap,
+		"fig10":     Figure10G4,
+		"casestudy": CaseStudyEntityResolution,
+		"system":    SystemIntegration,
+		"ablate":    Ablation,
+		"rounds":    Reconfiguration,
+		"squash":    SquashWidth,
+		"software":  SoftwareBaseline,
+	}
+}
+
+// IDs returns the registered experiment IDs in a stable presentation order.
+func IDs() []string {
+	return []string{
+		"fig2", "table1", "table4", "table5", "fig13", "fig14",
+		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software",
+	}
+}

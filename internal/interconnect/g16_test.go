@@ -1,0 +1,177 @@
+package interconnect
+
+import (
+	"math/rand"
+	"testing"
+
+	"impala/internal/bitvec"
+)
+
+func TestCoveredG16SameG4(t *testing.T) {
+	// Within one G4, the G4 predicate applies with an offset.
+	if !CoveredG16(0, 255) || !CoveredG16(G4Size+10, G4Size+200) {
+		t.Fatal("intra-G4 local pairs should be covered")
+	}
+	if !CoveredG16(G4Size, G4Size+256) {
+		t.Fatal("intra-G4 PN pair should be covered")
+	}
+	if CoveredG16(G4Size+100, G4Size+900) {
+		t.Fatal("intra-G4 uncovered pair leaked")
+	}
+}
+
+func TestCoveredG16CrossG4(t *testing.T) {
+	// Across G4s: both must be super port nodes (slot%256 < 16).
+	if !CoveredG16(0, G4Size) || !CoveredG16(15, 3*G4Size+256+15) {
+		t.Fatal("super-PN pairs should be covered")
+	}
+	if CoveredG16(16, G4Size) || CoveredG16(0, G4Size+16) || CoveredG16(100, G4Size+100) {
+		t.Fatal("non-super-PN cross-G4 pairs must be uncovered")
+	}
+	if CoveredG16(-1, 0) || CoveredG16(0, G16Size) {
+		t.Fatal("bounds not checked")
+	}
+}
+
+func TestHyperIndexRoundTrip(t *testing.T) {
+	for port := 0; port < HyperSwitchSize; port++ {
+		slot := hyperSlot(port)
+		if hyperIndex(slot) != port {
+			t.Fatalf("port %d -> slot %d -> %d", port, slot, hyperIndex(slot))
+		}
+	}
+	if hyperIndex(16) != -1 || hyperIndex(300) != -1 {
+		t.Fatal("non-super-PN slots must have no hyper index")
+	}
+}
+
+func TestG16ConnectPropagate(t *testing.T) {
+	g := NewG16()
+	must := func(s, d int) {
+		if err := g.Connect(s, d); err != nil {
+			t.Fatalf("Connect(%d,%d): %v", s, d, err)
+		}
+	}
+	must(5, 10)       // intra-G4 local
+	must(3, G4Size+7) // cross-G4 via hyper switch
+	if err := g.Connect(2*G4Size+300, 900); err == nil {
+		t.Fatal("uncovered cross-G4 pair accepted")
+	}
+	if !g.Connected(5, 10) || !g.Connected(3, G4Size+7) {
+		t.Fatal("configured pairs not connected")
+	}
+	if g.Connected(5, 11) || g.Connected(3, G4Size+8) {
+		t.Fatal("unconfigured pairs connected")
+	}
+
+	active := bitvec.NewWords(G16Size)
+	enable := bitvec.NewWords(G16Size)
+	active.Set(5)
+	active.Set(3)
+	g.Propagate(active, enable)
+	if !enable.Get(10) || !enable.Get(G4Size+7) {
+		t.Fatal("propagate missed targets")
+	}
+}
+
+// Property: G16 Propagate agrees with Connected.
+func TestG16PropagateMatchesConnected(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	g := NewG16()
+	configured := 0
+	for configured < 300 {
+		s, d := r.Intn(G16Size), r.Intn(G16Size)
+		if CoveredG16(s, d) {
+			if err := g.Connect(s, d); err != nil {
+				t.Fatal(err)
+			}
+			configured++
+		}
+	}
+	active := bitvec.NewWords(G16Size)
+	enable := bitvec.NewWords(G16Size)
+	for trial := 0; trial < 20; trial++ {
+		active.ClearAll()
+		for k := 0; k < 12; k++ {
+			// Bias towards super PNs so the hyper switch is exercised.
+			if r.Intn(2) == 0 {
+				active.Set(hyperSlot(r.Intn(HyperSwitchSize)))
+			} else {
+				active.Set(r.Intn(G16Size))
+			}
+		}
+		g.Propagate(active, enable)
+		ref := bitvec.NewWords(G16Size)
+		active.ForEach(func(s int) {
+			for d := 0; d < G16Size; d++ {
+				if g.Connected(s, d) {
+					ref.Set(d)
+				}
+			}
+		})
+		for i := 0; i < G16Size; i++ {
+			if enable.Get(i) != ref.Get(i) {
+				t.Fatalf("Propagate disagrees at %d", i)
+			}
+		}
+	}
+}
+
+func TestG16ConnectBounds(t *testing.T) {
+	g := NewG16()
+	if err := g.Connect(-1, 0); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := g.Connect(0, G16Size); err == nil {
+		t.Fatal("overflow index accepted")
+	}
+}
+
+func TestFabricActivity(t *testing.T) {
+	g4 := NewG4()
+	if err := g4.Connect(3, G4Size-1); err != nil { // 3 is a PN; cross-block target must be PN too
+		// 3 -> 1023: 1023%256=255 not a PN; use 3 -> 768+5
+		if err2 := g4.Connect(3, 768+5); err2 != nil {
+			t.Fatal(err2)
+		}
+	}
+	active := bitvec.NewWords(G4Size)
+	active.Set(3)   // PN with global fanout
+	active.Set(100) // non-PN, block 0
+	active.Set(300) // block 1
+	lb, gr, cs := g4.Activity(active)
+	if lb != 2 {
+		t.Fatalf("local blocks = %d, want 2", lb)
+	}
+	if gr != 1 || cs != 1 {
+		t.Fatalf("global reads/cross = %d/%d, want 1/1", gr, cs)
+	}
+	if g4.Slots() != G4Size {
+		t.Fatal("G4 Slots wrong")
+	}
+	// ConfigBytes: 4 locals + 1 global, each 256x256 bits.
+	if got, want := g4.ConfigBytes(), 5*256*256/8; got != want {
+		t.Fatalf("G4 ConfigBytes = %d, want %d", got, want)
+	}
+
+	g16 := NewG16()
+	if err := g16.Connect(0, G4Size); err != nil {
+		t.Fatal(err)
+	}
+	a16 := bitvec.NewWords(G16Size)
+	a16.Set(0)          // super PN with hyper fanout
+	a16.Set(G4Size + 9) // G4 1, super PN, no fanout
+	lb, gr, cs = g16.Activity(a16)
+	if lb != 2 {
+		t.Fatalf("G16 local blocks = %d, want 2", lb)
+	}
+	if gr != 1 || cs != 1 {
+		t.Fatalf("G16 global/cross = %d/%d, want 1/1 (hyper only)", gr, cs)
+	}
+	if g16.Slots() != G16Size {
+		t.Fatal("G16 Slots wrong")
+	}
+	if got, want := g16.ConfigBytes(), 4*5*256*256/8+256*256/8; got != want {
+		t.Fatalf("G16 ConfigBytes = %d, want %d", got, want)
+	}
+}

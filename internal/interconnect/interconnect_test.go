@@ -1,0 +1,171 @@
+package interconnect
+
+import (
+	"math/rand"
+	"testing"
+
+	"impala/internal/bitvec"
+)
+
+func TestCoveredLocal(t *testing.T) {
+	// Same block: always covered.
+	if !Covered(0, 255) || !Covered(255, 0) || !Covered(300, 400) || !Covered(1023, 768) {
+		t.Fatal("intra-block pairs should be covered")
+	}
+}
+
+func TestCoveredGlobal(t *testing.T) {
+	// Cross-block: only port-node pairs (offset < 64 on both sides).
+	if !Covered(0, 256) || !Covered(63, 1023-255+63) || !Covered(256+10, 768+63) {
+		t.Fatal("PN-to-PN cross-block pairs should be covered")
+	}
+	if Covered(64, 256) || Covered(0, 256+64) || Covered(200, 900) {
+		t.Fatal("non-PN cross-block pairs must be uncovered")
+	}
+}
+
+func TestCoveredBounds(t *testing.T) {
+	if Covered(-1, 0) || Covered(0, G4Size) || Covered(G4Size, 0) {
+		t.Fatal("out-of-range pairs must be uncovered")
+	}
+}
+
+func TestRouteOf(t *testing.T) {
+	if RouteOf(0, 100) != RouteLocal {
+		t.Fatal("intra-block should be local")
+	}
+	if RouteOf(0, 256) != RouteGlobal {
+		t.Fatal("PN pair should be global")
+	}
+	if RouteOf(100, 900) != RouteNone {
+		t.Fatal("uncovered should be none")
+	}
+}
+
+func TestCoverageFraction(t *testing.T) {
+	got := CoverageFraction()
+	// 4*256² + 12*64² over 1024² = (262144+49152)/1048576 = 0.296875
+	want := 0.296875
+	if got != want {
+		t.Fatalf("CoverageFraction = %v, want %v", got, want)
+	}
+	// Cross-check against exhaustive enumeration.
+	n := 0
+	for s := 0; s < G4Size; s++ {
+		for d := 0; d < G4Size; d++ {
+			if Covered(s, d) {
+				n++
+			}
+		}
+	}
+	if float64(n)/float64(G4Size*G4Size) != got {
+		t.Fatalf("enumeration %d disagrees with formula", n)
+	}
+}
+
+func TestG4ConnectAndConnected(t *testing.T) {
+	g := NewG4()
+	pairs := [][2]int{{0, 1}, {100, 200}, {10, 256 + 20}, {256 + 5, 768 + 63}, {1023, 800}}
+	for _, p := range pairs {
+		if err := g.Connect(p[0], p[1]); err != nil {
+			t.Fatalf("Connect%v: %v", p, err)
+		}
+		if !g.Connected(p[0], p[1]) {
+			t.Fatalf("Connected%v = false", p)
+		}
+	}
+	if g.Connected(0, 2) || g.Connected(100, 900) {
+		t.Fatal("unconfigured pairs report connected")
+	}
+	if err := g.Connect(100, 900); err == nil {
+		t.Fatal("uncovered pair accepted")
+	}
+}
+
+func TestG4Propagate(t *testing.T) {
+	g := NewG4()
+	must := func(s, d int) {
+		if err := g.Connect(s, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(5, 10)      // local block 0
+	must(5, 300)     // global: 5 and 300%256=44 both PNs
+	must(700, 701)   // local block 2
+	must(1023, 1000) // local block 3
+	must(63, 256+63) // global edge case: last PN
+	active := bitvec.NewWords(G4Size)
+	enable := bitvec.NewWords(G4Size)
+	active.Set(5)
+	active.Set(700)
+	g.Propagate(active, enable)
+	for _, want := range []int{10, 300, 701} {
+		if !enable.Get(want) {
+			t.Fatalf("enable missing %d", want)
+		}
+	}
+	if enable.Get(1000) || enable.Get(256+63) {
+		t.Fatal("inactive sources enabled targets")
+	}
+	if enable.Count() != 3 {
+		t.Fatalf("enable count = %d", enable.Count())
+	}
+}
+
+// Property: Propagate agrees with the Connected predicate for random
+// configurations.
+func TestG4PropagateMatchesConnected(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	g := NewG4()
+	type pair struct{ s, d int }
+	var pairs []pair
+	for len(pairs) < 200 {
+		s, d := r.Intn(G4Size), r.Intn(G4Size)
+		if Covered(s, d) {
+			if err := g.Connect(s, d); err != nil {
+				t.Fatal(err)
+			}
+			pairs = append(pairs, pair{s, d})
+		}
+	}
+	active := bitvec.NewWords(G4Size)
+	enable := bitvec.NewWords(G4Size)
+	for trial := 0; trial < 50; trial++ {
+		active.ClearAll()
+		for k := 0; k < 10; k++ {
+			active.Set(r.Intn(G4Size))
+		}
+		g.Propagate(active, enable)
+		// Reference: brute force.
+		ref := bitvec.NewWords(G4Size)
+		active.ForEach(func(s int) {
+			for d := 0; d < G4Size; d++ {
+				if g.Connected(s, d) {
+					ref.Set(d)
+				}
+			}
+		})
+		for i := 0; i < G4Size; i++ {
+			if enable.Get(i) != ref.Get(i) {
+				t.Fatalf("Propagate disagrees at %d", i)
+			}
+		}
+	}
+}
+
+func TestG4Utilization(t *testing.T) {
+	g := NewG4()
+	if err := g.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(0, 256); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Utilization()
+	if st.LocalPoints != 1 || st.GlobalPoints != 1 {
+		t.Fatalf("points = %+v", st)
+	}
+	if st.LocalUtil <= 0 || st.GlobalUtil <= 0 {
+		t.Fatalf("utilization = %+v", st)
+	}
+}

@@ -1,0 +1,172 @@
+package regexc
+
+import (
+	"fmt"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+// Rule is one pattern to compile.
+type Rule struct {
+	// Pattern is the regex source. A leading '^' anchors it to the start of
+	// the input; otherwise it may match anywhere.
+	Pattern string
+	// Code identifies the rule in reports.
+	Code int
+}
+
+// Compile builds one homogeneous 8-bit automaton matching all rules
+// concurrently (one connected component per rule), using the Glushkov
+// construction — which lands directly on the homogeneous (STE) form: one
+// state per symbol position, all in-transitions sharing the position's
+// symbol class.
+func Compile(rules []Rule) (*automata.NFA, error) {
+	n := automata.New(8, 1)
+	for _, rule := range rules {
+		if err := appendRule(n, rule); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("regexc: produced invalid automaton: %w", err)
+	}
+	return n, nil
+}
+
+// glushkov carries the position-set analysis of an AST.
+type glushkov struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+func appendRule(n *automata.NFA, rule Rule) error {
+	p, err := parsePattern(rule.Pattern)
+	if err != nil {
+		return err
+	}
+	// Linearize: collect positions (symbol classes) and follow sets.
+	var positions []bitvec.ByteSet
+	var follow [][]int
+	var analyze func(nd node) glushkov
+	analyze = func(nd node) glushkov {
+		switch v := nd.(type) {
+		case litNode:
+			idx := len(positions)
+			positions = append(positions, v.set)
+			follow = append(follow, nil)
+			return glushkov{first: []int{idx}, last: []int{idx}}
+		case catNode:
+			g := glushkov{nullable: true}
+			for _, part := range v.parts {
+				pg := analyze(part)
+				// follow(last(g)) += first(pg)
+				for _, l := range g.last {
+					follow[l] = append(follow[l], pg.first...)
+				}
+				if g.nullable {
+					g.first = append(g.first, pg.first...)
+				}
+				if pg.nullable {
+					g.last = append(g.last, pg.last...)
+				} else {
+					g.last = pg.last
+				}
+				g.nullable = g.nullable && pg.nullable
+			}
+			return g
+		case altNode:
+			var g glushkov
+			for _, alt := range v.alts {
+				ag := analyze(alt)
+				g.first = append(g.first, ag.first...)
+				g.last = append(g.last, ag.last...)
+				g.nullable = g.nullable || ag.nullable
+			}
+			return g
+		case starNode:
+			sg := analyze(v.sub)
+			for _, l := range sg.last {
+				follow[l] = append(follow[l], sg.first...)
+			}
+			return glushkov{nullable: true, first: sg.first, last: sg.last}
+		case plusNode:
+			sg := analyze(v.sub)
+			for _, l := range sg.last {
+				follow[l] = append(follow[l], sg.first...)
+			}
+			return glushkov{nullable: sg.nullable, first: sg.first, last: sg.last}
+		case questNode:
+			sg := analyze(v.sub)
+			return glushkov{nullable: true, first: sg.first, last: sg.last}
+		default:
+			panic("regexc: unknown AST node")
+		}
+	}
+	g := analyze(p.root)
+	if g.nullable {
+		return &SyntaxError{Pattern: rule.Pattern, Pos: 0, Msg: "pattern matches the empty string"}
+	}
+	if len(positions) == 0 {
+		return &SyntaxError{Pattern: rule.Pattern, Pos: 0, Msg: "pattern has no symbols"}
+	}
+
+	startKind := automata.StartAllInput
+	if p.anchored {
+		startKind = automata.StartOfData
+	}
+	isFirst := make(map[int]bool, len(g.first))
+	for _, f := range g.first {
+		isFirst[f] = true
+	}
+	isLast := make(map[int]bool, len(g.last))
+	for _, l := range g.last {
+		isLast[l] = true
+	}
+
+	base := n.NumStates()
+	for idx, set := range positions {
+		kind := automata.StartNone
+		if isFirst[idx] {
+			kind = startKind
+		}
+		n.AddState(automata.State{
+			Match:      automata.MatchSet{automata.Rect{set}},
+			Start:      kind,
+			Report:     isLast[idx],
+			ReportCode: rule.Code,
+		})
+	}
+	for idx, fs := range follow {
+		for _, f := range fs {
+			n.AddEdge(automata.StateID(base+idx), automata.StateID(base+f))
+		}
+	}
+	n.DedupEdges()
+	return nil
+}
+
+// Append compiles additional rules into an existing 8-bit stride-1
+// automaton (each rule becomes its own connected component).
+func Append(n *automata.NFA, rules ...Rule) error {
+	if n.Bits != 8 || n.Stride != 1 {
+		return fmt.Errorf("regexc: Append requires an 8-bit stride-1 automaton")
+	}
+	for _, rule := range rules {
+		if err := appendRule(n, rule); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustCompile is Compile that panics on error — for tests and examples with
+// fixed patterns.
+func MustCompile(rules []Rule) *automata.NFA {
+	n, err := Compile(rules)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"impala/internal/automata"
+)
+
+// RunParallel splits the input stream across `workers` replicas of the
+// automaton and runs them concurrently — the parallel-automata-processor
+// technique the paper cites as complementary (replicating an automaton and
+// splitting the input raises throughput when spare capacity exists).
+//
+// Each worker's segment is extended backwards by overlapBytes so matches
+// straddling a split point are still observed; reports that end inside the
+// overlap are attributed to (and deduplicated against) the previous
+// segment. overlapBytes must be at least the automaton's maximum match
+// span minus one; pass overlapBytes < 0 to derive it via MaxMatchSpan
+// (an error is returned if spans are unbounded, i.e. the automaton has
+// loops on reporting paths).
+//
+// Automata with anchored (start-of-data) states are supported: anchored
+// states are only enabled on the first segment. StartEven automata require
+// the default byte-aligned splitting this function performs.
+func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Report, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("sim: workers must be >= 1")
+	}
+	if overlapBytes < 0 {
+		span, ok := n.MaxMatchSpan()
+		if !ok {
+			return nil, fmt.Errorf("sim: match span unbounded (loops on reporting paths); pass an explicit overlap")
+		}
+		// span is in chunks; convert to bytes (ceil) and subtract the one
+		// chunk that ends inside the segment proper.
+		chunkBytes := n.BitsPerCycle() / 8
+		if chunkBytes == 0 {
+			chunkBytes = 1
+		}
+		overlapBytes = span * chunkBytes
+	}
+	if workers == 1 || len(input) == 0 {
+		r, _, err := Run(n, input)
+		return r, err
+	}
+
+	segBytes := (len(input) + workers - 1) / workers
+	type result struct {
+		reports []Report
+		err     error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		segStart := w * segBytes
+		if segStart >= len(input) {
+			break
+		}
+		segEnd := segStart + segBytes
+		if segEnd > len(input) {
+			segEnd = len(input)
+		}
+		extStart := segStart - overlapBytes
+		if extStart < 0 {
+			extStart = 0
+		}
+		wg.Add(1)
+		go func(w, extStart, segStart, segEnd int) {
+			defer wg.Done()
+			work := n
+			if w > 0 && hasAnchored(n) {
+				// Anchored states must not fire at an artificial segment
+				// boundary.
+				work = stripAnchored(n)
+			}
+			e, err := NewEngine(work)
+			if err != nil {
+				results[w] = result{err: err}
+				return
+			}
+			reports, _ := e.Run(input[extStart:segEnd], nil)
+			baseBits := extStart * 8
+			keepAfter := segStart * 8
+			var kept []Report
+			for _, r := range reports {
+				abs := baseBits + r.BitPos
+				if abs > keepAfter || (w == 0 && segStart == 0) {
+					r.BitPos = abs
+					kept = append(kept, r)
+				}
+			}
+			results[w] = result{reports: kept}
+		}(w, extStart, segStart, segEnd)
+	}
+	wg.Wait()
+
+	var all []Report
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		all = append(all, res.reports...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].BitPos != all[j].BitPos {
+			return all[i].BitPos < all[j].BitPos
+		}
+		if all[i].Code != all[j].Code {
+			return all[i].Code < all[j].Code
+		}
+		return all[i].State < all[j].State
+	})
+	// Deduplicate identical reports observed by adjacent workers.
+	dedup := all[:0]
+	for i, r := range all {
+		if i > 0 && r == all[i-1] {
+			continue
+		}
+		dedup = append(dedup, r)
+	}
+	return dedup, nil
+}
+
+func hasAnchored(n *automata.NFA) bool {
+	for i := range n.States {
+		if n.States[i].Start == automata.StartOfData {
+			return true
+		}
+	}
+	return false
+}
+
+// stripAnchored returns a copy with anchored starts demoted to non-starts.
+func stripAnchored(n *automata.NFA) *automata.NFA {
+	c := n.Clone()
+	for i := range c.States {
+		if c.States[i].Start == automata.StartOfData {
+			c.States[i].Start = automata.StartNone
+		}
+	}
+	// Demotion can orphan whole anchored components; that is fine — they
+	// simply never activate in this segment.
+	return c
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+func TestMaxMatchSpan(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("abcde", automata.StartAllInput, 1)
+	span, ok := n.MaxMatchSpan()
+	if !ok || span != 5 {
+		t.Fatalf("span = %d ok=%v, want 5 true", span, ok)
+	}
+	// A loop on the reporting path makes it unbounded.
+	loop := automata.New(8, 1)
+	first, last := loop.AddLiteral("ab", automata.StartAllInput, 1)
+	loop.AddEdge(last, first)
+	if _, ok := loop.MaxMatchSpan(); ok {
+		t.Fatal("cyclic reporting path should be unbounded")
+	}
+	// A loop OFF the reporting paths does not matter.
+	side := automata.New(8, 1)
+	side.AddLiteral("abc", automata.StartAllInput, 1)
+	dead := side.AddState(automata.State{
+		Match: automata.MatchSet{automata.Rect{bitvec.ByteOf('z')}},
+		Start: automata.StartAllInput,
+	})
+	side.AddEdge(dead, dead)
+	if span, ok := side.MaxMatchSpan(); !ok || span != 3 {
+		t.Fatalf("side-loop span = %d ok=%v, want 3 true", span, ok)
+	}
+}
+
+// Property: RunParallel produces exactly the sequential reports for any
+// worker count, including matches straddling split points.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("abcde", automata.StartAllInput, 1)
+	n.AddLiteral("xx", automata.StartAllInput, 2)
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		input := make([]byte, 200+r.Intn(400))
+		for i := range input {
+			input[i] = "abcdex"[r.Intn(6)]
+		}
+		// Plant straddling matches everywhere.
+		for k := 20; k+5 < len(input); k += 37 {
+			copy(input[k:], "abcde")
+		}
+		seq, _, err := Run(n, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 7} {
+			par, err := RunParallel(n, input, workers, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !SameReports(seq, par) {
+				t.Fatalf("workers=%d: parallel %v != sequential %v",
+					workers, ReportKeys(par), ReportKeys(seq))
+			}
+		}
+	}
+}
+
+func TestRunParallelAnchored(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("head", automata.StartOfData, 1)
+	n.AddLiteral("body", automata.StartAllInput, 2)
+	input := []byte("headbodyxbodyheadxxbody")
+	seq, _, err := Run(n, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(n, input, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameReports(seq, par) {
+		t.Fatalf("anchored parallel %v != %v", ReportKeys(par), ReportKeys(seq))
+	}
+	// Critically: "head" at a split boundary must NOT match for workers > 0.
+	// (covered by equality above — the anchored pattern appears mid-stream
+	// at offset 13 and must not report there in either mode)
+	for _, r := range par {
+		if r.Code == 1 && r.BitPos != 4*8 {
+			t.Fatalf("anchored pattern matched mid-stream: %v", r)
+		}
+	}
+}
+
+func TestRunParallelUnboundedNeedsExplicitOverlap(t *testing.T) {
+	n := automata.New(8, 1)
+	first, last := n.AddLiteral("ab", automata.StartAllInput, 1)
+	n.AddEdge(last, first)
+	if _, err := RunParallel(n, []byte("abab"), 2, -1); err == nil {
+		t.Fatal("unbounded span accepted without explicit overlap")
+	}
+	// With a generous explicit overlap it works for inputs whose true
+	// matches fit in it.
+	seq, _, err := Run(n, []byte("abababab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(n, []byte("abababab"), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameReports(seq, par) {
+		t.Fatalf("parallel %v != %v", ReportKeys(par), ReportKeys(seq))
+	}
+}
+
+func TestRunParallelEdgeCases(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("a", automata.StartAllInput, 1)
+	if _, err := RunParallel(n, []byte("aaa"), 0, -1); err == nil {
+		t.Fatal("workers=0 accepted")
+	}
+	r, err := RunParallel(n, nil, 4, -1)
+	if err != nil || len(r) != 0 {
+		t.Fatalf("empty input: %v %v", r, err)
+	}
+	// More workers than bytes.
+	r, err = RunParallel(n, []byte("aa"), 8, -1)
+	if err != nil || len(r) != 2 {
+		t.Fatalf("tiny input: %v %v", r, err)
+	}
+}
+
+// Strided automata (from the V-TeSS pipeline) must also split correctly:
+// byte-boundary splits are chunk-agnostic thanks to wildcard prefixes.
+func TestRunParallelStrided4Bit(t *testing.T) {
+	n := automata.New(4, 1)
+	// Matches byte 0xAB (hi then lo nibble).
+	hi := n.AddState(automata.State{
+		Match: automata.MatchSet{automata.Rect{bitvec.ByteOf(0xA)}},
+		Start: automata.StartEven,
+	})
+	lo := n.AddState(automata.State{
+		Match:  automata.MatchSet{automata.Rect{bitvec.ByteOf(0xB)}},
+		Report: true,
+	})
+	n.AddEdge(hi, lo)
+	input := make([]byte, 100)
+	for i := range input {
+		if i%7 == 0 {
+			input[i] = 0xAB
+		}
+	}
+	seq, _, err := Run(n, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(n, input, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameReports(seq, par) {
+		t.Fatalf("strided parallel %v != %v", len(par), len(seq))
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+// Profile records per-state activity over one or more profiling runs — the
+// basis of profile-guided configuration pruning (the related-work
+// observation that not all NFA states are enabled during execution, so
+// never-enabled states need not be configured on the hardware, raising
+// effective capacity when applications need several reconfiguration
+// rounds).
+type Profile struct {
+	// Enabled[i] counts cycles in which state i was enabled.
+	Enabled []int64
+	// Active[i] counts cycles in which state i was active.
+	Active []int64
+	// Cycles is the total number of profiled cycles.
+	Cycles int64
+}
+
+type profileTracer struct{ p *Profile }
+
+func (t *profileTracer) OnCycle(cycle int, enabled, active bitvec.Words) {
+	enabled.ForEach(func(i int) { t.p.Enabled[i]++ })
+	active.ForEach(func(i int) { t.p.Active[i]++ })
+	t.p.Cycles++
+}
+
+// NewProfile allocates a profile for the automaton.
+func NewProfile(n *automata.NFA) *Profile {
+	return &Profile{
+		Enabled: make([]int64, n.NumStates()),
+		Active:  make([]int64, n.NumStates()),
+	}
+}
+
+// ProfileRun executes the automaton over input accumulating into the
+// profile (call repeatedly with different inputs to widen coverage).
+func ProfileRun(n *automata.NFA, p *Profile, input []byte) ([]Report, error) {
+	if len(p.Enabled) != n.NumStates() {
+		return nil, fmt.Errorf("sim: profile sized for %d states, automaton has %d", len(p.Enabled), n.NumStates())
+	}
+	e, err := NewEngine(n)
+	if err != nil {
+		return nil, err
+	}
+	reports, _ := e.Run(input, &profileTracer{p: p})
+	return reports, nil
+}
+
+// ColdStates returns the states never enabled during profiling — candidates
+// to skip when configuring the hardware. Start-enabled states are never
+// cold (they are enabled by construction).
+func (p *Profile) ColdStates() []automata.StateID {
+	var out []automata.StateID
+	for i, c := range p.Enabled {
+		if c == 0 {
+			out = append(out, automata.StateID(i))
+		}
+	}
+	return out
+}
+
+// PruneCold returns a copy of the automaton without its cold states — the
+// profile-guided configuration. The result is input-dependent by
+// construction: it matches exactly like the original on any input whose
+// enabled-state set is covered by the profile, and may miss matches
+// otherwise (the standard trade-off of this optimization). The second
+// result maps old state IDs to new ones (-1 = pruned).
+func PruneCold(n *automata.NFA, p *Profile) (*automata.NFA, []automata.StateID, error) {
+	if len(p.Enabled) != n.NumStates() {
+		return nil, nil, fmt.Errorf("sim: profile sized for %d states, automaton has %d", len(p.Enabled), n.NumStates())
+	}
+	keep := make([]bool, n.NumStates())
+	for i := range keep {
+		keep[i] = p.Enabled[i] > 0
+	}
+	out := automata.New(n.Bits, n.Stride)
+	remap := make([]automata.StateID, n.NumStates())
+	for i := range n.States {
+		if !keep[i] {
+			remap[i] = -1
+			continue
+		}
+		s := n.States[i]
+		s.Out = nil
+		remap[i] = out.AddState(s)
+	}
+	for i := range n.States {
+		if !keep[i] {
+			continue
+		}
+		for _, t := range n.States[i].Out {
+			if keep[t] {
+				out.AddEdge(remap[i], remap[t])
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sim: pruned automaton invalid: %w", err)
+	}
+	return out, remap, nil
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+
+	"impala/internal/automata"
+)
+
+func TestProfileCounts(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("ab", automata.StartAllInput, 1)
+	p := NewProfile(n)
+	if _, err := ProfileRun(n, p, []byte("abab")); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cycles != 4 {
+		t.Fatalf("cycles = %d", p.Cycles)
+	}
+	// State 0 ('a') is all-input start: enabled every cycle.
+	if p.Enabled[0] != 4 {
+		t.Fatalf("enabled[0] = %d", p.Enabled[0])
+	}
+	// State 1 ('b') enabled after each 'a' match (cycles 1 and 3).
+	if p.Enabled[1] != 2 || p.Active[1] != 2 {
+		t.Fatalf("state 1 profile = %d/%d", p.Enabled[1], p.Active[1])
+	}
+}
+
+func TestProfileAccumulates(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("a", automata.StartAllInput, 1)
+	p := NewProfile(n)
+	for k := 0; k < 3; k++ {
+		if _, err := ProfileRun(n, p, []byte("aa")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Cycles != 6 || p.Active[0] != 6 {
+		t.Fatalf("accumulated = %d cycles, %d active", p.Cycles, p.Active[0])
+	}
+}
+
+func TestColdStatesAndPrune(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("hot", automata.StartAllInput, 1)
+	n.AddLiteral("cold", automata.StartAllInput, 2)
+	p := NewProfile(n)
+	// Profile with an input that never contains 'c': the "old" suffix of
+	// the second pattern is never enabled (its head is start-enabled).
+	if _, err := ProfileRun(n, p, []byte("hot hot hot")); err != nil {
+		t.Fatal(err)
+	}
+	cold := p.ColdStates()
+	if len(cold) != 3 { // 'o', 'l', 'd' of "cold"
+		t.Fatalf("cold states = %v", cold)
+	}
+	pruned, remap, err := PruneCold(n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.NumStates() != n.NumStates()-3 {
+		t.Fatalf("pruned to %d states", pruned.NumStates())
+	}
+	// Remap: pruned entries are -1.
+	minus := 0
+	for _, id := range remap {
+		if id == -1 {
+			minus++
+		}
+	}
+	if minus != 3 {
+		t.Fatalf("remap has %d pruned entries", minus)
+	}
+	// On profile-covered inputs the pruned automaton matches identically.
+	a, _, err := Run(n, []byte("xxhotxx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(pruned, []byte("xxhotxx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameReports(a, b) {
+		t.Fatal("pruned automaton diverges on covered input")
+	}
+	// On uncovered inputs it may (here: does) miss — the documented
+	// trade-off.
+	c, _, err := Run(pruned, []byte("cold"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 0 {
+		t.Fatalf("pruned automaton should miss 'cold': %v", c)
+	}
+}
+
+func TestProfileSizeMismatch(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("a", automata.StartAllInput, 1)
+	p := &Profile{Enabled: make([]int64, 5), Active: make([]int64, 5)}
+	if _, err := ProfileRun(n, p, []byte("a")); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, _, err := PruneCold(n, p); err == nil {
+		t.Fatal("size mismatch accepted in PruneCold")
+	}
+}

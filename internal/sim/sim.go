@@ -1,0 +1,264 @@
+// Package sim is the functional, cycle-accurate automata simulator of the
+// toolchain (the APSim equivalent). It executes a homogeneous NFA of any
+// (Bits, Stride) geometry over an input stream, produces offset-exact
+// reports, and collects the per-cycle activity statistics that drive the
+// architectural energy model.
+//
+// Execution follows the two-phase in-memory model of the paper: each cycle
+// the input chunk is matched against every state's rule (state match), the
+// match vector is ANDed with the enable vector derived from the previous
+// cycle's active states propagated through the interconnect (state
+// transition), and reporting states that remain active emit reports.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+// Report records one pattern match.
+type Report struct {
+	// BitPos is the number of input bits consumed up to and including the
+	// final sub-symbol of the match. It is geometry-independent: an 8-bit
+	// automaton reporting after byte i and its squashed 4-bit twin reporting
+	// after nibble 2i both record BitPos = 8*(i+1).
+	BitPos int
+	// Code is the ReportCode of the reporting state.
+	Code int
+	// State is the reporting state's ID (geometry-specific).
+	State automata.StateID
+}
+
+// Key returns the geometry-independent identity of the report.
+func (r Report) Key() [2]int { return [2]int{r.BitPos, r.Code} }
+
+// Stats aggregates per-run activity used by the energy model.
+type Stats struct {
+	Cycles            int
+	TotalActive       int64 // sum over cycles of |active states|
+	TotalEnabled      int64 // sum over cycles of |enabled states|
+	PeakActive        int
+	Reports           int
+	ActivePerCycleAvg float64
+}
+
+// Tracer observes per-cycle activity. OnCycle is called after each cycle
+// with the sets of enabled and active states; the bitsets are reused across
+// cycles and must not be retained.
+type Tracer interface {
+	OnCycle(cycle int, enabled, active bitvec.Words)
+}
+
+// Engine executes one automaton over input streams. It is reusable across
+// runs but not safe for concurrent use.
+type Engine struct {
+	nfa *automata.NFA
+	// enable working sets
+	enabled, active, always bitvec.Words
+	startOfData, even       bitvec.Words
+	reporting               []automata.StateID
+}
+
+// NewEngine prepares an execution engine for the automaton. The automaton
+// must validate.
+func NewEngine(n *automata.NFA) (*Engine, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		nfa:         n,
+		enabled:     bitvec.NewWords(n.NumStates()),
+		active:      bitvec.NewWords(n.NumStates()),
+		always:      bitvec.NewWords(n.NumStates()),
+		startOfData: bitvec.NewWords(n.NumStates()),
+		even:        bitvec.NewWords(n.NumStates()),
+	}
+	for i := range n.States {
+		switch n.States[i].Start {
+		case automata.StartAllInput:
+			e.always.Set(i)
+		case automata.StartOfData:
+			e.startOfData.Set(i)
+		case automata.StartEven:
+			e.even.Set(i)
+		}
+		if n.States[i].Report {
+			e.reporting = append(e.reporting, automata.StateID(i))
+		}
+	}
+	return e, nil
+}
+
+// SubSymbols converts a byte input stream into the automaton's sub-symbol
+// alphabet: identity for 8-bit automata; for 4-bit automata each byte b
+// becomes (b>>4, b&0xF) — high nibble first, matching the squashing
+// transformation; for 2-bit automata each byte becomes four crumbs,
+// most-significant first.
+func SubSymbols(bits int, input []byte) []byte {
+	switch bits {
+	case 8:
+		return input
+	case 4:
+		out := make([]byte, 0, len(input)*2)
+		for _, b := range input {
+			out = append(out, b>>4, b&0x0F)
+		}
+		return out
+	case 2:
+		out := make([]byte, 0, len(input)*4)
+		for _, b := range input {
+			out = append(out, b>>6, (b>>4)&3, (b>>2)&3, b&3)
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("sim: unsupported bits %d", bits))
+	}
+}
+
+// Run executes the automaton over input (a byte stream) and returns all
+// reports sorted by (BitPos, Code). tracer may be nil.
+func (e *Engine) Run(input []byte, tracer Tracer) ([]Report, Stats) {
+	n := e.nfa
+	syms := SubSymbols(n.Bits, input)
+	totalBits := len(syms) * n.Bits
+	S := n.Stride
+	cycles := (len(syms) + S - 1) / S
+
+	var reports []Report
+	var stats Stats
+	chunk := make([]byte, S)
+	prevActive := bitvec.NewWords(n.NumStates())
+
+	for t := 0; t < cycles; t++ {
+		// Build the chunk, zero-padding past end of input. Reports whose
+		// true consumed position exceeds the input are filtered below, so
+		// the pad value is immaterial.
+		for i := 0; i < S; i++ {
+			p := t*S + i
+			if p < len(syms) {
+				chunk[i] = syms[p]
+			} else {
+				chunk[i] = 0
+			}
+		}
+
+		// State-transition phase (from previous cycle): enable successors.
+		e.enabled.ClearAll()
+		copy(e.enabled, e.always)
+		if t == 0 {
+			for i, w := range e.startOfData {
+				e.enabled[i] |= w
+			}
+		}
+		if t%2 == 0 {
+			for i, w := range e.even {
+				e.enabled[i] |= w
+			}
+		}
+		prevActive.ForEach(func(i int) {
+			for _, succ := range n.States[i].Out {
+				e.enabled.Set(int(succ))
+			}
+		})
+
+		// State-match phase: active = enabled ∧ match(chunk).
+		e.active.ClearAll()
+		e.enabled.ForEach(func(i int) {
+			if n.States[i].Match.Has(chunk) {
+				e.active.Set(i)
+			}
+		})
+
+		// Reporting.
+		e.active.ForEach(func(i int) {
+			s := &n.States[i]
+			if !s.Report {
+				return
+			}
+			bitPos := (t*S + s.ReportOffset) * n.Bits
+			if bitPos <= totalBits {
+				reports = append(reports, Report{BitPos: bitPos, Code: s.ReportCode, State: automata.StateID(i)})
+			}
+		})
+
+		// Stats + trace.
+		na := e.active.Count()
+		stats.TotalActive += int64(na)
+		stats.TotalEnabled += int64(e.enabled.Count())
+		if na > stats.PeakActive {
+			stats.PeakActive = na
+		}
+		if tracer != nil {
+			tracer.OnCycle(t, e.enabled, e.active)
+		}
+
+		prevActive, e.active = e.active, prevActive
+	}
+
+	stats.Cycles = cycles
+	stats.Reports = len(reports)
+	if cycles > 0 {
+		stats.ActivePerCycleAvg = float64(stats.TotalActive) / float64(cycles)
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].BitPos != reports[j].BitPos {
+			return reports[i].BitPos < reports[j].BitPos
+		}
+		if reports[i].Code != reports[j].Code {
+			return reports[i].Code < reports[j].Code
+		}
+		return reports[i].State < reports[j].State
+	})
+	return reports, stats
+}
+
+// Run is a convenience one-shot execution.
+func Run(n *automata.NFA, input []byte) ([]Report, Stats, error) {
+	e, err := NewEngine(n)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	r, s := e.Run(input, nil)
+	return r, s, nil
+}
+
+// ReportKeys reduces reports to their geometry-independent identities,
+// deduplicated and sorted — the canonical form for differential testing
+// (two equivalent automata may report the same match through several split
+// states).
+func ReportKeys(reports []Report) [][2]int {
+	seen := make(map[[2]int]bool, len(reports))
+	var out [][2]int
+	for _, r := range reports {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// SameReports reports whether two report lists denote the same matches
+// (same geometry-independent keys).
+func SameReports(a, b []Report) bool {
+	ka, kb := ReportKeys(a), ReportKeys(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}

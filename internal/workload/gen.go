@@ -1,0 +1,565 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/regexc"
+)
+
+// ---------- regex-family generators ----------
+
+// fillWithRules keeps appending generated rules until the automaton reaches
+// the target state count.
+func fillWithRules(target int, r *rand.Rand, makePattern func(code int) string) *automata.NFA {
+	n := automata.New(8, 1)
+	code := 1
+	for n.NumStates() < target {
+		pattern := makePattern(code)
+		if err := regexc.Append(n, regexc.Rule{Pattern: pattern, Code: code}); err != nil {
+			// A generator emitted an unparsable pattern — that is a bug, not
+			// an input condition.
+			panic(fmt.Sprintf("workload: generated bad pattern %q: %v", pattern, err))
+		}
+		code++
+	}
+	return n
+}
+
+const printable = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+func randLiteral(r *rand.Rand, length int) string {
+	var b strings.Builder
+	for i := 0; i < length; i++ {
+		b.WriteByte(printable[r.Intn(len(printable))])
+	}
+	return b.String()
+}
+
+// randLiteralCI emits a literal where each alphabetic position becomes a
+// case-insensitive two-symbol class with probability ci — the dominant
+// source of 2..8-symbol states in real rule sets (Figure 2).
+func randLiteralCI(r *rand.Rand, length int, ci float64) string {
+	var b strings.Builder
+	for i := 0; i < length; i++ {
+		c := printable[r.Intn(52)] // alphabetic region
+		if r.Float64() < ci {
+			lo, up := c|0x20, c&^0x20
+			fmt.Fprintf(&b, "[%c%c]", lo, up)
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func randHexLiteral(r *rand.Rand, length int) string {
+	var b strings.Builder
+	for i := 0; i < length; i++ {
+		fmt.Fprintf(&b, `\x%02x`, r.Intn(256))
+	}
+	return b.String()
+}
+
+// genExactMatch: pure literal strings; Becchi ExactMatch has ~295 rules of
+// mean length ~42 with the longest at 87.
+func genExactMatch(target int, r *rand.Rand) *automata.NFA {
+	return fillWithRules(target, r, func(code int) string {
+		return randLiteral(r, 10+r.Intn(78)) // 10..87
+	})
+}
+
+// genBro: short protocol keyword patterns, a few with '+' repetitions.
+func genBro(target int, r *rand.Rand) *automata.NFA {
+	return fillWithRules(target, r, func(code int) string {
+		p := randLiteralCI(r, 5+r.Intn(18), 0.2)
+		if r.Intn(4) == 0 {
+			i := 1 + r.Intn(len(p)-1)
+			p = p[:i] + "+" + p[i:]
+		}
+		if r.Intn(8) == 0 {
+			return p[:len(p)/2] + "[ /]" + p[len(p)/2:]
+		}
+		return p
+	})
+}
+
+// genDotstar: pct% of the rules contain ".*" between two literal halves —
+// the Becchi dotstar03/06/09 structure.
+func genDotstar(pct int) func(int, *rand.Rand) *automata.NFA {
+	return func(target int, r *rand.Rand) *automata.NFA {
+		return fillWithRules(target, r, func(code int) string {
+			l1 := randLiteralCI(r, 8+r.Intn(30), 0.15)
+			if r.Intn(100) < pct {
+				l2 := randLiteralCI(r, 8+r.Intn(40), 0.15)
+				return l1 + ".*" + l2
+			}
+			return l1
+		})
+	}
+}
+
+// genRanges: literals where a fraction of positions are character ranges.
+func genRanges(frac float64) func(int, *rand.Rand) *automata.NFA {
+	return func(target int, r *rand.Rand) *automata.NFA {
+		return fillWithRules(target, r, func(code int) string {
+			var b strings.Builder
+			length := 10 + r.Intn(70)
+			for i := 0; i < length; i++ {
+				if r.Float64() < frac {
+					// Keep both endpoints inside one alphabetic run so the
+					// class stays syntactically clean.
+					var base byte
+					switch r.Intn(2) {
+					case 0:
+						base = 'a'
+					default:
+						base = 'A'
+					}
+					lo := base + byte(r.Intn(16))
+					fmt.Fprintf(&b, "[%c-%c]", lo, lo+byte(1+r.Intn(9)))
+				} else {
+					b.WriteByte(printable[r.Intn(len(printable))])
+				}
+			}
+			return b.String()
+		})
+	}
+}
+
+// genPowerEN: IBM PowerEN-style patterns: literals with classes and optional
+// parts.
+func genPowerEN(target int, r *rand.Rand) *automata.NFA {
+	return fillWithRules(target, r, func(code int) string {
+		var b strings.Builder
+		words := 2 + r.Intn(3)
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				b.WriteString(`[ _\-]`)
+			}
+			b.WriteString(randLiteralCI(r, 4+r.Intn(12), 0.3))
+			if r.Intn(3) == 0 {
+				b.WriteString(`\d?`)
+			}
+		}
+		return b.String()
+	})
+}
+
+// genProtomata: protein motif patterns over the 20-letter amino-acid
+// alphabet, PROSITE style: classes and wildcard gaps.
+func genProtomata(target int, r *rand.Rand) *automata.NFA {
+	const aa = "ACDEFGHIKLMNPQRSTVWY"
+	return fillWithRules(target, r, func(code int) string {
+		var b strings.Builder
+		length := 15 + r.Intn(90)
+		for i := 0; i < length; i++ {
+			switch r.Intn(10) {
+			case 0: // small class
+				k := 2 + r.Intn(3)
+				b.WriteByte('[')
+				for j := 0; j < k; j++ {
+					b.WriteByte(aa[r.Intn(len(aa))])
+				}
+				b.WriteByte(']')
+			case 1: // gap of 1..3 any-AA
+				fmt.Fprintf(&b, "[%s]{1,%d}", aa, 1+r.Intn(3))
+			default:
+				b.WriteByte(aa[r.Intn(len(aa))])
+			}
+		}
+		return b.String()
+	})
+}
+
+// genSnort: NIDS content rules: short literals, classes, repetitions, some
+// unanchored ".*" joins; many short chains (degree 1.6).
+func genSnort(target int, r *rand.Rand) *automata.NFA {
+	return fillWithRules(target, r, func(code int) string {
+		var b strings.Builder
+		b.WriteString(randLiteralCI(r, 4+r.Intn(30), 0.35))
+		switch r.Intn(5) {
+		case 0:
+			b.WriteString(`\d+`)
+			b.WriteString(randLiteral(r, 3+r.Intn(8)))
+		case 1:
+			b.WriteString(".*")
+			b.WriteString(randLiteral(r, 4+r.Intn(16)))
+		case 2:
+			b.WriteString(`[^\n]{2,6}`)
+			b.WriteString(randLiteral(r, 2+r.Intn(6)))
+		}
+		return b.String()
+	})
+}
+
+// genTCP: stateful TCP-stream patterns: longer rules with loops.
+func genTCP(target int, r *rand.Rand) *automata.NFA {
+	return fillWithRules(target, r, func(code int) string {
+		var b strings.Builder
+		segs := 2 + r.Intn(4)
+		for sIdx := 0; sIdx < segs; sIdx++ {
+			if sIdx > 0 {
+				if r.Intn(2) == 0 {
+					b.WriteString(".*")
+				} else {
+					b.WriteString(`[ \t]+`)
+				}
+			}
+			b.WriteString(randLiteralCI(r, 6+r.Intn(30), 0.25))
+		}
+		return b.String()
+	})
+}
+
+// genClamAV: long virus hex signatures.
+func genClamAV(target int, r *rand.Rand) *automata.NFA {
+	return fillWithRules(target, r, func(code int) string {
+		length := 30 + r.Intn(200)
+		if r.Intn(40) == 0 {
+			length = 300 + r.Intn(215) // the 515-state monster CC
+		}
+		return randHexLiteral(r, length)
+	})
+}
+
+// genBrill: Brill-tagger rewrite rules: alternation heads then a literal
+// tail; alternation raises the node degree to ~2.9.
+func genBrill(target int, r *rand.Rand) *automata.NFA {
+	return fillWithRules(target, r, func(code int) string {
+		var b strings.Builder
+		alts := 2 + r.Intn(3)
+		b.WriteByte('(')
+		for a := 0; a < alts; a++ {
+			if a > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(randLiteralCI(r, 3+r.Intn(6), 0.3))
+		}
+		b.WriteByte(')')
+		b.WriteString(" ")
+		b.WriteString(randLiteral(r, 3+r.Intn(8)))
+		if r.Intn(2) == 0 {
+			b.WriteString("( " + randLiteral(r, 2+r.Intn(6)) + ")+")
+		}
+		return b.String()
+	})
+}
+
+// ---------- mesh generators ----------
+
+// genHamming builds real Hamming-distance mesh automata: for a random
+// pattern p and distance d, state m[e][i] consumes p[i] with e errors so
+// far, x[e][i] consumes a mismatch. CC size = 2·L·(d+1) ≈ 122 (L=20, d=2).
+func genHamming(target int, r *rand.Rand) *automata.NFA {
+	n := automata.New(8, 1)
+	code := 1
+	const alphabet = "ACGT"
+	for n.NumStates() < target {
+		L, d := 20, 2
+		pat := make([]byte, L)
+		for i := range pat {
+			pat[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		addHamming(n, pat, d, code)
+		code++
+	}
+	return n
+}
+
+func addHamming(n *automata.NFA, pat []byte, d, code int) {
+	L := len(pat)
+	match := make([][]automata.StateID, d+1)
+	miss := make([][]automata.StateID, d+1)
+	for e := 0; e <= d; e++ {
+		match[e] = make([]automata.StateID, L)
+		miss[e] = make([]automata.StateID, L)
+		for i := 0; i < L; i++ {
+			kind := automata.StartNone
+			if i == 0 && e == 0 {
+				kind = automata.StartAllInput
+			}
+			report := i == L-1
+			match[e][i] = n.AddState(automata.State{
+				Match:      automata.MatchSet{automata.Rect{bitvec.ByteOf(pat[i])}},
+				Start:      kind,
+				Report:     report,
+				ReportCode: code,
+			})
+			miss[e][i] = n.AddState(automata.State{
+				Match:      automata.MatchSet{automata.Rect{bitvec.ByteOf(pat[i]).Complement()}},
+				Start:      kind,
+				Report:     report && e > 0, // a mismatch at the last position costs an error
+				ReportCode: code,
+			})
+		}
+	}
+	for e := 0; e <= d; e++ {
+		for i := 0; i < L-1; i++ {
+			n.AddEdge(match[e][i], match[e][i+1])
+			if e < d {
+				n.AddEdge(match[e][i], miss[e+1][i+1])
+			}
+			n.AddEdge(miss[e][i], match[e][i+1])
+			if e < d {
+				n.AddEdge(miss[e][i], miss[e+1][i+1])
+			}
+		}
+	}
+}
+
+// genLevenshtein builds approximate-edit-distance mesh automata with
+// substitutions, insertions and deletions — the high-fanout mesh family
+// (degree ≈ 6.5, CC ≈ 116: L=19, d=2, 2 states per cell plus insert states).
+func genLevenshtein(target int, r *rand.Rand) *automata.NFA {
+	n := automata.New(8, 1)
+	code := 1
+	const alphabet = "ACGT"
+	for n.NumStates() < target {
+		L, d := 19, 2
+		pat := make([]byte, L)
+		for i := range pat {
+			pat[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		addLevenshtein(n, pat, d, code)
+		code++
+	}
+	return n
+}
+
+func addLevenshtein(n *automata.NFA, pat []byte, d, code int) {
+	L := len(pat)
+	match := make([][]automata.StateID, d+1)
+	any := make([][]automata.StateID, d+1)
+	for e := 0; e <= d; e++ {
+		match[e] = make([]automata.StateID, L)
+		any[e] = make([]automata.StateID, L)
+		for i := 0; i < L; i++ {
+			kind := automata.StartNone
+			if i == 0 && e == 0 {
+				kind = automata.StartAllInput
+			}
+			match[e][i] = n.AddState(automata.State{
+				Match:      automata.MatchSet{automata.Rect{bitvec.ByteOf(pat[i])}},
+				Start:      kind,
+				Report:     i == L-1,
+				ReportCode: code,
+			})
+			any[e][i] = n.AddState(automata.State{
+				Match:      automata.MatchSet{automata.Rect{bitvec.ByteAll()}},
+				Start:      automata.StartNone,
+				Report:     i == L-1 && e > 0,
+				ReportCode: code,
+			})
+		}
+	}
+	for e := 0; e <= d; e++ {
+		for i := 0; i < L; i++ {
+			if i+1 < L {
+				n.AddEdge(match[e][i], match[e][i+1]) // exact advance
+			}
+			if e < d {
+				if i+1 < L {
+					n.AddEdge(match[e][i], any[e+1][i+1]) // substitution
+					n.AddEdge(any[e][i], any[e+1][i+1])
+				}
+				n.AddEdge(match[e][i], any[e+1][i]) // insertion (stay)
+				n.AddEdge(any[e][i], any[e+1][i])
+				if i+2 < L {
+					n.AddEdge(match[e][i], match[e+1][i+2]) // deletion (skip)
+					n.AddEdge(any[e][i], match[e+1][i+2])
+				}
+			}
+			if i+1 < L {
+				n.AddEdge(any[e][i], match[e][i+1])
+			}
+		}
+	}
+}
+
+// ---------- widget generators ----------
+
+// genFermi: particle-track widgets — 17-state CCs of three short parallel
+// chains converging on a reporting tail.
+func genFermi(target int, r *rand.Rand) *automata.NFA {
+	n := automata.New(8, 1)
+	code := 1
+	for n.NumStates() < target {
+		var heads []automata.StateID
+		var tails []automata.StateID
+		for c := 0; c < 3; c++ {
+			prev := automata.StateID(-1)
+			for i := 0; i < 5; i++ {
+				kind := automata.StartNone
+				if i == 0 {
+					kind = automata.StartAllInput
+				}
+				id := n.AddState(automata.State{
+					Match: automata.MatchSet{automata.Rect{bitvec.ByteOf(byte(r.Intn(64)))}},
+					Start: kind,
+				})
+				if prev >= 0 {
+					n.AddEdge(prev, id)
+				} else {
+					heads = append(heads, id)
+				}
+				prev = id
+			}
+			tails = append(tails, prev)
+		}
+		rep := n.AddState(automata.State{
+			Match:      automata.MatchSet{automata.Rect{bitvec.ByteOf(byte(128 + r.Intn(64)))}},
+			Report:     true,
+			ReportCode: code,
+		})
+		join := n.AddState(automata.State{
+			Match: automata.MatchSet{automata.Rect{bitvec.ByteRange(64, 127)}},
+		})
+		for _, tl := range tails {
+			n.AddEdge(tl, join)
+			n.AddEdge(tl, rep)
+		}
+		n.AddEdge(join, rep)
+		n.AddEdge(join, join)
+		code++
+	}
+	return n
+}
+
+// genRandomForest: 20-state decision-chain widgets where T == S (one loop
+// edge closes each chain).
+func genRandomForest(target int, r *rand.Rand) *automata.NFA {
+	n := automata.New(8, 1)
+	code := 1
+	for n.NumStates() < target {
+		syms := make([]byte, 20)
+		for i := range syms {
+			syms[i] = byte(r.Intn(256))
+		}
+		n.AddRing(syms, code)
+		code++
+	}
+	return n
+}
+
+// genSPM: sequential-pattern-mining widgets — 20-state itemset chains with
+// dense skip edges (degree ≈ 6.1).
+func genSPM(target int, r *rand.Rand) *automata.NFA {
+	n := automata.New(8, 1)
+	code := 1
+	for n.NumStates() < target {
+		const L = 20
+		ids := make([]automata.StateID, L)
+		for i := 0; i < L; i++ {
+			kind := automata.StartNone
+			if i == 0 {
+				kind = automata.StartAllInput
+			}
+			// Half the states match an item *set* (2-4 items), the way SPM
+			// gap states accept any item of a candidate set.
+			set := bitvec.ByteOf(byte('a' + r.Intn(26)))
+			if r.Intn(2) == 0 {
+				for k := 0; k < 1+r.Intn(3); k++ {
+					set = set.Add(byte('a' + r.Intn(26)))
+				}
+			}
+			ids[i] = n.AddState(automata.State{
+				Match:      automata.MatchSet{automata.Rect{set}},
+				Start:      kind,
+				Report:     i == L-1,
+				ReportCode: code,
+			})
+		}
+		for i := 0; i < L; i++ {
+			for j := i + 1; j <= i+3 && j < L; j++ {
+				n.AddEdge(ids[i], ids[j])
+			}
+			if i%4 == 0 {
+				n.AddEdge(ids[i], ids[i]) // gap-state self loop
+			}
+		}
+		code++
+	}
+	return n
+}
+
+// genEntityResolution: approximate-string-matching widgets for database
+// records: ~96-state CCs with skip/branch connectivity (degree ≈ 4.6) —
+// 1000 CCs at paper scale.
+func genEntityResolution(target int, r *rand.Rand) *automata.NFA {
+	n := automata.New(8, 1)
+	code := 1
+	const letters = "aeionst" // small, skewed alphabet like real names
+	for n.NumStates() < target {
+		L := 90 + r.Intn(12)
+		// The record string for this CC (regular structure keeps the
+		// strided in-labels mergeable, as real ER automata are).
+		word := make([]byte, L)
+		for i := range word {
+			word[i] = letters[r.Intn(len(letters))]
+		}
+		ids := make([]automata.StateID, L)
+		for i := 0; i < L; i++ {
+			kind := automata.StartNone
+			if i < 2 {
+				kind = automata.StartAllInput
+			}
+			set := bitvec.ByteOf(word[i])
+			if i%3 == 0 {
+				set = set.Add(word[i] &^ 0x20) // case-insensitive position
+			}
+			ids[i] = n.AddState(automata.State{
+				Match:      automata.MatchSet{automata.Rect{set}},
+				Start:      kind,
+				Report:     i >= L-2,
+				ReportCode: code,
+			})
+		}
+		for i := 0; i < L; i++ {
+			// Dense but regular local connectivity: advance, skip one
+			// (deleted char), and a periodic gap self-loop.
+			for j := i + 1; j <= i+2 && j < L; j++ {
+				n.AddEdge(ids[i], ids[j])
+			}
+			if i%8 == 0 {
+				n.AddEdge(ids[i], ids[i])
+			}
+		}
+		code++
+	}
+	return n
+}
+
+// ---------- synthetic generators ----------
+
+// genBlockRings: rings of 231 states whose symbols repeat in blocks.
+func genBlockRings(target int, r *rand.Rand) *automata.NFA {
+	n := automata.New(8, 1)
+	code := 1
+	for n.NumStates() < target {
+		const L, block = 231, 21
+		syms := make([]byte, L)
+		for i := range syms {
+			syms[i] = byte('A' + (i/block)%11)
+		}
+		n.AddRing(syms, code)
+		code++
+	}
+	return n
+}
+
+// genCoreRings: two-state rings each matching one unique symbol — the
+// minimal-CC synthetic stressor.
+func genCoreRings(target int, r *rand.Rand) *automata.NFA {
+	n := automata.New(8, 1)
+	code := 1
+	for n.NumStates() < target {
+		s := byte(code % 251)
+		n.AddRing([]byte{s, s ^ 0x5A}, code)
+		code++
+	}
+	return n
+}
