@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover examples experiments clean
+.PHONY: all check build vet test test-short test-race bench cover examples experiments clean
 
-all: build vet test
+all: check
+
+# check is the default CI gate: compile, static analysis, full tests, and a
+# race-detector pass over the simulator (whose compiled form is shared
+# across RunParallel workers).
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -17,6 +22,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./internal/sim/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -205,17 +205,45 @@ func BenchmarkMachineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFunctionalSimulator compares the two graph-simulator engines —
+// the scalar reference Engine and the bit-parallel CompiledEngine that
+// sim.Run/sim.RunParallel use by default — on a regex workload (Dotstar06)
+// and a dense-activity mesh workload (Hamming), where the word-level match
+// masks and wired-OR successor rows pay off most.
 func BenchmarkFunctionalSimulator(b *testing.B) {
-	n := benchNFA(b)
-	input := workload.Input(n, 64*1024, 3)
-	e, err := sim.NewEngine(n)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.SetBytes(int64(len(input)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Run(input, nil)
+	for _, wl := range []struct {
+		name  string
+		scale float64
+	}{{"Dotstar06", 0.02}, {"Hamming", 0.05}} {
+		bench, _ := workload.Get(wl.name)
+		n, err := bench.Generate(wl.scale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		input := workload.Input(n, 64*1024, 3)
+		b.Run(wl.name+"/scalar", func(b *testing.B) {
+			e, err := sim.NewEngine(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Run(input, nil)
+			}
+		})
+		b.Run(wl.name+"/compiled", func(b *testing.B) {
+			c, err := sim.Compile(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := c.NewEngine()
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Run(input, nil)
+			}
+		})
 	}
 }
 

@@ -8,7 +8,11 @@
 //	impala-bench -list
 //
 // Experiment IDs: fig2 table1 table4 table5 fig13 fig14 fig11 fig12 table6
-// fig8 fig9 fig10 casestudy.
+// fig8 fig9 fig10 casestudy system ablate rounds squash software simspeed.
+//
+// The simspeed experiment compares the functional simulator's scalar
+// reference engine against the bit-parallel compiled engine (the default
+// behind every activity-driven experiment in this binary).
 package main
 
 import (

@@ -37,6 +37,7 @@ func main() {
 		overlap  = flag.Int("overlap", -1, "segment overlap bytes for -workers (-1 = derive from match span)")
 		quiet    = flag.Bool("q", false, "suppress per-match lines, print summary only")
 		trace    = flag.Bool("trace", false, "print per-cycle active-state traces (graph simulator only)")
+		engine   = flag.String("engine", "compiled", "graph simulator engine: compiled (bit-parallel) or scalar (reference)")
 	)
 	flag.Parse()
 
@@ -81,12 +82,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *trace {
-		e, err := sim.NewEngine(nfa)
-		if err != nil {
-			fatal(err)
+	runOnce := func(tracer sim.Tracer) ([]sim.Report, sim.Stats) {
+		switch *engine {
+		case "scalar":
+			e, err := sim.NewEngine(nfa)
+			if err != nil {
+				fatal(err)
+			}
+			r, s := e.Run(input, tracer)
+			return r, s
+		case "compiled":
+			c, err := sim.Compile(nfa)
+			if err != nil {
+				fatal(err)
+			}
+			r, s := c.NewEngine().Run(input, tracer)
+			return r, s
+		default:
+			fatal(fmt.Errorf("unknown -engine %q (want compiled or scalar)", *engine))
+			return nil, sim.Stats{}
 		}
-		reports, stats := e.Run(input, &cycleTracer{})
+	}
+	if *trace {
+		reports, stats := runOnce(&cycleTracer{})
 		fmt.Printf("input: %d bytes, %d cycles, %d reports\n", len(input), stats.Cycles, len(reports))
 		return
 	}
@@ -103,10 +121,7 @@ func main() {
 		fmt.Printf("input: %d bytes across %d workers, %d reports\n", len(input), *workers, len(reports))
 		return
 	}
-	reports, stats, err := sim.Run(nfa, input)
-	if err != nil {
-		fatal(err)
-	}
+	reports, stats := runOnce(nil)
 	if !*quiet {
 		for _, r := range reports {
 			fmt.Printf("match: pattern %d at byte %d\n", r.Code, r.BitPos/8)

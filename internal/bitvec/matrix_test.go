@@ -146,3 +146,80 @@ func TestWords(t *testing.T) {
 		t.Fatal("ClearAll broken")
 	}
 }
+
+func TestWordsOrIntoAndNotCopyFrom(t *testing.T) {
+	a := NewWords(200)
+	b := NewWords(200)
+	a.Set(3)
+	a.Set(70)
+	a.Set(199)
+	b.Set(70)
+	b.Set(100)
+
+	// OrInto: dst |= src.
+	dst := NewWords(200)
+	a.OrInto(dst)
+	b.OrInto(dst)
+	want := []int{3, 70, 100, 199}
+	var got []int
+	dst.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("OrInto bits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OrInto bits = %v, want %v", got, want)
+		}
+	}
+
+	// AndNot: dst = a \ b.
+	diff := NewWords(200)
+	a.AndNot(b, diff)
+	if diff.Count() != 2 || !diff.Get(3) || !diff.Get(199) || diff.Get(70) {
+		t.Fatalf("AndNot broken: count=%d", diff.Count())
+	}
+	// AndNot into an already-dirty destination must fully overwrite it.
+	diff.Set(100)
+	a.AndNot(b, diff)
+	if diff.Get(100) {
+		t.Fatal("AndNot did not overwrite destination")
+	}
+
+	// CopyFrom: full overwrite.
+	c := NewWords(200)
+	c.Set(5)
+	c.CopyFrom(a)
+	if c.Count() != a.Count() || !c.Get(3) || !c.Get(70) || !c.Get(199) || c.Get(5) {
+		t.Fatal("CopyFrom broken")
+	}
+}
+
+func TestWordsOpsRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(400)
+		a, b := NewWords(n), NewWords(n)
+		ra, rb := map[int]bool{}, map[int]bool{}
+		for k := 0; k < n/2+1; k++ {
+			i := r.Intn(n)
+			a.Set(i)
+			ra[i] = true
+			j := r.Intn(n)
+			b.Set(j)
+			rb[j] = true
+		}
+		or := NewWords(n)
+		or.CopyFrom(a)
+		b.OrInto(or)
+		andnot := NewWords(n)
+		a.AndNot(b, andnot)
+		for i := 0; i < n; i++ {
+			if or.Get(i) != (ra[i] || rb[i]) {
+				t.Fatalf("trial %d: OR bit %d wrong", trial, i)
+			}
+			if andnot.Get(i) != (ra[i] && !rb[i]) {
+				t.Fatalf("trial %d: ANDNOT bit %d wrong", trial, i)
+			}
+		}
+	}
+}

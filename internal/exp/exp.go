@@ -229,6 +229,7 @@ func Registry() map[string]Runner {
 		"rounds":    Reconfiguration,
 		"squash":    SquashWidth,
 		"software":  SoftwareBaseline,
+		"simspeed":  SimulatorSpeed,
 	}
 }
 
@@ -236,6 +237,6 @@ func Registry() map[string]Runner {
 func IDs() []string {
 	return []string{
 		"fig2", "table1", "table4", "table5", "fig13", "fig14",
-		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software",
+		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed",
 	}
 }

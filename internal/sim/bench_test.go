@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+// Micro-benchmarks for the two engines over low- and high-activity
+// workloads. Low activity (sparse literals over random input) is the
+// NIDS-style regime where few states are active per cycle; high activity
+// (a wide-range mesh where most states match most symbols) is the
+// Hamming/Levenshtein-style regime that dominates the scalar engine's
+// per-state dispatch cost and where the bit-parallel engine's word-level
+// phases pay off most.
+
+func benchInput(n int) []byte {
+	r := rand.New(rand.NewSource(17))
+	input := make([]byte, n)
+	for i := range input {
+		input[i] = byte(r.Intn(256))
+	}
+	return input
+}
+
+// lowActivityNFA: 64 eight-byte random literals, all-input start. On random
+// input almost no state past the first row ever activates.
+func lowActivityNFA() *automata.NFA {
+	r := rand.New(rand.NewSource(5))
+	n := automata.New(8, 1)
+	buf := make([]byte, 8)
+	for k := 0; k < 64; k++ {
+		for i := range buf {
+			buf[i] = byte('a' + r.Intn(26))
+		}
+		n.AddLiteral(string(buf), automata.StartAllInput, k)
+	}
+	return n
+}
+
+// highActivityNFA: a 512-state mesh of chained wide-range states (each
+// accepts 3/4 of the alphabet, with cross edges), so hundreds of states are
+// enabled and active every cycle.
+func highActivityNFA() *automata.NFA {
+	n := automata.New(8, 1)
+	const states = 512
+	wide := bitvec.ByteRange(0, 191)
+	prev := automata.StateID(-1)
+	for i := 0; i < states; i++ {
+		kind := automata.StartNone
+		if i%16 == 0 {
+			kind = automata.StartAllInput
+		}
+		id := n.AddState(automata.State{
+			Match:        automata.MatchSet{automata.Rect{wide}},
+			Start:        kind,
+			Report:       i%64 == 63,
+			ReportCode:   i,
+			ReportOffset: 1,
+		})
+		if prev >= 0 {
+			n.AddEdge(prev, id)
+			if i >= 8 {
+				n.AddEdge(id-8, id)
+			}
+		}
+		prev = id
+	}
+	return n
+}
+
+func benchWorkloads(b *testing.B) map[string]*automata.NFA {
+	b.Helper()
+	return map[string]*automata.NFA{
+		"low":  lowActivityNFA(),
+		"high": highActivityNFA(),
+	}
+}
+
+func BenchmarkEngineScalar(b *testing.B) {
+	input := benchInput(64 * 1024)
+	for name, n := range benchWorkloads(b) {
+		b.Run(name, func(b *testing.B) {
+			e, err := NewEngine(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Run(input, nil)
+			}
+		})
+	}
+}
+
+func BenchmarkEngineCompiled(b *testing.B) {
+	input := benchInput(64 * 1024)
+	for name, n := range benchWorkloads(b) {
+		b.Run(name, func(b *testing.B) {
+			c, err := Compile(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := c.NewEngine()
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Run(input, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkCompile isolates the one-time compilation cost that Run and
+// RunParallel now pay up front (and RunParallel no longer pays per worker).
+func BenchmarkCompile(b *testing.B) {
+	for name, n := range benchWorkloads(b) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

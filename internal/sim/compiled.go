@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"math/bits"
+	"sort"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+// Compiled is the bit-parallel compiled form of an automaton — the software
+// rendering of the paper's two-phase in-memory datapath. Where the scalar
+// Engine dispatches per enabled state, Compiled precomputes:
+//
+//   - per-position symbol mask tables: masks[p][v] is the bit-vector of
+//     states whose match rule accepts sub-symbol v at stride position p.
+//     The state-match phase is then S word-wise ANDs over the whole state
+//     vector — exactly the hardware's one-column-read-per-dimension
+//     followed by the capsule AND gate, evaluated for every state at once.
+//   - a dense successor matrix (one row per state): the state-transition
+//     phase ORs the row of each active state into the enable vector via
+//     bitvec.Matrix.OrRowInto — the wired-OR of successor rows on the
+//     interconnect bit-lines.
+//
+// States whose MatchSet is not position-decomposable (a union of rects that
+// is not itself a cartesian product) cannot be expressed as one column per
+// dimension; they are kept on a small residual list and matched scalar per
+// cycle, exactly as the hardware would need a split state per rect.
+//
+// A Compiled value is immutable after Compile and safe to share across
+// goroutines; per-run mutable state lives in CompiledEngine.
+type Compiled struct {
+	nfa *automata.NFA
+
+	// masks[p][v]: states accepting sub-symbol v at stride position p.
+	// Residual states have zero bits in every mask.
+	masks [][]bitvec.Words
+	// residual lists non-decomposable states, ascending; residualEnable is
+	// their membership mask.
+	residual []automata.StateID
+
+	// succ row i holds the enable mask of state i's successors.
+	succ *bitvec.Matrix
+
+	// Enable-source masks and fast-path flags (skip the OR when a class of
+	// start states does not exist at all).
+	always, startOfData, even bitvec.Words
+	anyStartOfData, anyEven   bool
+
+	// reportingMask gates the report loop: cycles where
+	// active ∧ reportingMask = 0 skip report handling entirely.
+	reportingMask bitvec.Words
+	anyReports    bool
+}
+
+// Compile precompiles the automaton into its bit-parallel form. The
+// automaton must validate; it must not be mutated while the compiled form
+// is in use (the compiled form aliases it for residual matching and report
+// metadata).
+func Compile(n *automata.NFA) (*Compiled, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	ns := n.NumStates()
+	S := n.Stride
+	dom := automata.DomainSize(n.Bits)
+
+	c := &Compiled{
+		nfa:           n,
+		succ:          bitvec.NewMatrix(ns, ns),
+		always:        bitvec.NewWords(ns),
+		startOfData:   bitvec.NewWords(ns),
+		even:          bitvec.NewWords(ns),
+		reportingMask: bitvec.NewWords(ns),
+	}
+	c.masks = make([][]bitvec.Words, S)
+	for p := range c.masks {
+		c.masks[p] = make([]bitvec.Words, dom)
+		for v := range c.masks[p] {
+			c.masks[p][v] = bitvec.NewWords(ns)
+		}
+	}
+
+	for i := range n.States {
+		s := &n.States[i]
+		for _, t := range s.Out {
+			c.succ.Set(i, int(t))
+		}
+		switch s.Start {
+		case automata.StartAllInput:
+			c.always.Set(i)
+		case automata.StartOfData:
+			c.startOfData.Set(i)
+			c.anyStartOfData = true
+		case automata.StartEven:
+			c.even.Set(i)
+			c.anyEven = true
+		}
+		if s.Report {
+			c.reportingMask.Set(i)
+			c.anyReports = true
+		}
+		if dims, ok := decompose(s.Match, S); ok {
+			for p := 0; p < S; p++ {
+				for _, v := range dims[p].Values() {
+					c.masks[p][v].Set(i)
+				}
+			}
+		} else {
+			c.residual = append(c.residual, automata.StateID(i))
+		}
+	}
+	// Warm the successor matrix's row-extent cache now, while compilation is
+	// still single-threaded: the Compiled form is shared across RunParallel
+	// workers, which must only read it.
+	c.succ.OrRowsInto(nil, nil)
+	return c, nil
+}
+
+// decompose returns per-position symbol sets D with m = D[0]×…×D[S-1] when
+// the match set is such a cartesian product (position-decomposable), which
+// is exactly the shape one capsule's per-dimension columns can express. A
+// single rect is trivially a product; a union of rects is one iff it equals
+// the product of its per-position projections.
+func decompose(m automata.MatchSet, S int) (automata.Rect, bool) {
+	nonEmpty := make(automata.MatchSet, 0, len(m))
+	for _, r := range m {
+		if !r.Empty() {
+			nonEmpty = append(nonEmpty, r)
+		}
+	}
+	if len(nonEmpty) == 1 {
+		return nonEmpty[0], true
+	}
+	prod := make(automata.Rect, S)
+	for p := range prod {
+		var u bitvec.ByteSet
+		for _, r := range nonEmpty {
+			u = u.Union(r[p])
+		}
+		prod[p] = u
+	}
+	// m ⊆ product holds by construction; m is decomposable iff product ⊆ m.
+	if (automata.MatchSet{prod}).SubsetOf(nonEmpty) {
+		return prod, true
+	}
+	return nil, false
+}
+
+// NFA returns the automaton this form was compiled from.
+func (c *Compiled) NFA() *automata.NFA { return c.nfa }
+
+// ResidualStates returns the number of states matched on the scalar
+// fallback path (non-position-decomposable match sets).
+func (c *Compiled) ResidualStates() int { return len(c.residual) }
+
+// CompiledEngine executes a shared Compiled form over input streams. It
+// owns only per-run buffers, so creating one per goroutine is cheap; it is
+// reusable across runs but not safe for concurrent use.
+type CompiledEngine struct {
+	c                           *Compiled
+	enabled, active, prevActive bitvec.Words
+	chunk                       []byte
+}
+
+// NewEngine allocates per-run state for executing the compiled automaton.
+func (c *Compiled) NewEngine() *CompiledEngine {
+	ns := c.nfa.NumStates()
+	return &CompiledEngine{
+		c:          c,
+		enabled:    bitvec.NewWords(ns),
+		active:     bitvec.NewWords(ns),
+		prevActive: bitvec.NewWords(ns),
+		chunk:      make([]byte, c.nfa.Stride),
+	}
+}
+
+// Run executes the compiled automaton over input and returns all reports
+// sorted by (BitPos, Code, State) plus activity statistics. tracer may be
+// nil. Reports and statistics are identical to the scalar Engine's.
+func (e *CompiledEngine) Run(input []byte, tracer Tracer) ([]Report, Stats) {
+	return e.run(input, tracer, true)
+}
+
+// run is the engine inner loop. anchors=false demotes start-of-data states
+// to plain states by skipping their enable OR on cycle 0 — used by
+// RunParallel for segments that do not begin at the true start of the
+// stream, replacing the per-worker NFA clone the scalar path used.
+func (e *CompiledEngine) run(input []byte, tracer Tracer, anchors bool) ([]Report, Stats) {
+	c := e.c
+	n := c.nfa
+	syms := SubSymbols(n.Bits, input)
+	totalBits := len(syms) * n.Bits
+	S := n.Stride
+	cycles := (len(syms) + S - 1) / S
+
+	var reports []Report
+	var stats Stats
+	enabled, active, prev := e.enabled, e.active, e.prevActive
+	prev.ClearAll()
+
+	for t := 0; t < cycles; t++ {
+		// Build the chunk, zero-padding past end of input (reports whose
+		// true consumed position exceeds the input are filtered below).
+		base := t * S
+		for i := 0; i < S; i++ {
+			if p := base + i; p < len(syms) {
+				e.chunk[i] = syms[p]
+			} else {
+				e.chunk[i] = 0
+			}
+		}
+
+		// State-transition phase (from previous cycle): the enable vector
+		// is the OR of the start-enable masks due this cycle and the
+		// successor rows of every previously active state.
+		enabled.CopyFrom(c.always)
+		if anchors && t == 0 && c.anyStartOfData {
+			c.startOfData.OrInto(enabled)
+		}
+		if t%2 == 0 && c.anyEven {
+			c.even.OrInto(enabled)
+		}
+		c.succ.OrRowsInto(prev, enabled)
+
+		// State-match phase: active = enabled ∧ mask[0][chunk[0]] ∧ … ∧
+		// mask[S-1][chunk[S-1]] — S word-wise ANDs across all states.
+		m0 := c.masks[0][e.chunk[0]][:len(active)]
+		en := enabled[:len(active)]
+		for w := range active {
+			active[w] = en[w] & m0[w]
+		}
+		for p := 1; p < S; p++ {
+			mp := c.masks[p][e.chunk[p]][:len(active)]
+			for w := range active {
+				active[w] &= mp[w]
+			}
+		}
+		// Residual scalar path: non-decomposable match sets.
+		for _, id := range c.residual {
+			if enabled.Get(int(id)) && n.States[id].Match.Has(e.chunk) {
+				active.Set(int(id))
+			}
+		}
+
+		// Reporting: word-level gate, then per-bit only on reporter words.
+		if c.anyReports {
+			for w, word := range active {
+				word &= c.reportingMask[w]
+				for word != 0 {
+					i := w<<6 + bits.TrailingZeros64(word)
+					word &= word - 1
+					s := &n.States[i]
+					bitPos := (base + s.ReportOffset) * n.Bits
+					if bitPos <= totalBits {
+						reports = append(reports, Report{BitPos: bitPos, Code: s.ReportCode, State: automata.StateID(i)})
+					}
+				}
+			}
+		}
+
+		// Stats + trace.
+		na := active.Count()
+		stats.TotalActive += int64(na)
+		stats.TotalEnabled += int64(enabled.Count())
+		if na > stats.PeakActive {
+			stats.PeakActive = na
+		}
+		if tracer != nil {
+			tracer.OnCycle(t, enabled, active)
+		}
+
+		prev, active = active, prev
+	}
+	e.active, e.prevActive = active, prev
+
+	stats.Cycles = cycles
+	stats.Reports = len(reports)
+	if cycles > 0 {
+		stats.ActivePerCycleAvg = float64(stats.TotalActive) / float64(cycles)
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].BitPos != reports[j].BitPos {
+			return reports[i].BitPos < reports[j].BitPos
+		}
+		if reports[i].Code != reports[j].Code {
+			return reports[i].Code < reports[j].Code
+		}
+		return reports[i].State < reports[j].State
+	})
+	return reports, stats
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+)
+
+// randomNFAAllGeometries draws automata across every supported (Bits,
+// Stride) geometry, every start kind, and a mix of single-rect,
+// decomposable-union and non-decomposable-union match sets — the latter to
+// exercise the compiled engine's residual scalar path.
+func randomNFAAllGeometries(r *rand.Rand) *automata.NFA {
+	bits := []int{2, 4, 8}[r.Intn(3)]
+	stride := []int{1, 2, 4, 8}[r.Intn(4)]
+	n := automata.New(bits, stride)
+	dom := automata.DomainSize(bits)
+	states := 3 + r.Intn(12)
+	for i := 0; i < states; i++ {
+		ms := automata.MatchSet{}
+		for k := 0; k < 1+r.Intn(3); k++ {
+			rect := make(automata.Rect, stride)
+			for d := range rect {
+				var set bitvec.ByteSet
+				for v := 0; v < 1+r.Intn(3); v++ {
+					set = set.Add(byte(r.Intn(dom)))
+				}
+				if r.Intn(5) == 0 {
+					set = automata.Domain(bits)
+				}
+				rect[d] = set
+			}
+			ms = ms.Add(rect)
+		}
+		kind := automata.StartNone
+		switch r.Intn(6) {
+		case 0:
+			kind = automata.StartAllInput
+		case 1:
+			kind = automata.StartOfData
+		case 2:
+			kind = automata.StartEven
+		}
+		if i == 0 {
+			kind = automata.StartAllInput
+		}
+		n.AddState(automata.State{
+			Match:        ms,
+			Start:        kind,
+			Report:       r.Intn(3) == 0,
+			ReportCode:   i,
+			ReportOffset: 1 + r.Intn(stride),
+		})
+	}
+	for k := 0; k < states*2; k++ {
+		n.AddEdge(automata.StateID(r.Intn(states)), automata.StateID(r.Intn(states)))
+	}
+	n.DedupEdges()
+	return n
+}
+
+// Property: CompiledEngine and the scalar Engine produce identical report
+// lists (field-by-field, not just keys) and identical activity statistics
+// on random automata of every geometry.
+func TestCompiledMatchesScalarFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	sawResidual := false
+	for trial := 0; trial < trials; trial++ {
+		n := randomNFAAllGeometries(r)
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.ResidualStates() > 0 {
+			sawResidual = true
+		}
+		scalar, err := NewEngine(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled := c.NewEngine()
+		for k := 0; k < 4; k++ {
+			input := make([]byte, r.Intn(50))
+			for i := range input {
+				input[i] = byte(r.Intn(256))
+			}
+			wantR, wantS := scalar.Run(input, nil)
+			gotR, gotS := compiled.Run(input, nil)
+			if len(gotR) != len(wantR) {
+				t.Fatalf("trial %d: compiled %d reports, scalar %d", trial, len(gotR), len(wantR))
+			}
+			for i := range gotR {
+				if gotR[i] != wantR[i] {
+					t.Fatalf("trial %d report %d: compiled %+v, scalar %+v", trial, i, gotR[i], wantR[i])
+				}
+			}
+			if gotS != wantS {
+				t.Fatalf("trial %d: compiled stats %+v, scalar stats %+v", trial, gotS, wantS)
+			}
+		}
+	}
+	if !sawResidual {
+		t.Fatal("fuzz corpus never exercised the residual scalar path")
+	}
+}
+
+// A union of rects that is a cartesian product must compile to pure mask
+// form; a union that is not must fall back to the residual list — and both
+// must match exactly.
+func TestCompiledDecomposability(t *testing.T) {
+	// {a}×{x} ∪ {b}×{x} = {a,b}×{x}: decomposable.
+	dec := automata.New(8, 2)
+	dec.AddState(automata.State{
+		Match: automata.MatchSet{
+			automata.Rect{bitvec.ByteOf('a'), bitvec.ByteOf('x')},
+			automata.Rect{bitvec.ByteOf('b'), bitvec.ByteOf('x')},
+		},
+		Start:      automata.StartAllInput,
+		Report:     true,
+		ReportCode: 1,
+	})
+	c, err := Compile(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ResidualStates() != 0 {
+		t.Fatalf("product union compiled to %d residual states, want 0", c.ResidualStates())
+	}
+
+	// {a}×{x} ∪ {b}×{y}: the product closure would also accept (a,y) and
+	// (b,x) — not decomposable.
+	res := automata.New(8, 2)
+	res.AddState(automata.State{
+		Match: automata.MatchSet{
+			automata.Rect{bitvec.ByteOf('a'), bitvec.ByteOf('x')},
+			automata.Rect{bitvec.ByteOf('b'), bitvec.ByteOf('y')},
+		},
+		Start:      automata.StartAllInput,
+		Report:     true,
+		ReportCode: 1,
+	})
+	c, err = Compile(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ResidualStates() != 1 {
+		t.Fatalf("diagonal union compiled to %d residual states, want 1", c.ResidualStates())
+	}
+	e := c.NewEngine()
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{
+		{"axby", 2}, {"aybx", 0}, {"axax", 2}, {"aabb", 0}, {"by", 1},
+	} {
+		reports, _ := e.Run([]byte(tc.in), nil)
+		if len(reports) != tc.want {
+			t.Fatalf("input %q: %d reports, want %d", tc.in, len(reports), tc.want)
+		}
+	}
+}
+
+// The compiled engine must be reusable across runs with no state leaking
+// from one run into the next.
+func TestCompiledEngineReuse(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("ab", automata.StartOfData, 1)
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := c.NewEngine()
+	r1, s1 := e.Run([]byte("abab"), nil)
+	r2, s2 := e.Run([]byte("abab"), nil)
+	if len(r1) != 1 || len(r2) != len(r1) || s1 != s2 {
+		t.Fatalf("engine reuse diverged: run1 %v %+v, run2 %v %+v", r1, s1, r2, s2)
+	}
+}
+
+// Sharing one Compiled form across concurrent engines must be safe (the
+// form is immutable; only CompiledEngine buffers are per-goroutine).
+func TestCompiledSharedAcrossGoroutines(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("needle", automata.StartAllInput, 7)
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("hay needle hay needle")
+	want, _ := c.NewEngine().Run(input, nil)
+	done := make(chan bool, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			e := c.NewEngine()
+			for k := 0; k < 50; k++ {
+				got, _ := e.Run(input, nil)
+				if len(got) != len(want) {
+					done <- false
+					return
+				}
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if !<-done {
+			t.Fatal("concurrent run diverged")
+		}
+	}
+}
+
+// RunParallel on an anchored automaton must only fire the anchor on the
+// true start of data, matching single-worker semantics — now via the shared
+// compiled form rather than per-worker NFA clones.
+func TestCompiledParallelAnchored(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("ab", automata.StartOfData, 1)
+	n.AddLiteral("xyz", automata.StartAllInput, 2)
+	input := []byte("ab xyz ab xyz ab xyz ab xyz")
+	want, _, err := Run(n, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 5} {
+		got, err := RunParallel(n, input, workers, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameReports(got, want) {
+			t.Fatalf("workers=%d: parallel %v, serial %v", workers, got, want)
+		}
+	}
+}

@@ -13,6 +13,10 @@ import (
 // technique the paper cites as complementary (replicating an automaton and
 // splitting the input raises throughput when spare capacity exists).
 //
+// The automaton is validated and compiled to its bit-parallel form exactly
+// once; the immutable Compiled form is shared across workers, each of which
+// only allocates its own CompiledEngine run buffers.
+//
 // Each worker's segment is extended backwards by overlapBytes so matches
 // straddling a split point are still observed; reports that end inside the
 // overlap are attributed to (and deduplicated against) the previous
@@ -41,17 +45,17 @@ func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Re
 		}
 		overlapBytes = span * chunkBytes
 	}
+	c, err := Compile(n)
+	if err != nil {
+		return nil, err
+	}
 	if workers == 1 || len(input) == 0 {
-		r, _, err := Run(n, input)
-		return r, err
+		r, _ := c.NewEngine().Run(input, nil)
+		return r, nil
 	}
 
 	segBytes := (len(input) + workers - 1) / workers
-	type result struct {
-		reports []Report
-		err     error
-	}
-	results := make([]result, workers)
+	reportsPerWorker := make([][]Report, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		segStart := w * segBytes
@@ -69,18 +73,11 @@ func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Re
 		wg.Add(1)
 		go func(w, extStart, segStart, segEnd int) {
 			defer wg.Done()
-			work := n
-			if w > 0 && hasAnchored(n) {
-				// Anchored states must not fire at an artificial segment
-				// boundary.
-				work = stripAnchored(n)
-			}
-			e, err := NewEngine(work)
-			if err != nil {
-				results[w] = result{err: err}
-				return
-			}
-			reports, _ := e.Run(input[extStart:segEnd], nil)
+			// Anchored states must not fire at an artificial segment
+			// boundary: only the first worker (whose segment begins at the
+			// true start of data) runs with anchors enabled.
+			e := c.NewEngine()
+			reports, _ := e.run(input[extStart:segEnd], nil, w == 0)
 			baseBits := extStart * 8
 			keepAfter := segStart * 8
 			var kept []Report
@@ -91,17 +88,14 @@ func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Re
 					kept = append(kept, r)
 				}
 			}
-			results[w] = result{reports: kept}
+			reportsPerWorker[w] = kept
 		}(w, extStart, segStart, segEnd)
 	}
 	wg.Wait()
 
 	var all []Report
-	for _, res := range results {
-		if res.err != nil {
-			return nil, res.err
-		}
-		all = append(all, res.reports...)
+	for _, rs := range reportsPerWorker {
+		all = append(all, rs...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].BitPos != all[j].BitPos {
@@ -121,26 +115,4 @@ func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Re
 		dedup = append(dedup, r)
 	}
 	return dedup, nil
-}
-
-func hasAnchored(n *automata.NFA) bool {
-	for i := range n.States {
-		if n.States[i].Start == automata.StartOfData {
-			return true
-		}
-	}
-	return false
-}
-
-// stripAnchored returns a copy with anchored starts demoted to non-starts.
-func stripAnchored(n *automata.NFA) *automata.NFA {
-	c := n.Clone()
-	for i := range c.States {
-		if c.States[i].Start == automata.StartOfData {
-			c.States[i].Start = automata.StartNone
-		}
-	}
-	// Demotion can orphan whole anchored components; that is fine — they
-	// simply never activate in this segment.
-	return c
 }

@@ -44,11 +44,11 @@ func ProfileRun(n *automata.NFA, p *Profile, input []byte) ([]Report, error) {
 	if len(p.Enabled) != n.NumStates() {
 		return nil, fmt.Errorf("sim: profile sized for %d states, automaton has %d", len(p.Enabled), n.NumStates())
 	}
-	e, err := NewEngine(n)
+	c, err := Compile(n)
 	if err != nil {
 		return nil, err
 	}
-	reports, _ := e.Run(input, &profileTracer{p: p})
+	reports, _ := c.NewEngine().Run(input, &profileTracer{p: p})
 	return reports, nil
 }
 

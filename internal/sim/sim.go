@@ -52,8 +52,11 @@ type Tracer interface {
 	OnCycle(cycle int, enabled, active bitvec.Words)
 }
 
-// Engine executes one automaton over input streams. It is reusable across
-// runs but not safe for concurrent use.
+// Engine executes one automaton over input streams, dispatching scalar
+// state-by-state. It is the straightforward rendering of the execution
+// semantics and serves as the reference oracle for the bit-parallel
+// CompiledEngine (the default behind Run/RunParallel). It is reusable
+// across runs but not safe for concurrent use.
 type Engine struct {
 	nfa *automata.NFA
 	// enable working sets
@@ -215,13 +218,15 @@ func (e *Engine) Run(input []byte, tracer Tracer) ([]Report, Stats) {
 	return reports, stats
 }
 
-// Run is a convenience one-shot execution.
+// Run is a convenience one-shot execution. It uses the bit-parallel
+// CompiledEngine; the scalar Engine remains available as the reference
+// oracle (differential tests assert the two are byte-identical).
 func Run(n *automata.NFA, input []byte) ([]Report, Stats, error) {
-	e, err := NewEngine(n)
+	c, err := Compile(n)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	r, s := e.Run(input, nil)
+	r, s := c.NewEngine().Run(input, nil)
 	return r, s, nil
 }
 
