@@ -12,7 +12,9 @@
 //
 // The simspeed experiment compares the functional simulator's scalar
 // reference engine against the bit-parallel compiled engine (the default
-// behind every activity-driven experiment in this binary).
+// behind every activity-driven experiment in this binary), and sweeps the
+// incremental Session/Feed streaming path across chunk sizes, reporting
+// throughput and allocs per Feed call (zero in steady state).
 package main
 
 import (

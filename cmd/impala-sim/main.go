@@ -7,6 +7,7 @@
 //	impala-sim -nfa out.json -in payload.bin
 //	impala-sim -patterns 'GET /,POST /' -stride 4 -in payload.bin
 //	impala-sim -patterns needle -text 'haystack needle'
+//	impala-sim -patterns needle -in payload.bin -chunk 1460   # streaming path
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress per-match lines, print summary only")
 		trace    = flag.Bool("trace", false, "print per-cycle active-state traces (graph simulator only)")
 		engine   = flag.String("engine", "compiled", "graph simulator engine: compiled (bit-parallel) or scalar (reference)")
+		chunk    = flag.Int("chunk", 0, "drive the streaming path, feeding the input in chunks of N bytes (0 = batch)")
 	)
 	flag.Parse()
 
@@ -65,7 +67,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		reports, stats := m.Run(input)
+		var reports []sim.Report
+		var stats arch.ActivityStats
+		if *chunk > 0 {
+			s := m.NewSession(func(r sim.Report) { reports = append(reports, r) })
+			feedChunks(s.Feed, input, *chunk)
+			s.Flush()
+			sim.SortReports(reports)
+			stats = s.Activity()
+		} else {
+			reports, stats = m.Run(input)
+		}
 		if !*quiet {
 			for _, r := range reports {
 				fmt.Printf("match: pattern %d at byte %d\n", r.Code, r.BitPos/8)
@@ -82,26 +94,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	runOnce := func(tracer sim.Tracer) ([]sim.Report, sim.Stats) {
+	makeCore := func() sim.Core {
 		switch *engine {
 		case "scalar":
 			e, err := sim.NewEngine(nfa)
 			if err != nil {
 				fatal(err)
 			}
-			r, s := e.Run(input, tracer)
-			return r, s
+			return e
 		case "compiled":
 			c, err := sim.Compile(nfa)
 			if err != nil {
 				fatal(err)
 			}
-			r, s := c.NewEngine().Run(input, tracer)
-			return r, s
+			return c.NewEngine()
 		default:
 			fatal(fmt.Errorf("unknown -engine %q (want compiled or scalar)", *engine))
-			return nil, sim.Stats{}
+			return nil
 		}
+	}
+	// Batch and streaming share the session core; -chunk only changes how
+	// the input reaches Feed.
+	runOnce := func(tracer sim.Tracer) ([]sim.Report, sim.Stats) {
+		var reports []sim.Report
+		s := sim.NewSession(makeCore(), func(r sim.Report) { reports = append(reports, r) })
+		s.SetTracer(tracer)
+		if *chunk > 0 {
+			feedChunks(s.Feed, input, *chunk)
+		} else {
+			s.Feed(input)
+		}
+		s.Flush()
+		sim.SortReports(reports)
+		return reports, s.Stats()
 	}
 	if *trace {
 		reports, stats := runOnce(&cycleTracer{})
@@ -127,9 +152,25 @@ func main() {
 			fmt.Printf("match: pattern %d at byte %d\n", r.Code, r.BitPos/8)
 		}
 	}
-	fmt.Printf("input: %d bytes, %d cycles (%d bits/cycle)\n", len(input), stats.Cycles, nfa.BitsPerCycle())
+	if *chunk > 0 {
+		fmt.Printf("input: %d bytes streamed in %d-byte chunks, %d cycles (%d bits/cycle)\n",
+			len(input), *chunk, stats.Cycles, nfa.BitsPerCycle())
+	} else {
+		fmt.Printf("input: %d bytes, %d cycles (%d bits/cycle)\n", len(input), stats.Cycles, nfa.BitsPerCycle())
+	}
 	fmt.Printf("reports: %d   active/cycle avg: %.2f   peak active: %d\n",
 		stats.Reports, stats.ActivePerCycleAvg, stats.PeakActive)
+}
+
+// feedChunks drives feed over input in chunks of at most size bytes.
+func feedChunks(feed func([]byte), input []byte, size int) {
+	for off := 0; off < len(input); off += size {
+		end := off + size
+		if end > len(input) {
+			end = len(input)
+		}
+		feed(input[off:end])
+	}
 }
 
 // cycleTracer prints a compact per-cycle activity line.

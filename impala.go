@@ -79,6 +79,7 @@ type Machine struct {
 	transformed *automata.NFA
 	placement   *place.Placement
 	machine     *arch.Machine
+	simc        *sim.Compiled
 	compile     *core.Result
 }
 
@@ -130,12 +131,17 @@ func CompileAutomaton(nfa *automata.NFA, cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	simc, err := sim.Compile(res.NFA)
+	if err != nil {
+		return nil, err
+	}
 	return &Machine{
 		cfg:         cfg,
 		original:    nfa,
 		transformed: res.NFA,
 		placement:   pl,
 		machine:     m,
+		simc:        simc,
 		compile:     res,
 	}, nil
 }
@@ -154,7 +160,7 @@ func (m *Machine) Run(input []byte) []Match {
 // derives the safe segment overlap from the automaton's maximum match span
 // (an error is returned if spans are unbounded — loops on reporting paths).
 func (m *Machine) RunParallel(input []byte, workers, overlapBytes int) ([]Match, error) {
-	reports, err := sim.RunParallel(m.transformed, input, workers, overlapBytes)
+	reports, err := m.simc.RunParallel(input, workers, overlapBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -163,14 +169,98 @@ func (m *Machine) RunParallel(input []byte, workers, overlapBytes int) ([]Match,
 
 // Simulate matches the input using the functional graph simulator instead
 // of the capsule-level machine. The two always agree; Simulate exists for
-// cross-checking and for workloads where the graph engine is faster.
+// cross-checking and for workloads where the graph engine is faster. The
+// bit-parallel compiled form is built once per Machine and shared.
 func (m *Machine) Simulate(input []byte) ([]Match, error) {
-	reports, _, err := sim.Run(m.transformed, input)
-	if err != nil {
-		return nil, err
-	}
+	reports, _ := m.simc.NewEngine().Run(input, nil)
 	return toMatches(reports), nil
 }
+
+// Stream is one incremental input stream over the compiled machine: bytes
+// arrive in arbitrary chunks (a packet flow, a file read loop) and the
+// callback fires as matches complete, with no per-chunk allocation in
+// steady state. Many streams may run concurrently over one Machine — the
+// compiled form is immutable and shared; each stream owns only its state
+// vectors. A Stream is not safe for concurrent use by itself.
+type Stream struct {
+	sess         *sim.Session
+	onMatch      func(Match)
+	bitsPerCycle int
+	// Per-window match dedup: several split states can report the same
+	// (End, Pattern) in nearby cycles; entries older than the collision
+	// window are retired as the stream advances.
+	curCycle int
+	seen     []streamSeen
+}
+
+type streamSeen struct {
+	m   Match
+	cyc int
+}
+
+// NewStream opens an incremental stream over the machine. onMatch is
+// invoked once per distinct match as it completes (nil to count only).
+func (m *Machine) NewStream(onMatch func(Match)) *Stream {
+	s := &Stream{
+		onMatch:      onMatch,
+		bitsPerCycle: m.transformed.BitsPerCycle(),
+		curCycle:     -1,
+	}
+	s.sess = m.simc.NewSession(s.report)
+	return s
+}
+
+func (s *Stream) report(r sim.Report) {
+	// Reports arrive in cycle order; two reports can denote the same match
+	// (same end byte and pattern) only if their bit positions lie in the
+	// same byte, which bounds their cycle distance by 8/bitsPerCycle < 8.
+	cyc := (r.BitPos - 1) / s.bitsPerCycle
+	if cyc > s.curCycle {
+		s.curCycle = cyc
+		keep := s.seen[:0]
+		for _, e := range s.seen {
+			if e.cyc >= cyc-8 {
+				keep = append(keep, e)
+			}
+		}
+		s.seen = keep
+	}
+	mt := Match{End: r.BitPos / 8, Pattern: r.Code}
+	for _, e := range s.seen {
+		if e.m == mt {
+			return
+		}
+	}
+	s.seen = append(s.seen, streamSeen{m: mt, cyc: cyc})
+	if s.onMatch != nil {
+		s.onMatch(mt)
+	}
+}
+
+// Feed consumes the next chunk of the stream; matches that complete inside
+// it (or that straddle earlier chunk boundaries) fire the callback. Match
+// end offsets are absolute within the stream.
+func (s *Stream) Feed(chunk []byte) { s.sess.Feed(chunk) }
+
+// Write implements io.Writer, so a Stream can terminate any byte pipeline.
+func (s *Stream) Write(p []byte) (int, error) {
+	s.sess.Feed(p)
+	return len(p), nil
+}
+
+// Flush ends the stream, completing any final partial cycle. Feed after
+// Flush panics; Reset starts a new stream.
+func (s *Stream) Flush() { s.sess.Flush() }
+
+// Reset returns the stream to the start-of-stream state for reuse.
+func (s *Stream) Reset() {
+	s.sess.Reset()
+	s.curCycle = -1
+	s.seen = s.seen[:0]
+}
+
+// Stats returns the functional activity statistics of the stream so far.
+func (s *Stream) Stats() sim.Stats { return s.sess.Stats() }
 
 func toMatches(reports []sim.Report) []Match {
 	seen := make(map[Match]bool, len(reports))

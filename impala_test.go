@@ -3,6 +3,7 @@ package impala
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"regexp"
 	"strings"
@@ -179,6 +180,117 @@ func TestRunParallelFacade(t *testing.T) {
 	for i := range seq {
 		if seq[i] != par[i] {
 			t.Fatalf("mismatch at %d: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}
+
+// A Stream fed arbitrary chunk partitions must observe exactly the matches
+// of the batch paths, with absolute end offsets, and be reusable after
+// Reset. Several streams share one compiled machine.
+func TestStreamMatchesRun(t *testing.T) {
+	m, err := CompileRegex([]string{"GET /", "POST /", "needle"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(21))
+	corpus := []byte(strings.Repeat("GET /a needle POST /b xyzneedle ", 8))
+	want := m.Run(corpus)
+	wantSet := map[Match]bool{}
+	for _, mt := range want {
+		wantSet[mt] = true
+	}
+
+	for trial := 0; trial < 6; trial++ {
+		var got []Match
+		s := m.NewStream(func(mt Match) { got = append(got, mt) })
+		for pass := 0; pass < 2; pass++ {
+			got = nil
+			for pos := 0; pos < len(corpus); {
+				sz := 1 + r.Intn(9)
+				if sz > len(corpus)-pos {
+					sz = len(corpus) - pos
+				}
+				s.Feed(corpus[pos : pos+sz])
+				pos += sz
+			}
+			s.Flush()
+			if len(got) != len(want) {
+				t.Fatalf("trial %d pass %d: stream %d matches, batch %d\nstream: %v\nbatch:  %v",
+					trial, pass, len(got), len(want), got, want)
+			}
+			for _, mt := range got {
+				if !wantSet[mt] {
+					t.Fatalf("trial %d: stream produced %+v not in batch set", trial, mt)
+				}
+			}
+			s.Reset()
+		}
+	}
+}
+
+// Stream implements io.Writer, so any byte pipeline can terminate in the
+// matcher; matches fire during Copy.
+func TestStreamAsWriter(t *testing.T) {
+	m, err := CompileRegex([]string{"abc"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	s := m.NewStream(func(Match) { count++ })
+	var w io.Writer = s
+	if _, err := io.Copy(w, bytes.NewReader([]byte("xxabcxxabc"))); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if count != 2 {
+		t.Fatalf("stream saw %d matches, want 2", count)
+	}
+}
+
+// Many concurrent streams over one machine must not interfere: the compiled
+// form is immutable and shared, stream state is private.
+func TestConcurrentStreams(t *testing.T) {
+	m, err := CompileRegex([]string{"abc", "cba"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{
+		[]byte(strings.Repeat("abc", 50)),
+		[]byte(strings.Repeat("cba", 50)),
+		[]byte(strings.Repeat("xyz", 50)),
+	}
+	wants := make([]int, len(inputs))
+	for i, in := range inputs {
+		wants[i] = len(m.Run(in))
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			in, want := inputs[g%len(inputs)], wants[g%len(inputs)]
+			count := 0
+			s := m.NewStream(func(Match) { count++ })
+			for k := 0; k < 20; k++ {
+				count = 0
+				for i := 0; i < len(in); i += 7 {
+					end := i + 7
+					if end > len(in) {
+						end = len(in)
+					}
+					s.Feed(in[i:end])
+				}
+				s.Flush()
+				if count != want {
+					done <- fmt.Errorf("goroutine %d run %d: %d matches, want %d", g, k, count, want)
+					return
+				}
+				s.Reset()
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
 		}
 	}
 }

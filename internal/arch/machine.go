@@ -2,7 +2,6 @@ package arch
 
 import (
 	"fmt"
-	"sort"
 
 	"impala/internal/automata"
 	"impala/internal/bitvec"
@@ -155,106 +154,150 @@ func Build(n *automata.NFA, p *place.Placement) (*Machine, error) {
 	return m, nil
 }
 
-// Run executes the machine over a byte input and returns reports (sorted
-// like the functional simulator's) plus switch-activity statistics for the
-// energy model.
-func (m *Machine) Run(input []byte) ([]sim.Report, ActivityStats) {
-	syms := sim.SubSymbols(m.Bits, input)
-	S := m.Stride
-	totalBits := len(syms) * m.Bits
-	cycles := (len(syms) + S - 1) / S
+// groupState is one switch group's per-stream working set.
+type groupState struct {
+	active, prev, enable bitvec.Words
+	matchVec             bitvec.Words
+}
 
-	var stats ActivityStats
-	var reports []sim.Report
-	chunk := make([]byte, S)
+// machineCore is the capsule-level implementation of the sim.Core step
+// interface: the immutable Machine configuration plus per-stream group
+// working sets and the switch-activity accumulators. It has no single
+// whole-automaton state vector, so the per-cycle tracer is ignored.
+type machineCore struct {
+	m        *Machine
+	gs       []groupState
+	activity ActivityStats
+}
 
-	type groupState struct {
-		active, prev, enable bitvec.Words
-		matchVec             bitvec.Words
+// Geometry implements sim.Core.
+func (c *machineCore) Geometry() (bits, stride int) { return c.m.Bits, c.m.Stride }
+
+// ResetState implements sim.Core: it clears every group's inter-cycle
+// active set and the stream's activity counters.
+func (c *machineCore) ResetState() {
+	for i := range c.gs {
+		c.gs[i].prev.ClearAll()
 	}
-	gs := make([]groupState, len(m.Groups))
-	for i := range gs {
+	c.activity = ActivityStats{}
+}
+
+// StepCycle implements sim.Core: one cycle of the hardware pipeline —
+// interconnect propagation, row reads + capsule AND per group, reporting.
+func (c *machineCore) StepCycle(chunk []byte, t int, limitBits int, sink sim.ReportSink, _ sim.Tracer) (int, int) {
+	m := c.m
+	S := m.Stride
+	enabled, active := 0, 0
+	for gi, u := range m.Groups {
+		st := &c.gs[gi]
+		// --- interconnect phase: propagate previous active states ---
+		u.Switches.Propagate(st.prev, st.enable)
+		lb, gr, cs := u.Switches.Activity(st.prev)
+		c.activity.LocalSwitchActivations += int64(lb)
+		c.activity.GlobalSwitchActivations += int64(gr)
+		c.activity.CrossBlockSignals += int64(cs)
+		// Start kinds.
+		for w := range st.enable {
+			st.enable[w] |= u.always[w]
+			if t == 0 {
+				st.enable[w] |= u.anchored[w]
+			}
+			if t%2 == 0 {
+				st.enable[w] |= u.even[w]
+			}
+		}
+
+		// --- state-match phase: row reads + capsule AND ---
+		for w := range st.matchVec {
+			st.matchVec[w] = ^uint64(0)
+		}
+		for b := range u.Match {
+			base := b * interconnect.LocalSwitchSize / 64
+			for d := 0; d < S; d++ {
+				row := u.Match[b][d].Row(int(chunk[d]))
+				for w, word := range row {
+					st.matchVec[base+w] &= word
+				}
+			}
+		}
+		// active = enable ∧ match ∧ occupied.
+		for w := range st.active {
+			st.active[w] = st.enable[w] & st.matchVec[w] & u.occupied[w]
+		}
+
+		// --- reporting ---
+		st.active.ForEach(func(slot int) {
+			r := u.reports[slot]
+			if !r.report {
+				return
+			}
+			bitPos := (t*S + r.offset) * m.Bits
+			if limitBits < 0 || bitPos <= limitBits {
+				sink(sim.Report{BitPos: bitPos, Code: r.code, State: u.states[slot]})
+			}
+		})
+
+		enabled += st.enable.Count()
+		active += st.active.Count()
+		st.prev, st.active = st.active, st.prev
+	}
+	c.activity.Cycles++
+	return enabled, active
+}
+
+// Session is one incremental input stream over the configured machine: the
+// immutable Machine is shared, the per-stream state (group enable/active
+// vectors, carried sub-symbols, activity counters) lives here. It
+// delegates chunking, odd-nibble carry and flush semantics to the same
+// sim.Session core the functional engines use.
+type Session struct {
+	core  *machineCore
+	inner *sim.Session
+}
+
+// NewSession prepares a streaming session over the machine; sink receives
+// reports as they fire (nil to run for statistics only). Many sessions may
+// run concurrently over one Machine.
+func (m *Machine) NewSession(sink sim.ReportSink) *Session {
+	core := &machineCore{m: m, gs: make([]groupState, len(m.Groups))}
+	for i := range core.gs {
 		slots := m.Groups[i].Switches.Slots()
-		gs[i] = groupState{
+		core.gs[i] = groupState{
 			active:   bitvec.NewWords(slots),
 			prev:     bitvec.NewWords(slots),
 			enable:   bitvec.NewWords(slots),
 			matchVec: bitvec.NewWords(slots),
 		}
 	}
+	return &Session{core: core, inner: sim.NewSession(core, sink)}
+}
 
-	for t := 0; t < cycles; t++ {
-		for i := 0; i < S; i++ {
-			p := t*S + i
-			if p < len(syms) {
-				chunk[i] = syms[p]
-			} else {
-				chunk[i] = 0
-			}
-		}
-		for gi, u := range m.Groups {
-			st := &gs[gi]
-			// --- interconnect phase: propagate previous active states ---
-			u.Switches.Propagate(st.prev, st.enable)
-			lb, gr, cs := u.Switches.Activity(st.prev)
-			stats.LocalSwitchActivations += int64(lb)
-			stats.GlobalSwitchActivations += int64(gr)
-			stats.CrossBlockSignals += int64(cs)
-			// Start kinds.
-			for w := range st.enable {
-				st.enable[w] |= u.always[w]
-				if t == 0 {
-					st.enable[w] |= u.anchored[w]
-				}
-				if t%2 == 0 {
-					st.enable[w] |= u.even[w]
-				}
-			}
+// Feed consumes the next chunk of the stream (any size, including empty).
+func (s *Session) Feed(chunk []byte) { s.inner.Feed(chunk) }
 
-			// --- state-match phase: row reads + capsule AND ---
-			for w := range st.matchVec {
-				st.matchVec[w] = ^uint64(0)
-			}
-			for b := range u.Match {
-				base := b * interconnect.LocalSwitchSize / 64
-				for d := 0; d < S; d++ {
-					row := u.Match[b][d].Row(int(chunk[d]))
-					for w, word := range row {
-						st.matchVec[base+w] &= word
-					}
-				}
-			}
-			// active = enable ∧ match ∧ occupied.
-			for w := range st.active {
-				st.active[w] = st.enable[w] & st.matchVec[w] & u.occupied[w]
-			}
+// Flush ends the stream, running the final zero-padded partial cycle.
+func (s *Session) Flush() { s.inner.Flush() }
 
-			// --- reporting ---
-			st.active.ForEach(func(slot int) {
-				r := u.reports[slot]
-				if !r.report {
-					return
-				}
-				bitPos := (t*S + r.offset) * m.Bits
-				if bitPos <= totalBits {
-					reports = append(reports, sim.Report{BitPos: bitPos, Code: r.code, State: u.states[slot]})
-				}
-			})
+// Reset returns the session to the start-of-stream state.
+func (s *Session) Reset() { s.inner.Reset() }
 
-			st.prev, st.active = st.active, st.prev
-		}
-	}
-	stats.Cycles = int64(cycles)
-	sort.Slice(reports, func(i, j int) bool {
-		if reports[i].BitPos != reports[j].BitPos {
-			return reports[i].BitPos < reports[j].BitPos
-		}
-		if reports[i].Code != reports[j].Code {
-			return reports[i].Code < reports[j].Code
-		}
-		return reports[i].State < reports[j].State
-	})
-	return reports, stats
+// Stats returns the functional activity statistics of the stream so far.
+func (s *Session) Stats() sim.Stats { return s.inner.Stats() }
+
+// Activity returns the switch-activity statistics of the stream so far,
+// the input of the energy model.
+func (s *Session) Activity() ActivityStats { return s.core.activity }
+
+// Run executes the machine over a byte input and returns reports (sorted
+// like the functional simulator's) plus switch-activity statistics for the
+// energy model. It is a batch Feed+Flush wrapper over NewSession.
+func (m *Machine) Run(input []byte) ([]sim.Report, ActivityStats) {
+	var reports []sim.Report
+	s := m.NewSession(func(r sim.Report) { reports = append(reports, r) })
+	s.Feed(input)
+	s.Flush()
+	sim.SortReports(reports)
+	return reports, s.Activity()
 }
 
 // BitstreamBytes returns the total configuration payload size of the

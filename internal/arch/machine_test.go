@@ -241,3 +241,53 @@ func TestMachineHierarchicalG16(t *testing.T) {
 		}
 	}
 }
+
+// The capsule-level session must be report- and activity-identical to the
+// batch Machine.Run under arbitrary chunk partitions, and fully reusable
+// after Reset — the same streaming contract as the functional engines.
+func TestMachineSessionStreaming(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("abc", automata.StartAllInput, 1)
+	n.AddLiteral("bca", automata.StartAllInput, 2)
+	for _, cfg := range []core.Config{
+		{TargetBits: 4, StrideDims: 4},
+		{TargetBits: 8, StrideDims: 1},
+	} {
+		m, _ := compileAndBuild(t, n, cfg)
+		r := rand.New(rand.NewSource(11))
+		input := make([]byte, 64)
+		for i := range input {
+			input[i] = "abc"[r.Intn(3)]
+		}
+		wantR, wantA := m.Run(input)
+
+		var got []sim.Report
+		s := m.NewSession(func(r sim.Report) { got = append(got, r) })
+		for pass := 0; pass < 2; pass++ { // second pass exercises Reset
+			got = nil
+			for pos := 0; pos < len(input); {
+				sz := 1 + r.Intn(7)
+				if sz > len(input)-pos {
+					sz = len(input) - pos
+				}
+				s.Feed(input[pos : pos+sz])
+				pos += sz
+			}
+			s.Feed(nil)
+			s.Flush()
+			sim.SortReports(got)
+			if len(got) != len(wantR) {
+				t.Fatalf("cfg %+v pass %d: session %d reports, batch %d", cfg, pass, len(got), len(wantR))
+			}
+			for i := range got {
+				if got[i] != wantR[i] {
+					t.Fatalf("cfg %+v pass %d report %d: session %+v, batch %+v", cfg, pass, i, got[i], wantR[i])
+				}
+			}
+			if a := s.Activity(); a != wantA {
+				t.Fatalf("cfg %+v pass %d: session activity %+v, batch %+v", cfg, pass, a, wantA)
+			}
+			s.Reset()
+		}
+	}
+}

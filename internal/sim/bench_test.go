@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -111,6 +112,39 @@ func BenchmarkEngineCompiled(b *testing.B) {
 				e.Run(input, nil)
 			}
 		})
+	}
+}
+
+// BenchmarkSessionFeed measures steady-state streaming over the compiled
+// core at several chunk sizes. The headline number is allocs/op: once
+// warmed, Feed must not allocate (scratch buffers are session-owned, the
+// sink is invoked in place).
+func BenchmarkSessionFeed(b *testing.B) {
+	input := benchInput(64 * 1024)
+	for name, n := range benchWorkloads(b) {
+		for _, chunkSize := range []int{64, 1024, 16 * 1024} {
+			b.Run(fmt.Sprintf("%s/chunk%d", name, chunkSize), func(b *testing.B) {
+				c, err := Compile(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				matches := 0
+				s := c.NewSession(func(Report) { matches++ })
+				s.Feed(input[:chunkSize]) // warm scratch buffers
+				b.SetBytes(int64(len(input)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for off := 0; off < len(input); off += chunkSize {
+						end := off + chunkSize
+						if end > len(input) {
+							end = len(input)
+						}
+						s.Feed(input[off:end])
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -2,7 +2,7 @@ package sim
 
 import (
 	"math/bits"
-	"sort"
+	"sync"
 
 	"impala/internal/automata"
 	"impala/internal/bitvec"
@@ -51,6 +51,10 @@ type Compiled struct {
 	// active ∧ reportingMask = 0 skip report handling entirely.
 	reportingMask bitvec.Words
 	anyReports    bool
+
+	// pool recycles engines (per-stream buffers) across RunParallel
+	// segments and other short-lived executions of this compiled form.
+	pool sync.Pool
 }
 
 // Compile precompiles the automaton into its bit-parallel form. The
@@ -114,7 +118,20 @@ func Compile(n *automata.NFA) (*Compiled, error) {
 	// still single-threaded: the Compiled form is shared across RunParallel
 	// workers, which must only read it.
 	c.succ.OrRowsInto(nil, nil)
+	c.pool.New = func() any { return c.NewEngine() }
 	return c, nil
+}
+
+// acquireEngine returns a pooled (or fresh) engine for a short-lived
+// execution; releaseEngine returns it. The engine comes with default
+// semantics (anchors enabled); callers adjust per use.
+func (c *Compiled) acquireEngine() *CompiledEngine {
+	return c.pool.Get().(*CompiledEngine)
+}
+
+func (c *Compiled) releaseEngine(e *CompiledEngine) {
+	e.anchors = true
+	c.pool.Put(e)
 }
 
 // decompose returns per-position symbol sets D with m = D[0]×…×D[S-1] when
@@ -155,15 +172,21 @@ func (c *Compiled) NFA() *automata.NFA { return c.nfa }
 func (c *Compiled) ResidualStates() int { return len(c.residual) }
 
 // CompiledEngine executes a shared Compiled form over input streams. It
-// owns only per-run buffers, so creating one per goroutine is cheap; it is
-// reusable across runs but not safe for concurrent use.
+// owns only per-stream buffers, so creating one per goroutine is cheap; it
+// implements the Core step interface and is reusable across runs but not
+// safe for concurrent use.
 type CompiledEngine struct {
 	c                           *Compiled
 	enabled, active, prevActive bitvec.Words
-	chunk                       []byte
+	// anchors=false demotes start-of-data states to plain states by
+	// skipping their enable OR on cycle 0 — used by RunParallel for
+	// segments that do not begin at the true start of the stream,
+	// replacing the per-worker NFA clone the scalar path once used.
+	anchors bool
 }
 
-// NewEngine allocates per-run state for executing the compiled automaton.
+// NewEngine allocates per-stream state for executing the compiled
+// automaton.
 func (c *Compiled) NewEngine() *CompiledEngine {
 	ns := c.nfa.NumStates()
 	return &CompiledEngine{
@@ -171,122 +194,106 @@ func (c *Compiled) NewEngine() *CompiledEngine {
 		enabled:    bitvec.NewWords(ns),
 		active:     bitvec.NewWords(ns),
 		prevActive: bitvec.NewWords(ns),
-		chunk:      make([]byte, c.nfa.Stride),
+		anchors:    true,
 	}
+}
+
+// NewSession returns a streaming session over the compiled form. Many
+// sessions may run concurrently over one Compiled; each owns its buffers.
+func (c *Compiled) NewSession(sink ReportSink) *Session {
+	return NewSession(c.NewEngine(), sink)
+}
+
+// Geometry implements Core.
+func (e *CompiledEngine) Geometry() (bits, stride int) { return e.c.nfa.Bits, e.c.nfa.Stride }
+
+// ResetState implements Core: it clears the inter-cycle active set.
+func (e *CompiledEngine) ResetState() { e.prevActive.ClearAll() }
+
+// StepCycle implements Core: one cycle of the bit-parallel datapath over
+// exactly Stride sub-symbols.
+func (e *CompiledEngine) StepCycle(chunk []byte, t int, limitBits int, sink ReportSink, tracer Tracer) (int, int) {
+	c := e.c
+	n := c.nfa
+	enabled, active, prev := e.enabled, e.active, e.prevActive
+
+	// State-transition phase (from previous cycle): the enable vector is
+	// the OR of the start-enable masks due this cycle and the successor
+	// rows of every previously active state.
+	enabled.CopyFrom(c.always)
+	if e.anchors && t == 0 && c.anyStartOfData {
+		c.startOfData.OrInto(enabled)
+	}
+	if t%2 == 0 && c.anyEven {
+		c.even.OrInto(enabled)
+	}
+	c.succ.OrRowsInto(prev, enabled)
+
+	// State-match phase: active = enabled ∧ mask[0][chunk[0]] ∧ … ∧
+	// mask[S-1][chunk[S-1]] — S word-wise ANDs across all states.
+	m0 := c.masks[0][chunk[0]][:len(active)]
+	en := enabled[:len(active)]
+	for w := range active {
+		active[w] = en[w] & m0[w]
+	}
+	for p := 1; p < n.Stride; p++ {
+		mp := c.masks[p][chunk[p]][:len(active)]
+		for w := range active {
+			active[w] &= mp[w]
+		}
+	}
+	// Residual scalar path: non-decomposable match sets.
+	for _, id := range c.residual {
+		if enabled.Get(int(id)) && n.States[id].Match.Has(chunk) {
+			active.Set(int(id))
+		}
+	}
+
+	// Reporting: word-level gate, then per-bit only on reporter words.
+	if c.anyReports {
+		base := t * n.Stride
+		for w, word := range active {
+			word &= c.reportingMask[w]
+			for word != 0 {
+				i := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				s := &n.States[i]
+				bitPos := (base + s.ReportOffset) * n.Bits
+				if limitBits < 0 || bitPos <= limitBits {
+					sink(Report{BitPos: bitPos, Code: s.ReportCode, State: automata.StateID(i)})
+				}
+			}
+		}
+	}
+
+	na, ne := active.Count(), enabled.Count()
+	if tracer != nil {
+		tracer.OnCycle(t, enabled, active)
+	}
+	e.prevActive, e.active = active, prev
+	return ne, na
 }
 
 // Run executes the compiled automaton over input and returns all reports
 // sorted by (BitPos, Code, State) plus activity statistics. tracer may be
-// nil. Reports and statistics are identical to the scalar Engine's.
+// nil. Reports and statistics are identical to the scalar Engine's. It is
+// a batch Feed+Flush wrapper over the streaming session.
 func (e *CompiledEngine) Run(input []byte, tracer Tracer) ([]Report, Stats) {
-	return e.run(input, tracer, true)
+	var reports []Report
+	s := NewSession(e, func(r Report) { reports = append(reports, r) })
+	s.SetTracer(tracer)
+	s.Feed(input)
+	s.Flush()
+	SortReports(reports)
+	return reports, s.Stats()
 }
 
-// run is the engine inner loop. anchors=false demotes start-of-data states
-// to plain states by skipping their enable OR on cycle 0 — used by
-// RunParallel for segments that do not begin at the true start of the
-// stream, replacing the per-worker NFA clone the scalar path used.
-func (e *CompiledEngine) run(input []byte, tracer Tracer, anchors bool) ([]Report, Stats) {
-	c := e.c
-	n := c.nfa
-	syms := SubSymbols(n.Bits, input)
-	totalBits := len(syms) * n.Bits
-	S := n.Stride
-	cycles := (len(syms) + S - 1) / S
-
-	var reports []Report
-	var stats Stats
-	enabled, active, prev := e.enabled, e.active, e.prevActive
-	prev.ClearAll()
-
-	for t := 0; t < cycles; t++ {
-		// Build the chunk, zero-padding past end of input (reports whose
-		// true consumed position exceeds the input are filtered below).
-		base := t * S
-		for i := 0; i < S; i++ {
-			if p := base + i; p < len(syms) {
-				e.chunk[i] = syms[p]
-			} else {
-				e.chunk[i] = 0
-			}
-		}
-
-		// State-transition phase (from previous cycle): the enable vector
-		// is the OR of the start-enable masks due this cycle and the
-		// successor rows of every previously active state.
-		enabled.CopyFrom(c.always)
-		if anchors && t == 0 && c.anyStartOfData {
-			c.startOfData.OrInto(enabled)
-		}
-		if t%2 == 0 && c.anyEven {
-			c.even.OrInto(enabled)
-		}
-		c.succ.OrRowsInto(prev, enabled)
-
-		// State-match phase: active = enabled ∧ mask[0][chunk[0]] ∧ … ∧
-		// mask[S-1][chunk[S-1]] — S word-wise ANDs across all states.
-		m0 := c.masks[0][e.chunk[0]][:len(active)]
-		en := enabled[:len(active)]
-		for w := range active {
-			active[w] = en[w] & m0[w]
-		}
-		for p := 1; p < S; p++ {
-			mp := c.masks[p][e.chunk[p]][:len(active)]
-			for w := range active {
-				active[w] &= mp[w]
-			}
-		}
-		// Residual scalar path: non-decomposable match sets.
-		for _, id := range c.residual {
-			if enabled.Get(int(id)) && n.States[id].Match.Has(e.chunk) {
-				active.Set(int(id))
-			}
-		}
-
-		// Reporting: word-level gate, then per-bit only on reporter words.
-		if c.anyReports {
-			for w, word := range active {
-				word &= c.reportingMask[w]
-				for word != 0 {
-					i := w<<6 + bits.TrailingZeros64(word)
-					word &= word - 1
-					s := &n.States[i]
-					bitPos := (base + s.ReportOffset) * n.Bits
-					if bitPos <= totalBits {
-						reports = append(reports, Report{BitPos: bitPos, Code: s.ReportCode, State: automata.StateID(i)})
-					}
-				}
-			}
-		}
-
-		// Stats + trace.
-		na := active.Count()
-		stats.TotalActive += int64(na)
-		stats.TotalEnabled += int64(enabled.Count())
-		if na > stats.PeakActive {
-			stats.PeakActive = na
-		}
-		if tracer != nil {
-			tracer.OnCycle(t, enabled, active)
-		}
-
-		prev, active = active, prev
-	}
-	e.active, e.prevActive = active, prev
-
-	stats.Cycles = cycles
-	stats.Reports = len(reports)
-	if cycles > 0 {
-		stats.ActivePerCycleAvg = float64(stats.TotalActive) / float64(cycles)
-	}
-	sort.Slice(reports, func(i, j int) bool {
-		if reports[i].BitPos != reports[j].BitPos {
-			return reports[i].BitPos < reports[j].BitPos
-		}
-		if reports[i].Code != reports[j].Code {
-			return reports[i].Code < reports[j].Code
-		}
-		return reports[i].State < reports[j].State
-	})
-	return reports, stats
+// runSegment is Run with the anchored-start behaviour of a mid-stream
+// RunParallel segment (anchors fire only when the segment begins the true
+// stream). The engine's default anchor semantics are restored afterwards.
+func (e *CompiledEngine) runSegment(input []byte, anchors bool) ([]Report, Stats) {
+	e.anchors = anchors
+	r, s := e.Run(input, nil)
+	e.anchors = true
+	return r, s
 }

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"impala/internal/automata"
@@ -14,8 +13,21 @@ import (
 // splitting the input raises throughput when spare capacity exists).
 //
 // The automaton is validated and compiled to its bit-parallel form exactly
-// once; the immutable Compiled form is shared across workers, each of which
-// only allocates its own CompiledEngine run buffers.
+// once, then delegated to Compiled.RunParallel. Callers that execute many
+// inputs should Compile once themselves and call the method directly, which
+// additionally reuses pooled per-worker sessions across calls.
+func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Report, error) {
+	c, err := Compile(n)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunParallel(input, workers, overlapBytes)
+}
+
+// RunParallel splits the input across `workers` concurrent segments of this
+// compiled form. Worker engines are drawn from (and returned to) the
+// compiled form's session pool, so repeated calls on one Compiled rebuild
+// nothing.
 //
 // Each worker's segment is extended backwards by overlapBytes so matches
 // straddling a split point are still observed; reports that end inside the
@@ -28,7 +40,8 @@ import (
 // Automata with anchored (start-of-data) states are supported: anchored
 // states are only enabled on the first segment. StartEven automata require
 // the default byte-aligned splitting this function performs.
-func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Report, error) {
+func (c *Compiled) RunParallel(input []byte, workers, overlapBytes int) ([]Report, error) {
+	n := c.nfa
 	if workers < 1 {
 		return nil, fmt.Errorf("sim: workers must be >= 1")
 	}
@@ -45,12 +58,10 @@ func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Re
 		}
 		overlapBytes = span * chunkBytes
 	}
-	c, err := Compile(n)
-	if err != nil {
-		return nil, err
-	}
 	if workers == 1 || len(input) == 0 {
-		r, _ := c.NewEngine().Run(input, nil)
+		e := c.acquireEngine()
+		r, _ := e.Run(input, nil)
+		c.releaseEngine(e)
 		return r, nil
 	}
 
@@ -76,8 +87,9 @@ func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Re
 			// Anchored states must not fire at an artificial segment
 			// boundary: only the first worker (whose segment begins at the
 			// true start of data) runs with anchors enabled.
-			e := c.NewEngine()
-			reports, _ := e.run(input[extStart:segEnd], nil, w == 0)
+			e := c.acquireEngine()
+			reports, _ := e.runSegment(input[extStart:segEnd], w == 0)
+			c.releaseEngine(e)
 			baseBits := extStart * 8
 			keepAfter := segStart * 8
 			var kept []Report
@@ -97,15 +109,7 @@ func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Re
 	for _, rs := range reportsPerWorker {
 		all = append(all, rs...)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].BitPos != all[j].BitPos {
-			return all[i].BitPos < all[j].BitPos
-		}
-		if all[i].Code != all[j].Code {
-			return all[i].Code < all[j].Code
-		}
-		return all[i].State < all[j].State
-	})
+	SortReports(all)
 	// Deduplicate identical reports observed by adjacent workers.
 	dedup := all[:0]
 	for i, r := range all {

@@ -1,0 +1,203 @@
+// Streaming execution core. A Session separates the compile-once immutable
+// artifact (the automaton, its Compiled form, or an arch.Machine
+// configuration — anything exposing the Core step interface) from the
+// per-stream mutable state: the enable/active bitsets live in the Core, the
+// global cycle counter and the sub-symbol carry for chunk boundaries that
+// do not align with a stride live here. Input arrives as arbitrary []byte
+// chunks via Feed; reports are pushed into a caller-supplied ReportSink as
+// they are produced instead of being accumulated in a slice, so steady-state
+// Feed performs no allocation (all scratch buffers are owned by the
+// session).
+//
+// Semantics are identical to the batch path: Feed executes every complete
+// stride chunk of the data seen so far and carries the remainder (up to
+// Stride-1 sub-symbols — e.g. the odd nibble of an odd-length chunk on a
+// 4-bit automaton) into the next Feed; Flush runs the final zero-padded
+// partial cycle, filtering reports whose consumed position would exceed the
+// true stream length, exactly as the batch engines pad and filter their
+// last cycle. The batch Run methods of Engine, CompiledEngine and
+// arch.Machine are thin Feed+Flush wrappers over this type.
+package sim
+
+import "fmt"
+
+// ReportSink consumes reports as a session produces them: in cycle order,
+// unsorted within a cycle (the batch wrappers sort afterwards; BitPos is
+// nondecreasing across cycles because report offsets lie in [1, Stride]).
+// A nil sink discards reports but still counts them in Stats.
+type ReportSink func(Report)
+
+// Core is one per-cycle step of an execution engine: the immutable
+// configuration plus the enable/active working sets it carries between
+// cycles. Engine (scalar), CompiledEngine (bit-parallel) and the
+// capsule-level arch.Machine session all implement it; Session drives any
+// of them incrementally.
+type Core interface {
+	// Geometry returns the automaton's (bits, stride).
+	Geometry() (bits, stride int)
+	// ResetState clears all inter-cycle state (the previous-active set),
+	// returning the core to the start-of-stream condition.
+	ResetState()
+	// StepCycle executes global cycle t over exactly stride sub-symbols,
+	// emitting reports into sink. limitBits >= 0 suppresses reports whose
+	// BitPos exceeds it (the zero-padded final cycle); limitBits < 0 means
+	// no limit (a complete cycle: offsets in [1,Stride] cannot overrun).
+	// It returns the enabled- and active-state counts for Stats. tracer
+	// may be nil; cores without a whole-automaton state vector (the
+	// capsule-level machine) may ignore it.
+	StepCycle(chunk []byte, t int, limitBits int, sink ReportSink, tracer Tracer) (enabled, active int)
+}
+
+// Session drives a Core incrementally over a chunked input stream. It is
+// not safe for concurrent use; hold one session per stream (many sessions
+// may share one immutable Compiled or arch.Machine).
+type Session struct {
+	core   Core
+	sink   ReportSink
+	tracer Tracer
+	emit   ReportSink // counting wrapper around sink, built once
+
+	bits, stride int
+
+	// pending carries 0..stride-1 sub-symbols whose cycle cannot run until
+	// more data (or Flush) arrives — the odd-nibble parity of chunk
+	// boundaries. subBuf is the reusable sub-symbol expansion scratch.
+	pending []byte
+	subBuf  []byte
+
+	cycle   int   // completed cycles
+	subsFed int64 // sub-symbols received (including pending)
+	flushed bool
+
+	totalActive, totalEnabled int64
+	peakActive                int
+	reports                   int
+}
+
+// NewSession prepares a streaming session over the core, resetting the
+// core's inter-cycle state. sink may be nil to run for statistics only.
+func NewSession(core Core, sink ReportSink) *Session {
+	bits, stride := core.Geometry()
+	s := &Session{
+		core:    core,
+		sink:    sink,
+		bits:    bits,
+		stride:  stride,
+		pending: make([]byte, 0, stride),
+	}
+	s.emit = func(r Report) {
+		s.reports++
+		if s.sink != nil {
+			s.sink(r)
+		}
+	}
+	s.Reset()
+	return s
+}
+
+// SetTracer attaches a per-cycle activity tracer (may be nil).
+func (s *Session) SetTracer(t Tracer) { s.tracer = t }
+
+// Feed consumes the next chunk of the stream, executing every cycle whose
+// sub-symbols are complete and carrying the remainder. Chunks may be of any
+// size, including empty. Steady-state calls perform no allocation.
+func (s *Session) Feed(chunk []byte) {
+	if s.flushed {
+		panic("sim: Feed after Flush (Reset the session to start a new stream)")
+	}
+	buf := append(s.subBuf[:0], s.pending...)
+	buf = AppendSubSymbols(buf, s.bits, chunk)
+	s.subsFed += int64(len(buf) - len(s.pending))
+	S := s.stride
+	full := len(buf) / S * S
+	for i := 0; i < full; i += S {
+		s.stepCycle(buf[i:i+S], -1)
+	}
+	s.pending = append(s.pending[:0], buf[full:]...)
+	s.subBuf = buf[:0]
+}
+
+// Flush ends the stream: if a partial cycle is pending it runs zero-padded,
+// with reports filtered to the true stream length (batch-identical
+// semantics). Further Feed calls panic until Reset. Flush is idempotent.
+func (s *Session) Flush() {
+	if s.flushed {
+		return
+	}
+	if len(s.pending) > 0 {
+		pad := s.pending
+		for len(pad) < s.stride {
+			pad = append(pad, 0)
+		}
+		s.stepCycle(pad, int(s.subsFed)*s.bits)
+		s.pending = s.pending[:0]
+	}
+	s.flushed = true
+}
+
+// Reset returns the session (and its core) to the start-of-stream state,
+// clearing all carried sub-symbols, counters and statistics. The sink is
+// retained.
+func (s *Session) Reset() {
+	s.core.ResetState()
+	s.pending = s.pending[:0]
+	s.cycle = 0
+	s.subsFed = 0
+	s.flushed = false
+	s.totalActive, s.totalEnabled = 0, 0
+	s.peakActive = 0
+	s.reports = 0
+}
+
+// Cycles returns the number of cycles executed so far.
+func (s *Session) Cycles() int { return s.cycle }
+
+// BytesFed returns the number of whole input bytes received so far.
+func (s *Session) BytesFed() int64 { return s.subsFed * int64(s.bits) / 8 }
+
+// Stats returns the activity statistics of the stream so far (final once
+// Flush has run). The result is mergeable across sessions via Stats.Add.
+func (s *Session) Stats() Stats {
+	st := Stats{
+		Cycles:       s.cycle,
+		TotalActive:  s.totalActive,
+		TotalEnabled: s.totalEnabled,
+		PeakActive:   s.peakActive,
+		Reports:      s.reports,
+	}
+	st.finalize()
+	return st
+}
+
+func (s *Session) stepCycle(chunk []byte, limitBits int) {
+	ne, na := s.core.StepCycle(chunk, s.cycle, limitBits, s.emit, s.tracer)
+	s.totalEnabled += int64(ne)
+	s.totalActive += int64(na)
+	if na > s.peakActive {
+		s.peakActive = na
+	}
+	s.cycle++
+}
+
+// AppendSubSymbols appends the sub-symbol expansion of input to dst and
+// returns it — the allocation-free form of SubSymbols used by the streaming
+// path (identity for 8-bit automata, high-first nibbles for 4-bit, crumbs
+// for 2-bit).
+func AppendSubSymbols(dst []byte, bits int, input []byte) []byte {
+	switch bits {
+	case 8:
+		return append(dst, input...)
+	case 4:
+		for _, b := range input {
+			dst = append(dst, b>>4, b&0x0F)
+		}
+		return dst
+	case 2:
+		for _, b := range input {
+			dst = append(dst, b>>6, (b>>4)&3, (b>>2)&3, b&3)
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("sim: unsupported bits %d", bits))
+	}
+}

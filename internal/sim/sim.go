@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"fmt"
 	"sort"
 
 	"impala/internal/automata"
@@ -45,6 +44,30 @@ type Stats struct {
 	ActivePerCycleAvg float64
 }
 
+// finalize recomputes the derived aggregates from the raw sums, guarding
+// against zero-cycle inputs (empty streams) so averages are 0, not NaN.
+func (s *Stats) finalize() {
+	if s.Cycles > 0 {
+		s.ActivePerCycleAvg = float64(s.TotalActive) / float64(s.Cycles)
+	} else {
+		s.ActivePerCycleAvg = 0
+	}
+}
+
+// Add merges another stats aggregate into s (e.g. per-Feed or per-segment
+// stats of one logical stream) and recomputes the derived averages.
+// PeakActive merges as a maximum.
+func (s *Stats) Add(o Stats) {
+	s.Cycles += o.Cycles
+	s.TotalActive += o.TotalActive
+	s.TotalEnabled += o.TotalEnabled
+	if o.PeakActive > s.PeakActive {
+		s.PeakActive = o.PeakActive
+	}
+	s.Reports += o.Reports
+	s.finalize()
+}
+
 // Tracer observes per-cycle activity. OnCycle is called after each cycle
 // with the sets of enabled and active states; the bitsets are reused across
 // cycles and must not be retained.
@@ -55,14 +78,16 @@ type Tracer interface {
 // Engine executes one automaton over input streams, dispatching scalar
 // state-by-state. It is the straightforward rendering of the execution
 // semantics and serves as the reference oracle for the bit-parallel
-// CompiledEngine (the default behind Run/RunParallel). It is reusable
-// across runs but not safe for concurrent use.
+// CompiledEngine (the default behind Run/RunParallel). It implements the
+// Core step interface, so it can be driven incrementally by a Session; the
+// batch Run method is a Feed+Flush wrapper. It is reusable across runs but
+// not safe for concurrent use.
 type Engine struct {
 	nfa *automata.NFA
 	// enable working sets
-	enabled, active, always bitvec.Words
-	startOfData, even       bitvec.Words
-	reporting               []automata.StateID
+	enabled, active, prevActive bitvec.Words
+	always, startOfData, even   bitvec.Words
+	reporting                   []automata.StateID
 }
 
 // NewEngine prepares an execution engine for the automaton. The automaton
@@ -75,6 +100,7 @@ func NewEngine(n *automata.NFA) (*Engine, error) {
 		nfa:         n,
 		enabled:     bitvec.NewWords(n.NumStates()),
 		active:      bitvec.NewWords(n.NumStates()),
+		prevActive:  bitvec.NewWords(n.NumStates()),
 		always:      bitvec.NewWords(n.NumStates()),
 		startOfData: bitvec.NewWords(n.NumStates()),
 		even:        bitvec.NewWords(n.NumStates()),
@@ -101,111 +127,86 @@ func NewEngine(n *automata.NFA) (*Engine, error) {
 // transformation; for 2-bit automata each byte becomes four crumbs,
 // most-significant first.
 func SubSymbols(bits int, input []byte) []byte {
-	switch bits {
-	case 8:
+	if bits == 8 {
 		return input
-	case 4:
-		out := make([]byte, 0, len(input)*2)
-		for _, b := range input {
-			out = append(out, b>>4, b&0x0F)
-		}
-		return out
-	case 2:
-		out := make([]byte, 0, len(input)*4)
-		for _, b := range input {
-			out = append(out, b>>6, (b>>4)&3, (b>>2)&3, b&3)
-		}
-		return out
-	default:
-		panic(fmt.Sprintf("sim: unsupported bits %d", bits))
 	}
+	return AppendSubSymbols(make([]byte, 0, len(input)*8/bits), bits, input)
+}
+
+// Geometry implements Core.
+func (e *Engine) Geometry() (bits, stride int) { return e.nfa.Bits, e.nfa.Stride }
+
+// ResetState implements Core: it clears the inter-cycle active set.
+func (e *Engine) ResetState() { e.prevActive.ClearAll() }
+
+// StepCycle implements Core: one cycle of the two-phase execution model
+// over exactly Stride sub-symbols.
+func (e *Engine) StepCycle(chunk []byte, t int, limitBits int, sink ReportSink, tracer Tracer) (int, int) {
+	n := e.nfa
+
+	// State-transition phase (from previous cycle): enable successors.
+	e.enabled.CopyFrom(e.always)
+	if t == 0 {
+		for i, w := range e.startOfData {
+			e.enabled[i] |= w
+		}
+	}
+	if t%2 == 0 {
+		for i, w := range e.even {
+			e.enabled[i] |= w
+		}
+	}
+	e.prevActive.ForEach(func(i int) {
+		for _, succ := range n.States[i].Out {
+			e.enabled.Set(int(succ))
+		}
+	})
+
+	// State-match phase: active = enabled ∧ match(chunk).
+	e.active.ClearAll()
+	e.enabled.ForEach(func(i int) {
+		if n.States[i].Match.Has(chunk) {
+			e.active.Set(i)
+		}
+	})
+
+	// Reporting.
+	base := t * n.Stride
+	e.active.ForEach(func(i int) {
+		s := &n.States[i]
+		if !s.Report {
+			return
+		}
+		bitPos := (base + s.ReportOffset) * n.Bits
+		if limitBits < 0 || bitPos <= limitBits {
+			sink(Report{BitPos: bitPos, Code: s.ReportCode, State: automata.StateID(i)})
+		}
+	})
+
+	na, ne := e.active.Count(), e.enabled.Count()
+	if tracer != nil {
+		tracer.OnCycle(t, e.enabled, e.active)
+	}
+	e.prevActive, e.active = e.active, e.prevActive
+	return ne, na
 }
 
 // Run executes the automaton over input (a byte stream) and returns all
-// reports sorted by (BitPos, Code). tracer may be nil.
+// reports sorted by (BitPos, Code). tracer may be nil. It is a batch
+// Feed+Flush wrapper over the streaming session.
 func (e *Engine) Run(input []byte, tracer Tracer) ([]Report, Stats) {
-	n := e.nfa
-	syms := SubSymbols(n.Bits, input)
-	totalBits := len(syms) * n.Bits
-	S := n.Stride
-	cycles := (len(syms) + S - 1) / S
-
 	var reports []Report
-	var stats Stats
-	chunk := make([]byte, S)
-	prevActive := bitvec.NewWords(n.NumStates())
+	s := NewSession(e, func(r Report) { reports = append(reports, r) })
+	s.SetTracer(tracer)
+	s.Feed(input)
+	s.Flush()
+	SortReports(reports)
+	return reports, s.Stats()
+}
 
-	for t := 0; t < cycles; t++ {
-		// Build the chunk, zero-padding past end of input. Reports whose
-		// true consumed position exceeds the input are filtered below, so
-		// the pad value is immaterial.
-		for i := 0; i < S; i++ {
-			p := t*S + i
-			if p < len(syms) {
-				chunk[i] = syms[p]
-			} else {
-				chunk[i] = 0
-			}
-		}
-
-		// State-transition phase (from previous cycle): enable successors.
-		e.enabled.ClearAll()
-		copy(e.enabled, e.always)
-		if t == 0 {
-			for i, w := range e.startOfData {
-				e.enabled[i] |= w
-			}
-		}
-		if t%2 == 0 {
-			for i, w := range e.even {
-				e.enabled[i] |= w
-			}
-		}
-		prevActive.ForEach(func(i int) {
-			for _, succ := range n.States[i].Out {
-				e.enabled.Set(int(succ))
-			}
-		})
-
-		// State-match phase: active = enabled ∧ match(chunk).
-		e.active.ClearAll()
-		e.enabled.ForEach(func(i int) {
-			if n.States[i].Match.Has(chunk) {
-				e.active.Set(i)
-			}
-		})
-
-		// Reporting.
-		e.active.ForEach(func(i int) {
-			s := &n.States[i]
-			if !s.Report {
-				return
-			}
-			bitPos := (t*S + s.ReportOffset) * n.Bits
-			if bitPos <= totalBits {
-				reports = append(reports, Report{BitPos: bitPos, Code: s.ReportCode, State: automata.StateID(i)})
-			}
-		})
-
-		// Stats + trace.
-		na := e.active.Count()
-		stats.TotalActive += int64(na)
-		stats.TotalEnabled += int64(e.enabled.Count())
-		if na > stats.PeakActive {
-			stats.PeakActive = na
-		}
-		if tracer != nil {
-			tracer.OnCycle(t, e.enabled, e.active)
-		}
-
-		prevActive, e.active = e.active, prevActive
-	}
-
-	stats.Cycles = cycles
-	stats.Reports = len(reports)
-	if cycles > 0 {
-		stats.ActivePerCycleAvg = float64(stats.TotalActive) / float64(cycles)
-	}
+// SortReports sorts reports by (BitPos, Code, State) — the canonical batch
+// output order.
+func SortReports(reports []Report) {
 	sort.Slice(reports, func(i, j int) bool {
 		if reports[i].BitPos != reports[j].BitPos {
 			return reports[i].BitPos < reports[j].BitPos
@@ -215,7 +216,6 @@ func (e *Engine) Run(input []byte, tracer Tracer) ([]Report, Stats) {
 		}
 		return reports[i].State < reports[j].State
 	})
-	return reports, stats
 }
 
 // Run is a convenience one-shot execution. It uses the bit-parallel
