@@ -7,8 +7,9 @@ GO ?= go
 all: check
 
 # check is the default CI gate: compile, static analysis, full tests, and a
-# race-detector pass over the simulator (whose compiled form is shared
-# across RunParallel workers).
+# race-detector pass over the concurrent packages: the simulator (compiled
+# form shared across RunParallel workers) and the parallel compile pipeline
+# (worker pools sharing the Espresso cover cache, GA fitness evaluation).
 check: build vet test test-race
 
 build:
@@ -24,10 +25,11 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/sim/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+	$(GO) run ./cmd/impala-bench -exp compilespeed -json BENCH_compile.json
 
 cover:
 	$(GO) test -cover ./...

@@ -8,7 +8,14 @@
 //	impala-bench -list
 //
 // Experiment IDs: fig2 table1 table4 table5 fig13 fig14 fig11 fig12 table6
-// fig8 fig9 fig10 casestudy system ablate rounds squash software simspeed.
+// fig8 fig9 fig10 casestudy system ablate rounds squash software simspeed
+// compilespeed.
+//
+// The compilespeed experiment sweeps the compile worker pool over a
+// regex-family subset with the memoized Espresso cover cache on and off,
+// and with -json FILE writes the measurements as a JSON report. -parallel N
+// runs N benchmark × design-point cells of the compile-heavy experiments
+// concurrently (results are identical; per-cell wall times get noisy).
 //
 // The simspeed experiment compares the functional simulator's scalar
 // reference engine against the bit-parallel compiled engine (the default
@@ -30,14 +37,16 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "all", "experiment ID(s), comma-separated, or 'all'")
-		scale   = flag.Float64("scale", 0.02, "benchmark scale relative to paper size (1.0 = full)")
-		seed    = flag.Int64("seed", 1, "generator/search seed")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 21)")
-		inputKB = flag.Int("input-kb", 64, "input stream size for energy experiments")
-		strides = flag.String("strides", "", "comma-separated stride list for table4 (default 1,2,4,8)")
-		dumpDir = flag.String("dump", "", "write each table as CSV into this directory")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		expID    = flag.String("exp", "all", "experiment ID(s), comma-separated, or 'all'")
+		scale    = flag.Float64("scale", 0.02, "benchmark scale relative to paper size (1.0 = full)")
+		seed     = flag.Int64("seed", 1, "generator/search seed")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all 21)")
+		inputKB  = flag.Int("input-kb", 64, "input stream size for energy experiments")
+		strides  = flag.String("strides", "", "comma-separated stride list for table4 (default 1,2,4,8)")
+		dumpDir  = flag.String("dump", "", "write each table as CSV into this directory")
+		parallel = flag.Int("parallel", 1, "benchmark × design-point cells to run concurrently (tables identical for any value; >1 perturbs per-cell wall times)")
+		jsonOut  = flag.String("json", "", "write the compilespeed report as JSON to this file (compilespeed only)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -48,7 +57,7 @@ func main() {
 		return
 	}
 
-	o := exp.Options{Scale: *scale, Seed: *seed, InputKB: *inputKB, DumpDir: *dumpDir}
+	o := exp.Options{Scale: *scale, Seed: *seed, InputKB: *inputKB, DumpDir: *dumpDir, Parallel: *parallel}
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -75,6 +84,13 @@ func main() {
 
 	for _, id := range ids {
 		t0 := time.Now()
+		if id == "compilespeed" && *jsonOut != "" {
+			if err := runCompileSpeedJSON(o, *jsonOut); err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+			continue
+		}
 		tables, err := reg[id](o)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
@@ -87,6 +103,30 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
 	}
+}
+
+// runCompileSpeedJSON runs the compilespeed experiment once, renders its
+// table, and writes the JSON report to path — one measurement run serves
+// both outputs.
+func runCompileSpeedJSON(o exp.Options, path string) error {
+	rep, err := exp.CompileSpeedReport(o)
+	if err != nil {
+		return err
+	}
+	rep.Table().Render(os.Stdout)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

@@ -39,6 +39,7 @@ func main() {
 		out       = flag.String("o", "", "write the transformed automaton JSON here")
 		bitFile   = flag.String("bitstream", "", "write the full device configuration (bitstream) here")
 		seed      = flag.Int64("seed", 1, "placement search seed")
+		workers   = flag.Int("j", 0, "compile/placement worker pool size (0 = GOMAXPROCS); output is identical for any value")
 		compare   = flag.Bool("compare", false, "compile at every design point and print a comparison table")
 	)
 	flag.Parse()
@@ -56,7 +57,7 @@ func main() {
 	if *caMode {
 		bits = 8
 	}
-	cfg := core.Config{TargetBits: bits, StrideDims: *stride}
+	cfg := core.Config{TargetBits: bits, StrideDims: *stride, Workers: *workers}
 	res, err := core.Compile(nfa, cfg)
 	if err != nil {
 		fatal(err)
@@ -64,14 +65,16 @@ func main() {
 
 	fmt.Printf("input automaton : %d states, %d transitions\n", nfa.NumStates(), nfa.NumTransitions())
 	for _, st := range res.Stages {
-		fmt.Printf("stage %-16s: %6d states, %7d transitions  (%s)\n", st.Name, st.States, st.Transitions, st.Duration.Round(0))
+		fmt.Printf("stage %-16s: %6d states, %7d transitions  (wall %s, cpu %s)\n",
+			st.Name, st.States, st.Transitions, st.Duration.Round(0), st.CPUTime.Round(0))
 	}
 	fmt.Printf("state overhead  : %.2fx   transition overhead: %.2fx\n",
 		res.StateOverhead(nfa), res.TransitionOverhead(nfa))
 	fmt.Printf("espresso splits : %d extra states\n", res.SplitStates)
-	fmt.Printf("compile time    : %s\n", res.CompileTime)
+	fmt.Printf("compile time    : %s  (espresso cover cache: %d hits / %d misses, %.0f%% hit rate)\n",
+		res.CompileTime, res.CacheHits, res.CacheMisses, res.CacheHitRate()*100)
 
-	pl, err := place.Place(res.NFA, place.Options{Seed: *seed})
+	pl, err := place.Place(res.NFA, place.Options{Seed: *seed, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,7 @@
 package automata
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -105,6 +106,25 @@ func (m MatchSet) Normalize() MatchSet {
 func (m MatchSet) Key() string {
 	n := m.Normalize()
 	var b strings.Builder
+	for _, r := range n {
+		b.WriteString(r.Key())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// CanonicalKey returns a stable, collision-free identity string for the
+// normalized cover: an explicit stride/rect-count header followed by the
+// canonical byte encoding of every normalized rect. Two match sets share a
+// CanonicalKey iff they normalize to the same rect list, making it safe as a
+// memoization key (the Espresso cover cache) and as a dedup key for covers
+// of the same symbol space. Unlike Key, the header disambiguates covers
+// whose concatenated rect bytes would otherwise coincide across strides.
+func (m MatchSet) CanonicalKey() string {
+	n := m.Normalize()
+	var b strings.Builder
+	b.Grow(8 + len(n)*(n.Stride()*32+1))
+	fmt.Fprintf(&b, "s%d#%d:", n.Stride(), len(n))
 	for _, r := range n {
 		b.WriteString(r.Key())
 		b.WriteByte('|')

@@ -84,6 +84,54 @@ func TestMatchSetKeyEqual(t *testing.T) {
 	}
 }
 
+func TestMatchSetCanonicalKeyOrderInsensitive(t *testing.T) {
+	a := MatchSet{{nib(1), nib(2)}, {nib(3), nib(4)}}
+	b := MatchSet{{nib(3), nib(4)}, {nib(1), nib(2)}} // different order
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatal("rect order should not affect CanonicalKey")
+	}
+	// Dominated and empty rects vanish under normalization.
+	c := MatchSet{{nib(1), nib(2)}, {nib(3), nib(4)}, {nib(1), nib(2)}, {nib(1), {}}}
+	if a.CanonicalKey() != c.CanonicalKey() {
+		t.Fatal("normalization should not affect CanonicalKey")
+	}
+}
+
+func TestMatchSetCanonicalKeyDistinguishes(t *testing.T) {
+	a := MatchSet{{nib(1), nib(2)}}
+	b := MatchSet{{nib(1), nib(3)}}
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Fatal("different covers share a CanonicalKey")
+	}
+	// Same concatenated dimension bytes, different stride: the header must
+	// keep them apart.
+	s1 := MatchSet{{nib(5)}, {nib(6)}}         // stride 1, two rects
+	s2 := MatchSet{{nib(5), nib(6)}}           // stride 2, one rect
+	if s1.CanonicalKey() == s2.CanonicalKey() {
+		t.Fatal("stride not encoded in CanonicalKey")
+	}
+	var empty MatchSet
+	if empty.CanonicalKey() != (MatchSet{{nib(1), {}}}).CanonicalKey() {
+		t.Fatal("empty covers should share the canonical empty key")
+	}
+}
+
+// Property: CanonicalKey equality coincides with syntactic cover equality
+// (Equal) for random sets.
+func TestMatchSetCanonicalKeyMatchesEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 300; trial++ {
+		a := randMatchSet(r, 2, 4, 4)
+		b := randMatchSet(r, 2, 4, 4)
+		if (a.CanonicalKey() == b.CanonicalKey()) != a.Equal(b) {
+			t.Fatalf("CanonicalKey/Equal disagree: %v vs %v", a, b)
+		}
+		if a.CanonicalKey() != a.Clone().CanonicalKey() {
+			t.Fatal("CanonicalKey not stable under Clone")
+		}
+	}
+}
+
 // Property: Minus is exact set difference.
 func TestMatchSetMinusExact(t *testing.T) {
 	r := rand.New(rand.NewSource(5))

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"impala/internal/espresso"
+)
+
+var benchWorkers = []int{1, 2, 8}
+
+// BenchmarkCompile times the full V-TeSS pipeline at the Impala 4-stride
+// design point over a large synthetic automaton, across worker counts plus
+// the uncached baseline (the cover cache is the dominant single-core win).
+func BenchmarkCompile(b *testing.B) {
+	n := randNFA(rand.New(rand.NewSource(11)), 600)
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(n, Config{TargetBits: 4, StrideDims: 4, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Compile(n, Config{TargetBits: 4, StrideDims: 4, Workers: 1, DisableCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRefine isolates the Espresso refinement stage (the heaviest
+// per-state work of the pipeline) with a fresh cover cache per iteration.
+func BenchmarkRefine(b *testing.B) {
+	n := randNFA(rand.New(rand.NewSource(12)), 600)
+	st, err := Stride(n, 4, 4, espresso.Options{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := st.Clone()
+				esp := espresso.Options{Cache: espresso.NewCoverCache()}
+				if _, err := Refine(c, esp, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -236,7 +236,7 @@ func TestSquashEquivalenceRandom(t *testing.T) {
 
 func TestStrideLiteral2Dims(t *testing.T) {
 	n := litNFA(false, "abc")
-	st, err := Stride(n, 4, 2, espresso.Options{})
+	st, err := Stride(n, 4, 2, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestStride4DimsMidChunkReports(t *testing.T) {
 	// 16-bit chunks (2 bytes): matches ending mid-chunk need wildcard
 	// padding and exact offsets.
 	n := litNFA(false, "a", "xyz")
-	st, err := Stride(n, 4, 4, espresso.Options{})
+	st, err := Stride(n, 4, 4, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestStride4DimsMidChunkReports(t *testing.T) {
 
 func TestStride8Dims(t *testing.T) {
 	n := litNFA(false, "ab", "hello")
-	st, err := Stride(n, 4, 8, espresso.Options{})
+	st, err := Stride(n, 4, 8, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestStride8Dims(t *testing.T) {
 func TestStrideCA16Bit(t *testing.T) {
 	// CA-mode striding: 8-bit sub-symbols, 2 per cycle.
 	n := litNFA(false, "abc", "q")
-	st, err := Stride(n, 8, 2, espresso.Options{})
+	st, err := Stride(n, 8, 2, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestStrideCA16Bit(t *testing.T) {
 
 func TestStrideFig3(t *testing.T) {
 	n := fig3NFA()
-	st, err := Stride(n, 4, 4, espresso.Options{})
+	st, err := Stride(n, 4, 4, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestStrideFig3(t *testing.T) {
 
 func TestStrideAnchored(t *testing.T) {
 	n := litNFA(true, "abcd")
-	st, err := Stride(n, 4, 4, espresso.Options{})
+	st, err := Stride(n, 4, 4, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,13 +328,13 @@ func TestStrideAnchored(t *testing.T) {
 
 func TestStrideRejectsBadDims(t *testing.T) {
 	n := litNFA(false, "ab")
-	if _, err := Stride(n, 4, 3, espresso.Options{}); err == nil {
+	if _, err := Stride(n, 4, 3, espresso.Options{}, 0); err == nil {
 		t.Fatal("non-power-of-two dims accepted")
 	}
-	if _, err := Stride(n, 4, 1, espresso.Options{}); err == nil {
+	if _, err := Stride(n, 4, 1, espresso.Options{}, 0); err == nil {
 		t.Fatal("dims below base accepted")
 	}
-	if _, err := Stride(n, 16, 2, espresso.Options{}); err == nil {
+	if _, err := Stride(n, 16, 2, espresso.Options{}, 0); err == nil {
 		t.Fatal("bad target bits accepted")
 	}
 }
@@ -346,7 +346,7 @@ func TestStrideEquivalenceRandom(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		n := randNFA(r, 3+r.Intn(6))
 		for _, dims := range []int{2, 4} {
-			st, err := Stride(n, 4, dims, espresso.Options{MaxIterations: 2})
+			st, err := Stride(n, 4, dims, espresso.Options{MaxIterations: 2}, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -369,7 +369,7 @@ func TestRefineSplitsMultiRect(t *testing.T) {
 	}
 	id := n.AddState(automata.State{Match: ms, Start: automata.StartAllInput, Report: true, ReportOffset: 2})
 	n.AddEdge(id, id)
-	added, err := Refine(n, espresso.Options{})
+	added, err := Refine(n, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,12 +387,12 @@ func TestRefineSplitsMultiRect(t *testing.T) {
 
 func TestRefinePreservesLanguage(t *testing.T) {
 	n := fig3NFA()
-	st, err := Stride(n, 4, 4, espresso.Options{})
+	st, err := Stride(n, 4, 4, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ref := st.Clone()
-	if _, err := Refine(st, espresso.Options{}); err != nil {
+	if _, err := Refine(st, espresso.Options{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !CapsuleLegal(st) {

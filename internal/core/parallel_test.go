@@ -1,0 +1,143 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"impala/internal/espresso"
+)
+
+// fingerprint serializes everything about a compile that the determinism
+// invariant covers: the automaton itself plus every non-timing stage stat.
+func fingerprint(t *testing.T, res *Result) string {
+	t.Helper()
+	data, err := json.Marshal(res.NFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := string(data)
+	for _, st := range res.Stages {
+		fp += fmt.Sprintf("|%s:%d/%d", st.Name, st.States, st.Transitions)
+	}
+	return fp + fmt.Sprintf("|splits=%d", res.SplitStates)
+}
+
+// The compiled automaton and all structural stage stats must be
+// byte-identical for every worker count, and with the cover cache disabled.
+func TestCompileDeterministicAcrossWorkers(t *testing.T) {
+	n := randNFA(rand.New(rand.NewSource(7)), 120)
+	for _, cfg := range []Config{
+		{TargetBits: 4, StrideDims: 2},
+		{TargetBits: 4, StrideDims: 4},
+	} {
+		cfg.Workers = 1
+		ref, err := Compile(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprint(t, ref)
+
+		for _, w := range []int{2, 8} {
+			c := cfg
+			c.Workers = w
+			res, err := Compile(n, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(t, res); got != want {
+				t.Errorf("S%d: %d workers diverged from serial compile", cfg.StrideDims, w)
+			}
+		}
+
+		c := cfg
+		c.DisableCache = true
+		res, err := Compile(n, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprint(t, res); got != want {
+			t.Errorf("S%d: uncached compile diverged from cached", cfg.StrideDims)
+		}
+	}
+}
+
+// A cache shared across compiles serves the entire second compile from
+// memory without changing its output.
+func TestCompileSharedCacheAcrossCompiles(t *testing.T) {
+	n := randNFA(rand.New(rand.NewSource(8)), 100)
+	shared := espresso.NewCoverCache()
+	cfg := Config{TargetBits: 4, StrideDims: 4, Espresso: espresso.Options{Cache: shared}}
+
+	first, err := Compile(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheMisses == 0 {
+		t.Fatal("first compile should populate the cache")
+	}
+	second, err := Compile(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheMisses != 0 {
+		t.Errorf("second compile missed %d times; want full reuse", second.CacheMisses)
+	}
+	if second.CacheHits == 0 {
+		t.Error("second compile recorded no cache hits")
+	}
+	if fingerprint(t, first) != fingerprint(t, second) {
+		t.Error("cache reuse changed the compile output")
+	}
+}
+
+// Concurrent Refine calls sharing one cover cache (the -race target for the
+// whole cache path) must all produce the serial uncached result.
+func TestRefineConcurrentSharedCache(t *testing.T) {
+	n := randNFA(rand.New(rand.NewSource(9)), 80)
+	st, err := Stride(n, 4, 4, espresso.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := st.Clone()
+	if _, err := Refine(ref, espresso.Options{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := espresso.NewCoverCache()
+	const goroutines = 8
+	results := make([][]byte, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := st.Clone()
+			if _, err := Refine(c, espresso.Options{Cache: shared}, 4); err != nil {
+				errs[g] = err
+				return
+			}
+			results[g], errs[g] = json.Marshal(c)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if string(results[g]) != string(want) {
+			t.Errorf("goroutine %d diverged from serial uncached refine", g)
+		}
+	}
+	if h, m := shared.Stats(); h == 0 || m == 0 {
+		t.Errorf("shared cache saw hits=%d misses=%d; want both nonzero", h, m)
+	}
+}

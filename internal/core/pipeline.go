@@ -25,7 +25,19 @@ type Config struct {
 	// DisableRefine skips Espresso capsule refinement (ablation; the result
 	// may not be capsule-legal).
 	DisableRefine bool
-	// Espresso tunes the logic minimizer.
+	// Workers bounds the worker pools of the Espresso-heavy stages (squash
+	// decomposition, stride label minimization, capsule refinement). 0
+	// selects GOMAXPROCS. The compiled automaton and all stage statistics
+	// except timings are byte-identical for every worker count.
+	Workers int
+	// DisableCache runs every Espresso instance uncached (ablation; the
+	// compilespeed experiment's baseline). Results are identical — the
+	// cache is exactly transparent — only slower.
+	DisableCache bool
+	// Espresso tunes the logic minimizer. When Espresso.Cache is nil,
+	// Compile installs a fresh cover cache shared by all stages of this
+	// compile; supply a cache to share memoized covers across compiles
+	// (results are identical either way).
 	Espresso espresso.Options
 }
 
@@ -65,7 +77,15 @@ type StageStats struct {
 	Name        string
 	States      int
 	Transitions int
-	Duration    time.Duration
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration
+	// CPUTime aggregates the stage's per-work-item time summed across
+	// workers (per-state decompositions/refinements, per-node label
+	// minimizations). For serial stages it equals Duration; for parallel
+	// stages Duration shrinks with the worker count while CPUTime keeps
+	// reporting the total work done, so timings stay meaningful under
+	// parallelism.
+	CPUTime time.Duration
 }
 
 // Result is the output of the V-TeSS compiler.
@@ -81,6 +101,19 @@ type Result struct {
 	SplitStates int
 	// CompileTime is the total wall-clock transformation time.
 	CompileTime time.Duration
+	// CacheHits and CacheMisses count Espresso cover-cache lookups made by
+	// this compile (deltas when a shared cache was supplied via
+	// Config.Espresso.Cache).
+	CacheHits, CacheMisses uint64
+}
+
+// CacheHitRate returns the fraction of Espresso lookups served from the
+// cover cache during this compile (0 when no lookups happened).
+func (r *Result) CacheHitRate() float64 {
+	if r.CacheHits+r.CacheMisses == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.CacheHits+r.CacheMisses)
 }
 
 // StateOverhead returns #states of the result normalized to the original
@@ -104,6 +137,11 @@ func (r *Result) TransitionOverhead(original *automata.NFA) float64 {
 // homogeneous automaton: squash/stride to the configured design point,
 // minimize, Espresso-refine to capsule-legal form, minimize again. The input
 // automaton is not modified.
+//
+// The Espresso-heavy stages run their per-state/per-node work on a worker
+// pool bounded by Config.Workers, sharing one cover cache across the stride
+// and refine stages; the output is byte-identical for every worker count and
+// cache state.
 func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -113,16 +151,34 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 	}
 	start := time.Now()
 	res := &Result{Config: cfg}
-	record := func(name string, a *automata.NFA, t0 time.Time) {
+
+	// One cover cache serves every stage of this compile; a caller-supplied
+	// cache additionally carries covers across compiles.
+	esp := cfg.Espresso
+	if cfg.DisableCache {
+		esp.Cache = nil
+	} else if esp.Cache == nil {
+		esp.Cache = espresso.NewCoverCache()
+	}
+	hits0, misses0 := esp.Cache.Stats()
+
+	// record traces a stage; cpu < 0 marks a serial stage (CPUTime = wall).
+	record := func(name string, a *automata.NFA, t0 time.Time, cpu time.Duration) {
+		wall := time.Since(t0)
+		if cpu < 0 {
+			cpu = wall
+		}
 		res.Stages = append(res.Stages, StageStats{
 			Name:        name,
 			States:      a.NumStates(),
 			Transitions: a.NumTransitions(),
-			Duration:    time.Since(t0),
+			Duration:    wall,
+			CPUTime:     cpu,
 		})
 	}
 
 	var cur *automata.NFA
+	var cpu time.Duration
 	var err error
 	t0 := time.Now()
 	switch {
@@ -130,42 +186,44 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 		// The identity design point (classic CA): clone so later stages may
 		// rewrite freely.
 		cur = n.Clone()
-		record("identity", cur, t0)
+		record("identity", cur, t0, -1)
 	case cfg.TargetBits == 4 && cfg.StrideDims == 1:
-		cur, err = Squash(n)
+		cur, cpu, err = squashWork(n, esp.Cache, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
-		record("squash", cur, t0)
+		record("squash", cur, t0, cpu)
 	default:
-		cur, err = Stride(n, cfg.TargetBits, cfg.StrideDims, cfg.Espresso)
+		cur, cpu, err = strideWork(n, cfg.TargetBits, cfg.StrideDims, esp, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
-		record("v-tess", cur, t0)
+		record("v-tess", cur, t0, cpu)
 	}
 
 	if !cfg.DisableMinimize {
 		t0 = time.Now()
 		automata.Minimize(cur)
-		record("minimize", cur, t0)
+		record("minimize", cur, t0, -1)
 	}
 
 	if !cfg.DisableRefine {
 		t0 = time.Now()
-		res.SplitStates, err = Refine(cur, cfg.Espresso)
+		res.SplitStates, cpu, err = refineWork(cur, esp, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
-		record("espresso-refine", cur, t0)
+		record("espresso-refine", cur, t0, cpu)
 
 		if !cfg.DisableMinimize {
 			t0 = time.Now()
 			automata.Minimize(cur)
-			record("minimize-2", cur, t0)
+			record("minimize-2", cur, t0, -1)
 		}
 	}
 
+	hits1, misses1 := esp.Cache.Stats()
+	res.CacheHits, res.CacheMisses = hits1-hits0, misses1-misses0
 	res.NFA = cur
 	res.CompileTime = time.Since(start)
 	return res, nil

@@ -130,15 +130,15 @@ func TestCompiledJSONRoundTrip(t *testing.T) {
 // Refine is idempotent: a second pass changes nothing.
 func TestRefineIdempotent(t *testing.T) {
 	n := fig3NFA()
-	st, err := Stride(n, 4, 4, espresso.Options{})
+	st, err := Stride(n, 4, 4, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Refine(st, espresso.Options{}); err != nil {
+	if _, err := Refine(st, espresso.Options{}, 0); err != nil {
 		t.Fatal(err)
 	}
 	s1, t1 := st.NumStates(), st.NumTransitions()
-	added, err := Refine(st, espresso.Options{})
+	added, err := Refine(st, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestRefineIdempotent(t *testing.T) {
 // every byte offset within a chunk, with exact positions.
 func TestStrideReportOffsetsExhaustive(t *testing.T) {
 	n := litNFA(false, "q")
-	st, err := Stride(n, 4, 4, espresso.Options{})
+	st, err := Stride(n, 4, 4, espresso.Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"impala/internal/automata"
 	"impala/internal/espresso"
+	"impala/internal/par"
 )
 
 // Refine makes an automaton capsule-legal: every state whose match set is
@@ -15,24 +18,54 @@ import (
 // among a state's splits, preserving the language. Each split inherits the
 // original's start kind and report attributes.
 //
+// Per-state minimizations are independent, so they run on a bounded worker
+// pool (workers <= 0 selects GOMAXPROCS); results land in a per-state slice,
+// making the rebuilt automaton byte-identical for every worker count. When
+// esp.Cache is set, covers are memoized across states — and across the
+// stride stage of the same compile — which converts the dominant fraction of
+// Espresso calls into lookups (most states share a handful of match sets,
+// per the paper's Figure 2).
+//
 // Refine returns the number of extra states created.
-func Refine(n *automata.NFA, esp espresso.Options) (int, error) {
+func Refine(n *automata.NFA, esp espresso.Options, workers int) (int, error) {
+	added, _, err := refineWork(n, esp, workers)
+	return added, err
+}
+
+// refineWork is Refine plus the aggregate per-state minimization time (the
+// CPU-time figure Compile reports next to the stage's wall time).
+func refineWork(n *automata.NFA, esp espresso.Options, workers int) (int, time.Duration, error) {
 	if err := n.Validate(); err != nil {
-		return 0, fmt.Errorf("core: Refine input invalid: %w", err)
+		return 0, 0, fmt.Errorf("core: Refine input invalid: %w", err)
 	}
 
+	// Parallel phase: minimize every state's cover independently.
+	covers := make([]automata.MatchSet, len(n.States))
+	var cpu atomic.Int64
+	err := par.ForErr(workers, len(n.States), func(i int) error {
+		t0 := time.Now()
+		cover := n.States[i].Match.Normalize()
+		if len(cover) > 1 {
+			cover = espresso.Minimize(cover, n.Stride, n.Bits, esp)
+		}
+		cpu.Add(int64(time.Since(t0)))
+		if len(cover) == 0 {
+			return fmt.Errorf("core: state %d minimized to an empty cover", i)
+		}
+		covers[i] = cover
+		return nil
+	})
+	if err != nil {
+		return 0, time.Duration(cpu.Load()), err
+	}
+
+	// Serial phase: rebuild the automaton from the per-state covers.
 	out := automata.New(n.Bits, n.Stride)
 	splits := make([][]automata.StateID, n.NumStates())
 	added := 0
 	for i := range n.States {
 		s := n.States[i]
-		cover := s.Match.Normalize()
-		if len(cover) > 1 {
-			cover = espresso.Minimize(cover, n.Stride, n.Bits, esp)
-		}
-		if len(cover) == 0 {
-			return 0, fmt.Errorf("core: state %d minimized to an empty cover", i)
-		}
+		cover := covers[i]
 		added += len(cover) - 1
 		for _, rect := range cover {
 			id := out.AddState(automata.State{
@@ -56,10 +89,10 @@ func Refine(n *automata.NFA, esp espresso.Options) (int, error) {
 	}
 	out.DedupEdges()
 	if err := out.Validate(); err != nil {
-		return 0, fmt.Errorf("core: Refine produced invalid automaton: %w", err)
+		return 0, time.Duration(cpu.Load()), fmt.Errorf("core: Refine produced invalid automaton: %w", err)
 	}
 	*n = *out
-	return added, nil
+	return added, time.Duration(cpu.Load()), nil
 }
 
 // CapsuleLegal reports whether every state's match set is a single

@@ -10,10 +10,13 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"impala/internal/automata"
 	"impala/internal/bitvec"
 	"impala/internal/espresso"
+	"impala/internal/par"
 )
 
 // Squash converts an 8-bit stride-1 homogeneous automaton into an equivalent
@@ -28,22 +31,40 @@ import (
 // i.e. byte boundaries); an anchored byte state becomes hi states with
 // StartOfData.
 func Squash(n *automata.NFA) (*automata.NFA, error) {
+	out, _, err := squashWork(n, nil, 0)
+	return out, err
+}
+
+// squashWork is Squash with a shared decomposition cache and a bounded
+// worker pool for the per-state byte-set decompositions (the Espresso work
+// of this stage). It also returns the aggregate per-state decomposition time
+// across workers. The rebuilt automaton is byte-identical for every worker
+// count and with or without the cache.
+func squashWork(n *automata.NFA, cache *espresso.CoverCache, workers int) (*automata.NFA, time.Duration, error) {
 	if n.Bits != 8 || n.Stride != 1 {
-		return nil, fmt.Errorf("core: Squash requires an 8-bit stride-1 automaton, got %d-bit stride %d", n.Bits, n.Stride)
+		return nil, 0, fmt.Errorf("core: Squash requires an 8-bit stride-1 automaton, got %d-bit stride %d", n.Bits, n.Stride)
 	}
 	if err := n.Validate(); err != nil {
-		return nil, fmt.Errorf("core: Squash input invalid: %w", err)
+		return nil, 0, fmt.Errorf("core: Squash input invalid: %w", err)
 	}
+
+	// Parallel phase: decompose every state's byte set independently.
+	decomps := make([][]espresso.HiLo, n.NumStates())
+	var cpu atomic.Int64
+	par.For(workers, n.NumStates(), func(i int) {
+		t0 := time.Now()
+		decomps[i] = cache.DecomposeByteSet(byteSetOf(n.States[i].Match))
+		cpu.Add(int64(time.Since(t0)))
+	})
+
 	out := automata.New(4, 1)
 
-	// Decompose every state's byte set and create its hi/lo pairs.
+	// Create each state's hi/lo pairs from its decomposition.
 	his := make([][]automata.StateID, n.NumStates()) // per original: hi state IDs
 	los := make([][]automata.StateID, n.NumStates()) // per original: lo state IDs
 	for i := range n.States {
 		s := &n.States[i]
-		set := byteSetOf(s.Match)
-		rects := espresso.DecomposeByteSet(set)
-		for _, hl := range rects {
+		for _, hl := range decomps[i] {
 			startKind := automata.StartNone
 			switch s.Start {
 			case automata.StartAllInput:
@@ -51,7 +72,7 @@ func Squash(n *automata.NFA) (*automata.NFA, error) {
 			case automata.StartOfData:
 				startKind = automata.StartOfData
 			case automata.StartEven:
-				return nil, fmt.Errorf("core: Squash input state %d already uses StartEven", i)
+				return nil, 0, fmt.Errorf("core: Squash input state %d already uses StartEven", i)
 			}
 			hi := out.AddState(automata.State{
 				Match: automata.MatchSet{automata.Rect{nibbleSet(hl.Hi)}},
@@ -80,9 +101,9 @@ func Squash(n *automata.NFA) (*automata.NFA, error) {
 	}
 	out.DedupEdges()
 	if err := out.Validate(); err != nil {
-		return nil, fmt.Errorf("core: Squash output invalid: %w", err)
+		return nil, 0, fmt.Errorf("core: Squash output invalid: %w", err)
 	}
-	return out, nil
+	return out, time.Duration(cpu.Load()), nil
 }
 
 // byteSetOf flattens a stride-1 match set into a single byte set.

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"impala/internal/automata"
 	"impala/internal/bitvec"
 	"impala/internal/espresso"
+	"impala/internal/par"
 )
 
 // Vectorized temporal striding works on an edge-labeled transition graph
@@ -40,13 +43,24 @@ type lgraph struct {
 	reportCode []int
 	vAll, v0   int32 // virtual source nodes
 	esp        espresso.Options
+	// workers bounds the per-node worker pool of the doubling steps; cpu
+	// accumulates per-node work time across workers (nil = untimed).
+	workers int
+	cpu     *atomic.Int64
+}
+
+// addCPU accumulates a work interval into the CPU-time counter.
+func (g *lgraph) addCPU(t0 time.Time) {
+	if g.cpu != nil {
+		g.cpu.Add(int64(time.Since(t0)))
+	}
 }
 
 // buildGraph constructs the base labeled graph from an 8-bit stride-1
 // homogeneous automaton. For targetBits=4 the base chunk is one byte = two
 // nibble dimensions (labels are Espresso decompositions of byte sets); for
 // targetBits=8 it is one byte = one dimension.
-func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options) (*lgraph, error) {
+func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options, workers int, cpu *atomic.Int64) (*lgraph, error) {
 	if n.Bits != 8 || n.Stride != 1 {
 		return nil, fmt.Errorf("core: striding requires an 8-bit stride-1 automaton, got %d-bit stride %d", n.Bits, n.Stride)
 	}
@@ -75,6 +89,8 @@ func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options) (*lgraph,
 		vAll:       int32(N),
 		v0:         int32(N + 1),
 		esp:        esp,
+		workers:    workers,
+		cpu:        cpu,
 	}
 	for i := range g.adj {
 		g.adj[i] = map[int32]automata.MatchSet{}
@@ -83,23 +99,30 @@ func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options) (*lgraph,
 	}
 
 	// Per-state base label: the state's byte set as a dims-dimensional
-	// vector-symbol union.
+	// vector-symbol union. Decompositions are independent per state and are
+	// where the Espresso work of this stage lives, so they run on the worker
+	// pool; the memoized decomposition cache collapses the (few) distinct
+	// byte sets of a real rule set into single computations.
 	labels := make([]automata.MatchSet, N)
-	for i := range n.States {
+	par.For(workers, N, func(i int) {
+		t0 := time.Now()
 		set := byteSetOf(n.States[i].Match)
 		switch targetBits {
 		case 8:
 			labels[i] = automata.MatchSet{automata.Rect{set}}
 		case 4:
-			rects := espresso.DecomposeByteSet(set)
+			rects := esp.Cache.DecomposeByteSet(set)
 			ms := make(automata.MatchSet, 0, len(rects))
 			for _, hl := range rects {
 				ms = append(ms, automata.Rect{nibbleSet(hl.Hi), nibbleSet(hl.Lo)})
 			}
 			labels[i] = ms
 		case 2:
-			labels[i] = decomposeCrumbs(set)
+			labels[i] = decomposeCrumbs(set, esp)
 		}
+		g.addCPU(t0)
+	})
+	for i := range n.States {
 		if n.States[i].Report {
 			g.reportCode[i] = n.States[i].ReportCode
 		}
@@ -157,6 +180,11 @@ func padWild(ms automata.MatchSet, extra, bits int) automata.MatchSet {
 // double squares the graph's alphabet: edges become two-edge paths, mid-chunk
 // reports are carried forward with wildcard padding, and first-half chunk
 // ends at reporting nodes become new mid-chunk report entries.
+// double squares the graph's alphabet. Each source node's out-edges and
+// report entries are composed and minimized independently — node q only
+// writes out.adj[q]/out.rep[q] and only reads the previous graph — so the
+// whole step runs one node per work item on the worker pool, with results
+// independent of the worker count.
 func (g *lgraph) double() *lgraph {
 	S := g.dims
 	n := len(g.adj)
@@ -169,13 +197,16 @@ func (g *lgraph) double() *lgraph {
 		vAll:       g.vAll,
 		v0:         g.v0,
 		esp:        g.esp,
+		workers:    g.workers,
+		cpu:        g.cpu,
 	}
 	for i := range out.adj {
 		out.adj[i] = map[int32]automata.MatchSet{}
 		out.rep[i] = map[repKey]automata.MatchSet{}
 	}
 
-	for q := range g.adj {
+	par.For(g.workers, n, func(q int) {
+		t0 := time.Now()
 		// Deterministic iteration: sorted adjacency and report keys.
 		mids := sortedAdjKeys(g.adj[q])
 		// Path composition.
@@ -205,17 +236,15 @@ func (g *lgraph) double() *lgraph {
 				out.rep[q][nk] = out.rep[q][nk].Union(cross(lqm, g.rep[m][k]))
 			}
 		}
-	}
-
-	// Minimize all labels.
-	for q := range out.adj {
+		// Minimize this node's labels (the Espresso-heavy part).
 		for _, r := range sortedAdjKeys(out.adj[q]) {
 			out.adj[q][r] = out.minimizeLabel(out.adj[q][r])
 		}
 		for _, k := range sortedRepKeys(out.rep[q]) {
 			out.rep[q][k] = out.minimizeLabel(out.rep[q][k])
 		}
-	}
+		g.addCPU(t0)
+	})
 	return out
 }
 
@@ -386,11 +415,11 @@ func (g *lgraph) homogenize() (*automata.NFA, error) {
 // 4-dimensional rectangles over 2-bit sub-symbols ("crumbs"): first the
 // hi/lo nibble decomposition, then each nibble set into 2-crumb rectangles,
 // cross-producted and Espresso-minimized.
-func decomposeCrumbs(set bitvec.ByteSet) automata.MatchSet {
+func decomposeCrumbs(set bitvec.ByteSet, esp espresso.Options) automata.MatchSet {
 	var out automata.MatchSet
-	for _, hl := range espresso.DecomposeByteSet(set) {
-		hiRects := decomposeNibbleCrumbs(hl.Hi)
-		loRects := decomposeNibbleCrumbs(hl.Lo)
+	for _, hl := range esp.Cache.DecomposeByteSet(set) {
+		hiRects := decomposeNibbleCrumbs(hl.Hi, esp)
+		loRects := decomposeNibbleCrumbs(hl.Lo, esp)
 		for _, hr := range hiRects {
 			for _, lr := range loRects {
 				out = append(out, hr.Concat(lr))
@@ -398,14 +427,14 @@ func decomposeCrumbs(set bitvec.ByteSet) automata.MatchSet {
 		}
 	}
 	if len(out) > 1 {
-		out = espresso.Minimize(out, 4, 2, espresso.Options{MaxIterations: 2})
+		out = espresso.Minimize(out, 4, 2, espresso.Options{MaxIterations: 2, Cache: esp.Cache})
 	}
 	return out
 }
 
 // decomposeNibbleCrumbs splits a nibble set into 2-dimensional crumb
 // rectangles.
-func decomposeNibbleCrumbs(ns bitvec.NibbleSet) automata.MatchSet {
+func decomposeNibbleCrumbs(ns bitvec.NibbleSet, esp espresso.Options) automata.MatchSet {
 	var on automata.MatchSet
 	for _, v := range ns.Values() {
 		on = append(on, automata.Rect{
@@ -414,7 +443,7 @@ func decomposeNibbleCrumbs(ns bitvec.NibbleSet) automata.MatchSet {
 		})
 	}
 	if len(on) > 1 {
-		on = espresso.Minimize(on, 2, 2, espresso.Options{MaxIterations: 2})
+		on = espresso.Minimize(on, 2, 2, espresso.Options{MaxIterations: 2, Cache: esp.Cache})
 	}
 	return on
 }
@@ -423,20 +452,31 @@ func decomposeNibbleCrumbs(ns bitvec.NibbleSet) automata.MatchSet {
 // equivalent homogeneous automaton over targetBits-wide sub-symbols (2, 4
 // or 8) consuming dims sub-symbols per cycle. dims must be the base chunk
 // size (4 for 2-bit targets, 2 for 4-bit, 1 for 8-bit) times a power of
-// two.
-func Stride(n *automata.NFA, targetBits, dims int, esp espresso.Options) (*automata.NFA, error) {
-	g, err := buildGraph(n, targetBits, esp)
+// two. The per-state decompositions and per-node label minimizations of
+// every doubling step run on a bounded worker pool (workers <= 0 selects
+// GOMAXPROCS); the output is byte-identical for every worker count.
+func Stride(n *automata.NFA, targetBits, dims int, esp espresso.Options, workers int) (*automata.NFA, error) {
+	out, _, err := strideWork(n, targetBits, dims, esp, workers)
+	return out, err
+}
+
+// strideWork is Stride plus the aggregate per-work-item time across workers
+// (the CPU-time figure Compile reports next to the stage's wall time).
+func strideWork(n *automata.NFA, targetBits, dims int, esp espresso.Options, workers int) (*automata.NFA, time.Duration, error) {
+	var cpu atomic.Int64
+	g, err := buildGraph(n, targetBits, esp, workers, &cpu)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if dims < g.dims {
-		return nil, fmt.Errorf("core: stride %d below base chunk %d", dims, g.dims)
+		return nil, 0, fmt.Errorf("core: stride %d below base chunk %d", dims, g.dims)
 	}
 	for cur := g.dims; cur < dims; cur *= 2 {
 		g = g.double()
 	}
 	if g.dims != dims {
-		return nil, fmt.Errorf("core: stride %d is not a power-of-two multiple of the base chunk", dims)
+		return nil, 0, fmt.Errorf("core: stride %d is not a power-of-two multiple of the base chunk", dims)
 	}
-	return g.homogenize()
+	out, err := g.homogenize()
+	return out, time.Duration(cpu.Load()), err
 }

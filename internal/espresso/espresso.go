@@ -30,6 +30,19 @@ type Options struct {
 	// MaxIterations bounds the EXPAND/IRREDUNDANT/REDUCE loop. 0 means the
 	// default of 4.
 	MaxIterations int
+	// Cache, when non-nil, memoizes Minimize results (and byte-set
+	// decompositions) across calls. Safe to share between concurrent
+	// callers; results are identical with or without it.
+	Cache *CoverCache
+}
+
+// effectiveIterations resolves the MaxIterations default (the cache keys on
+// the resolved value so explicit 4 and default 0 share entries).
+func effectiveIterations(opts Options) int {
+	if opts.MaxIterations == 0 {
+		return 4
+	}
+	return opts.MaxIterations
 }
 
 // Minimize returns a heuristically minimal cover of the union denoted by
@@ -41,10 +54,10 @@ func Minimize(on automata.MatchSet, stride, bits int, opts Options) automata.Mat
 	if len(f) <= 1 {
 		return f
 	}
-	maxIter := opts.MaxIterations
-	if maxIter == 0 {
-		maxIter = 4
+	if opts.Cache != nil {
+		return opts.Cache.minimize(f, stride, bits, opts)
 	}
+	maxIter := effectiveIterations(opts)
 
 	off := on.Complement(stride, bits)
 	best := f.Clone()

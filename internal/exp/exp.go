@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"impala/internal/automata"
+	"impala/internal/par"
 	"impala/internal/workload"
 )
 
@@ -34,6 +35,12 @@ type Options struct {
 	// DumpDir, when set, receives one CSV file per rendered table for
 	// external plotting.
 	DumpDir string
+	// Parallel bounds how many benchmark × design-point cells the
+	// compile-heavy experiments run concurrently (a bounded semaphore over
+	// the cell list; results are assembled in cell order, so tables are
+	// identical for any value). The default 1 keeps per-cell wall-clock
+	// measurements faithful; raise it to sweep the suite faster.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -46,7 +53,17 @@ func (o Options) withDefaults() Options {
 	if len(o.Strides) == 0 {
 		o.Strides = []int{1, 2, 4, 8}
 	}
+	if o.Parallel == 0 {
+		o.Parallel = 1
+	}
 	return o
+}
+
+// forEachCell runs fn(i) for every cell index in [0, n) under the bounded
+// cell semaphore (Options.Parallel). fn must write results only into
+// index-i slots; the first failing index's error is returned.
+func (o Options) forEachCell(n int, fn func(i int) error) error {
+	return par.ForErr(o.Parallel, n, fn)
 }
 
 func (o Options) suite() []workload.Benchmark {
@@ -211,25 +228,26 @@ type Runner func(o Options) ([]*Table, error)
 // Registry maps experiment IDs (as used by impala-bench -exp) to runners.
 func Registry() map[string]Runner {
 	return map[string]Runner{
-		"fig2":      Figure2,
-		"table1":    Table1CompileTime,
-		"table4":    Table4VTeSS,
-		"table5":    Table5Pipeline,
-		"fig13":     Figure13Throughput,
-		"fig14":     Figure14Area,
-		"fig11":     Figure11ThroughputPerArea,
-		"fig12":     Figure12EnergyPower,
-		"table6":    Table6FPGA,
-		"fig8":      Figure8Utilization,
-		"fig9":      Figure9Heatmap,
-		"fig10":     Figure10G4,
-		"casestudy": CaseStudyEntityResolution,
-		"system":    SystemIntegration,
-		"ablate":    Ablation,
-		"rounds":    Reconfiguration,
-		"squash":    SquashWidth,
-		"software":  SoftwareBaseline,
-		"simspeed":  SimulatorSpeed,
+		"fig2":         Figure2,
+		"table1":       Table1CompileTime,
+		"table4":       Table4VTeSS,
+		"table5":       Table5Pipeline,
+		"fig13":        Figure13Throughput,
+		"fig14":        Figure14Area,
+		"fig11":        Figure11ThroughputPerArea,
+		"fig12":        Figure12EnergyPower,
+		"table6":       Table6FPGA,
+		"fig8":         Figure8Utilization,
+		"fig9":         Figure9Heatmap,
+		"fig10":        Figure10G4,
+		"casestudy":    CaseStudyEntityResolution,
+		"system":       SystemIntegration,
+		"ablate":       Ablation,
+		"rounds":       Reconfiguration,
+		"squash":       SquashWidth,
+		"software":     SoftwareBaseline,
+		"simspeed":     SimulatorSpeed,
+		"compilespeed": CompileSpeed,
 	}
 }
 
@@ -237,6 +255,6 @@ func Registry() map[string]Runner {
 func IDs() []string {
 	return []string{
 		"fig2", "table1", "table4", "table5", "fig13", "fig14",
-		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed",
+		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed", "compilespeed",
 	}
 }

@@ -363,3 +363,57 @@ func TestSoftwareBaseline(t *testing.T) {
 		t.Fatalf("bad output:\n%s", out)
 	}
 }
+
+func TestCompileSpeed(t *testing.T) {
+	o := tiny()
+	o.Benchmarks = []string{"Bro217"}
+	rep, err := CompileSpeedReport(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One uncached baseline row plus the worker sweep, all with identical
+	// compiled shapes (the determinism invariant CompileSpeedReport itself
+	// re-checks per row).
+	if len(rep.Cells) != 1+len(compileSpeedWorkers) {
+		t.Fatalf("cells = %d", len(rep.Cells))
+	}
+	for _, c := range rep.Cells[1:] {
+		if c.CacheHits+c.CacheMisses == 0 {
+			t.Errorf("workers=%d: no cache activity recorded", c.Workers)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"cache_hit_rate"`) {
+		t.Fatalf("json missing fields:\n%s", buf.String())
+	}
+	out := render(t, []*Table{rep.Table()})
+	if !strings.Contains(out, "uncached") || !strings.Contains(out, "vs serial") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+}
+
+// The cell semaphore must not change any experiment's rows: running the
+// compile-heavy experiments with Parallel 1 and 4 must render identical
+// tables (timing columns excluded, so Table1 is checked via Table4/Figure2,
+// whose cells carry no timings).
+func TestParallelCellsDeterministic(t *testing.T) {
+	for name, runner := range map[string]Runner{"fig2": Figure2, "table4": Table4VTeSS} {
+		o := tiny()
+		o.Parallel = 1
+		serial, err := runner(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Parallel = 4
+		parallel, err := runner(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if render(t, serial) != render(t, parallel) {
+			t.Errorf("%s: Parallel=4 changed the table", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"impala/internal/arch"
+	"impala/internal/automata"
 	"impala/internal/core"
 	"impala/internal/place"
 )
@@ -18,14 +19,23 @@ func Figure2(o Options) ([]*Table, error) {
 		Title:  "Figure 2: states by number of accepting symbols (fractions)",
 		Header: []string{"benchmark", "states", "=1", "2-8", "9-32", "33-128", ">128"},
 	}
+	// One cell per benchmark: generate + stats concurrently, fold in order.
+	suite := o.suite()
+	stats := make([]automata.Stats, len(suite))
+	if err := o.forEachCell(len(suite), func(i int) error {
+		n, err := o.generate(suite[i])
+		if err != nil {
+			return err
+		}
+		stats[i] = n.ComputeStats()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var total int
 	var hist [5]int
-	for _, b := range o.suite() {
-		n, err := o.generate(b)
-		if err != nil {
-			return nil, err
-		}
-		st := n.ComputeStats()
+	for bi, b := range suite {
+		st := stats[bi]
 		row := []string{b.Name, fmt.Sprint(st.States)}
 		for _, c := range st.MatchSymbolHistogram {
 			row = append(row, f2(float64(c)/float64(st.States)))
@@ -55,38 +65,52 @@ func Table1CompileTime(o Options) ([]*Table, error) {
 		Title:  "Table 1: relative compilation time (this toolchain)",
 		Header: []string{"benchmark", "states", "CA compile (ms)", "Impala 4-stride compile (ms)", "ratio"},
 	}
-	var sumCA, sumImp time.Duration
-	for _, b := range o.suite() {
-		n, err := o.generate(b)
+	// One cell per benchmark; each cell runs both toolchains end to end so
+	// the CA/Impala ratio within a row stays apples-to-apples.
+	suite := o.suite()
+	type cell struct {
+		states          int
+		caTime, impTime time.Duration
+	}
+	cells := make([]cell, len(suite))
+	if err := o.forEachCell(len(suite), func(i int) error {
+		n, err := o.generate(suite[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		t0 := time.Now()
 		caRes, err := core.Compile(n, core.Config{TargetBits: 8, StrideDims: 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := place.Place(caRes.NFA, place.Options{Seed: o.Seed, DisableGA: true}); err != nil {
-			return nil, err
+			return err
 		}
 		caTime := time.Since(t0)
 
 		t0 = time.Now()
 		impRes, err := core.Compile(n, core.Config{TargetBits: 4, StrideDims: 4})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := place.Place(impRes.NFA, place.Options{Seed: o.Seed}); err != nil {
-			return nil, err
+			return err
 		}
-		impTime := time.Since(t0)
+		cells[i] = cell{states: n.NumStates(), caTime: caTime, impTime: time.Since(t0)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
-		sumCA += caTime
-		sumImp += impTime
-		ratio := float64(impTime) / float64(caTime+1)
-		t.AddRow(b.Name, fmt.Sprint(n.NumStates()),
-			fmt.Sprint(caTime.Milliseconds()), fmt.Sprint(impTime.Milliseconds()), f1(ratio))
+	var sumCA, sumImp time.Duration
+	for i, b := range suite {
+		c := cells[i]
+		sumCA += c.caTime
+		sumImp += c.impTime
+		ratio := float64(c.impTime) / float64(c.caTime+1)
+		t.AddRow(b.Name, fmt.Sprint(c.states),
+			fmt.Sprint(c.caTime.Milliseconds()), fmt.Sprint(c.impTime.Milliseconds()), f1(ratio))
 	}
 	t.AddRow("TOTAL", "", fmt.Sprint(sumCA.Milliseconds()), fmt.Sprint(sumImp.Milliseconds()),
 		f1(float64(sumImp)/float64(sumCA+1)))
@@ -108,26 +132,38 @@ func Table4VTeSS(o Options) ([]*Table, error) {
 	}
 	t := &Table{Title: "Table 4: V-TeSS state/transition overhead vs original 8-bit", Header: hdr}
 
-	sums := make([]float64, len(o.Strides)*2)
-	count := 0
-	for _, b := range o.suite() {
+	// The cell grid is benchmark × stride: every compile is independent, so
+	// all of them go through the cell semaphore at once.
+	suite := o.suite()
+	type overhead struct{ so, to float64 }
+	cells := make([]overhead, len(suite)*len(o.Strides))
+	if err := o.forEachCell(len(cells), func(i int) error {
+		b, s := suite[i/len(o.Strides)], o.Strides[i%len(o.Strides)]
 		n, err := o.generate(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		res, err := core.Compile(n, core.Config{TargetBits: 4, StrideDims: s})
+		if err != nil {
+			return err
+		}
+		cells[i] = overhead{so: res.StateOverhead(n), to: res.TransitionOverhead(n)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	sums := make([]float64, len(o.Strides)*2)
+	count := 0
+	for bi, b := range suite {
 		row := []string{b.Name}
 		trans := make([]string, 0, len(o.Strides))
-		for si, s := range o.Strides {
-			res, err := core.Compile(n, core.Config{TargetBits: 4, StrideDims: s})
-			if err != nil {
-				return nil, err
-			}
-			so := res.StateOverhead(n)
-			to := res.TransitionOverhead(n)
-			row = append(row, f2(so))
-			trans = append(trans, f2(to))
-			sums[si] += so
-			sums[len(o.Strides)+si] += to
+		for si := range o.Strides {
+			c := cells[bi*len(o.Strides)+si]
+			row = append(row, f2(c.so))
+			trans = append(trans, f2(c.to))
+			sums[si] += c.so
+			sums[len(o.Strides)+si] += c.to
 		}
 		row = append(row, trans...)
 		t.AddRow(row...)

@@ -1,0 +1,67 @@
+// Package par provides the bounded-worker primitives shared by the compile
+// pipeline (core, place, exp). All helpers guarantee deterministic results
+// when the per-index work is pure and writes only to its own index: work is
+// distributed by an atomic counter, so scheduling order varies, but outputs
+// are keyed by index and therefore independent of worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: n <= 0 selects GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS). It returns when all calls complete.
+// fn must confine its writes to data owned by index i for the result to be
+// independent of the worker count.
+func For(workers, n int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr is For with error collection: it runs fn(i) for every i in [0, n)
+// and returns the error of the lowest index that failed (deterministic
+// regardless of scheduling). All indices are attempted even after a failure.
+func ForErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	For(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		n := 1000
+		hits := make([]int32, n)
+		For(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndTiny(t *testing.T) {
+	For(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	ran := false
+	For(8, 1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("fn not called for n=1")
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	e3, e7 := errors.New("three"), errors.New("seven")
+	for _, workers := range []int{1, 4} {
+		err := ForErr(workers, 10, func(i int) error {
+			switch i {
+			case 3:
+				return e3
+			case 7:
+				return e7
+			}
+			return nil
+		})
+		if err != e3 {
+			t.Fatalf("workers=%d: got %v, want lowest-index error", workers, err)
+		}
+	}
+	if err := ForErr(4, 10, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must be >= 1")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("explicit worker count not preserved")
+	}
+}

@@ -1,0 +1,59 @@
+package place
+
+import (
+	"fmt"
+	"testing"
+)
+
+// gaOptions forces the GA path (repair disabled) so the parallel fitness
+// evaluation is what's under test.
+func gaOptions(workers int) Options {
+	return Options{Seed: 9, DisableRepair: true, Generations: 200, Population: 32, Workers: workers}
+}
+
+// The GA draws one seed per child serially and gives every child its own
+// RNG stream, so the placement must be slot-for-slot identical for any
+// worker count.
+func TestPlaceDeterministicAcrossWorkers(t *testing.T) {
+	n := bigCC(300, 23)
+	ref, err := Place(n, gaOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.GAInvocations == 0 {
+		t.Fatal("GA was not invoked; test is not exercising the parallel path")
+	}
+	for _, w := range []int{2, 8} {
+		p, err := Place(n, gaOptions(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.G4s) != len(ref.G4s) || p.TotalUncovered != ref.TotalUncovered {
+			t.Fatalf("%d workers: shape diverged (%d G4s/%d uncovered vs %d/%d)",
+				w, len(p.G4s), p.TotalUncovered, len(ref.G4s), ref.TotalUncovered)
+		}
+		for i := range p.G4s {
+			for s := range p.G4s[i].Slots {
+				if p.G4s[i].Slots[s] != ref.G4s[i].Slots[s] {
+					t.Fatalf("%d workers: G4 %d slot %d = %d, serial = %d",
+						w, i, s, p.G4s[i].Slots[s], ref.G4s[i].Slots[s])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkPlaceGA times GA placement of a straddling connected component
+// across worker counts (fitness evaluation is the parallel section).
+func BenchmarkPlaceGA(b *testing.B) {
+	n := bigCC(300, 23)
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Place(n, gaOptions(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

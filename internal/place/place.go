@@ -13,6 +13,7 @@ import (
 
 	"impala/internal/automata"
 	"impala/internal/interconnect"
+	"impala/internal/par"
 )
 
 // Options tunes the placement search.
@@ -34,6 +35,12 @@ type Options struct {
 	// BFS order, ignoring block boundaries — the paper's plain BFS
 	// labelling of Figure 10(b), which generally leaves uncovered edges.
 	NaiveSeed bool
+	// Workers bounds the GA's per-generation worker pool: each generation's
+	// children are constructed and fitness-evaluated concurrently, each from
+	// its own RNG seeded serially from the master stream, so the placement
+	// is byte-identical for every worker count (and deterministic for a
+	// given Seed). 0 selects GOMAXPROCS.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -622,6 +629,14 @@ func repair(p *problem, ind *individual, r *rand.Rand, sweeps int) *individual {
 
 // evolve runs the genetic algorithm: tournament selection, ordered
 // crossover on the slot sequence, swap + targeted mutation.
+//
+// Fitness evaluation dominates the GA's cost (every child scans all edges,
+// and a quarter of the children take a 50-sweep repair, each sweep another
+// full eval), so each generation constructs and evaluates its children on a
+// bounded worker pool. Determinism is preserved by splitting the randomness:
+// parent selection and one child seed per slot are drawn serially from the
+// master stream, then each child runs crossover/mutation/repair on its own
+// RNG — the resulting population is byte-identical for every worker count.
 func evolve(p *problem, seedInd *individual, r *rand.Rand, opts Options) *individual {
 	pop := make([]*individual, opts.Population)
 	pop[0] = seedInd.clone()
@@ -649,18 +664,32 @@ func evolve(p *problem, seedInd *individual, r *rand.Rand, opts Options) *indivi
 		return b
 	}
 
+	type brood struct {
+		a, b *individual // parents (from the previous generation, read-only)
+		seed int64       // child RNG seed
+	}
 	for gen := 0; gen < opts.Generations && best.fitness > 0; gen++ {
-		next := make([]*individual, 0, len(pop))
-		next = append(next, best.clone()) // elitism
-		for len(next) < len(pop) {
-			child := orderedCrossover(tournament(), tournament(), r)
-			mutate(p, child, r)
+		next := make([]*individual, len(pop))
+		next[0] = best.clone() // elitism
+		// Serial phase: draw parents and per-child seeds from the master
+		// stream (tournament reads only the previous generation).
+		broods := make([]brood, len(pop)-1)
+		for i := range broods {
+			broods[i] = brood{a: tournament(), b: tournament(), seed: r.Int63()}
+		}
+		// Parallel phase: construct and evaluate every child on its own RNG.
+		par.For(opts.Workers, len(broods), func(i int) {
+			cr := rand.New(rand.NewSource(broods[i].seed))
+			child := orderedCrossover(broods[i].a, broods[i].b, cr)
+			mutate(p, child, cr)
 			child.eval(p)
 			// Cheap local improvement on the child.
-			if child.fitness > 0 && r.Intn(4) == 0 {
-				child = repair(p, child, r, 50)
+			if child.fitness > 0 && cr.Intn(4) == 0 {
+				child = repair(p, child, cr, 50)
 			}
-			next = append(next, child)
+			next[i+1] = child
+		})
+		for _, child := range next[1:] {
 			if child.fitness < best.fitness {
 				best = child.clone()
 			}
