@@ -13,7 +13,11 @@
 //
 // The compilespeed experiment sweeps the compile worker pool over a
 // regex-family subset with the memoized Espresso cover cache on and off,
-// and with -json FILE writes the measurements as a JSON report. -parallel N
+// and with -json FILE writes the measurements as a JSON report (including a
+// metrics snapshot of the worker pool and cover cache). -check FILE compares
+// the fresh report against a stored baseline and exits nonzero when the
+// cache hit rate, cache speedup, or compiled automaton shape regresses
+// beyond -tolerance / -hit-tolerance — the CI regression gate. -parallel N
 // runs N benchmark × design-point cells of the compile-heavy experiments
 // concurrently (results are identical; per-cell wall times get noisy).
 //
@@ -33,6 +37,8 @@ import (
 	"time"
 
 	"impala/internal/exp"
+	"impala/internal/obs"
+	"impala/internal/par"
 )
 
 func main() {
@@ -46,6 +52,9 @@ func main() {
 		dumpDir  = flag.String("dump", "", "write each table as CSV into this directory")
 		parallel = flag.Int("parallel", 1, "benchmark × design-point cells to run concurrently (tables identical for any value; >1 perturbs per-cell wall times)")
 		jsonOut  = flag.String("json", "", "write the compilespeed report as JSON to this file (compilespeed only)")
+		check    = flag.String("check", "", "compare the compilespeed report against this baseline JSON and exit nonzero on regression")
+		tol      = flag.Float64("tolerance", 0.25, "allowed fractional drop in speedup_vs_uncached for -check")
+		hitTol   = flag.Float64("hit-tolerance", 0.02, "allowed absolute drop in cache hit rate for -check")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -84,8 +93,8 @@ func main() {
 
 	for _, id := range ids {
 		t0 := time.Now()
-		if id == "compilespeed" && *jsonOut != "" {
-			if err := runCompileSpeedJSON(o, *jsonOut); err != nil {
+		if id == "compilespeed" && (*jsonOut != "" || *check != "") {
+			if err := runCompileSpeed(o, *jsonOut, *check, *tol, *hitTol); err != nil {
 				fatal(fmt.Errorf("%s: %w", id, err))
 			}
 			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
@@ -105,27 +114,55 @@ func main() {
 	}
 }
 
-// runCompileSpeedJSON runs the compilespeed experiment once, renders its
-// table, and writes the JSON report to path — one measurement run serves
-// both outputs.
-func runCompileSpeedJSON(o exp.Options, path string) error {
+// runCompileSpeed runs the compilespeed experiment once (instrumented, so
+// the report carries a metrics snapshot), renders its table, optionally
+// writes the JSON report, and optionally checks it against a stored baseline
+// — one measurement run serves all three outputs. A regression against the
+// baseline is an error (nonzero exit), with one line per violated bound.
+func runCompileSpeed(o exp.Options, jsonPath, checkPath string, tol, hitTol float64) error {
+	reg := obs.NewRegistry()
+	par.EnableMetrics(reg)
+	defer par.EnableMetrics(nil)
+	o.Metrics = reg
+
 	rep, err := exp.CompileSpeedReport(o)
 	if err != nil {
 		return err
 	}
 	rep.Table().Render(os.Stdout)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
-	if err := rep.WriteJSON(f); err != nil {
+	if checkPath != "" {
+		f, err := os.Open(checkPath)
+		if err != nil {
+			return err
+		}
+		base, err := exp.ReadCompileReport(f)
 		f.Close()
-		return err
+		if err != nil {
+			return err
+		}
+		opt := exp.CheckOptions{SpeedupTolerance: tol, HitRateTolerance: hitTol}
+		if bad := exp.CompareReports(base, rep, opt); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "regression: %s\n", msg)
+			}
+			return fmt.Errorf("%d regression(s) vs %s", len(bad), checkPath)
+		}
+		fmt.Printf("check vs %s: pass (%d cells within tolerance)\n", checkPath, len(base.Cells))
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

@@ -8,6 +8,7 @@
 //	impala-sim -patterns 'GET /,POST /' -stride 4 -in payload.bin
 //	impala-sim -patterns needle -text 'haystack needle'
 //	impala-sim -patterns needle -in payload.bin -chunk 1460   # streaming path
+//	impala-sim -patterns needle -in payload.bin -chunk 1460 -ops :8080   # + live /metrics
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"impala/internal/automata"
 	"impala/internal/bitvec"
 	"impala/internal/core"
+	"impala/internal/obs"
 	"impala/internal/regexc"
 	"impala/internal/sim"
 )
@@ -40,8 +42,28 @@ func main() {
 		trace    = flag.Bool("trace", false, "print per-cycle active-state traces (graph simulator only)")
 		engine   = flag.String("engine", "compiled", "graph simulator engine: compiled (bit-parallel) or scalar (reference)")
 		chunk    = flag.Int("chunk", 0, "drive the streaming path, feeding the input in chunks of N bytes (0 = batch)")
+		ops      = flag.String("ops", "", "serve the ops endpoint (/metrics JSON, /debug/vars, /debug/pprof) on this address and keep serving after the run")
 	)
 	flag.Parse()
+
+	// The ops endpoint turns on the live stream counters and keeps the
+	// process up after the run so the final state stays scrapeable.
+	holdOps := func() {}
+	if *ops != "" {
+		reg := obs.NewRegistry()
+		sim.EnableMetrics(reg)
+		arch.EnableMetrics(reg)
+		_, url, err := obs.Serve(*ops, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ops: serving /metrics and /debug/pprof on %s\n", url)
+		holdOps = func() {
+			fmt.Fprintf(os.Stderr, "ops: run complete; serving on %s until interrupted\n", url)
+			select {}
+		}
+	}
+	defer holdOps()
 
 	var input []byte
 	var err error

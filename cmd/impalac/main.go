@@ -7,6 +7,7 @@
 // Usage:
 //
 //	impalac -rules rules.txt [-stride 4] [-ca] [-o out.json] [-seed 1]
+//	impalac -rules rules.txt -trace trace.json   # Chrome trace of the pipeline
 //	impalac -nfa automaton.json -stride 2
 //	echo 'GET /|POST /' | impalac -patterns 'GET /,POST /'
 package main
@@ -20,12 +21,12 @@ import (
 	"strings"
 
 	"impala/internal/anml"
+	"impala/internal/arch"
 	"impala/internal/automata"
 	"impala/internal/core"
+	"impala/internal/obs"
 	"impala/internal/place"
 	"impala/internal/regexc"
-
-	"impala/internal/arch"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "placement search seed")
 		workers   = flag.Int("j", 0, "compile/placement worker pool size (0 = GOMAXPROCS); output is identical for any value")
 		compare   = flag.Bool("compare", false, "compile at every design point and print a comparison table")
+		traceOut  = flag.String("trace", "", "write a Chrome trace of the compile + placement pipeline here (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -57,7 +59,11 @@ func main() {
 	if *caMode {
 		bits = 8
 	}
-	cfg := core.Config{TargetBits: bits, StrideDims: *stride, Workers: *workers}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+	}
+	cfg := core.Config{TargetBits: bits, StrideDims: *stride, Workers: *workers, Trace: tr}
 	res, err := core.Compile(nfa, cfg)
 	if err != nil {
 		fatal(err)
@@ -74,7 +80,7 @@ func main() {
 	fmt.Printf("compile time    : %s  (espresso cover cache: %d hits / %d misses, %.0f%% hit rate)\n",
 		res.CompileTime, res.CacheHits, res.CacheMisses, res.CacheHitRate()*100)
 
-	pl, err := place.Place(res.NFA, place.Options{Seed: *seed, Workers: *workers})
+	pl, err := place.Place(res.NFA, place.Options{Seed: *seed, Workers: *workers, Trace: tr})
 	if err != nil {
 		fatal(err)
 	}
@@ -121,6 +127,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *bitFile)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d spans)\n", *traceOut, tr.Len())
 	}
 }
 

@@ -188,6 +188,11 @@ func (c *machineCore) StepCycle(chunk []byte, t int, limitBits int, sink sim.Rep
 	m := c.m
 	S := m.Stride
 	enabled, active := 0, 0
+	am := archMetricsPtr.Load()
+	var a0 ActivityStats
+	if am != nil {
+		a0 = c.activity
+	}
 	for gi, u := range m.Groups {
 		st := &c.gs[gi]
 		// --- interconnect phase: propagate previous active states ---
@@ -242,6 +247,12 @@ func (c *machineCore) StepCycle(chunk []byte, t int, limitBits int, sink sim.Rep
 		st.prev, st.active = st.active, st.prev
 	}
 	c.activity.Cycles++
+	if am != nil {
+		am.cycles.Inc()
+		am.local.Add(c.activity.LocalSwitchActivations - a0.LocalSwitchActivations)
+		am.global.Add(c.activity.GlobalSwitchActivations - a0.GlobalSwitchActivations)
+		am.cross.Add(c.activity.CrossBlockSignals - a0.CrossBlockSignals)
+	}
 	return enabled, active
 }
 
@@ -259,6 +270,9 @@ type Session struct {
 // reports as they fire (nil to run for statistics only). Many sessions may
 // run concurrently over one Machine.
 func (m *Machine) NewSession(sink sim.ReportSink) *Session {
+	if am := archMetricsPtr.Load(); am != nil {
+		am.sessions.Inc()
+	}
 	core := &machineCore{m: m, gs: make([]groupState, len(m.Groups))}
 	for i := range core.gs {
 		slots := m.Groups[i].Switches.Slots()

@@ -1,0 +1,49 @@
+// Capsule-level observability: the machine's switch-activity accumulators —
+// the inputs of the energy model — mirrored into live process counters so a
+// long-running stream server exposes the same per-cycle activity the paper's
+// energy evaluation measures offline. Disabled by default; one atomic
+// pointer load per cycle when off, a handful of atomic adds when on, zero
+// allocation either way.
+package arch
+
+import (
+	"sync/atomic"
+
+	"impala/internal/obs"
+)
+
+type archMetrics struct {
+	sessions *obs.Counter // arch_sessions_opened_total
+	cycles   *obs.Counter // arch_cycles_total
+	local    *obs.Counter // arch_local_switch_activations_total
+	global   *obs.Counter // arch_global_switch_activations_total
+	cross    *obs.Counter // arch_cross_block_signals_total
+}
+
+var archMetricsPtr atomic.Pointer[archMetrics]
+
+// EnableMetrics registers the capsule-level machine's instruments in reg
+// and turns live publication on for every machine session in the process:
+//
+//	arch_sessions_opened_total           machine sessions created
+//	arch_cycles_total                    hardware cycles executed
+//	arch_local_switch_activations_total  local-switch partitions driven
+//	arch_global_switch_activations_total global switches driven
+//	arch_cross_block_signals_total       enables that crossed block bounds
+//
+// The byte/report/stream counters of machine sessions are covered by the
+// shared sim instruments (machine sessions run through sim.Session.Feed).
+// EnableMetrics(nil) disables publication again (the default).
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		archMetricsPtr.Store(nil)
+		return
+	}
+	archMetricsPtr.Store(&archMetrics{
+		sessions: reg.Counter("arch_sessions_opened_total"),
+		cycles:   reg.Counter("arch_cycles_total"),
+		local:    reg.Counter("arch_local_switch_activations_total"),
+		global:   reg.Counter("arch_global_switch_activations_total"),
+		cross:    reg.Counter("arch_cross_block_signals_total"),
+	})
+}

@@ -1,0 +1,46 @@
+package arch
+
+import (
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/core"
+	"impala/internal/obs"
+)
+
+// Live machine counters must mirror the per-run ActivityStats exactly: the
+// same cycle and switch-activity totals the energy model consumes.
+func TestMachineMetricsMirrorActivity(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+
+	n := automata.New(8, 1)
+	n.AddLiteral("abc", automata.StartAllInput, 1)
+	m, _ := compileAndBuild(t, n, core.Config{TargetBits: 4, StrideDims: 2})
+
+	s := m.NewSession(nil)
+	s.Feed([]byte("xxabcxxabc"))
+	s.Flush()
+	act := s.Activity()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["arch_sessions_opened_total"]; got != 1 {
+		t.Errorf("sessions = %d, want 1", got)
+	}
+	if got := snap.Counters["arch_cycles_total"]; got != act.Cycles {
+		t.Errorf("cycles = %d, want %d", got, act.Cycles)
+	}
+	if got := snap.Counters["arch_local_switch_activations_total"]; got != act.LocalSwitchActivations {
+		t.Errorf("local activations = %d, want %d", got, act.LocalSwitchActivations)
+	}
+	if got := snap.Counters["arch_global_switch_activations_total"]; got != act.GlobalSwitchActivations {
+		t.Errorf("global activations = %d, want %d", got, act.GlobalSwitchActivations)
+	}
+	if got := snap.Counters["arch_cross_block_signals_total"]; got != act.CrossBlockSignals {
+		t.Errorf("cross-block signals = %d, want %d", got, act.CrossBlockSignals)
+	}
+	if act.Cycles == 0 || act.LocalSwitchActivations == 0 {
+		t.Fatalf("degenerate activity %+v — test input too small", act)
+	}
+}

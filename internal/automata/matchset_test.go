@@ -105,8 +105,8 @@ func TestMatchSetCanonicalKeyDistinguishes(t *testing.T) {
 	}
 	// Same concatenated dimension bytes, different stride: the header must
 	// keep them apart.
-	s1 := MatchSet{{nib(5)}, {nib(6)}}         // stride 1, two rects
-	s2 := MatchSet{{nib(5), nib(6)}}           // stride 2, one rect
+	s1 := MatchSet{{nib(5)}, {nib(6)}} // stride 1, two rects
+	s2 := MatchSet{{nib(5), nib(6)}}   // stride 2, one rect
 	if s1.CanonicalKey() == s2.CanonicalKey() {
 		t.Fatal("stride not encoded in CanonicalKey")
 	}

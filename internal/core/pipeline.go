@@ -6,6 +6,7 @@ import (
 
 	"impala/internal/automata"
 	"impala/internal/espresso"
+	"impala/internal/obs"
 )
 
 // Config selects a design point of the V-TeSS compiler.
@@ -39,6 +40,16 @@ type Config struct {
 	// compile; supply a cache to share memoized covers across compiles
 	// (results are identical either way).
 	Espresso espresso.Options
+	// Trace, when non-nil, records one span per pipeline stage (lane 0)
+	// plus one span per worker batch inside the Espresso-heavy parallel
+	// stages (lanes 1..workers) — the Chrome-trace document impalac -trace
+	// writes. Tracing never changes results; a nil Trace costs nothing.
+	Trace *obs.Trace
+	// Metrics, when non-nil, binds the compile's live instruments into the
+	// registry: the Espresso cover cache's hit/miss/size counters are
+	// exposed as gauges read at snapshot time, so a long-running process
+	// compiling many rule sets shows cache effectiveness continuously.
+	Metrics *obs.Registry
 }
 
 // Validate checks the configuration.
@@ -161,6 +172,20 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 		esp.Cache = espresso.NewCoverCache()
 	}
 	hits0, misses0 := esp.Cache.Stats()
+	if cfg.Metrics != nil && esp.Cache != nil {
+		cache := esp.Cache
+		cfg.Metrics.GaugeFunc("espresso_cache_hits", func() int64 {
+			h, _ := cache.Stats()
+			return int64(h)
+		})
+		cfg.Metrics.GaugeFunc("espresso_cache_misses", func() int64 {
+			_, m := cache.Stats()
+			return int64(m)
+		})
+		cfg.Metrics.GaugeFunc("espresso_cache_entries", func() int64 {
+			return int64(cache.Len())
+		})
+	}
 
 	// record traces a stage; cpu < 0 marks a serial stage (CPUTime = wall).
 	record := func(name string, a *automata.NFA, t0 time.Time, cpu time.Duration) {
@@ -175,6 +200,11 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 			Duration:    wall,
 			CPUTime:     cpu,
 		})
+		cfg.Trace.Event(name, 0, t0, wall, map[string]any{
+			"states":      a.NumStates(),
+			"transitions": a.NumTransitions(),
+			"cpu_us":      cpu.Microseconds(),
+		})
 	}
 
 	var cur *automata.NFA
@@ -188,13 +218,13 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 		cur = n.Clone()
 		record("identity", cur, t0, -1)
 	case cfg.TargetBits == 4 && cfg.StrideDims == 1:
-		cur, cpu, err = squashWork(n, esp.Cache, cfg.Workers)
+		cur, cpu, err = squashWork(n, esp.Cache, cfg.Workers, cfg.Trace)
 		if err != nil {
 			return nil, err
 		}
 		record("squash", cur, t0, cpu)
 	default:
-		cur, cpu, err = strideWork(n, cfg.TargetBits, cfg.StrideDims, esp, cfg.Workers)
+		cur, cpu, err = strideWork(n, cfg.TargetBits, cfg.StrideDims, esp, cfg.Workers, cfg.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +239,7 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 
 	if !cfg.DisableRefine {
 		t0 = time.Now()
-		res.SplitStates, cpu, err = refineWork(cur, esp, cfg.Workers)
+		res.SplitStates, cpu, err = refineWork(cur, esp, cfg.Workers, cfg.Trace)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 
 	"impala/internal/automata"
 	"impala/internal/espresso"
+	"impala/internal/obs"
 	"impala/internal/par"
 )
 
@@ -28,13 +29,14 @@ import (
 //
 // Refine returns the number of extra states created.
 func Refine(n *automata.NFA, esp espresso.Options, workers int) (int, error) {
-	added, _, err := refineWork(n, esp, workers)
+	added, _, err := refineWork(n, esp, workers, nil)
 	return added, err
 }
 
 // refineWork is Refine plus the aggregate per-state minimization time (the
-// CPU-time figure Compile reports next to the stage's wall time).
-func refineWork(n *automata.NFA, esp espresso.Options, workers int) (int, time.Duration, error) {
+// CPU-time figure Compile reports next to the stage's wall time) and the
+// optional worker-batch trace.
+func refineWork(n *automata.NFA, esp espresso.Options, workers int, tr *obs.Trace) (int, time.Duration, error) {
 	if err := n.Validate(); err != nil {
 		return 0, 0, fmt.Errorf("core: Refine input invalid: %w", err)
 	}
@@ -42,7 +44,7 @@ func refineWork(n *automata.NFA, esp espresso.Options, workers int) (int, time.D
 	// Parallel phase: minimize every state's cover independently.
 	covers := make([]automata.MatchSet, len(n.States))
 	var cpu atomic.Int64
-	err := par.ForErr(workers, len(n.States), func(i int) error {
+	err := par.TraceForErr(tr, "refine/minimize", workers, len(n.States), func(i int) error {
 		t0 := time.Now()
 		cover := n.States[i].Match.Normalize()
 		if len(cover) > 1 {

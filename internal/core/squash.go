@@ -16,6 +16,7 @@ import (
 	"impala/internal/automata"
 	"impala/internal/bitvec"
 	"impala/internal/espresso"
+	"impala/internal/obs"
 	"impala/internal/par"
 )
 
@@ -31,7 +32,7 @@ import (
 // i.e. byte boundaries); an anchored byte state becomes hi states with
 // StartOfData.
 func Squash(n *automata.NFA) (*automata.NFA, error) {
-	out, _, err := squashWork(n, nil, 0)
+	out, _, err := squashWork(n, nil, 0, nil)
 	return out, err
 }
 
@@ -39,8 +40,8 @@ func Squash(n *automata.NFA) (*automata.NFA, error) {
 // worker pool for the per-state byte-set decompositions (the Espresso work
 // of this stage). It also returns the aggregate per-state decomposition time
 // across workers. The rebuilt automaton is byte-identical for every worker
-// count and with or without the cache.
-func squashWork(n *automata.NFA, cache *espresso.CoverCache, workers int) (*automata.NFA, time.Duration, error) {
+// count, with or without the cache, and with or without a trace.
+func squashWork(n *automata.NFA, cache *espresso.CoverCache, workers int, tr *obs.Trace) (*automata.NFA, time.Duration, error) {
 	if n.Bits != 8 || n.Stride != 1 {
 		return nil, 0, fmt.Errorf("core: Squash requires an 8-bit stride-1 automaton, got %d-bit stride %d", n.Bits, n.Stride)
 	}
@@ -51,7 +52,7 @@ func squashWork(n *automata.NFA, cache *espresso.CoverCache, workers int) (*auto
 	// Parallel phase: decompose every state's byte set independently.
 	decomps := make([][]espresso.HiLo, n.NumStates())
 	var cpu atomic.Int64
-	par.For(workers, n.NumStates(), func(i int) {
+	par.TraceFor(tr, "squash/decompose", workers, n.NumStates(), func(i int) {
 		t0 := time.Now()
 		decomps[i] = cache.DecomposeByteSet(byteSetOf(n.States[i].Match))
 		cpu.Add(int64(time.Since(t0)))

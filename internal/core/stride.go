@@ -9,6 +9,7 @@ import (
 	"impala/internal/automata"
 	"impala/internal/bitvec"
 	"impala/internal/espresso"
+	"impala/internal/obs"
 	"impala/internal/par"
 )
 
@@ -44,9 +45,11 @@ type lgraph struct {
 	vAll, v0   int32 // virtual source nodes
 	esp        espresso.Options
 	// workers bounds the per-node worker pool of the doubling steps; cpu
-	// accumulates per-node work time across workers (nil = untimed).
+	// accumulates per-node work time across workers (nil = untimed); tr
+	// records worker-batch spans (nil = untraced).
 	workers int
 	cpu     *atomic.Int64
+	tr      *obs.Trace
 }
 
 // addCPU accumulates a work interval into the CPU-time counter.
@@ -60,7 +63,7 @@ func (g *lgraph) addCPU(t0 time.Time) {
 // homogeneous automaton. For targetBits=4 the base chunk is one byte = two
 // nibble dimensions (labels are Espresso decompositions of byte sets); for
 // targetBits=8 it is one byte = one dimension.
-func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options, workers int, cpu *atomic.Int64) (*lgraph, error) {
+func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options, workers int, cpu *atomic.Int64, tr *obs.Trace) (*lgraph, error) {
 	if n.Bits != 8 || n.Stride != 1 {
 		return nil, fmt.Errorf("core: striding requires an 8-bit stride-1 automaton, got %d-bit stride %d", n.Bits, n.Stride)
 	}
@@ -91,6 +94,7 @@ func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options, workers i
 		esp:        esp,
 		workers:    workers,
 		cpu:        cpu,
+		tr:         tr,
 	}
 	for i := range g.adj {
 		g.adj[i] = map[int32]automata.MatchSet{}
@@ -104,7 +108,7 @@ func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options, workers i
 	// pool; the memoized decomposition cache collapses the (few) distinct
 	// byte sets of a real rule set into single computations.
 	labels := make([]automata.MatchSet, N)
-	par.For(workers, N, func(i int) {
+	par.TraceFor(tr, "stride/labels", workers, N, func(i int) {
 		t0 := time.Now()
 		set := byteSetOf(n.States[i].Match)
 		switch targetBits {
@@ -199,13 +203,14 @@ func (g *lgraph) double() *lgraph {
 		esp:        g.esp,
 		workers:    g.workers,
 		cpu:        g.cpu,
+		tr:         g.tr,
 	}
 	for i := range out.adj {
 		out.adj[i] = map[int32]automata.MatchSet{}
 		out.rep[i] = map[repKey]automata.MatchSet{}
 	}
 
-	par.For(g.workers, n, func(q int) {
+	par.TraceFor(g.tr, fmt.Sprintf("stride/double-to-%d", out.dims), g.workers, n, func(q int) {
 		t0 := time.Now()
 		// Deterministic iteration: sorted adjacency and report keys.
 		mids := sortedAdjKeys(g.adj[q])
@@ -456,15 +461,15 @@ func decomposeNibbleCrumbs(ns bitvec.NibbleSet, esp espresso.Options) automata.M
 // every doubling step run on a bounded worker pool (workers <= 0 selects
 // GOMAXPROCS); the output is byte-identical for every worker count.
 func Stride(n *automata.NFA, targetBits, dims int, esp espresso.Options, workers int) (*automata.NFA, error) {
-	out, _, err := strideWork(n, targetBits, dims, esp, workers)
+	out, _, err := strideWork(n, targetBits, dims, esp, workers, nil)
 	return out, err
 }
 
 // strideWork is Stride plus the aggregate per-work-item time across workers
 // (the CPU-time figure Compile reports next to the stage's wall time).
-func strideWork(n *automata.NFA, targetBits, dims int, esp espresso.Options, workers int) (*automata.NFA, time.Duration, error) {
+func strideWork(n *automata.NFA, targetBits, dims int, esp espresso.Options, workers int, tr *obs.Trace) (*automata.NFA, time.Duration, error) {
 	var cpu atomic.Int64
-	g, err := buildGraph(n, targetBits, esp, workers, &cpu)
+	g, err := buildGraph(n, targetBits, esp, workers, &cpu, tr)
 	if err != nil {
 		return nil, 0, err
 	}

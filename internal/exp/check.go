@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckOptions sets the tolerances for CompareReports. Cache hit rates are
+// deterministic for a fixed scale/seed, so their tolerance is a small
+// absolute slack; wall-clock speedups are noisy (especially on few cores),
+// so theirs is a generous fraction.
+type CheckOptions struct {
+	// SpeedupTolerance is the allowed fractional drop in a cell's
+	// speedup_vs_uncached relative to the baseline (0.25 = a quarter slower
+	// before it counts as a regression).
+	SpeedupTolerance float64
+	// HitRateTolerance is the allowed absolute drop in a cell's cache hit
+	// rate (0.02 = two percentage points).
+	HitRateTolerance float64
+	// MinWallMS gates the speedup comparison: a benchmark participates only
+	// when its baseline uncached compile took at least this long. Below that,
+	// scheduler noise swamps the measurement — a sub-millisecond compile can
+	// report any "speedup" — so only benchmarks with enough work to time
+	// reliably carry the performance gate. Hit rate and shape are checked
+	// for every benchmark regardless (they are deterministic).
+	MinWallMS float64
+}
+
+func (o CheckOptions) withDefaults() CheckOptions {
+	if o.SpeedupTolerance == 0 {
+		o.SpeedupTolerance = 0.25
+	}
+	if o.HitRateTolerance == 0 {
+		o.HitRateTolerance = 0.02
+	}
+	if o.MinWallMS == 0 {
+		o.MinWallMS = 20
+	}
+	return o
+}
+
+// CompareReports checks a fresh compilespeed report against a stored
+// baseline and returns one message per regression (empty = pass). Three
+// classes of drift are flagged:
+//
+//   - Determinism: when both reports ran the same scale and seed, a cell's
+//     states/transitions must match the baseline exactly — the compiled
+//     automaton is defined to be byte-identical across worker counts and
+//     cache states, so any difference is a compiler behavior change, not
+//     noise.
+//   - Cache effectiveness: a cell's cover-cache hit rate may not drop more
+//     than HitRateTolerance below baseline (hit rates are deterministic;
+//     only intentional cache changes move them).
+//   - Compile speed: a benchmark's best speedup_vs_uncached across its
+//     worker sweep may not drop more than SpeedupTolerance (fractional)
+//     below the baseline's best — but only for benchmarks whose baseline
+//     uncached compile took at least MinWallMS. This is the cache's
+//     wall-clock payoff. Comparing best-of-sweep rather than per-cell, and
+//     only where there is enough work to time, keeps the gate stable:
+//     benchmarks that compile in a few milliseconds show speedups that are
+//     pure scheduler noise.
+//
+// Cells present in the baseline but missing from the fresh report (e.g. a
+// benchmark dropped from the sweep) are also flagged; extra cells in the
+// fresh report are fine.
+func CompareReports(base, cur *CompileReport, opt CheckOptions) []string {
+	opt = opt.withDefaults()
+	type key struct {
+		bench   string
+		workers int
+	}
+	got := make(map[key]CompileCell, len(cur.Cells))
+	for _, c := range cur.Cells {
+		got[key{c.Benchmark, c.Workers}] = c
+	}
+	sameRun := base.Scale == cur.Scale && base.Seed == cur.Seed
+
+	var bad []string
+	flag := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	baseBest, curBest, baseWall := map[string]float64{}, map[string]float64{}, map[string]float64{}
+	for _, c := range cur.Cells {
+		if c.Workers > 0 && c.SpeedupVsUncached > curBest[c.Benchmark] {
+			curBest[c.Benchmark] = c.SpeedupVsUncached
+		}
+	}
+	for _, b := range base.Cells {
+		c, ok := got[key{b.Benchmark, b.Workers}]
+		if !ok {
+			flag("%s workers=%d: cell missing from report", b.Benchmark, b.Workers)
+			continue
+		}
+		if sameRun && (c.States != b.States || c.Transitions != b.Transitions) {
+			flag("%s workers=%d: automaton shape changed: %d states / %d transitions, baseline %d / %d",
+				b.Benchmark, b.Workers, c.States, c.Transitions, b.States, b.Transitions)
+		}
+		if b.Workers == 0 {
+			// The uncached serial baseline row has no cache and defines
+			// speedup 1 by construction; shape is all it can regress on. Its
+			// wall time decides whether the benchmark is big enough for the
+			// speedup gate.
+			baseWall[b.Benchmark] = b.WallMS
+			continue
+		}
+		if b.SpeedupVsUncached > baseBest[b.Benchmark] {
+			baseBest[b.Benchmark] = b.SpeedupVsUncached
+		}
+		if c.CacheHitRate < b.CacheHitRate-opt.HitRateTolerance {
+			flag("%s workers=%d: cache hit rate %.1f%% below baseline %.1f%% (tolerance %.1f points)",
+				b.Benchmark, b.Workers, c.CacheHitRate*100, b.CacheHitRate*100, opt.HitRateTolerance*100)
+		}
+	}
+	for _, b := range sortedKeys(baseBest) {
+		if _, ok := curBest[b]; !ok {
+			continue // missing cells already flagged above
+		}
+		if baseWall[b] < opt.MinWallMS {
+			continue // too little work to time; noise, not signal
+		}
+		if floor := baseBest[b] * (1 - opt.SpeedupTolerance); curBest[b] < floor {
+			flag("%s: best speedup vs uncached %.2fx below baseline best %.2fx (floor %.2fx at %.0f%% tolerance)",
+				b, curBest[b], baseBest[b], floor, opt.SpeedupTolerance*100)
+		}
+	}
+	return bad
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func checkReport() *CompileReport {
+	return &CompileReport{
+		Design: "Impala 4-bit stride-4 (16 bits/cycle)",
+		Scale:  0.02, Seed: 1, GOMAXPROCS: 1,
+		Cells: []CompileCell{
+			{Benchmark: "Snort", Workers: 0, States: 100, Transitions: 200,
+				WallMS: 80, SpeedupVsUncached: 1},
+			{Benchmark: "Snort", Workers: 1, States: 100, Transitions: 200, WallMS: 45,
+				CacheHitRate: 0.95, SpeedupVsSerial: 1, SpeedupVsUncached: 1.8},
+		},
+	}
+}
+
+func TestCompareReportsIdenticalPasses(t *testing.T) {
+	if bad := CompareReports(checkReport(), checkReport(), CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("identical reports flagged: %v", bad)
+	}
+}
+
+func TestCompareReportsWithinToleranceMixedNoise(t *testing.T) {
+	cur := checkReport()
+	cur.Cells[1].SpeedupVsUncached = 1.5 // 17% drop, under 25% tolerance
+	cur.Cells[1].CacheHitRate = 0.94     // 1 point drop, under 2 point tolerance
+	if bad := CompareReports(checkReport(), cur, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("in-tolerance noise flagged: %v", bad)
+	}
+}
+
+func TestCompareReportsFlagsRegressions(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(r *CompileReport)
+		want   string
+	}{
+		{"hit rate drop", func(r *CompileReport) { r.Cells[1].CacheHitRate = 0.80 }, "cache hit rate"},
+		{"speedup drop", func(r *CompileReport) { r.Cells[1].SpeedupVsUncached = 1.0 }, "speedup vs uncached"},
+		{"shape drift", func(r *CompileReport) { r.Cells[1].States = 101 }, "automaton shape"},
+		{"missing cell", func(r *CompileReport) { r.Cells = r.Cells[:1] }, "cell missing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := checkReport()
+			tc.mutate(cur)
+			bad := CompareReports(checkReport(), cur, CheckOptions{})
+			if len(bad) != 1 || !strings.Contains(bad[0], tc.want) {
+				t.Fatalf("want one %q violation, got %v", tc.want, bad)
+			}
+		})
+	}
+}
+
+// A single noisy cell must not trip the gate as long as some cell of the
+// sweep still realizes the cache win (best-of-sweep comparison).
+func TestCompareReportsSpeedupIsBestOfSweep(t *testing.T) {
+	base := checkReport()
+	base.Cells = append(base.Cells, CompileCell{
+		Benchmark: "Snort", Workers: 2, States: 100, Transitions: 200,
+		CacheHitRate: 0.95, SpeedupVsUncached: 1.7,
+	})
+	cur := checkReport()
+	cur.Cells = append(cur.Cells, CompileCell{
+		Benchmark: "Snort", Workers: 2, States: 100, Transitions: 200,
+		CacheHitRate: 0.95, SpeedupVsUncached: 0.5, // noise: slower than uncached
+	})
+	if bad := CompareReports(base, cur, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("noisy cell flagged despite healthy best-of-sweep: %v", bad)
+	}
+	// But when every cell of the sweep collapses, the gate fires once.
+	cur.Cells[1].SpeedupVsUncached = 0.6
+	bad := CompareReports(base, cur, CheckOptions{})
+	if len(bad) != 1 || !strings.Contains(bad[0], "best speedup") {
+		t.Fatalf("want one best-speedup violation, got %v", bad)
+	}
+}
+
+// Benchmarks whose baseline uncached compile is too quick to time reliably
+// are exempt from the speedup gate (but not from hit rate or shape).
+func TestCompareReportsTinyBenchmarksSkipSpeedupGate(t *testing.T) {
+	base := checkReport()
+	base.Cells = append(base.Cells,
+		CompileCell{Benchmark: "Bro217", Workers: 0, States: 10, Transitions: 20,
+			WallMS: 0.8, SpeedupVsUncached: 1},
+		CompileCell{Benchmark: "Bro217", Workers: 1, States: 10, Transitions: 20,
+			WallMS: 0.5, CacheHitRate: 0.70, SpeedupVsUncached: 1.7})
+	cur := checkReport()
+	cur.Cells = append(cur.Cells,
+		CompileCell{Benchmark: "Bro217", Workers: 0, States: 10, Transitions: 20,
+			WallMS: 0.8, SpeedupVsUncached: 1},
+		CompileCell{Benchmark: "Bro217", Workers: 1, States: 10, Transitions: 20,
+			WallMS: 1.5, CacheHitRate: 0.70, SpeedupVsUncached: 0.5}) // noise on a <1ms compile
+	if bad := CompareReports(base, cur, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("sub-MinWallMS benchmark's speedup noise flagged: %v", bad)
+	}
+	// Its deterministic quantities still gate.
+	cur.Cells[3].CacheHitRate = 0.40
+	bad := CompareReports(base, cur, CheckOptions{})
+	if len(bad) != 1 || !strings.Contains(bad[0], "cache hit rate") {
+		t.Fatalf("want one hit-rate violation, got %v", bad)
+	}
+}
+
+func TestCompareReportsShapeIgnoredAcrossScales(t *testing.T) {
+	cur := checkReport()
+	cur.Scale = 0.05 // different run shape: states legitimately differ
+	cur.Cells[0].States = 250
+	cur.Cells[1].States = 250
+	if bad := CompareReports(checkReport(), cur, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("cross-scale shape flagged: %v", bad)
+	}
+}
+
+func TestReadCompileReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := checkReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadCompileReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := CompareReports(checkReport(), rep, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("round-tripped report flagged: %v", bad)
+	}
+	if _, err := ReadCompileReport(strings.NewReader(`{"cells":[]}`)); err == nil {
+		t.Fatal("empty report accepted")
+	}
+}

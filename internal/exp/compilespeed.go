@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"impala/internal/core"
+	"impala/internal/obs"
 	"impala/internal/workload"
 )
 
@@ -50,6 +51,23 @@ type CompileReport struct {
 	Seed       int64         `json:"seed"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Cells      []CompileCell `json:"cells"`
+	// Metrics snapshots the process's live instruments at the end of an
+	// instrumented run (Options.Metrics non-nil): worker-pool utilization
+	// counters and the final compile's cover-cache gauges. Absent otherwise.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// ReadCompileReport parses a report previously written by WriteJSON — the
+// baseline side of impala-bench -check.
+func ReadCompileReport(r io.Reader) (*CompileReport, error) {
+	var rep CompileReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("exp: bad compile report: %w", err)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("exp: compile report has no cells")
+	}
+	return &rep, nil
 }
 
 // WriteJSON writes the report, indented, to w.
@@ -100,6 +118,7 @@ func CompileSpeedReport(o Options) (*CompileReport, error) {
 				StrideDims:   4,
 				Workers:      workers,
 				DisableCache: uncached,
+				Metrics:      o.Metrics,
 			})
 			return res, float64(time.Since(t0)) / float64(time.Millisecond), err
 		}
@@ -159,6 +178,10 @@ func CompileSpeedReport(o Options) (*CompileReport, error) {
 	}
 	for _, rows := range cells {
 		rep.Cells = append(rep.Cells, rows...)
+	}
+	if o.Metrics != nil {
+		snap := o.Metrics.Snapshot()
+		rep.Metrics = &snap
 	}
 	return rep, nil
 }

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"impala/internal/automata"
+	"impala/internal/obs"
 	"impala/internal/par"
 	"impala/internal/workload"
 )
@@ -41,6 +42,11 @@ type Options struct {
 	// identical for any value). The default 1 keeps per-cell wall-clock
 	// measurements faithful; raise it to sweep the suite faster.
 	Parallel int
+	// Metrics, when non-nil, instruments the run: compiles bind their cover
+	// cache into the registry and the experiments that embed observability
+	// (compilespeed) snapshot it into their JSON report. Measurements are
+	// unchanged; only the report gains a metrics section.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {

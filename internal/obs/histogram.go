@@ -1,0 +1,112 @@
+package obs
+
+import "sync/atomic"
+
+// Histogram is a lock-free fixed-bucket histogram: an ascending list of
+// inclusive upper bounds plus one overflow bucket, with atomic per-bucket
+// counts and running count/sum. Observe is wait-free (one scan over ≤ a few
+// dozen bounds, three atomic adds) and never allocates, so it is safe on
+// the streaming hot path. A nil *Histogram discards observations.
+type Histogram struct {
+	bounds []int64 // immutable after construction, strictly ascending
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given inclusive upper bounds
+// (values v land in the first bucket with v <= bound, or the overflow
+// bucket). Bounds must be strictly ascending; nil or empty bounds yield a
+// single overflow bucket (count/sum only).
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is the serialized form: Counts[i] observations fell at
+// or below Bounds[i]; the final entry of Counts is the overflow bucket.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+// Snapshot copies the histogram state. Concurrent observers may land
+// between the per-bucket reads, so Count can lag the bucket sum by in-flight
+// observations; within a quiesced process the two agree exactly.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// LatencyBuckets returns the standard nanosecond latency layout used by the
+// report-latency and feed-duration histograms: sub-µs through 1s, roughly
+// quarter-decade spaced.
+func LatencyBuckets() []int64 {
+	return []int64{
+		100, 250, 500, // ns
+		1_000, 2_500, 5_000, // µs range
+		10_000, 25_000, 50_000,
+		100_000, 250_000, 500_000,
+		1_000_000, 10_000_000, 100_000_000, // ms range
+		1_000_000_000, // 1 s
+	}
+}
+
+// ByteBuckets returns the standard size layout for byte-count histograms
+// (chunk sizes): 64 B through 16 MiB, ×4 spaced.
+func ByteBuckets() []int64 {
+	return []int64{
+		64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10,
+		256 << 10, 1 << 20, 4 << 20, 16 << 20,
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import "testing"
+
+// Bucket boundaries are inclusive upper bounds: a value equal to a bound
+// lands in that bucket; one past it lands in the next; values beyond the
+// last bound land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {9, 0}, {10, 0}, // at or below first bound
+		{11, 1}, {100, 1}, // (10, 100]
+		{101, 2}, {1000, 2}, // (100, 1000]
+		{1001, 3}, {1 << 40, 3}, // overflow
+	}
+	for _, tc := range cases {
+		h.Observe(tc.v)
+	}
+	s := h.Snapshot()
+	if len(s.Counts) != 4 || len(s.Bounds) != 3 {
+		t.Fatalf("shape: %d counts, %d bounds", len(s.Counts), len(s.Bounds))
+	}
+	want := make([]int64, 4)
+	var sum int64
+	for _, tc := range cases {
+		want[tc.bucket]++
+		sum += tc.v
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Errorf("bucket %d: count %d, want %d", i, s.Counts[i], want[i])
+		}
+	}
+	if s.Count != int64(len(cases)) {
+		t.Errorf("count %d, want %d", s.Count, len(cases))
+	}
+	if s.Sum != sum {
+		t.Errorf("sum %d, want %d", s.Sum, sum)
+	}
+}
+
+// Empty bounds degrade to a pure count/sum recorder with one overflow
+// bucket — the histograms the no-op path shares code with.
+func TestHistogramNoBounds(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(1)
+	h.Observe(2)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Sum != 3 || len(s.Counts) != 1 || s.Counts[0] != 2 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram([]int64{10, 10})
+}
+
+// The preset layouts must be strictly ascending (NewHistogram enforces it;
+// this pins the presets themselves so edits can't silently break them).
+func TestPresetBucketsAscending(t *testing.T) {
+	for name, bounds := range map[string][]int64{
+		"latency": LatencyBuckets(),
+		"bytes":   ByteBuckets(),
+	} {
+		if len(bounds) == 0 {
+			t.Errorf("%s: empty", name)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Errorf("%s: bounds[%d]=%d <= bounds[%d]=%d", name, i, bounds[i], i-1, bounds[i-1])
+			}
+		}
+	}
+}

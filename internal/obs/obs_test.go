@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// The nil forms of every instrument are the disabled state of the whole
+// layer: they must absorb every operation silently, because instrumented
+// hot paths call them unconditionally.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	if s := h.Snapshot(); s.Count != 0 || len(s.Counts) != 0 {
+		t.Fatalf("nil histogram snapshot %+v", s)
+	}
+
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry vended a live instrument")
+	}
+	r.GaugeFunc("x", func() int64 { return 1 })
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Fatalf("nil registry snapshot %+v", s)
+	}
+	if r.Names() != nil {
+		t.Fatal("nil registry has names")
+	}
+}
+
+// Counters and gauges must be exact under concurrent increments — this is
+// what the session/pipeline instrumentation relies on under -race.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits")
+	g := reg.Gauge("active")
+	h := reg.Histogram("lat", LatencyBuckets())
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	var bucketSum int64
+	for _, n := range h.Snapshot().Counts {
+		bucketSum += n
+	}
+	if bucketSum != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, workers*per)
+	}
+}
+
+// Vending the same name twice must return the same instrument, so packages
+// can re-run their registration idempotently.
+func TestRegistryVendingIsIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Fatal("same counter name vended two instruments")
+	}
+	if reg.Gauge("b") != reg.Gauge("b") {
+		t.Fatal("same gauge name vended two instruments")
+	}
+	if reg.Histogram("c", ByteBuckets()) != reg.Histogram("c", nil) {
+		t.Fatal("same histogram name vended two instruments")
+	}
+	want := []string{"a", "b", "c"}
+	got := reg.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+// GaugeFunc values are read live at snapshot time and re-registration
+// rebinds — the contract the Espresso cache wiring depends on (each compile
+// binds the gauge to its own cache).
+func TestGaugeFuncLiveAndRebindable(t *testing.T) {
+	reg := NewRegistry()
+	v := int64(3)
+	reg.GaugeFunc("cache_hits", func() int64 { return v })
+	if got := reg.Snapshot().Gauges["cache_hits"]; got != 3 {
+		t.Fatalf("gauge func = %d, want 3", got)
+	}
+	v = 9
+	if got := reg.Snapshot().Gauges["cache_hits"]; got != 9 {
+		t.Fatalf("gauge func = %d, want 9 (must read live)", got)
+	}
+	reg.GaugeFunc("cache_hits", func() int64 { return 100 })
+	if got := reg.Snapshot().Gauges["cache_hits"]; got != 100 {
+		t.Fatalf("gauge func = %d, want 100 after rebind", got)
+	}
+}

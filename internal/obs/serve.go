@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the ops endpoint for a registry:
+//
+//	/metrics       — Snapshot as indented JSON (deterministic key order)
+//	/debug/vars    — expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/  — net/http/pprof profiles (cpu, heap, goroutine, ...)
+//
+// The handler serves live values: every request re-snapshots the registry,
+// so counters move between polls without any push machinery.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("impala ops endpoint\n/metrics\n/debug/vars\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+// Serve mounts the ops endpoint on addr (e.g. ":9090" or "127.0.0.1:0")
+// and serves it on a background goroutine. It returns the server and the
+// bound address (useful with port 0). Shut the server down via
+// (*http.Server).Close or Shutdown.
+func Serve(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

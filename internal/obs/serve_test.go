@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// /metrics must serve the registry snapshot as deterministic JSON — the
+// golden document below is what an operator (and the regression tooling)
+// sees for a fixed set of instrument values.
+func TestServeMetricsGoldenJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_reports_total").Add(12)
+	reg.Counter("sim_bytes_fed_total").Add(4096)
+	reg.Gauge("sim_active_streams").Set(3)
+	reg.GaugeFunc("espresso_cache_hits", func() int64 { return 2332 })
+	h := reg.Histogram("sim_report_latency_ns", []int64{1000, 1000000})
+	h.Observe(500)
+	h.Observe(500000)
+	h.Observe(2000000)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := `{
+  "counters": {
+    "sim_bytes_fed_total": 4096,
+    "sim_reports_total": 12
+  },
+  "gauges": {
+    "espresso_cache_hits": 2332,
+    "sim_active_streams": 3
+  },
+  "histograms": {
+    "sim_report_latency_ns": {
+      "count": 3,
+      "sum": 2500500,
+      "bounds": [
+        1000,
+        1000000
+      ],
+      "counts": [
+        1,
+        1,
+        1
+      ]
+    }
+  }
+}
+`
+	if string(body) != golden {
+		t.Fatalf("metrics JSON mismatch:\ngot:\n%s\nwant:\n%s", body, golden)
+	}
+}
+
+// /metrics re-snapshots per request: counters must move between polls.
+func TestServeMetricsIsLive(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits")
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	read := func() int64 {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var s Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+		return s.Counters["hits"]
+	}
+	c.Add(5)
+	if got := read(); got != 5 {
+		t.Fatalf("first poll = %d, want 5", got)
+	}
+	c.Add(7)
+	if got := read(); got != 12 {
+		t.Fatalf("second poll = %d, want 12", got)
+	}
+}
+
+// The debug surfaces (expvar, pprof) must be mounted on the same handler.
+func TestServeDebugEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	for path, needle := range map[string]string{
+		"/debug/vars":            "memstats",
+		"/debug/pprof/":          "goroutine",
+		"/debug/pprof/goroutine": "goroutine",
+		"/":                      "/metrics",
+	} {
+		resp, err := http.Get(srv.URL + path + func() string {
+			if path == "/debug/pprof/goroutine" {
+				return "?debug=1"
+			}
+			return ""
+		}())
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+			continue
+		}
+		if !strings.Contains(string(body), needle) {
+			t.Errorf("%s: body does not mention %q", path, needle)
+		}
+	}
+}
+
+// Serve binds a real listener and reports the resolved address.
+func TestServeBindsAndServes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	srv, addr, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["x"] != 1 {
+		t.Fatalf("snapshot over HTTP = %+v", s)
+	}
+}

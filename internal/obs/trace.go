@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace collects span events for one process run and serializes them in the
+// Chrome Trace Event format (the JSON array flavor wrapped in
+// {"traceEvents": ...}), loadable in chrome://tracing and Perfetto. It is
+// safe for concurrent use by worker pools; a nil *Trace discards everything,
+// so instrumented code paths need no enablement checks beyond passing it
+// through.
+//
+// Spans are "complete" events (ph "X"): a name, a start, a duration, a
+// thread lane (tid) separating concurrent workers, and optional args. The
+// compile pipeline emits one span per stage (lane 0) plus one span per
+// worker batch inside parallel stages (lanes 1..workers), so the trace
+// shows wall time, worker occupancy and per-stage skew at a glance.
+type Trace struct {
+	mu     sync.Mutex
+	t0     time.Time
+	events []traceEvent
+}
+
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"` // µs since trace start
+	Dur   int64          `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewTrace starts an empty trace; its clock zero is the call time.
+func NewTrace() *Trace {
+	return &Trace{t0: time.Now()}
+}
+
+// Event records a completed span explicitly: it started at start, lasted
+// dur, and ran in lane tid (0 = the orchestrating stage lane; workers use
+// 1..n). args may be nil. No-op on a nil receiver.
+func (t *Trace) Event(name string, tid int, start time.Time, dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := start.Sub(t.t0).Microseconds()
+	if ts < 0 {
+		ts = 0
+	}
+	t.events = append(t.events, traceEvent{
+		Name:  name,
+		Phase: "X",
+		TS:    ts,
+		Dur:   dur.Microseconds(),
+		PID:   1,
+		TID:   tid,
+		Args:  args,
+	})
+}
+
+// Span opens a span in lane tid now; call End on the result to record it.
+// A nil trace returns a nil span whose End is a no-op.
+func (t *Trace) Span(name string, tid int) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: tid, start: time.Now()}
+}
+
+// Span is one in-flight trace span.
+type Span struct {
+	t     *Trace
+	name  string
+	tid   int
+	start time.Time
+}
+
+// End completes the span with optional args. No-op on a nil receiver.
+func (s *Span) End(args map[string]any) {
+	if s == nil {
+		return
+	}
+	s.t.Event(s.name, s.tid, s.start, time.Since(s.start), args)
+}
+
+// Len returns the number of recorded events (0 on a nil receiver).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteChrome serializes the trace as a Chrome Trace Event JSON document.
+// Events are emitted in (ts, tid) order so output is deterministic for a
+// deterministic span set. A nil trace writes an empty document.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	doc := struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+		Unit        string       `json:"displayTimeUnit"`
+	}{TraceEvents: []traceEvent{}, Unit: "ms"}
+	if t != nil {
+		t.mu.Lock()
+		doc.TraceEvents = append(doc.TraceEvents, t.events...)
+		t.mu.Unlock()
+		sort.SliceStable(doc.TraceEvents, func(i, j int) bool {
+			if doc.TraceEvents[i].TS != doc.TraceEvents[j].TS {
+				return doc.TraceEvents[i].TS < doc.TraceEvents[j].TS
+			}
+			return doc.TraceEvents[i].TID < doc.TraceEvents[j].TID
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil trace must absorb the whole span API — this is the disabled state
+// of every pipeline instrumentation site.
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.Span("stage", 0)
+	if sp != nil {
+		t.Fatal("nil trace vended a live span")
+	}
+	sp.End(map[string]any{"k": 1})
+	tr.Event("x", 1, time.Now(), time.Millisecond, nil)
+	if tr.Len() != 0 {
+		t.Fatal("nil trace recorded events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil trace emitted %d events", len(doc.TraceEvents))
+	}
+}
+
+// WriteChrome must produce a loadable Chrome Trace Event document: complete
+// ("X") events with non-negative microsecond timestamps and durations,
+// ordered by start time, preserving lanes and args.
+func TestTraceWriteChromeFormat(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Span("squash", 0)
+	time.Sleep(time.Millisecond)
+	sp.End(map[string]any{"states": 42})
+	tr.Event("squash/worker", 1, time.Now().Add(-time.Millisecond), time.Millisecond, map[string]any{"items": 7})
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Dur   int64          `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("%d events, want 2", len(doc.TraceEvents))
+	}
+	names := map[string]bool{}
+	lastTS := int64(-1)
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase != "X" {
+			t.Errorf("event %q: phase %q, want X", ev.Name, ev.Phase)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %q: ts=%d dur=%d, want non-negative", ev.Name, ev.TS, ev.Dur)
+		}
+		if ev.TS < lastTS {
+			t.Errorf("events out of ts order")
+		}
+		lastTS = ev.TS
+		names[ev.Name] = true
+	}
+	if !names["squash"] || !names["squash/worker"] {
+		t.Fatalf("span names missing: %v", names)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "squash" && ev.Args["states"] != float64(42) {
+			t.Errorf("squash args = %v", ev.Args)
+		}
+		if ev.Name == "squash/worker" && ev.TID != 1 {
+			t.Errorf("worker span lane = %d, want 1", ev.TID)
+		}
+	}
+}
+
+// Concurrent span recording from a worker pool must be safe and lossless.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	const workers, spans = 8, 50
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				tr.Span("work", w+1).End(nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*spans {
+		t.Fatalf("len = %d, want %d", tr.Len(), workers*spans)
+	}
+}

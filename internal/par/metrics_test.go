@@ -1,0 +1,109 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"impala/internal/obs"
+)
+
+func TestForWorkerCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		n := 500
+		hits := make([]int32, n)
+		maxW := int32(-1)
+		ForWorker(workers, n, func(w, i int) {
+			atomic.AddInt32(&hits[i], 1)
+			for {
+				cur := atomic.LoadInt32(&maxW)
+				if int32(w) <= cur || atomic.CompareAndSwapInt32(&maxW, cur, int32(w)) {
+					break
+				}
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+		if int(maxW) >= Workers(workers) {
+			t.Fatalf("worker index %d out of range for %d workers", maxW, workers)
+		}
+	}
+}
+
+// TraceFor must behave exactly like For (full index coverage, any worker
+// count) while recording one batch span per busy worker.
+func TestTraceForCoversAndRecordsBatches(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		tr := obs.NewTrace()
+		n := 200
+		hits := make([]int32, n)
+		TraceFor(tr, "stage/worker", workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+		if tr.Len() < 1 || tr.Len() > Workers(workers) {
+			t.Fatalf("workers=%d: %d batch spans, want 1..%d", workers, tr.Len(), Workers(workers))
+		}
+	}
+	// n=0 records nothing and calls nothing.
+	tr := obs.NewTrace()
+	TraceFor(tr, "x", 4, 0, func(int) { t.Fatal("fn called for n=0") })
+	if tr.Len() != 0 {
+		t.Fatal("spans recorded for empty pool")
+	}
+}
+
+func TestTraceForErrLowestIndexWins(t *testing.T) {
+	e3, e7 := errors.New("three"), errors.New("seven")
+	err := TraceForErr(obs.NewTrace(), "stage", 4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("got %v, want lowest-index error", err)
+	}
+}
+
+// Pool metrics must account every item exactly once and keep busy time
+// within the pool's capacity envelope.
+func TestPoolMetricsAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+
+	const n = 300
+	var ran atomic.Int64
+	TraceFor(nil, "work", 4, n, func(int) { ran.Add(1) })
+	TraceFor(nil, "work", 2, n, func(int) { ran.Add(1) })
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["par_for_calls_total"]; got != 2 {
+		t.Errorf("for_calls = %d, want 2", got)
+	}
+	if got := snap.Counters["par_tasks_total"]; got != 2*n {
+		t.Errorf("tasks = %d, want %d", got, 2*n)
+	}
+	busy, capacity := snap.Counters["par_busy_ns_total"], snap.Counters["par_capacity_ns_total"]
+	if busy <= 0 || capacity <= 0 {
+		t.Errorf("busy=%d capacity=%d, want both > 0", busy, capacity)
+	}
+	if busy > capacity {
+		t.Errorf("busy %d exceeds capacity %d", busy, capacity)
+	}
+	if got := snap.Gauges["par_workers_busy"]; got != 0 {
+		t.Errorf("workers busy after drain = %d, want 0", got)
+	}
+	if ran.Load() != 2*n {
+		t.Fatalf("ran %d items, want %d", ran.Load(), 2*n)
+	}
+}

@@ -3,12 +3,20 @@
 // when the per-index work is pure and writes only to its own index: work is
 // distributed by an atomic counter, so scheduling order varies, but outputs
 // are keyed by index and therefore independent of worker count.
+//
+// The observability variants (TraceFor, TraceForErr) additionally record
+// one span per worker batch into an obs.Trace and feed the package's
+// pool-utilization counters (see EnableMetrics); with a nil trace and
+// metrics disabled they are exactly For/ForErr.
 package par
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"impala/internal/obs"
 )
 
 // Workers normalizes a worker-count option: n <= 0 selects GOMAXPROCS.
@@ -24,13 +32,21 @@ func Workers(n int) int {
 // fn must confine its writes to data owned by index i for the result to be
 // independent of the worker count.
 func For(workers, n int, fn func(i int)) {
+	ForWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the executing worker's index exposed: fn(w, i) runs
+// item i on worker w in [0, effective workers). Worker indices let callers
+// keep per-worker scratch or label per-worker trace lanes; item-to-worker
+// assignment still varies run to run, so results must not depend on w.
+func ForWorker(workers, n int, fn func(w, i int)) {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -38,16 +54,16 @@ func For(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -58,10 +74,131 @@ func For(workers, n int, fn func(i int)) {
 func ForErr(workers, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	For(workers, n, func(i int) { errs[i] = fn(i) })
+	return firstErr(errs)
+}
+
+func firstErr(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// poolMetrics is the package's live pool-utilization instrumentation.
+type poolMetrics struct {
+	calls    *obs.Counter // par_for_calls_total
+	tasks    *obs.Counter // par_tasks_total
+	busyNS   *obs.Counter // par_busy_ns_total
+	capNS    *obs.Counter // par_capacity_ns_total
+	occupied *obs.Gauge   // par_workers_busy
+}
+
+var poolMetricsPtr atomic.Pointer[poolMetrics]
+
+// EnableMetrics registers the worker-pool instruments in reg and turns live
+// publication on for every TraceFor/TraceForErr call in the process:
+//
+//	par_for_calls_total    instrumented pool launches
+//	par_tasks_total        items executed across all pools
+//	par_busy_ns_total      Σ per-worker busy time
+//	par_capacity_ns_total  Σ pool wall time × workers
+//	par_workers_busy       gauge: workers currently inside a pool
+//
+// busy/capacity is the pool utilization: 1.0 means every worker was busy
+// for the whole pool lifetime; skewed item costs or a starving cache pull
+// it down. EnableMetrics(nil) disables publication (the default). The plain
+// For/ForErr stay un-instrumented so their hot loops never pay for timing.
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		poolMetricsPtr.Store(nil)
+		return
+	}
+	poolMetricsPtr.Store(&poolMetrics{
+		calls:    reg.Counter("par_for_calls_total"),
+		tasks:    reg.Counter("par_tasks_total"),
+		busyNS:   reg.Counter("par_busy_ns_total"),
+		capNS:    reg.Counter("par_capacity_ns_total"),
+		occupied: reg.Gauge("par_workers_busy"),
+	})
+}
+
+// TraceFor is For with observability: when tr is non-nil, every worker
+// records one span named name in its own trace lane (tid 1..workers)
+// covering the worker's whole item batch, with the item count as args —
+// the "one span per stage per state-batch" granularity the compile trace
+// shows. When pool metrics are enabled (EnableMetrics), the call also feeds
+// the utilization counters. With a nil trace and metrics disabled it
+// degrades to exactly For; the determinism contract is unchanged either
+// way.
+func TraceFor(tr *obs.Trace, name string, workers, n int, fn func(i int)) {
+	m := poolMetricsPtr.Load()
+	if tr == nil && m == nil {
+		For(workers, n, fn)
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	eff := Workers(workers)
+	if eff > n {
+		eff = n
+	}
+	t0 := time.Now()
+	var busy atomic.Int64
+	var next atomic.Int64
+	// runBatch is one worker's whole drain of the shared item counter,
+	// timed and traced as a single batch span.
+	runBatch := func(w int) {
+		if m != nil {
+			m.occupied.Inc()
+		}
+		wt0 := time.Now()
+		items := 0
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				break
+			}
+			fn(i)
+			items++
+		}
+		d := time.Since(wt0)
+		busy.Add(int64(d))
+		if m != nil {
+			m.occupied.Dec()
+		}
+		if items > 0 && tr != nil {
+			tr.Event(name, w+1, wt0, d, map[string]any{"items": items})
+		}
+	}
+	if eff <= 1 {
+		runBatch(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(eff)
+		for w := 0; w < eff; w++ {
+			go func(w int) {
+				defer wg.Done()
+				runBatch(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	if m != nil {
+		wall := time.Since(t0)
+		m.calls.Inc()
+		m.tasks.Add(int64(n))
+		m.busyNS.Add(busy.Load())
+		m.capNS.Add(int64(wall) * int64(eff))
+	}
+}
+
+// TraceForErr is ForErr with TraceFor's observability: the lowest failing
+// index's error wins, all indices are attempted.
+func TraceForErr(tr *obs.Trace, name string, workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	TraceFor(tr, name, workers, n, func(i int) { errs[i] = fn(i) })
+	return firstErr(errs)
 }

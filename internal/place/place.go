@@ -13,6 +13,7 @@ import (
 
 	"impala/internal/automata"
 	"impala/internal/interconnect"
+	"impala/internal/obs"
 	"impala/internal/par"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	// is byte-identical for every worker count (and deterministic for a
 	// given Seed). 0 selects GOMAXPROCS.
 	Workers int
+	// Trace, when non-nil, records one span per bin placement (with state
+	// count, uncovered transitions and whether the GA was needed) into the
+	// compile trace. Tracing never changes the placement.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -156,7 +161,12 @@ func Place(n *automata.NFA, opts Options) (*Placement, error) {
 	for len(queue) > 0 {
 		bin := queue[0]
 		queue = queue[1:]
+		sp := opts.Trace.Span("place/g4-bin", 0)
 		gp, usedGA := placeBin(n, bin, g4Geom, r, opts)
+		sp.End(map[string]any{
+			"states": binStates(bin), "components": len(bin),
+			"uncovered": gp.Uncovered, "ga": usedGA,
+		})
 		if usedGA {
 			out.GAInvocations++
 		}
@@ -174,7 +184,9 @@ func Place(n *automata.NFA, opts Options) (*Placement, error) {
 	}
 	// Oversized components: one per G16 group.
 	for _, cc := range big {
+		sp := opts.Trace.Span("place/g16-bin", 0)
 		gp, usedGA := placeBin(n, [][]automata.StateID{cc}, g16Geom, r, opts)
+		sp.End(map[string]any{"states": len(cc), "uncovered": gp.Uncovered, "ga": usedGA})
 		gp.Hierarchical = true
 		if usedGA {
 			out.GAInvocations++
@@ -183,6 +195,15 @@ func Place(n *automata.NFA, opts Options) (*Placement, error) {
 		out.TotalUncovered += gp.Uncovered
 	}
 	return out, nil
+}
+
+// binStates counts the states across a bin's components.
+func binStates(bin [][]automata.StateID) int {
+	total := 0
+	for _, cc := range bin {
+		total += len(cc)
+	}
+	return total
 }
 
 // packCCs first-fit-decreasing packs components into G4-sized bins, but
@@ -678,7 +699,10 @@ func evolve(p *problem, seedInd *individual, r *rand.Rand, opts Options) *indivi
 			broods[i] = brood{a: tournament(), b: tournament(), seed: r.Int63()}
 		}
 		// Parallel phase: construct and evaluate every child on its own RNG.
-		par.For(opts.Workers, len(broods), func(i int) {
+		// A nil trace keeps generations span-free (they would flood the
+		// document) while still feeding the pool-utilization counters when
+		// par.EnableMetrics is on.
+		par.TraceFor(nil, "place/ga-generation", opts.Workers, len(broods), func(i int) {
 			cr := rand.New(rand.NewSource(broods[i].seed))
 			child := orderedCrossover(broods[i].a, broods[i].b, cr)
 			mutate(p, child, cr)

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/obs"
+)
+
+// withMetrics enables streaming metrics on a fresh registry for the test's
+// duration, restoring the disabled default afterwards (other tests pin the
+// disabled state's behavior).
+func withMetrics(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	t.Cleanup(func() { EnableMetrics(nil) })
+	return reg
+}
+
+// Live counters must agree exactly with the session's own statistics: same
+// bytes, cycles, reports; active-stream gauge follows open/flush/reset.
+func TestSessionMetricsCounters(t *testing.T) {
+	reg := withMetrics(t)
+	n := automata.New(8, 1)
+	n.AddLiteral("ab", automata.StartAllInput, 7)
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSession(c.NewEngine(), nil)
+	snap := reg.Snapshot()
+	if snap.Gauges["sim_active_streams"] != 1 {
+		t.Fatalf("active streams = %d, want 1", snap.Gauges["sim_active_streams"])
+	}
+	input := []byte("xxabyyab")
+	s.Feed(input[:3])
+	s.Feed(input[3:])
+	s.Flush()
+	st := s.Stats()
+
+	snap = reg.Snapshot()
+	if got := snap.Counters["sim_bytes_fed_total"]; got != int64(len(input)) {
+		t.Errorf("bytes_fed = %d, want %d", got, len(input))
+	}
+	if got := snap.Counters["sim_reports_total"]; got != int64(st.Reports) {
+		t.Errorf("reports = %d, want %d", got, st.Reports)
+	}
+	if got := snap.Counters["sim_cycles_total"]; got != int64(st.Cycles) {
+		t.Errorf("cycles = %d, want %d", got, st.Cycles)
+	}
+	if got := snap.Counters["sim_feed_calls_total"]; got != 2 {
+		t.Errorf("feed_calls = %d, want 2", got)
+	}
+	if got := snap.Counters["sim_flushes_total"]; got != 1 {
+		t.Errorf("flushes = %d, want 1", got)
+	}
+	if got := snap.Gauges["sim_active_streams"]; got != 0 {
+		t.Errorf("active streams after flush = %d, want 0", got)
+	}
+	if got := snap.Histograms["sim_report_latency_ns"].Count; got < 1 {
+		t.Errorf("report latency observations = %d, want >= 1", got)
+	}
+	if got := snap.Histograms["sim_feed_chunk_bytes"].Count; got != 2 {
+		t.Errorf("chunk size observations = %d, want 2", got)
+	}
+
+	// Reset of a flushed session re-opens the stream.
+	s.Reset()
+	if got := reg.Snapshot().Gauges["sim_active_streams"]; got != 1 {
+		t.Errorf("active streams after reset = %d, want 1", got)
+	}
+	s.Flush()
+	if got := reg.Snapshot().Gauges["sim_active_streams"]; got != 0 {
+		t.Errorf("active streams after second flush = %d, want 0", got)
+	}
+}
+
+// Sub-symbol accounting: a 4-bit automaton expands each byte into two
+// nibbles; the symbol counter must reflect the expanded stream.
+func TestSessionMetricsSubSymbols(t *testing.T) {
+	reg := withMetrics(t)
+	// Hand-built 4-bit automaton matching byte 0xAB (hi state A, lo state B)
+	// — each input byte expands to two nibble sub-symbols.
+	n4 := automata.New(4, 1)
+	hi := n4.AddState(automata.State{
+		Match: automata.MatchSet{automata.Rect{bitvec.ByteOf(0xA)}},
+		Start: automata.StartAllInput,
+	})
+	lo := n4.AddState(automata.State{
+		Match:  automata.MatchSet{automata.Rect{bitvec.ByteOf(0xB)}},
+		Report: true,
+	})
+	n4.AddEdge(hi, lo)
+	c, err := Compile(n4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(c.NewEngine(), nil)
+	s.Feed([]byte("abcd"))
+	s.Flush()
+	snap := reg.Snapshot()
+	if got := snap.Counters["sim_subsymbols_total"]; got != 8 {
+		t.Errorf("subsymbols = %d, want 8 (two nibbles per byte)", got)
+	}
+	if got := snap.Counters["sim_bytes_fed_total"]; got != 4 {
+		t.Errorf("bytes = %d, want 4", got)
+	}
+}
+
+// The PR 2 guarantee must survive instrumentation: steady-state Feed stays
+// allocation-free both with the default no-op registry and with live
+// metrics enabled (all instruments are atomics; observing allocates
+// nothing).
+func TestSessionFeedZeroAllocInstrumented(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("needle", automata.StartAllInput, 1)
+	c, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := benchInput(1024)
+
+	run := func(name string) {
+		s := NewSession(c.NewEngine(), func(Report) {})
+		s.Feed(chunk) // warm the sub-symbol scratch buffer
+		if avg := testing.AllocsPerRun(50, func() { s.Feed(chunk) }); avg != 0 {
+			t.Errorf("%s: steady-state Feed allocates %.1f objects/op, want 0", name, avg)
+		}
+	}
+
+	EnableMetrics(nil)
+	run("no-op registry (default)")
+
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+	run("live registry")
+	if reg.Snapshot().Counters["sim_feed_calls_total"] == 0 {
+		t.Fatal("live registry saw no feeds — instrumentation not active")
+	}
+}

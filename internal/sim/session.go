@@ -19,7 +19,10 @@
 // arch.Machine are thin Feed+Flush wrappers over this type.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // ReportSink consumes reports as a session produces them: in cycle order,
 // unsorted within a cycle (the batch wrappers sort afterwards; BitPos is
@@ -92,6 +95,10 @@ func NewSession(core Core, sink ReportSink) *Session {
 		}
 	}
 	s.Reset()
+	if m := streamMetricsPtr.Load(); m != nil {
+		m.sessions.Inc()
+		m.active.Inc()
+	}
 	return s
 }
 
@@ -105,9 +112,17 @@ func (s *Session) Feed(chunk []byte) {
 	if s.flushed {
 		panic("sim: Feed after Flush (Reset the session to start a new stream)")
 	}
+	m := streamMetricsPtr.Load()
+	var t0 time.Time
+	var cycles0, reports0 int
+	if m != nil {
+		t0 = time.Now()
+		cycles0, reports0 = s.cycle, s.reports
+	}
 	buf := append(s.subBuf[:0], s.pending...)
 	buf = AppendSubSymbols(buf, s.bits, chunk)
-	s.subsFed += int64(len(buf) - len(s.pending))
+	added := int64(len(buf) - len(s.pending))
+	s.subsFed += added
 	S := s.stride
 	full := len(buf) / S * S
 	for i := 0; i < full; i += S {
@@ -115,6 +130,17 @@ func (s *Session) Feed(chunk []byte) {
 	}
 	s.pending = append(s.pending[:0], buf[full:]...)
 	s.subBuf = buf[:0]
+	if m != nil {
+		m.feeds.Inc()
+		m.bytes.Add(int64(len(chunk)))
+		m.symbols.Add(added)
+		m.cycles.Add(int64(s.cycle - cycles0))
+		m.chunkSz.Observe(int64(len(chunk)))
+		if nr := s.reports - reports0; nr > 0 {
+			m.reports.Add(int64(nr))
+			m.feedLat.Observe(time.Since(t0).Nanoseconds())
+		}
+	}
 }
 
 // Flush ends the stream: if a partial cycle is pending it runs zero-padded,
@@ -123,6 +149,11 @@ func (s *Session) Feed(chunk []byte) {
 func (s *Session) Flush() {
 	if s.flushed {
 		return
+	}
+	m := streamMetricsPtr.Load()
+	var cycles0, reports0 int
+	if m != nil {
+		cycles0, reports0 = s.cycle, s.reports
 	}
 	if len(s.pending) > 0 {
 		pad := s.pending
@@ -133,12 +164,26 @@ func (s *Session) Flush() {
 		s.pending = s.pending[:0]
 	}
 	s.flushed = true
+	if m != nil {
+		m.flushes.Inc()
+		m.active.Dec()
+		m.cycles.Add(int64(s.cycle - cycles0))
+		if nr := s.reports - reports0; nr > 0 {
+			m.reports.Add(int64(nr))
+		}
+	}
 }
 
 // Reset returns the session (and its core) to the start-of-stream state,
 // clearing all carried sub-symbols, counters and statistics. The sink is
 // retained.
 func (s *Session) Reset() {
+	if s.flushed {
+		// A flushed session restarting is a new live stream.
+		if m := streamMetricsPtr.Load(); m != nil {
+			m.active.Inc()
+		}
+	}
 	s.core.ResetState()
 	s.pending = s.pending[:0]
 	s.cycle = 0
