@@ -6,7 +6,7 @@ GO ?= go
 # at ~82% — raise the floor as coverage grows, never lower it.
 COVER_MIN ?= 80.0
 
-.PHONY: all check build vet fmt-check test test-short test-race bench bench-check cover cover-check examples experiments clean
+.PHONY: all check build vet fmt-check test test-short test-race bench bench-check cover cover-check examples experiments artifact serve smoke-serve clean
 
 all: check
 
@@ -15,7 +15,9 @@ all: check
 # simulator (compiled form shared across RunParallel workers), the parallel
 # compile pipeline (worker pools sharing the Espresso cover cache, GA
 # fitness evaluation), the capsule-level machine (instrumented StepCycle),
-# and the observability layer itself (lock-free counters/histograms).
+# the observability layer itself (lock-free counters/histograms), and the
+# serving stack (multi-tenant registry hot-swaps under concurrent streams,
+# bounded match pool, artifact codec).
 check: fmt-check build vet test test-race
 
 build:
@@ -35,7 +37,7 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
@@ -70,6 +72,21 @@ examples:
 # Regenerate every paper table/figure (writes CSVs under out/).
 experiments:
 	$(GO) run ./cmd/impala-bench -exp all -scale 0.02 -dump out/
+
+# Compile the demo ruleset into a sealed serving artifact.
+artifact:
+	@mkdir -p out
+	$(GO) run ./cmd/impalac -patterns 'GET /,POST /,User-Agent' -o out/demo.impala
+	$(GO) run ./cmd/impala-sim -load out/demo.impala -v
+
+# Build the demo artifact and serve it (Ctrl-C drains and exits).
+serve: artifact
+	$(GO) run ./cmd/impala-serve -load demo=out/demo.impala -listen :8600 -ops :9090
+
+# End-to-end serving smoke: compile → save → serve → curl match/stream →
+# SIGTERM drain (the CI job).
+smoke-serve:
+	./scripts/smoke_serve.sh
 
 clean:
 	rm -rf out/ coverage.out

@@ -1,4 +1,4 @@
-package impala
+package impala_test
 
 // One benchmark per paper table/figure (regenerating its rows via the
 // experiment harness), plus component micro-benchmarks and the ablation

@@ -26,6 +26,10 @@
 // behind every activity-driven experiment in this binary), and sweeps the
 // incremental Session/Feed streaming path across chunk sizes, reporting
 // throughput and allocs per Feed call (zero in steady state).
+//
+// The servespeed experiment measures the impala-serve one-shot match path
+// end to end over loopback HTTP at 1/8/64 concurrent clients; -json FILE
+// embeds the cells and a serving-metrics snapshot in a JSON report.
 package main
 
 import (
@@ -51,7 +55,7 @@ func main() {
 		strides  = flag.String("strides", "", "comma-separated stride list for table4 (default 1,2,4,8)")
 		dumpDir  = flag.String("dump", "", "write each table as CSV into this directory")
 		parallel = flag.Int("parallel", 1, "benchmark × design-point cells to run concurrently (tables identical for any value; >1 perturbs per-cell wall times)")
-		jsonOut  = flag.String("json", "", "write the compilespeed report as JSON to this file (compilespeed only)")
+		jsonOut  = flag.String("json", "", "write the compilespeed/servespeed report as JSON to this file")
 		check    = flag.String("check", "", "compare the compilespeed report against this baseline JSON and exit nonzero on regression")
 		tol      = flag.Float64("tolerance", 0.25, "allowed fractional drop in speedup_vs_uncached for -check")
 		hitTol   = flag.Float64("hit-tolerance", 0.02, "allowed absolute drop in cache hit rate for -check")
@@ -95,6 +99,13 @@ func main() {
 		t0 := time.Now()
 		if id == "compilespeed" && (*jsonOut != "" || *check != "") {
 			if err := runCompileSpeed(o, *jsonOut, *check, *tol, *hitTol); err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+			continue
+		}
+		if id == "servespeed" && *jsonOut != "" {
+			if err := runServeSpeed(o, *jsonOut); err != nil {
 				fatal(fmt.Errorf("%s: %w", id, err))
 			}
 			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
@@ -163,6 +174,33 @@ func runCompileSpeed(o exp.Options, jsonPath, checkPath string, tol, hitTol floa
 		}
 		fmt.Printf("check vs %s: pass (%d cells within tolerance)\n", checkPath, len(base.Cells))
 	}
+	return nil
+}
+
+// runServeSpeed runs the servespeed experiment instrumented (the report
+// carries a snapshot of the serving counters), renders its table, and
+// writes the JSON report.
+func runServeSpeed(o exp.Options, jsonPath string) error {
+	reg := obs.NewRegistry()
+	o.Metrics = reg
+
+	rep, err := exp.ServeSpeedReport(o)
+	if err != nil {
+		return err
+	}
+	rep.Table().Render(os.Stdout)
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
 	return nil
 }
 

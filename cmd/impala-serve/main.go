@@ -1,0 +1,141 @@
+// impala-serve is the match-online daemon: it loads compiled-automaton
+// artifacts (impalac -o machine.impala) into a multi-tenant registry and
+// serves matching over HTTP — one-shot batched matching and long-lived
+// chunked streaming — without ever running the compile pipeline.
+//
+// Usage:
+//
+//	impala-serve -load web=web.impala -load ids=snort.impala -listen :8600
+//	impala-serve -dir artifacts/ -listen :8600 -ops :9090
+//
+//	curl -s --data-binary 'GET /index' localhost:8600/v1/web/match
+//	cat flow.bin | curl -sN -T- localhost:8600/v1/web/stream
+//	curl -s localhost:8600/v1/tenants
+//	curl -s -X POST localhost:8600/v1/web/reload    # hot-swap after recompile
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
+// matches and streams complete, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"impala/internal/obs"
+	"impala/internal/server"
+	"impala/internal/sim"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8600", "serving address")
+		ops      = flag.String("ops", "", "ops endpoint address (/metrics JSON, /debug/vars, /debug/pprof); empty = disabled")
+		dir      = flag.String("dir", "", "load every *.impala in this directory (tenant = file base name)")
+		workers  = flag.Int("workers", 0, "one-shot match worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "match admission queue length (full queue = 503)")
+		streams  = flag.Int("max-streams", 256, "concurrent streaming connections (excess = 503)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request match timeout")
+		maxBody  = flag.Int64("max-body", 16<<20, "maximum one-shot match payload bytes")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain deadline")
+	)
+	var loads []string
+	flag.Func("load", "tenant=artifact.impala (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want tenant=path, got %q", v)
+		}
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+
+	// One registry feeds both the server instruments and the streaming-layer
+	// counters; the ops listener serves it live.
+	var reg *obs.Registry
+	if *ops != "" {
+		reg = obs.NewRegistry()
+		sim.EnableMetrics(reg)
+	}
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueLen:       *queue,
+		MaxStreams:     *streams,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Metrics:        reg,
+	})
+
+	if *dir != "" {
+		paths, err := filepath.Glob(filepath.Join(*dir, "*.impala"))
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range paths {
+			name := strings.TrimSuffix(filepath.Base(p), ".impala")
+			loads = append(loads, name+"="+p)
+		}
+	}
+	if len(loads) == 0 {
+		fatal(fmt.Errorf("no tenants: use -load name=artifact.impala or -dir"))
+	}
+	for _, lv := range loads {
+		name, path, _ := strings.Cut(lv, "=")
+		t, err := srv.Tenants().LoadFile(name, path)
+		if err != nil {
+			fatal(err)
+		}
+		bits, stride := t.Machine.Geometry()
+		fmt.Fprintf(os.Stderr, "impala-serve: tenant %q: %d states, %d-bit stride-%d, %d groups (%s)\n",
+			name, t.Machine.Model().States, bits, stride, t.Machine.Model().G4s, path)
+	}
+
+	if *ops != "" {
+		_, url, err := obs.Serve(*ops, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "impala-serve: ops endpoint on %s\n", url)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "impala-serve: serving %d tenant(s) on %s\n", srv.Tenants().Len(), ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "impala-serve: %s: draining (up to %s)\n", s, *drainFor)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "impala-serve: shutdown: %v\n", err)
+		}
+		srv.Drain()
+		fmt.Fprintln(os.Stderr, "impala-serve: drained cleanly")
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "impala-serve:", err)
+	os.Exit(1)
+}

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	impala-sim -nfa out.json -in payload.bin
+//	impala-sim -load machine.impala -in payload.bin   # sealed artifact, no compile
+//	impala-sim -load machine.impala -v                # print the artifact header
 //	impala-sim -patterns 'GET /,POST /' -stride 4 -in payload.bin
 //	impala-sim -patterns needle -text 'haystack needle'
 //	impala-sim -patterns needle -in payload.bin -chunk 1460   # streaming path
@@ -16,9 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"impala/internal/arch"
+	"impala/internal/artifact"
 	"impala/internal/automata"
 	"impala/internal/bitvec"
 	"impala/internal/core"
@@ -30,6 +35,8 @@ import (
 func main() {
 	var (
 		nfaFile  = flag.String("nfa", "", "transformed automaton JSON (from impalac -o)")
+		loadFile = flag.String("load", "", "sealed compiled artifact (from impalac -o machine.impala): skip compilation entirely")
+		verbose  = flag.Bool("v", false, "with -load: print the artifact header (version, design point, shape, compile stages)")
 		bitFile  = flag.String("bitstream", "", "device configuration (from impalac -bitstream): run at the capsule level")
 		patterns = flag.String("patterns", "", "comma-separated regexes to compile on the fly")
 		stride   = flag.Int("stride", 4, "stride for on-the-fly compilation")
@@ -45,6 +52,18 @@ func main() {
 		ops      = flag.String("ops", "", "serve the ops endpoint (/metrics JSON, /debug/vars, /debug/pprof) on this address and keep serving after the run")
 	)
 	flag.Parse()
+
+	if *verbose {
+		if *loadFile == "" {
+			fatal(fmt.Errorf("-v requires -load"))
+		}
+		if err := printArtifactInfo(*loadFile); err != nil {
+			fatal(err)
+		}
+		if *inFile == "" && *text == "" {
+			return
+		}
+	}
 
 	// The ops endpoint turns on the live stream counters and keeps the
 	// process up after the run so the final state stays scrapeable.
@@ -112,7 +131,7 @@ func main() {
 		return
 	}
 
-	nfa, err := loadAutomaton(*nfaFile, *patterns, *stride, *caMode)
+	nfa, err := loadAutomaton(*loadFile, *nfaFile, *patterns, *stride, *caMode)
 	if err != nil {
 		fatal(err)
 	}
@@ -208,7 +227,48 @@ func (cycleTracer) OnCycle(cycle int, enabled, active bitvec.Words) {
 	fmt.Printf("cycle %5d: enabled %4d active %4d %v\n", cycle, enabled.Count(), active.Count(), ids)
 }
 
-func loadAutomaton(nfaFile, patterns string, stride int, caMode bool) (*automata.NFA, error) {
+// printArtifactInfo prints the artifact header without decoding the
+// automaton body (the whole file is still checksum-verified).
+func printArtifactInfo(path string) error {
+	info, err := artifact.StatFile(path)
+	if err != nil {
+		return err
+	}
+	m := info.Meta
+	design := fmt.Sprintf("%d-bit stride-%d", m.Bits, m.Stride)
+	if m.CAMode {
+		design += " (CA)"
+	}
+	fmt.Printf("artifact        : %s (v%d, %d bytes)\n", path, info.Version, info.SizeBytes)
+	fmt.Printf("design point    : %s, placement seed %d\n", design, m.Seed)
+	if m.CreatedUnix != 0 {
+		fmt.Printf("created         : %s\n", time.Unix(m.CreatedUnix, 0).UTC().Format(time.RFC3339))
+	}
+	fmt.Printf("input automaton : %d states, %d transitions\n", m.OriginalStates, m.OriginalTransitions)
+	fmt.Printf("compiled        : %d states, %d transitions, %d G4 groups\n", m.States, m.Transitions, m.Groups)
+	for _, st := range info.Stages {
+		fmt.Printf("stage %-16s: %6d states, %7d transitions  (wall %s, cpu %s)\n",
+			st.Name, st.States, st.Transitions, st.Duration.Round(0), st.CPUTime.Round(0))
+	}
+	names := make([]string, 0, len(info.Sections))
+	for name := range info.Sections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("section %s    : %d bytes\n", name, info.Sections[name])
+	}
+	return nil
+}
+
+func loadAutomaton(loadFile, nfaFile, patterns string, stride int, caMode bool) (*automata.NFA, error) {
+	if loadFile != "" {
+		a, err := artifact.LoadFile(loadFile)
+		if err != nil {
+			return nil, err
+		}
+		return a.NFA, nil
+	}
 	if nfaFile != "" {
 		data, err := os.ReadFile(nfaFile)
 		if err != nil {

@@ -7,9 +7,14 @@
 // Usage:
 //
 //	impalac -rules rules.txt [-stride 4] [-ca] [-o out.json] [-seed 1]
+//	impalac -rules rules.txt -o machine.impala   # sealed artifact for impala-serve / impala-sim -load
 //	impalac -rules rules.txt -trace trace.json   # Chrome trace of the pipeline
 //	impalac -nfa automaton.json -stride 2
 //	echo 'GET /|POST /' | impalac -patterns 'GET /,POST /'
+//
+// A -o path ending in .impala writes the versioned binary artifact
+// (automaton + placement + compile provenance, checksummed); any other
+// suffix writes the transformed automaton as JSON.
 package main
 
 import (
@@ -19,9 +24,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"impala/internal/anml"
 	"impala/internal/arch"
+	"impala/internal/artifact"
 	"impala/internal/automata"
 	"impala/internal/core"
 	"impala/internal/obs"
@@ -37,7 +44,7 @@ func main() {
 		patterns  = flag.String("patterns", "", "comma-separated regex patterns (alternative to -rules)")
 		stride    = flag.Int("stride", 4, "sub-symbols per cycle (4-bit: 1/2/4/8; CA mode: 1/2)")
 		caMode    = flag.Bool("ca", false, "target the Cache-Automaton 8-bit design point")
-		out       = flag.String("o", "", "write the transformed automaton JSON here")
+		out       = flag.String("o", "", "write the compiled output here (.impala = sealed binary artifact, else automaton JSON)")
 		bitFile   = flag.String("bitstream", "", "write the full device configuration (bitstream) here")
 		seed      = flag.Int64("seed", 1, "placement search seed")
 		workers   = flag.Int("j", 0, "compile/placement worker pool size (0 = GOMAXPROCS); output is identical for any value")
@@ -105,14 +112,37 @@ func main() {
 	fmt.Printf("bitstream       : %d bytes\n", m.BitstreamBytes())
 
 	if *out != "" {
-		data, err := json.Marshal(res.NFA)
-		if err != nil {
-			fatal(err)
+		if strings.HasSuffix(*out, ".impala") {
+			stages := make([]artifact.Stage, 0, len(res.Stages))
+			for _, st := range res.Stages {
+				stages = append(stages, artifact.Stage{
+					Name: st.Name, States: st.States, Transitions: st.Transitions,
+					Duration: st.Duration, CPUTime: st.CPUTime,
+				})
+			}
+			a := artifact.New(res.NFA, pl, nfa, artifact.Meta{
+				CAMode:      *caMode,
+				Seed:        *seed,
+				CreatedUnix: time.Now().Unix(),
+			}, stages)
+			if err := a.WriteFile(*out); err != nil {
+				fatal(err)
+			}
+			info, err := artifact.StatFile(*out)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (artifact v%d, %d bytes)\n", *out, info.Version, info.SizeBytes)
+		} else {
+			data, err := json.Marshal(res.NFA)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *out)
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *out)
 	}
 	if *bitFile != "" {
 		f, err := os.Create(*bitFile)

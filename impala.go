@@ -21,6 +21,7 @@ import (
 
 	"impala/internal/anml"
 	"impala/internal/arch"
+	"impala/internal/artifact"
 	"impala/internal/automata"
 	"impala/internal/core"
 	"impala/internal/espresso"
@@ -72,15 +73,23 @@ type Match struct {
 	Pattern int
 }
 
-// Machine is a compiled, placed, configured pattern-matching engine.
+// Machine is a compiled, placed, configured pattern-matching engine. It is
+// built either by running the compile pipeline (CompileRegex, CompileANML,
+// CompileAutomaton) or by loading a saved artifact (LoadMachine) — the
+// compile-offline/match-online split: a loaded machine executes identically
+// to the freshly compiled one it was saved from, with no pipeline work.
 type Machine struct {
 	cfg         Config
-	original    *automata.NFA
 	transformed *automata.NFA
 	placement   *place.Placement
 	machine     *arch.Machine
 	simc        *sim.Compiled
-	compile     *core.Result
+	// Pre-transformation shape and compile-stage trace, carried as plain
+	// values so a Machine loaded from an artifact (where the original
+	// automaton and live compile result no longer exist) reports the same
+	// Model as the machine that saved it.
+	origStates, origTransitions int
+	stages                      []artifact.Stage
 }
 
 // CompileRegex compiles the patterns through the full Impala pipeline:
@@ -135,15 +144,94 @@ func CompileAutomaton(nfa *automata.NFA, cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	mach := &Machine{
+		cfg:             cfg,
+		transformed:     res.NFA,
+		placement:       pl,
+		machine:         m,
+		simc:            simc,
+		origStates:      nfa.NumStates(),
+		origTransitions: nfa.NumTransitions(),
+	}
+	for _, s := range res.Stages {
+		mach.stages = append(mach.stages, artifact.Stage{
+			Name: s.Name, States: s.States, Transitions: s.Transitions,
+			Duration: s.Duration, CPUTime: s.CPUTime,
+		})
+	}
+	return mach, nil
+}
+
+// Artifact packages the machine into its versioned on-disk form: the
+// transformed automaton, the placement, the design point and the compile
+// trace — everything LoadMachine needs to rebuild an identical engine
+// without re-running the pipeline.
+func (m *Machine) Artifact() *artifact.Artifact {
+	meta := artifact.Meta{
+		CAMode:              m.cfg.CAMode,
+		Seed:                m.cfg.Seed,
+		OriginalStates:      m.origStates,
+		OriginalTransitions: m.origTransitions,
+	}
+	return artifact.New(m.transformed, m.placement, nil, meta, m.stages)
+}
+
+// SaveArtifact writes the machine's compiled artifact to w.
+func (m *Machine) SaveArtifact(w io.Writer) error { return m.Artifact().Save(w) }
+
+// LoadMachine reconstructs a Machine from a saved artifact: the capsule
+// machine is rebuilt from the stored placement and the bit-parallel
+// compiled form from the stored automaton — no compile-pipeline stage
+// runs. The result matches byte-identically with the machine that was
+// saved.
+func LoadMachine(r io.Reader) (*Machine, error) {
+	a, err := artifact.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return MachineFromArtifact(a)
+}
+
+// LoadMachineFile is LoadMachine over a file path.
+func LoadMachineFile(path string) (*Machine, error) {
+	a, err := artifact.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return MachineFromArtifact(a)
+}
+
+// MachineFromArtifact builds the execution engines from an already decoded
+// artifact.
+func MachineFromArtifact(a *artifact.Artifact) (*Machine, error) {
+	am, err := arch.Build(a.NFA, a.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("impala: artifact placement does not build: %w", err)
+	}
+	simc, err := sim.Compile(a.NFA)
+	if err != nil {
+		return nil, err
+	}
 	return &Machine{
-		cfg:         cfg,
-		original:    nfa,
-		transformed: res.NFA,
-		placement:   pl,
-		machine:     m,
-		simc:        simc,
-		compile:     res,
+		cfg: Config{
+			StrideDims: a.Meta.Stride,
+			CAMode:     a.Meta.CAMode,
+			Seed:       a.Meta.Seed,
+		},
+		transformed:     a.NFA,
+		placement:       a.Placement,
+		machine:         am,
+		simc:            simc,
+		origStates:      a.Meta.OriginalStates,
+		origTransitions: a.Meta.OriginalTransitions,
+		stages:          a.Stages,
 	}, nil
+}
+
+// Geometry returns the machine's symbol geometry: sub-symbol bit width and
+// sub-symbols consumed per cycle.
+func (m *Machine) Geometry() (bits, stride int) {
+	return m.transformed.Bits, m.transformed.Stride
 }
 
 // Run matches the input against all patterns using the capsule-level
@@ -174,6 +262,15 @@ func (m *Machine) RunParallel(input []byte, workers, overlapBytes int) ([]Match,
 func (m *Machine) Simulate(input []byte) ([]Match, error) {
 	reports, _ := m.simc.NewEngine().Run(input, nil)
 	return toMatches(reports), nil
+}
+
+// Match is the serving-path one-shot: it matches input on a pooled
+// bit-parallel engine, so concurrent callers share the compiled form and
+// steady-state requests allocate no per-request engine. Reports are
+// identical to Run and Simulate.
+func (m *Machine) Match(input []byte) []Match {
+	reports, _ := m.simc.Run(input)
+	return toMatches(reports)
 }
 
 // Stream is one incremental input stream over the compiled machine: bytes
@@ -249,8 +346,16 @@ func (s *Stream) Write(p []byte) (int, error) {
 }
 
 // Flush ends the stream, completing any final partial cycle. Feed after
-// Flush panics; Reset starts a new stream.
-func (s *Stream) Flush() { s.sess.Flush() }
+// Flush panics; Reset starts a new stream. Flush also retires the
+// per-window match-dedup state: the next stream run on this Stream starts
+// with an empty collision window, so a legitimate repeat of an earlier
+// match (same end offset and pattern in a fresh stream) is never
+// suppressed by stale entries.
+func (s *Stream) Flush() {
+	s.sess.Flush()
+	s.curCycle = -1
+	s.seen = s.seen[:0]
+}
 
 // Reset returns the stream to the start-of-stream state for reuse.
 func (s *Stream) Reset() {
@@ -304,7 +409,9 @@ type StageInfo struct {
 	Transitions int
 }
 
-// Model returns the performance/cost model of this machine.
+// Model returns the performance/cost model of this machine. It is
+// available for loaded machines too: the pre-transformation shape and
+// compile-stage trace travel inside the artifact.
 func (m *Machine) Model() Model {
 	d := m.design()
 	area := arch.AreaBreakdown(d, m.transformed.NumStates())
@@ -313,13 +420,13 @@ func (m *Machine) Model() Model {
 		FreqGHz:          d.FreqGHz(),
 		ThroughputGbps:   d.ThroughputGbps(),
 		States:           m.transformed.NumStates(),
-		OriginalStates:   m.original.NumStates(),
+		OriginalStates:   m.origStates,
 		G4s:              len(m.placement.G4s),
 		AreaMM2:          area.TotalMM2(),
 		ThroughputPerMM2: arch.ThroughputPerArea(d, m.transformed.NumStates()),
 		BitstreamBytes:   m.machine.BitstreamBytes(),
 	}
-	for _, s := range m.compile.Stages {
+	for _, s := range m.stages {
 		md.CompileStages = append(md.CompileStages, StageInfo{Name: s.Name, States: s.States, Transitions: s.Transitions})
 	}
 	return md

@@ -294,3 +294,127 @@ func TestConcurrentStreams(t *testing.T) {
 		}
 	}
 }
+
+// TestFlushClearsStreamDedup pins the Flush half of the stream-reuse
+// contract: Flush must retire the per-window match-dedup entries, so a
+// reused stream can never suppress a legitimate repeat of an earlier match
+// (same end offset, same pattern) in a later run.
+func TestFlushClearsStreamDedup(t *testing.T) {
+	m, err := CompileRegex([]string{"needle"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	s := m.NewStream(func(mt Match) { got = append(got, mt) })
+
+	input := []byte("xx needle yy")
+	s.Feed(input)
+	s.Flush()
+	if len(got) != 1 {
+		t.Fatalf("first run: %d matches, want 1: %v", len(got), got)
+	}
+	first := got[0]
+	if s.curCycle != -1 || len(s.seen) != 0 {
+		t.Fatalf("Flush left dedup state behind: curCycle %d, %d seen entries", s.curCycle, len(s.seen))
+	}
+
+	// Reuse the stream on the identical input: the same (End, Pattern)
+	// must be reported again, not swallowed by stale window entries.
+	s.Reset()
+	s.Feed(input)
+	s.Flush()
+	if len(got) != 2 {
+		t.Fatalf("reused stream: %d matches total, want 2: %v", len(got), got)
+	}
+	if got[1] != first {
+		t.Fatalf("repeat match diverges: %+v vs %+v", got[1], first)
+	}
+}
+
+// TestArtifactRoundTripFacade is the deployment-model acceptance property
+// at the facade level: a machine saved as an artifact and loaded back in a
+// fresh process state matches byte-identically across every execution path
+// and reports the same model.
+func TestArtifactRoundTripFacade(t *testing.T) {
+	m, err := CompileRegex([]string{"GET /", "ab+a", `\d\d`}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveArtifact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMachine(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	input := []byte("GET /abba 42 abbba GET / 7x19")
+	if want, got := m.Run(input), loaded.Run(input); !matchesEqual(want, got) {
+		t.Fatalf("Run diverges: %v vs %v", got, want)
+	}
+	if want, got := m.Match(input), loaded.Match(input); !matchesEqual(want, got) {
+		t.Fatalf("Match diverges: %v vs %v", got, want)
+	}
+	ws, err := m.Simulate(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := loaded.Simulate(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesEqual(ws, gs) {
+		t.Fatalf("Simulate diverges: %v vs %v", gs, ws)
+	}
+
+	var streamGot []Match
+	s := loaded.NewStream(func(mt Match) { streamGot = append(streamGot, mt) })
+	for i := 0; i < len(input); i += 5 {
+		end := i + 5
+		if end > len(input) {
+			end = len(input)
+		}
+		s.Feed(input[i:end])
+	}
+	s.Flush()
+	if want := m.Match(input); !matchesEqual(want, streamGot) {
+		t.Fatalf("loaded stream diverges: %v vs %v", streamGot, want)
+	}
+
+	wm, lm := m.Model(), loaded.Model()
+	if lm.States != wm.States || lm.OriginalStates != wm.OriginalStates ||
+		lm.G4s != wm.G4s || lm.BitsPerCycle != wm.BitsPerCycle ||
+		lm.ThroughputGbps != wm.ThroughputGbps || lm.BitstreamBytes != wm.BitstreamBytes {
+		t.Fatalf("model diverges:\nloaded %+v\nwant   %+v", lm, wm)
+	}
+	if len(lm.CompileStages) != len(wm.CompileStages) {
+		t.Fatalf("stage trace lost: %d vs %d stages", len(lm.CompileStages), len(wm.CompileStages))
+	}
+	wb, ws2 := m.Geometry()
+	lb, ls2 := loaded.Geometry()
+	if wb != lb || ws2 != ls2 {
+		t.Fatalf("geometry diverges: %d/%d vs %d/%d", lb, ls2, wb, ws2)
+	}
+
+	// A loaded machine re-saves to the identical byte stream.
+	var buf2 bytes.Buffer
+	if err := loaded.SaveArtifact(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-saved artifact not byte-identical: %d vs %d bytes", buf2.Len(), buf.Len())
+	}
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

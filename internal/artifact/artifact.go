@@ -1,0 +1,728 @@
+// Package artifact is the versioned on-disk form of a compiled machine —
+// the compile-offline half of the paper's deployment model. A compile
+// (V-TeSS transformation, Espresso refinement, G4 placement) is expensive
+// and runs once; matching runs forever. The artifact captures everything
+// the match-online side needs to reconstruct an execution engine without
+// re-running any of the pipeline: the automaton shape and stride/squash
+// metadata, the per-state match-set tables (the subarray column images),
+// the successor lists (the rows of the dense successor matrix, stored
+// sparsely and re-densified by sim.Compile on load), and the G4/G16
+// placement the bitstream was generated from.
+//
+// The container is a strict little-endian binary format:
+//
+//	preamble (16 bytes)
+//	  magic   "IMPALA"          [6]byte
+//	  version uint16            (currently 1)
+//	  flags   uint32            (reserved, zero)
+//	  crc32c  uint32            Castagnoli CRC of every byte after the preamble
+//	body: sections, each
+//	  fourcc  [4]byte
+//	  length  uint64
+//	  payload [length]byte
+//
+// Sections: "META" (geometry, design point, shape counts — required,
+// first), "STAG" (compile-stage trace), "AUTM" (states: match rects as raw
+// 256-bit masks per dimension, start kinds, report metadata, out-edges),
+// "PLAC" (per-group slot assignments). Save output is deterministic: a
+// Load/Save round trip is byte-identical, which the property tests pin.
+//
+// Every Load validates the magic, version, CRC and all structural bounds
+// before returning; Stat decodes only META and STAG (still CRC-checking
+// the whole file), so header inspection of a multi-megabyte artifact does
+// not decode the automaton.
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/interconnect"
+	"impala/internal/place"
+)
+
+// Version is the current container version. Load accepts only this
+// version: the format carries compiled internals, so cross-version
+// compatibility is a recompile, not a migration.
+const Version = 1
+
+var magic = [6]byte{'I', 'M', 'P', 'A', 'L', 'A'}
+
+// Sentinel errors for the distinguishable failure classes. All are wrapped
+// with context; test with errors.Is.
+var (
+	ErrBadMagic  = errors.New("artifact: not an impala artifact (bad magic)")
+	ErrVersion   = errors.New("artifact: unsupported container version")
+	ErrChecksum  = errors.New("artifact: checksum mismatch (corrupted or truncated)")
+	ErrTruncated = errors.New("artifact: truncated file")
+	ErrCorrupt   = errors.New("artifact: structurally invalid")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta is the artifact's design-point and shape header.
+type Meta struct {
+	// Bits and Stride are the compiled automaton's symbol geometry.
+	Bits, Stride int
+	// CAMode marks the Cache-Automaton 8-bit design point.
+	CAMode bool
+	// Seed is the placement-search seed the artifact was built with.
+	Seed int64
+	// OriginalStates/Transitions describe the pre-transformation automaton
+	// (the compile input), so loaded machines can still report overheads.
+	OriginalStates, OriginalTransitions int
+	// States/Transitions/Groups describe the compiled shape — duplicated
+	// from the AUTM/PLAC payloads so Stat never has to decode them.
+	States, Transitions, Groups int
+	// CreatedUnix is the build time in Unix seconds (0 when the builder
+	// wants deterministic output, e.g. tests).
+	CreatedUnix int64
+}
+
+// Stage is one compile-pipeline stage recorded in the artifact (mirrors
+// core.StageStats without importing the compiler).
+type Stage struct {
+	Name        string
+	States      int
+	Transitions int
+	Duration    time.Duration
+	CPUTime     time.Duration
+}
+
+// Artifact is a fully decoded compiled machine: enough to rebuild both the
+// bit-parallel functional engine (sim.Compile) and the capsule-level
+// machine (arch.Build) without touching the compile pipeline.
+type Artifact struct {
+	Meta      Meta
+	Stages    []Stage
+	NFA       *automata.NFA
+	Placement *place.Placement
+}
+
+// Info is the cheap header view returned by Stat.
+type Info struct {
+	Version   int
+	SizeBytes int64
+	Meta      Meta
+	Stages    []Stage
+	// Sections maps fourcc → payload bytes, for size breakdowns.
+	Sections map[string]int64
+}
+
+// New assembles an artifact from compile outputs, filling the Meta shape
+// counts from the automaton and placement. original may be nil when the
+// pre-transformation shape is unknown (counts stay zero).
+func New(n *automata.NFA, pl *place.Placement, original *automata.NFA, meta Meta, stages []Stage) *Artifact {
+	meta.Bits = n.Bits
+	meta.Stride = n.Stride
+	meta.States = n.NumStates()
+	meta.Transitions = n.NumTransitions()
+	if pl != nil {
+		meta.Groups = len(pl.G4s)
+	}
+	if original != nil {
+		meta.OriginalStates = original.NumStates()
+		meta.OriginalTransitions = original.NumTransitions()
+	}
+	return &Artifact{Meta: meta, Stages: stages, NFA: n, Placement: pl}
+}
+
+// Save writes the artifact. The encoding is deterministic: saving the
+// result of Load yields the identical byte stream.
+func (a *Artifact) Save(w io.Writer) error {
+	if a.NFA == nil || a.Placement == nil {
+		return fmt.Errorf("%w: artifact missing automaton or placement", ErrCorrupt)
+	}
+	if err := a.NFA.Validate(); err != nil {
+		return fmt.Errorf("artifact: refusing to save invalid automaton: %w", err)
+	}
+	var body bytes.Buffer
+	writeSection(&body, "META", a.encodeMeta())
+	writeSection(&body, "STAG", encodeStages(a.Stages))
+	writeSection(&body, "AUTM", encodeNFA(a.NFA))
+	writeSection(&body, "PLAC", encodePlacement(a.Placement))
+
+	pre := make([]byte, 16)
+	copy(pre, magic[:])
+	binary.LittleEndian.PutUint16(pre[6:], Version)
+	binary.LittleEndian.PutUint32(pre[8:], 0) // flags
+	binary.LittleEndian.PutUint32(pre[12:], crc32.Checksum(body.Bytes(), castagnoli))
+	if _, err := w.Write(pre); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// WriteFile saves the artifact to path (0644, replaced atomically enough
+// for tooling: written to a temp file first, then renamed).
+func (a *Artifact) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := a.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads, CRC-validates and fully decodes an artifact. The returned
+// automaton has been Validate()d and the placement covers every state.
+func Load(r io.Reader) (*Artifact, error) {
+	body, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{}
+	seen := map[string]bool{}
+	if err := walkSections(body, func(id string, payload []byte) error {
+		if seen[id] {
+			return fmt.Errorf("%w: duplicate section %q", ErrCorrupt, id)
+		}
+		seen[id] = true
+		switch id {
+		case "META":
+			return a.decodeMeta(payload)
+		case "STAG":
+			var err error
+			a.Stages, err = decodeStages(payload)
+			return err
+		case "AUTM":
+			var err error
+			a.NFA, err = decodeNFA(payload)
+			return err
+		case "PLAC":
+			var err error
+			a.Placement, err = decodePlacement(payload)
+			return err
+		default:
+			return fmt.Errorf("%w: unknown section %q", ErrCorrupt, id)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	for _, id := range []string{"META", "STAG", "AUTM", "PLAC"} {
+		if !seen[id] {
+			return nil, fmt.Errorf("%w: missing section %q", ErrCorrupt, id)
+		}
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// LoadFile loads an artifact from path.
+func LoadFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Stat reads and CRC-validates the container but decodes only the META and
+// STAG sections — artifact header inspection without paying for the
+// automaton decode.
+func Stat(r io.Reader) (*Info, error) {
+	body, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{Version: Version, SizeBytes: int64(len(body)) + 16, Sections: map[string]int64{}}
+	a := &Artifact{}
+	if err := walkSections(body, func(id string, payload []byte) error {
+		info.Sections[id] += int64(len(payload))
+		switch id {
+		case "META":
+			return a.decodeMeta(payload)
+		case "STAG":
+			var err error
+			a.Stages, err = decodeStages(payload)
+			return err
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, id := range []string{"META", "STAG", "AUTM", "PLAC"} {
+		if _, ok := info.Sections[id]; !ok {
+			return nil, fmt.Errorf("%w: missing section %q", ErrCorrupt, id)
+		}
+	}
+	info.Meta = a.Meta
+	info.Stages = a.Stages
+	return info, nil
+}
+
+// StatFile is Stat over a file path.
+func StatFile(path string) (*Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Stat(f)
+}
+
+// validate cross-checks the decoded sections against each other and the
+// Meta shape counts.
+func (a *Artifact) validate() error {
+	n, pl := a.NFA, a.Placement
+	if a.Meta.Bits != n.Bits || a.Meta.Stride != n.Stride {
+		return fmt.Errorf("%w: META geometry (%d,%d) != automaton (%d,%d)",
+			ErrCorrupt, a.Meta.Bits, a.Meta.Stride, n.Bits, n.Stride)
+	}
+	if a.Meta.States != n.NumStates() || a.Meta.Transitions != n.NumTransitions() {
+		return fmt.Errorf("%w: META shape %d states/%d transitions != automaton %d/%d",
+			ErrCorrupt, a.Meta.States, a.Meta.Transitions, n.NumStates(), n.NumTransitions())
+	}
+	if a.Meta.Groups != len(pl.G4s) {
+		return fmt.Errorf("%w: META groups %d != placement %d", ErrCorrupt, a.Meta.Groups, len(pl.G4s))
+	}
+	placed := 0
+	for gi, g := range pl.G4s {
+		for slot, id := range g.Slots {
+			if id < 0 {
+				continue
+			}
+			if int(id) >= n.NumStates() {
+				return fmt.Errorf("%w: group %d slot %d references state %d of %d",
+					ErrCorrupt, gi, slot, id, n.NumStates())
+			}
+			placed++
+		}
+	}
+	if placed != n.NumStates() {
+		return fmt.Errorf("%w: placement covers %d of %d states", ErrCorrupt, placed, n.NumStates())
+	}
+	return nil
+}
+
+// ---- container plumbing ----
+
+// readBody consumes the whole stream, validates the preamble and CRC, and
+// returns the section body.
+func readBody(r io.Reader) ([]byte, error) {
+	pre := make([]byte, 16)
+	if _, err := io.ReadFull(r, pre); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: %d-byte preamble", ErrTruncated, 16)
+		}
+		return nil, err
+	}
+	if !bytes.Equal(pre[:6], magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(pre[6:]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	want := binary.LittleEndian.Uint32(pre[12:])
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: crc32c %08x, header says %08x", ErrChecksum, got, want)
+	}
+	return body, nil
+}
+
+// walkSections iterates the body's (fourcc, payload) sections.
+func walkSections(body []byte, fn func(id string, payload []byte) error) error {
+	for off := 0; off < len(body); {
+		if len(body)-off < 12 {
+			return fmt.Errorf("%w: section header at offset %d", ErrTruncated, off)
+		}
+		id := string(body[off : off+4])
+		length := binary.LittleEndian.Uint64(body[off+4 : off+12])
+		off += 12
+		if length > uint64(len(body)-off) {
+			return fmt.Errorf("%w: section %q claims %d bytes, %d remain", ErrTruncated, id, length, len(body)-off)
+		}
+		if err := fn(id, body[off:off+int(length)]); err != nil {
+			return err
+		}
+		off += int(length)
+	}
+	return nil
+}
+
+func writeSection(w *bytes.Buffer, id string, payload []byte) {
+	w.WriteString(id)
+	var lenb [8]byte
+	binary.LittleEndian.PutUint64(lenb[:], uint64(len(payload)))
+	w.Write(lenb[:])
+	w.Write(payload)
+}
+
+// enc is a little-endian append-only encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec is the bounds-checked mirror of enc: the first overrun poisons the
+// decoder and the caller surfaces one ErrTruncated.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b)-d.off < n {
+		d.err = ErrTruncated
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+func (d *dec) u8() uint8 {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+func (d *dec) u16() uint16 {
+	p := d.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+func (d *dec) u32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+func (d *dec) u64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+func (d *dec) i64() int64 { return int64(d.u64()) }
+func (d *dec) str() string {
+	n := int(d.u16())
+	p := d.take(n)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// done returns the decoder's error, flagging trailing garbage as corrupt.
+func (d *dec) done(section string) error {
+	if d.err != nil {
+		return fmt.Errorf("%w: section %q", d.err, section)
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: section %q has %d trailing bytes", ErrCorrupt, section, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// ---- section codecs ----
+
+func (a *Artifact) encodeMeta() []byte {
+	var e enc
+	m := a.Meta
+	e.u8(uint8(m.Bits))
+	e.u8(uint8(m.Stride))
+	if m.CAMode {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u8(0) // pad
+	e.i64(m.Seed)
+	e.u32(uint32(m.OriginalStates))
+	e.u32(uint32(m.OriginalTransitions))
+	e.u32(uint32(m.States))
+	e.u32(uint32(m.Transitions))
+	e.u32(uint32(m.Groups))
+	e.i64(m.CreatedUnix)
+	return e.b
+}
+
+func (a *Artifact) decodeMeta(payload []byte) error {
+	d := &dec{b: payload}
+	m := Meta{
+		Bits:   int(d.u8()),
+		Stride: int(d.u8()),
+		CAMode: d.u8() != 0,
+	}
+	d.u8() // pad
+	m.Seed = d.i64()
+	m.OriginalStates = int(d.u32())
+	m.OriginalTransitions = int(d.u32())
+	m.States = int(d.u32())
+	m.Transitions = int(d.u32())
+	m.Groups = int(d.u32())
+	m.CreatedUnix = d.i64()
+	if err := d.done("META"); err != nil {
+		return err
+	}
+	a.Meta = m
+	return nil
+}
+
+func encodeStages(stages []Stage) []byte {
+	var e enc
+	e.u32(uint32(len(stages)))
+	for _, s := range stages {
+		e.str(s.Name)
+		e.u32(uint32(s.States))
+		e.u32(uint32(s.Transitions))
+		e.i64(int64(s.Duration))
+		e.i64(int64(s.CPUTime))
+	}
+	return e.b
+}
+
+func decodeStages(payload []byte) ([]Stage, error) {
+	d := &dec{b: payload}
+	n := int(d.u32())
+	if n < 0 || n > 1<<16 {
+		return nil, fmt.Errorf("%w: %d stages", ErrCorrupt, n)
+	}
+	var out []Stage
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, Stage{
+			Name:        d.str(),
+			States:      int(d.u32()),
+			Transitions: int(d.u32()),
+			Duration:    time.Duration(d.i64()),
+			CPUTime:     time.Duration(d.i64()),
+		})
+	}
+	if err := d.done("STAG"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func encodeNFA(n *automata.NFA) []byte {
+	var e enc
+	e.u8(uint8(n.Bits))
+	e.u8(uint8(n.Stride))
+	e.u16(0) // pad
+	e.u32(uint32(len(n.States)))
+	for i := range n.States {
+		s := &n.States[i]
+		e.u8(uint8(s.Start))
+		if s.Report {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.u8(uint8(s.ReportOffset))
+		e.u8(0) // pad
+		e.u32(uint32(int32(s.ReportCode)))
+		e.u16(uint16(len(s.Match)))
+		e.u16(0) // pad
+		for _, r := range s.Match {
+			for _, set := range r {
+				for _, w := range set {
+					e.u64(w)
+				}
+			}
+		}
+		e.u32(uint32(len(s.Out)))
+		for _, t := range s.Out {
+			e.u32(uint32(int32(t)))
+		}
+	}
+	return e.b
+}
+
+func decodeNFA(payload []byte) (*automata.NFA, error) {
+	d := &dec{b: payload}
+	bits := int(d.u8())
+	stride := int(d.u8())
+	d.u16() // pad
+	if d.err == nil && (bits != 2 && bits != 4 && bits != 8) {
+		return nil, fmt.Errorf("%w: automaton bits %d", ErrCorrupt, bits)
+	}
+	if d.err == nil && (stride < 1 || stride > 64) {
+		return nil, fmt.Errorf("%w: automaton stride %d", ErrCorrupt, stride)
+	}
+	ns := int(d.u32())
+	if d.err == nil && uint64(ns) > uint64(len(payload)) {
+		// Each state costs ≥1 byte; a larger count is a lie, not a big file.
+		return nil, fmt.Errorf("%w: %d states in %d-byte section", ErrCorrupt, ns, len(payload))
+	}
+	n := &automata.NFA{Bits: bits, Stride: stride}
+	n.States = make([]automata.State, 0, ns)
+	for i := 0; i < ns && d.err == nil; i++ {
+		var s automata.State
+		s.Start = automata.StartKind(d.u8())
+		if d.err == nil && s.Start > automata.StartEven {
+			return nil, fmt.Errorf("%w: state %d start kind %d", ErrCorrupt, i, s.Start)
+		}
+		s.Report = d.u8() != 0
+		s.ReportOffset = int(d.u8())
+		d.u8() // pad
+		s.ReportCode = int(int32(d.u32()))
+		nr := int(d.u16())
+		d.u16() // pad
+		s.Match = make(automata.MatchSet, 0, nr)
+		for ri := 0; ri < nr && d.err == nil; ri++ {
+			r := make(automata.Rect, stride)
+			for di := 0; di < stride; di++ {
+				var set bitvec.ByteSet
+				for w := range set {
+					set[w] = d.u64()
+				}
+				r[di] = set
+			}
+			s.Match = append(s.Match, r)
+		}
+		nOut := int(d.u32())
+		if d.err == nil && uint64(nOut)*4 > uint64(len(payload)-d.off) {
+			return nil, fmt.Errorf("%w: state %d claims %d out-edges", ErrCorrupt, i, nOut)
+		}
+		if nOut > 0 {
+			s.Out = make([]automata.StateID, 0, nOut)
+			for oi := 0; oi < nOut && d.err == nil; oi++ {
+				s.Out = append(s.Out, automata.StateID(int32(d.u32())))
+			}
+		}
+		n.States = append(n.States, s)
+	}
+	if err := d.done("AUTM"); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return n, nil
+}
+
+func encodePlacement(pl *place.Placement) []byte {
+	var e enc
+	e.u32(uint32(len(pl.G4s)))
+	e.u32(uint32(pl.TotalUncovered))
+	e.u32(uint32(pl.GAInvocations))
+	for _, g := range pl.G4s {
+		if g.Hierarchical {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.u8(0)
+		e.u16(0) // pad
+		e.u32(uint32(g.States))
+		e.u32(uint32(g.Edges))
+		e.u32(uint32(g.Uncovered))
+		occupied := 0
+		for _, id := range g.Slots {
+			if id >= 0 {
+				occupied++
+			}
+		}
+		e.u32(uint32(occupied))
+		for slot, id := range g.Slots {
+			if id >= 0 {
+				e.u32(uint32(slot))
+				e.u32(uint32(int32(id)))
+			}
+		}
+	}
+	return e.b
+}
+
+func decodePlacement(payload []byte) (*place.Placement, error) {
+	d := &dec{b: payload}
+	ng := int(d.u32())
+	pl := &place.Placement{
+		TotalUncovered: int(d.u32()),
+		GAInvocations:  int(d.u32()),
+	}
+	if d.err == nil && uint64(ng) > uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: %d groups in %d-byte section", ErrCorrupt, ng, len(payload))
+	}
+	for gi := 0; gi < ng && d.err == nil; gi++ {
+		g := &place.G4Placement{
+			Hierarchical: d.u8() != 0,
+		}
+		d.u8()
+		d.u16() // pad
+		g.States = int(d.u32())
+		g.Edges = int(d.u32())
+		g.Uncovered = int(d.u32())
+		slots := interconnect.G4Size
+		if g.Hierarchical {
+			slots = interconnect.G16Size
+		}
+		g.Slots = make([]automata.StateID, slots)
+		for i := range g.Slots {
+			g.Slots[i] = -1
+		}
+		g.SlotOf = make(map[automata.StateID]int)
+		occupied := int(d.u32())
+		if d.err == nil && uint64(occupied)*8 > uint64(len(payload)-d.off) {
+			return nil, fmt.Errorf("%w: group %d claims %d occupied slots", ErrCorrupt, gi, occupied)
+		}
+		for i := 0; i < occupied && d.err == nil; i++ {
+			slot := int(d.u32())
+			id := automata.StateID(int32(d.u32()))
+			if slot >= slots {
+				return nil, fmt.Errorf("%w: group %d slot %d out of %d", ErrCorrupt, gi, slot, slots)
+			}
+			if id < 0 {
+				return nil, fmt.Errorf("%w: group %d slot %d holds negative state", ErrCorrupt, gi, slot)
+			}
+			if g.Slots[slot] >= 0 {
+				return nil, fmt.Errorf("%w: group %d slot %d assigned twice", ErrCorrupt, gi, slot)
+			}
+			if _, dup := g.SlotOf[id]; dup {
+				return nil, fmt.Errorf("%w: group %d state %d placed twice", ErrCorrupt, gi, id)
+			}
+			g.Slots[slot] = id
+			g.SlotOf[id] = slot
+		}
+		pl.G4s = append(pl.G4s, g)
+	}
+	if err := d.done("PLAC"); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}

@@ -254,6 +254,7 @@ func Registry() map[string]Runner {
 		"software":     SoftwareBaseline,
 		"simspeed":     SimulatorSpeed,
 		"compilespeed": CompileSpeed,
+		"servespeed":   ServeSpeed,
 	}
 }
 
@@ -261,6 +262,6 @@ func Registry() map[string]Runner {
 func IDs() []string {
 	return []string{
 		"fig2", "table1", "table4", "table5", "fig13", "fig14",
-		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed", "compilespeed",
+		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed", "compilespeed", "servespeed",
 	}
 }

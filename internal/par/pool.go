@@ -1,0 +1,123 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPoolClosed is returned by Do after Close has begun.
+var ErrPoolClosed = errors.New("par: pool closed")
+
+// ErrQueueFull is returned by Do when the admission queue is at capacity —
+// the backpressure signal a server maps to 503/429 instead of letting
+// unbounded work pile up behind the accept loop.
+var ErrQueueFull = errors.New("par: pool queue full")
+
+// Pool is a persistent bounded worker pool for serving workloads. Where
+// For/ForErr fan a fixed index range across transient goroutines, a Pool
+// owns long-lived workers and a bounded admission queue: Do either runs the
+// task to completion on a worker, rejects it immediately when the queue is
+// full, or abandons it when the caller's context expires before a worker
+// claims it. Queue depth and running counts are exposed for gauges.
+type Pool struct {
+	queue   chan *poolTask
+	wg      sync.WaitGroup
+	closing atomic.Bool
+	queued  atomic.Int64
+	running atomic.Int64
+	mu      sync.Mutex // guards close of queue vs concurrent Do sends
+}
+
+type poolTask struct {
+	fn func()
+	// claimed arbitrates the worker against a context-expired waiter: the
+	// side that wins the CAS owns the task's fate (run vs abandon).
+	claimed atomic.Bool
+	done    chan struct{}
+}
+
+// NewPool starts a pool of `workers` goroutines (<=0 selects GOMAXPROCS)
+// behind an admission queue of `queueLen` waiting tasks (<0 means 0: only
+// as many tasks as there are idle workers are admitted).
+func NewPool(workers, queueLen int) *Pool {
+	workers = Workers(workers)
+	if queueLen < 0 {
+		queueLen = 0
+	}
+	p := &Pool{queue: make(chan *poolTask, queueLen)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for t := range p.queue {
+				p.queued.Add(-1)
+				if !t.claimed.CompareAndSwap(false, true) {
+					continue // waiter gave up before we got here
+				}
+				p.running.Add(1)
+				t.fn()
+				p.running.Add(-1)
+				close(t.done)
+			}
+		}()
+	}
+	return p
+}
+
+// Do submits fn and waits for it to finish. It returns ErrQueueFull when
+// the admission queue is at capacity, ErrPoolClosed after Close, or
+// ctx.Err() when the context expires while the task is still queued. Once
+// a worker has started fn, Do always waits for completion (a served
+// request is never half-abandoned), even if ctx expires meanwhile.
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	if p.closing.Load() {
+		return ErrPoolClosed
+	}
+	t := &poolTask{fn: fn, done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closing.Load() {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	select {
+	case p.queue <- t:
+		p.queued.Add(1)
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return ErrQueueFull
+	}
+	select {
+	case <-t.done:
+		return nil
+	case <-ctx.Done():
+		if t.claimed.CompareAndSwap(false, true) {
+			return ctx.Err() // still queued: abandoned, will never run
+		}
+		<-t.done // already running: drain to completion
+		return nil
+	}
+}
+
+// Queued returns the number of admitted tasks not yet picked up by a
+// worker — the queue-depth gauge.
+func (p *Pool) Queued() int64 { return p.queued.Load() }
+
+// Running returns the number of tasks currently executing.
+func (p *Pool) Running() int64 { return p.running.Load() }
+
+// Close drains the pool: new Do calls fail with ErrPoolClosed, queued and
+// running tasks complete, and Close returns when every worker has exited.
+// Close is idempotent.
+func (p *Pool) Close() {
+	if p.closing.Swap(true) {
+		p.wg.Wait()
+		return
+	}
+	p.mu.Lock()
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

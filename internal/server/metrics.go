@@ -1,0 +1,62 @@
+package server
+
+import (
+	"impala/internal/obs"
+	"impala/internal/par"
+)
+
+// metrics is the daemon's instrument set. All instruments are nil-safe
+// (obs semantics), so a server constructed without a registry pays only
+// nil checks on the request path.
+type metrics struct {
+	matchRequests  *obs.Counter   // serve_match_requests_total
+	streamRequests *obs.Counter   // serve_stream_requests_total
+	errors         *obs.Counter   // serve_errors_total (4xx/5xx responses)
+	rejected       *obs.Counter   // serve_rejected_total (backpressure 429/503)
+	bytesIn        *obs.Counter   // serve_bytes_in_total
+	reports        *obs.Counter   // serve_reports_total
+	reloads        *obs.Counter   // serve_reloads_total
+	activeStreams  *obs.Gauge     // serve_active_streams
+	matchLatency   *obs.Histogram // serve_match_latency_ns
+	matchBytes     *obs.Histogram // serve_match_request_bytes
+	streamChunk    *obs.Histogram // serve_stream_chunk_bytes
+}
+
+// bindMetrics registers the server instruments in reg and wires the live
+// queue-depth and tenant-count gauges to their owners:
+//
+//	serve_match_requests_total   one-shot /match requests admitted
+//	serve_stream_requests_total  /stream connections opened
+//	serve_errors_total           error responses (any 4xx/5xx)
+//	serve_rejected_total         backpressure rejections (pool/stream caps)
+//	serve_bytes_in_total         input payload bytes matched
+//	serve_reports_total          matches returned to clients
+//	serve_reloads_total          successful tenant hot-swaps
+//	serve_active_streams         gauge: streaming connections in flight
+//	serve_queue_depth            gauge: match tasks admitted, not started
+//	serve_workers_busy           gauge: match tasks executing
+//	serve_tenants                gauge: loaded tenants
+//	serve_match_latency_ns       histogram: admission→response per /match
+//	serve_match_request_bytes    histogram: /match payload sizes
+//	serve_stream_chunk_bytes     histogram: /stream body read sizes
+//
+// A nil registry yields all-nil instruments (every publication is a no-op).
+func bindMetrics(reg *obs.Registry, pool *par.Pool, tenants *Registry) *metrics {
+	m := &metrics{
+		matchRequests:  reg.Counter("serve_match_requests_total"),
+		streamRequests: reg.Counter("serve_stream_requests_total"),
+		errors:         reg.Counter("serve_errors_total"),
+		rejected:       reg.Counter("serve_rejected_total"),
+		bytesIn:        reg.Counter("serve_bytes_in_total"),
+		reports:        reg.Counter("serve_reports_total"),
+		reloads:        reg.Counter("serve_reloads_total"),
+		activeStreams:  reg.Gauge("serve_active_streams"),
+		matchLatency:   reg.Histogram("serve_match_latency_ns", obs.LatencyBuckets()),
+		matchBytes:     reg.Histogram("serve_match_request_bytes", obs.ByteBuckets()),
+		streamChunk:    reg.Histogram("serve_stream_chunk_bytes", obs.ByteBuckets()),
+	}
+	reg.GaugeFunc("serve_queue_depth", pool.Queued)
+	reg.GaugeFunc("serve_workers_busy", pool.Running)
+	reg.GaugeFunc("serve_tenants", func() int64 { return int64(tenants.Len()) })
+	return m
+}

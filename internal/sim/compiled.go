@@ -204,6 +204,17 @@ func (c *Compiled) NewSession(sink ReportSink) *Session {
 	return NewSession(c.NewEngine(), sink)
 }
 
+// Run executes the compiled automaton over input on a pooled engine and
+// returns the sorted reports and stats. It is safe for concurrent use —
+// the one-shot entry point a server calls per request without paying a
+// fresh engine allocation in steady state.
+func (c *Compiled) Run(input []byte) ([]Report, Stats) {
+	e := c.acquireEngine()
+	r, s := e.Run(input, nil)
+	c.releaseEngine(e)
+	return r, s
+}
+
 // Geometry implements Core.
 func (e *CompiledEngine) Geometry() (bits, stride int) { return e.c.nfa.Bits, e.c.nfa.Stride }
 
