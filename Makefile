@@ -17,7 +17,8 @@ all: check
 # fitness evaluation), the capsule-level machine (instrumented StepCycle),
 # the observability layer itself (lock-free counters/histograms), and the
 # serving stack (multi-tenant registry hot-swaps under concurrent streams,
-# bounded match pool, artifact codec).
+# bounded match pool, artifact codec), and the tiered engine (pooled cores
+# shared across Run callers, parallel simultaneous-DFA build and scan).
 check: fmt-check build vet test test-race
 
 build:
@@ -37,18 +38,23 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/... ./internal/dfa/...
 
+# tierspeed runs at 256 KiB inputs so the big benchmarks' compiled-engine
+# walls clear the MinWallMS noise gate and the speedup floor actually arms.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 	$(GO) run ./cmd/impala-bench -exp compilespeed -json BENCH_compile.json
+	$(GO) run ./cmd/impala-bench -exp tierspeed -input-kb 256 -json BENCH_sim.json
 
 # bench-check is the perf-regression smoke gate: rerun the compilespeed
 # sweep and compare cache hit rate, cache speedup (best-of-sweep, only on
 # benchmarks big enough to time), and compiled-automaton shape against the
-# committed baseline.
+# committed baseline; then rerun the tierspeed sweep and compare tier-plan
+# shape (exact) and tiered-over-compiled speedup against its baseline.
 bench-check:
 	$(GO) run ./cmd/impala-bench -exp compilespeed -check BENCH_compile.json
+	$(GO) run ./cmd/impala-bench -exp tierspeed -input-kb 256 -check BENCH_sim.json
 
 cover:
 	$(GO) test -cover ./...

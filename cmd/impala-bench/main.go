@@ -30,6 +30,14 @@
 // The servespeed experiment measures the impala-serve one-shot match path
 // end to end over loopback HTTP at 1/8/64 concurrent clients; -json FILE
 // embeds the cells and a serving-metrics snapshot in a JSON report.
+//
+// The tierspeed experiment measures the hybrid tiered engine (dense-DFA
+// fast path per connected component, bit-parallel NFA fallback) against the
+// compiled NFA engine and the scalar reference across the four workload
+// families, serially and with the rescan-free parallel scan. -json FILE
+// writes the report (the committed BENCH_sim.json baseline); -check FILE
+// gates CI on tier-plan shape (exact, same scale/seed) and on the
+// tiered-over-compiled speedup (within -tolerance).
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"impala/internal/dfa"
 	"impala/internal/exp"
 	"impala/internal/obs"
 	"impala/internal/par"
@@ -51,7 +60,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.02, "benchmark scale relative to paper size (1.0 = full)")
 		seed     = flag.Int64("seed", 1, "generator/search seed")
 		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all 21)")
-		inputKB  = flag.Int("input-kb", 64, "input stream size for energy experiments")
+		inputKB  = flag.Int("input-kb", 64, "input stream size for the energy and engine-speed experiments")
 		strides  = flag.String("strides", "", "comma-separated stride list for table4 (default 1,2,4,8)")
 		dumpDir  = flag.String("dump", "", "write each table as CSV into this directory")
 		parallel = flag.Int("parallel", 1, "benchmark × design-point cells to run concurrently (tables identical for any value; >1 perturbs per-cell wall times)")
@@ -99,6 +108,13 @@ func main() {
 		t0 := time.Now()
 		if id == "compilespeed" && (*jsonOut != "" || *check != "") {
 			if err := runCompileSpeed(o, *jsonOut, *check, *tol, *hitTol); err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+			continue
+		}
+		if id == "tierspeed" && (*jsonOut != "" || *check != "") {
+			if err := runTierSpeed(o, *jsonOut, *check, *tol); err != nil {
 				fatal(fmt.Errorf("%s: %w", id, err))
 			}
 			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
@@ -167,6 +183,59 @@ func runCompileSpeed(o exp.Options, jsonPath, checkPath string, tol, hitTol floa
 		}
 		opt := exp.CheckOptions{SpeedupTolerance: tol, HitRateTolerance: hitTol}
 		if bad := exp.CompareReports(base, rep, opt); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "regression: %s\n", msg)
+			}
+			return fmt.Errorf("%d regression(s) vs %s", len(bad), checkPath)
+		}
+		fmt.Printf("check vs %s: pass (%d cells within tolerance)\n", checkPath, len(base.Cells))
+	}
+	return nil
+}
+
+// runTierSpeed runs the tierspeed experiment once (instrumented with the
+// per-tier scan counters), renders its table, optionally writes the JSON
+// report, and optionally checks it against a stored baseline — the
+// BENCH_sim.json half of the CI regression gate. Tier-plan shape must match
+// the baseline exactly on a same-scale/seed run; the tiered-over-compiled
+// speedup may not drop more than -tolerance below baseline.
+func runTierSpeed(o exp.Options, jsonPath, checkPath string, tol float64) error {
+	reg := obs.NewRegistry()
+	dfa.EnableMetrics(reg)
+	defer dfa.EnableMetrics(nil)
+	o.Metrics = reg
+
+	rep, err := exp.TierSpeedReport(o)
+	if err != nil {
+		return err
+	}
+	rep.Table().Render(os.Stdout)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if checkPath != "" {
+		f, err := os.Open(checkPath)
+		if err != nil {
+			return err
+		}
+		base, err := exp.ReadTierReport(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		opt := exp.CheckOptions{SpeedupTolerance: tol}
+		if bad := exp.CompareTierReports(base, rep, opt); len(bad) > 0 {
 			for _, msg := range bad {
 				fmt.Fprintf(os.Stderr, "regression: %s\n", msg)
 			}

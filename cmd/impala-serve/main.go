@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"impala/internal/dfa"
 	"impala/internal/obs"
 	"impala/internal/server"
 	"impala/internal/sim"
@@ -64,6 +65,7 @@ func main() {
 	if *ops != "" {
 		reg = obs.NewRegistry()
 		sim.EnableMetrics(reg)
+		dfa.EnableMetrics(reg)
 	}
 	srv := server.New(server.Config{
 		Workers:        *workers,

@@ -11,6 +11,8 @@
 //	impala-sim -patterns needle -text 'haystack needle'
 //	impala-sim -patterns needle -in payload.bin -chunk 1460   # streaming path
 //	impala-sim -patterns needle -in payload.bin -chunk 1460 -ops :8080   # + live /metrics
+//	impala-sim -patterns needle -in payload.bin -tier         # hybrid DFA fast-path tier
+//	impala-sim -load machine.impala -in payload.bin -tier     # use the artifact's sealed plan
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"impala/internal/automata"
 	"impala/internal/bitvec"
 	"impala/internal/core"
+	"impala/internal/dfa"
 	"impala/internal/obs"
 	"impala/internal/regexc"
 	"impala/internal/sim"
@@ -50,6 +53,7 @@ func main() {
 		engine   = flag.String("engine", "compiled", "graph simulator engine: compiled (bit-parallel) or scalar (reference)")
 		chunk    = flag.Int("chunk", 0, "drive the streaming path, feeding the input in chunks of N bytes (0 = batch)")
 		ops      = flag.String("ops", "", "serve the ops endpoint (/metrics JSON, /debug/vars, /debug/pprof) on this address and keep serving after the run")
+		tier     = flag.Bool("tier", false, "execute on the hybrid tier plan: DFA fast path for components that determinize within budget, bit-parallel NFA for the rest (uses the artifact's sealed plan with -load)")
 	)
 	flag.Parse()
 
@@ -72,6 +76,7 @@ func main() {
 		reg := obs.NewRegistry()
 		sim.EnableMetrics(reg)
 		arch.EnableMetrics(reg)
+		dfa.EnableMetrics(reg)
 		_, url, err := obs.Serve(*ops, reg)
 		if err != nil {
 			fatal(err)
@@ -131,11 +136,28 @@ func main() {
 		return
 	}
 
-	nfa, err := loadAutomaton(*loadFile, *nfaFile, *patterns, *stride, *caMode)
+	nfa, sealed, err := loadAutomaton(*loadFile, *nfaFile, *patterns, *stride, *caMode)
 	if err != nil {
 		fatal(err)
 	}
+	var tiered *dfa.Tiered
+	if *tier {
+		if sealed != nil {
+			tiered, err = dfa.Unseal(nfa, sealed)
+		} else {
+			tiered, err = dfa.BuildTiered(nfa, dfa.TierOptions{})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		p := tiered.Plan()
+		fmt.Fprintf(os.Stderr, "tier plan: %d/%d components on the DFA fast path (%d DFA states)\n",
+			p.DFACCs(), len(p.CCs), p.DFAStates)
+	}
 	makeCore := func() sim.Core {
+		if tiered != nil {
+			return tiered.NewCore()
+		}
 		switch *engine {
 		case "scalar":
 			e, err := sim.NewEngine(nfa)
@@ -175,7 +197,13 @@ func main() {
 		return
 	}
 	if *workers > 1 {
-		reports, err := sim.RunParallel(nfa, input, *workers, *overlap)
+		var reports []sim.Report
+		var err error
+		if tiered != nil {
+			reports, err = tiered.RunParallel(input, *workers)
+		} else {
+			reports, err = sim.RunParallel(nfa, input, *workers, *overlap)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -246,6 +274,10 @@ func printArtifactInfo(path string) error {
 	}
 	fmt.Printf("input automaton : %d states, %d transitions\n", m.OriginalStates, m.OriginalTransitions)
 	fmt.Printf("compiled        : %d states, %d transitions, %d G4 groups\n", m.States, m.Transitions, m.Groups)
+	if m.TierCCs > 0 {
+		fmt.Printf("tier plan       : %d/%d components on the DFA fast path (%d DFA states)\n",
+			m.TierDFACCs, m.TierCCs, m.TierDFAStates)
+	}
 	for _, st := range info.Stages {
 		fmt.Printf("stage %-16s: %6d states, %7d transitions  (wall %s, cpu %s)\n",
 			st.Name, st.States, st.Transitions, st.Duration.Round(0), st.CPUTime.Round(0))
@@ -261,27 +293,29 @@ func printArtifactInfo(path string) error {
 	return nil
 }
 
-func loadAutomaton(loadFile, nfaFile, patterns string, stride int, caMode bool) (*automata.NFA, error) {
+// loadAutomaton resolves the automaton source; artifacts additionally
+// surface their sealed tier plan (nil when the artifact carries none).
+func loadAutomaton(loadFile, nfaFile, patterns string, stride int, caMode bool) (*automata.NFA, *dfa.Sealed, error) {
 	if loadFile != "" {
 		a, err := artifact.LoadFile(loadFile)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return a.NFA, nil
+		return a.NFA, a.Tier, nil
 	}
 	if nfaFile != "" {
 		data, err := os.ReadFile(nfaFile)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var n automata.NFA
 		if err := json.Unmarshal(data, &n); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &n, nil
+		return &n, nil, nil
 	}
 	if patterns == "" {
-		return nil, fmt.Errorf("one of -nfa, -patterns is required")
+		return nil, nil, fmt.Errorf("one of -nfa, -patterns is required")
 	}
 	var rules []regexc.Rule
 	for i, p := range strings.Split(patterns, ",") {
@@ -289,7 +323,7 @@ func loadAutomaton(loadFile, nfaFile, patterns string, stride int, caMode bool) 
 	}
 	n, err := regexc.Compile(rules)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	bits := 4
 	if caMode {
@@ -297,9 +331,9 @@ func loadAutomaton(loadFile, nfaFile, patterns string, stride int, caMode bool) 
 	}
 	res, err := core.Compile(n, core.Config{TargetBits: bits, StrideDims: stride})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return res.NFA, nil
+	return res.NFA, nil, nil
 }
 
 func fatal(err error) {

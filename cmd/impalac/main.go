@@ -31,6 +31,7 @@ import (
 	"impala/internal/artifact"
 	"impala/internal/automata"
 	"impala/internal/core"
+	"impala/internal/dfa"
 	"impala/internal/obs"
 	"impala/internal/place"
 	"impala/internal/regexc"
@@ -50,6 +51,8 @@ func main() {
 		workers   = flag.Int("j", 0, "compile/placement worker pool size (0 = GOMAXPROCS); output is identical for any value")
 		compare   = flag.Bool("compare", false, "compile at every design point and print a comparison table")
 		traceOut  = flag.String("trace", "", "write a Chrome trace of the compile + placement pipeline here (open in chrome://tracing or Perfetto)")
+		tier      = flag.Bool("tier", false, "run the tier-selection stage: determinize components within budget into a DFA fast path and seal the plan into the artifact")
+		tierCap   = flag.Int("tier-budget", 0, "per-component determinization budget in DFA states for -tier (0 = default)")
 	)
 	flag.Parse()
 
@@ -71,6 +74,9 @@ func main() {
 		tr = obs.NewTrace()
 	}
 	cfg := core.Config{TargetBits: bits, StrideDims: *stride, Workers: *workers, Trace: tr}
+	if *tier {
+		cfg.Tier = &dfa.TierOptions{CCMaxStates: *tierCap}
+	}
 	res, err := core.Compile(nfa, cfg)
 	if err != nil {
 		fatal(err)
@@ -84,6 +90,11 @@ func main() {
 	fmt.Printf("state overhead  : %.2fx   transition overhead: %.2fx\n",
 		res.StateOverhead(nfa), res.TransitionOverhead(nfa))
 	fmt.Printf("espresso splits : %d extra states\n", res.SplitStates)
+	if res.Tiers != nil {
+		p := res.Tiers.Plan()
+		fmt.Printf("tier plan       : %d/%d components on the DFA fast path (%d DFA states, %d KiB tables; %d NFA-tier states)\n",
+			p.DFACCs(), len(p.CCs), p.DFAStates, p.DFATableBytes/1024, p.NFAStates)
+	}
 	fmt.Printf("compile time    : %s  (espresso cover cache: %d hits / %d misses, %.0f%% hit rate)\n",
 		res.CompileTime, res.CacheHits, res.CacheMisses, res.CacheHitRate()*100)
 
@@ -125,6 +136,9 @@ func main() {
 				Seed:        *seed,
 				CreatedUnix: time.Now().Unix(),
 			}, stages)
+			if res.Tiers != nil {
+				a.SetTier(res.Tiers.Seal())
+			}
 			if err := a.WriteFile(*out); err != nil {
 				fatal(err)
 			}

@@ -24,6 +24,7 @@ import (
 	"impala/internal/artifact"
 	"impala/internal/automata"
 	"impala/internal/core"
+	"impala/internal/dfa"
 	"impala/internal/espresso"
 	"impala/internal/place"
 	"impala/internal/regexc"
@@ -43,6 +44,16 @@ type Config struct {
 	// DisableMinimize and DisableRefine expose the compiler ablations.
 	DisableMinimize bool
 	DisableRefine   bool
+	// Tier enables the hybrid execution plan: connected components of the
+	// compiled automaton whose subset construction stays within budget run
+	// on a dense DFA fast path, the rest on the bit-parallel NFA engine.
+	// Match, NewStream and RunParallel then prefer the tiered engine; the
+	// plan travels inside the artifact, so loaded machines keep it.
+	Tier bool
+	// TierBudget caps each component's trial determinization in DFA states
+	// (0 = the dfa package default). Components that exceed it fall back to
+	// the NFA tier.
+	TierBudget int
 }
 
 // DefaultConfig returns the paper's best design point: 4-stride 4-bit
@@ -54,13 +65,17 @@ func (c Config) coreConfig() core.Config {
 	if c.CAMode {
 		bits = 8
 	}
-	return core.Config{
+	cc := core.Config{
 		TargetBits:      bits,
 		StrideDims:      c.StrideDims,
 		DisableMinimize: c.DisableMinimize,
 		DisableRefine:   c.DisableRefine,
 		Espresso:        espresso.Options{},
 	}
+	if c.Tier {
+		cc.Tier = &dfa.TierOptions{CCMaxStates: c.TierBudget}
+	}
+	return cc
 }
 
 // Match is one pattern hit.
@@ -84,6 +99,9 @@ type Machine struct {
 	placement   *place.Placement
 	machine     *arch.Machine
 	simc        *sim.Compiled
+	// tiered is the hybrid DFA/NFA execution form (nil unless Config.Tier
+	// was set or the loaded artifact carried a sealed plan).
+	tiered *dfa.Tiered
 	// Pre-transformation shape and compile-stage trace, carried as plain
 	// values so a Machine loaded from an artifact (where the original
 	// automaton and live compile result no longer exist) reports the same
@@ -150,6 +168,7 @@ func CompileAutomaton(nfa *automata.NFA, cfg Config) (*Machine, error) {
 		placement:       pl,
 		machine:         m,
 		simc:            simc,
+		tiered:          res.Tiers,
 		origStates:      nfa.NumStates(),
 		origTransitions: nfa.NumTransitions(),
 	}
@@ -173,7 +192,11 @@ func (m *Machine) Artifact() *artifact.Artifact {
 		OriginalStates:      m.origStates,
 		OriginalTransitions: m.origTransitions,
 	}
-	return artifact.New(m.transformed, m.placement, nil, meta, m.stages)
+	a := artifact.New(m.transformed, m.placement, nil, meta, m.stages)
+	if m.tiered != nil {
+		a.SetTier(m.tiered.Seal())
+	}
+	return a
 }
 
 // SaveArtifact writes the machine's compiled artifact to w.
@@ -212,16 +235,25 @@ func MachineFromArtifact(a *artifact.Artifact) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tiered *dfa.Tiered
+	if a.Tier != nil {
+		tiered, err = dfa.Unseal(a.NFA, a.Tier)
+		if err != nil {
+			return nil, fmt.Errorf("impala: artifact tier plan does not unseal: %w", err)
+		}
+	}
 	return &Machine{
 		cfg: Config{
 			StrideDims: a.Meta.Stride,
 			CAMode:     a.Meta.CAMode,
 			Seed:       a.Meta.Seed,
+			Tier:       tiered != nil,
 		},
 		transformed:     a.NFA,
 		placement:       a.Placement,
 		machine:         am,
 		simc:            simc,
+		tiered:          tiered,
 		origStates:      a.Meta.OriginalStates,
 		origTransitions: a.Meta.OriginalTransitions,
 		stages:          a.Stages,
@@ -247,7 +279,18 @@ func (m *Machine) Run(input []byte) []Match {
 // with workers when hardware capacity allows replication. overlapBytes < 0
 // derives the safe segment overlap from the automaton's maximum match span
 // (an error is returned if spans are unbounded — loops on reporting paths).
+// On a tiered machine the DFA tier scans rescan-free (no overlap at all,
+// and no unbounded-span refusal: the NFA tier degrades to a serial scan
+// where spans are unbounded); overlapBytes then applies only to the NFA
+// tier's overlap-rescan path.
 func (m *Machine) RunParallel(input []byte, workers, overlapBytes int) ([]Match, error) {
+	if m.tiered != nil {
+		reports, err := m.tiered.RunParallel(input, workers)
+		if err != nil {
+			return nil, err
+		}
+		return toMatches(reports), nil
+	}
 	reports, err := m.simc.RunParallel(input, workers, overlapBytes)
 	if err != nil {
 		return nil, err
@@ -265,12 +308,43 @@ func (m *Machine) Simulate(input []byte) ([]Match, error) {
 }
 
 // Match is the serving-path one-shot: it matches input on a pooled
-// bit-parallel engine, so concurrent callers share the compiled form and
-// steady-state requests allocate no per-request engine. Reports are
-// identical to Run and Simulate.
+// engine, so concurrent callers share the compiled form and steady-state
+// requests allocate no per-request engine. On a tiered machine the DFA
+// fast path handles its components with one table walk per sub-symbol.
+// Reports are identical to Run and Simulate.
 func (m *Machine) Match(input []byte) []Match {
+	if m.tiered != nil {
+		reports, _ := m.tiered.Run(input)
+		return toMatches(reports)
+	}
 	reports, _ := m.simc.Run(input)
 	return toMatches(reports)
+}
+
+// TierInfo summarizes the machine's hybrid execution plan for display
+// (nil when the machine runs purely on the bit-parallel NFA engine).
+type TierInfo struct {
+	// CCs is the automaton's connected-component count; DFACCs of them
+	// execute on the DFA fast path.
+	CCs, DFACCs int
+	// DFAStates and DFATableBytes size the union DFA (zero when every
+	// component fell back to the NFA tier).
+	DFAStates, DFATableBytes int
+	// DFANFAStates / NFAStates count the NFA states executed by each tier.
+	DFANFAStates, NFAStates int
+}
+
+// TierInfo returns the tier-plan summary, or nil for untiered machines.
+func (m *Machine) TierInfo() *TierInfo {
+	if m.tiered == nil {
+		return nil
+	}
+	p := m.tiered.Plan()
+	return &TierInfo{
+		CCs: len(p.CCs), DFACCs: p.DFACCs(),
+		DFAStates: p.DFAStates, DFATableBytes: p.DFATableBytes,
+		DFANFAStates: p.DFANFAStates, NFAStates: p.NFAStates,
+	}
 }
 
 // Stream is one incremental input stream over the compiled machine: bytes
@@ -303,7 +377,11 @@ func (m *Machine) NewStream(onMatch func(Match)) *Stream {
 		bitsPerCycle: m.transformed.BitsPerCycle(),
 		curCycle:     -1,
 	}
-	s.sess = m.simc.NewSession(s.report)
+	if m.tiered != nil {
+		s.sess = m.tiered.NewSession(s.report)
+	} else {
+		s.sess = m.simc.NewSession(s.report)
+	}
 	return s
 }
 

@@ -418,3 +418,79 @@ func matchesEqual(a, b []Match) bool {
 	}
 	return true
 }
+
+func TestTieredMachineFacade(t *testing.T) {
+	patterns := []string{"GET /", "a.{12}b", `\d\d`, "needle"}
+	cfg := DefaultConfig()
+	plain, err := CompileRegex(patterns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tier = true
+	cfg.TierBudget = 1024
+	tiered, err := CompileRegex(patterns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := tiered.TierInfo()
+	if info == nil || info.DFACCs == 0 {
+		t.Fatalf("tiered machine has no DFA tier: %+v", info)
+	}
+	if plain.TierInfo() != nil {
+		t.Fatal("untiered machine reports a tier plan")
+	}
+
+	input := []byte("GET /x aXXXXXXXXXXXXb 42 needle GET / needle 77")
+	want := plain.Match(input)
+	if got := tiered.Match(input); !matchesEqual(want, got) {
+		t.Fatalf("tiered Match diverges: %v vs %v", got, want)
+	}
+	got, err := tiered.RunParallel(input, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesEqual(want, got) {
+		t.Fatalf("tiered RunParallel diverges: %v vs %v", got, want)
+	}
+
+	var streamGot []Match
+	s := tiered.NewStream(func(mt Match) { streamGot = append(streamGot, mt) })
+	for i := 0; i < len(input); i += 3 {
+		end := i + 3
+		if end > len(input) {
+			end = len(input)
+		}
+		s.Feed(input[i:end])
+	}
+	s.Flush()
+	if !matchesEqual(want, streamGot) {
+		t.Fatalf("tiered stream diverges: %v vs %v", streamGot, want)
+	}
+
+	// The plan travels inside the artifact: a loaded machine keeps the
+	// fast path and the identical plan.
+	var buf bytes.Buffer
+	if err := tiered.SaveArtifact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMachine(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	linfo := loaded.TierInfo()
+	if linfo == nil || *linfo != *info {
+		t.Fatalf("tier plan diverges across artifact: %+v vs %+v", linfo, info)
+	}
+	if got := loaded.Match(input); !matchesEqual(want, got) {
+		t.Fatalf("loaded tiered Match diverges: %v vs %v", got, want)
+	}
+	// And the loaded machine re-saves byte-identically (v2 sections are
+	// deterministic too).
+	var buf2 bytes.Buffer
+	if err := loaded.SaveArtifact(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("tiered artifact save(load(save)) not byte-identical")
+	}
+}

@@ -13,7 +13,7 @@
 //
 //	preamble (16 bytes)
 //	  magic   "IMPALA"          [6]byte
-//	  version uint16            (currently 1)
+//	  version uint16            (currently 2)
 //	  flags   uint32            (reserved, zero)
 //	  crc32c  uint32            Castagnoli CRC of every byte after the preamble
 //	body: sections, each
@@ -24,8 +24,13 @@
 // Sections: "META" (geometry, design point, shape counts — required,
 // first), "STAG" (compile-stage trace), "AUTM" (states: match rects as raw
 // 256-bit masks per dimension, start kinds, report metadata, out-edges),
-// "PLAC" (per-group slot assignments). Save output is deterministic: a
-// Load/Save round trip is byte-identical, which the property tests pin.
+// "PLAC" (per-group slot assignments). Version 2 adds two optional
+// sections sealing the tier-selection stage: "TIER" (the per-component
+// DFA/NFA execution plan with its budgets) and "DFAT" (the union DFA's
+// dense transition table and per-state metadata), so a loaded machine gets
+// the DFA fast path without re-determinizing. Save output is
+// deterministic: a Load/Save round trip is byte-identical, which the
+// property tests pin.
 //
 // Every Load validates the magic, version, CRC and all structural bounds
 // before returning; Stat decodes only META and STAG (still CRC-checking
@@ -46,14 +51,16 @@ import (
 
 	"impala/internal/automata"
 	"impala/internal/bitvec"
+	"impala/internal/dfa"
 	"impala/internal/interconnect"
 	"impala/internal/place"
 )
 
 // Version is the current container version. Load accepts only this
 // version: the format carries compiled internals, so cross-version
-// compatibility is a recompile, not a migration.
-const Version = 1
+// compatibility is a recompile, not a migration. Version 2 added the
+// optional TIER/DFAT tier-plan sections.
+const Version = 2
 
 var magic = [6]byte{'I', 'M', 'P', 'A', 'L', 'A'}
 
@@ -86,6 +93,10 @@ type Meta struct {
 	// CreatedUnix is the build time in Unix seconds (0 when the builder
 	// wants deterministic output, e.g. tests).
 	CreatedUnix int64
+	// TierCCs/TierDFACCs/TierDFAStates summarize the sealed tier plan
+	// (all zero when the artifact carries none) — duplicated from the TIER
+	// payload so Stat can show the tier split without decoding it.
+	TierCCs, TierDFACCs, TierDFAStates int
 }
 
 // Stage is one compile-pipeline stage recorded in the artifact (mirrors
@@ -106,6 +117,22 @@ type Artifact struct {
 	Stages    []Stage
 	NFA       *automata.NFA
 	Placement *place.Placement
+	// Tier is the sealed hybrid execution plan (nil when the artifact was
+	// built without the tier-selection stage). Set it with SetTier so the
+	// Meta summary fields stay consistent.
+	Tier *dfa.Sealed
+}
+
+// SetTier attaches (or, with nil, detaches) a sealed tier plan, keeping
+// the Meta tier summary in sync.
+func (a *Artifact) SetTier(s *dfa.Sealed) {
+	a.Tier = s
+	a.Meta.TierCCs, a.Meta.TierDFACCs, a.Meta.TierDFAStates = 0, 0, 0
+	if s != nil {
+		a.Meta.TierCCs = len(s.Plan.CCs)
+		a.Meta.TierDFACCs = s.Plan.DFACCs()
+		a.Meta.TierDFAStates = s.Plan.DFAStates
+	}
 }
 
 // Info is the cheap header view returned by Stat.
@@ -150,6 +177,12 @@ func (a *Artifact) Save(w io.Writer) error {
 	writeSection(&body, "STAG", encodeStages(a.Stages))
 	writeSection(&body, "AUTM", encodeNFA(a.NFA))
 	writeSection(&body, "PLAC", encodePlacement(a.Placement))
+	if a.Tier != nil {
+		writeSection(&body, "TIER", encodeTierPlan(&a.Tier.Plan))
+		if a.Tier.DFA != nil {
+			writeSection(&body, "DFAT", encodeDFATable(a.Tier.DFA))
+		}
+	}
 
 	pre := make([]byte, 16)
 	copy(pre, magic[:])
@@ -192,6 +225,8 @@ func Load(r io.Reader) (*Artifact, error) {
 	}
 	a := &Artifact{}
 	seen := map[string]bool{}
+	var tierPlan *dfa.Plan
+	var tierDFA *dfa.Raw
 	if err := walkSections(body, func(id string, payload []byte) error {
 		if seen[id] {
 			return fmt.Errorf("%w: duplicate section %q", ErrCorrupt, id)
@@ -212,6 +247,14 @@ func Load(r io.Reader) (*Artifact, error) {
 			var err error
 			a.Placement, err = decodePlacement(payload)
 			return err
+		case "TIER":
+			var err error
+			tierPlan, err = decodeTierPlan(payload)
+			return err
+		case "DFAT":
+			var err error
+			tierDFA, err = decodeDFATable(payload)
+			return err
 		default:
 			return fmt.Errorf("%w: unknown section %q", ErrCorrupt, id)
 		}
@@ -222,6 +265,16 @@ func Load(r io.Reader) (*Artifact, error) {
 		if !seen[id] {
 			return nil, fmt.Errorf("%w: missing section %q", ErrCorrupt, id)
 		}
+	}
+	if tierDFA != nil && tierPlan == nil {
+		return nil, fmt.Errorf("%w: DFAT section without TIER", ErrCorrupt)
+	}
+	if tierPlan != nil {
+		if (tierPlan.DFAStates > 0) != (tierDFA != nil) {
+			return nil, fmt.Errorf("%w: TIER plan claims %d DFA states, DFAT present: %t",
+				ErrCorrupt, tierPlan.DFAStates, tierDFA != nil)
+		}
+		a.Tier = &dfa.Sealed{Plan: *tierPlan, DFA: tierDFA}
 	}
 	if err := a.validate(); err != nil {
 		return nil, err
@@ -313,6 +366,40 @@ func (a *Artifact) validate() error {
 	}
 	if placed != n.NumStates() {
 		return fmt.Errorf("%w: placement covers %d of %d states", ErrCorrupt, placed, n.NumStates())
+	}
+	if a.Tier == nil {
+		if a.Meta.TierCCs != 0 || a.Meta.TierDFACCs != 0 || a.Meta.TierDFAStates != 0 {
+			return fmt.Errorf("%w: META carries tier summary but no TIER section", ErrCorrupt)
+		}
+		return nil
+	}
+	p := &a.Tier.Plan
+	sum, dfaCCs := 0, 0
+	for _, cc := range p.CCs {
+		sum += cc.States
+		if cc.Kind == dfa.TierDFA {
+			dfaCCs++
+		}
+	}
+	if sum != n.NumStates() {
+		return fmt.Errorf("%w: tier plan covers %d of %d states", ErrCorrupt, sum, n.NumStates())
+	}
+	if a.Meta.TierCCs != len(p.CCs) || a.Meta.TierDFACCs != dfaCCs || a.Meta.TierDFAStates != p.DFAStates {
+		return fmt.Errorf("%w: META tier summary %d/%d/%d != plan %d/%d/%d", ErrCorrupt,
+			a.Meta.TierCCs, a.Meta.TierDFACCs, a.Meta.TierDFAStates, len(p.CCs), dfaCCs, p.DFAStates)
+	}
+	if a.Tier.DFA != nil {
+		r := a.Tier.DFA
+		if _, err := dfa.FromRaw(r); err != nil {
+			return fmt.Errorf("%w: DFAT: %v", ErrCorrupt, err)
+		}
+		if len(r.Phase) != p.DFAStates {
+			return fmt.Errorf("%w: DFAT has %d states, plan says %d", ErrCorrupt, len(r.Phase), p.DFAStates)
+		}
+		if r.Bits != n.Bits || r.Stride != n.Stride {
+			return fmt.Errorf("%w: DFAT geometry (%d,%d) != automaton (%d,%d)",
+				ErrCorrupt, r.Bits, r.Stride, n.Bits, n.Stride)
+		}
 	}
 	return nil
 }
@@ -479,6 +566,9 @@ func (a *Artifact) encodeMeta() []byte {
 	e.u32(uint32(m.Transitions))
 	e.u32(uint32(m.Groups))
 	e.i64(m.CreatedUnix)
+	e.u32(uint32(m.TierCCs))
+	e.u32(uint32(m.TierDFACCs))
+	e.u32(uint32(m.TierDFAStates))
 	return e.b
 }
 
@@ -497,6 +587,9 @@ func (a *Artifact) decodeMeta(payload []byte) error {
 	m.Transitions = int(d.u32())
 	m.Groups = int(d.u32())
 	m.CreatedUnix = d.i64()
+	m.TierCCs = int(d.u32())
+	m.TierDFACCs = int(d.u32())
+	m.TierDFAStates = int(d.u32())
 	if err := d.done("META"); err != nil {
 		return err
 	}
@@ -634,6 +727,150 @@ func decodeNFA(payload []byte) (*automata.NFA, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return n, nil
+}
+
+func encodeTierPlan(p *dfa.Plan) []byte {
+	var e enc
+	e.u32(uint32(len(p.CCs)))
+	for _, cc := range p.CCs {
+		e.u8(uint8(cc.Kind))
+		if cc.Evicted {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.u16(0) // pad
+		e.u32(uint32(cc.States))
+		e.u32(uint32(cc.DFAStates))
+	}
+	e.u32(uint32(p.DFAStates))
+	e.u64(uint64(p.DFATableBytes))
+	e.u32(uint32(p.NFAStates))
+	e.u32(uint32(p.DFANFAStates))
+	e.u32(uint32(p.CCBudget))
+	e.u32(uint32(p.UnionBudget))
+	return e.b
+}
+
+func decodeTierPlan(payload []byte) (*dfa.Plan, error) {
+	d := &dec{b: payload}
+	ncc := int(d.u32())
+	if d.err == nil && uint64(ncc)*12 > uint64(len(payload)-d.off) {
+		return nil, fmt.Errorf("%w: %d tier components in %d-byte section", ErrCorrupt, ncc, len(payload))
+	}
+	p := &dfa.Plan{}
+	for i := 0; i < ncc && d.err == nil; i++ {
+		cc := dfa.CCPlan{Kind: dfa.TierKind(d.u8())}
+		if d.err == nil && cc.Kind > dfa.TierDFA {
+			return nil, fmt.Errorf("%w: tier component %d has kind %d", ErrCorrupt, i, cc.Kind)
+		}
+		cc.Evicted = d.u8() != 0
+		d.u16() // pad
+		cc.States = int(d.u32())
+		cc.DFAStates = int(d.u32())
+		p.CCs = append(p.CCs, cc)
+	}
+	p.DFAStates = int(d.u32())
+	p.DFATableBytes = int(d.u64())
+	p.NFAStates = int(d.u32())
+	p.DFANFAStates = int(d.u32())
+	p.CCBudget = int(d.u32())
+	p.UnionBudget = int(d.u32())
+	if err := d.done("TIER"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func encodeDFATable(r *dfa.Raw) []byte {
+	var e enc
+	e.u8(uint8(r.Bits))
+	e.u8(uint8(r.Stride))
+	if r.AnyEven {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u8(0) // pad
+	e.u32(uint32(r.Start))
+	e.u32(uint32(len(r.Phase)))
+	for _, v := range r.Next {
+		e.u32(uint32(v))
+	}
+	e.b = append(e.b, r.Phase...)
+	e.b = append(e.b, r.Parity...)
+	for _, v := range r.Active {
+		e.u32(uint32(v))
+	}
+	for _, v := range r.Enabled {
+		e.u32(uint32(v))
+	}
+	for _, entries := range r.Reports {
+		e.u32(uint32(len(entries)))
+		for _, en := range entries {
+			e.u32(uint32(int32(en.State)))
+			e.u32(uint32(int32(en.Code)))
+			e.u32(uint32(en.Offset))
+		}
+	}
+	return e.b
+}
+
+func decodeDFATable(payload []byte) (*dfa.Raw, error) {
+	d := &dec{b: payload}
+	r := &dfa.Raw{
+		Bits:   int(d.u8()),
+		Stride: int(d.u8()),
+	}
+	r.AnyEven = d.u8() != 0
+	d.u8() // pad
+	r.Start = int32(d.u32())
+	if d.err == nil && (r.Bits != 2 && r.Bits != 4 && r.Bits != 8) {
+		return nil, fmt.Errorf("%w: DFAT bits %d", ErrCorrupt, r.Bits)
+	}
+	if d.err == nil && (r.Stride < 1 || r.Stride > 64) {
+		return nil, fmt.Errorf("%w: DFAT stride %d", ErrCorrupt, r.Stride)
+	}
+	ns := int(d.u32())
+	alphabet := 1 << r.Bits
+	if d.err == nil && uint64(ns)*uint64(alphabet)*4 > uint64(len(payload)-d.off) {
+		return nil, fmt.Errorf("%w: DFAT claims %d states in %d-byte section", ErrCorrupt, ns, len(payload))
+	}
+	r.Next = make([]int32, ns*alphabet)
+	for i := range r.Next {
+		r.Next[i] = int32(d.u32())
+	}
+	r.Phase = append([]uint8(nil), d.take(ns)...)
+	r.Parity = append([]uint8(nil), d.take(ns)...)
+	r.Active = make([]int32, ns)
+	for i := range r.Active {
+		r.Active[i] = int32(d.u32())
+	}
+	r.Enabled = make([]int32, ns)
+	for i := range r.Enabled {
+		r.Enabled[i] = int32(d.u32())
+	}
+	r.Reports = make([][]dfa.ReportEntry, ns)
+	for i := 0; i < ns && d.err == nil; i++ {
+		ne := int(d.u32())
+		if d.err == nil && uint64(ne)*12 > uint64(len(payload)-d.off) {
+			return nil, fmt.Errorf("%w: DFAT state %d claims %d report entries", ErrCorrupt, i, ne)
+		}
+		for j := 0; j < ne && d.err == nil; j++ {
+			r.Reports[i] = append(r.Reports[i], dfa.ReportEntry{
+				State:  automata.StateID(int32(d.u32())),
+				Code:   int(int32(d.u32())),
+				Offset: int(d.u32()),
+			})
+		}
+	}
+	if err := d.done("DFAT"); err != nil {
+		return nil, err
+	}
+	if _, err := dfa.FromRaw(r); err != nil {
+		return nil, fmt.Errorf("%w: DFAT: %v", ErrCorrupt, err)
+	}
+	return r, nil
 }
 
 func encodePlacement(pl *place.Placement) []byte {

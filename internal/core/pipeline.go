@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"impala/internal/automata"
+	"impala/internal/dfa"
 	"impala/internal/espresso"
 	"impala/internal/obs"
 )
@@ -50,6 +51,12 @@ type Config struct {
 	// exposed as gauges read at snapshot time, so a long-running process
 	// compiling many rule sets shows cache effectiveness continuously.
 	Metrics *obs.Registry
+	// Tier, when non-nil, runs the tier-selection stage after the pipeline:
+	// connected components of the transformed automaton are determinized
+	// under the given budgets into a hybrid DFA/NFA execution plan
+	// (Result.Tiers). Worker count and trace default to this Config's when
+	// unset on the tier options.
+	Tier *dfa.TierOptions
 }
 
 // Validate checks the configuration.
@@ -116,6 +123,9 @@ type Result struct {
 	// this compile (deltas when a shared cache was supplied via
 	// Config.Espresso.Cache).
 	CacheHits, CacheMisses uint64
+	// Tiers is the hybrid execution plan built by the tier-selection stage
+	// (nil unless Config.Tier was set).
+	Tiers *dfa.Tiered
 }
 
 // CacheHitRate returns the fraction of Espresso lookups served from the
@@ -250,6 +260,22 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 			automata.Minimize(cur)
 			record("minimize-2", cur, t0, -1)
 		}
+	}
+
+	if cfg.Tier != nil {
+		topt := *cfg.Tier
+		if topt.Workers == 0 {
+			topt.Workers = cfg.Workers
+		}
+		if topt.Trace == nil {
+			topt.Trace = cfg.Trace
+		}
+		t0 = time.Now()
+		res.Tiers, err = dfa.BuildTiered(cur, topt)
+		if err != nil {
+			return nil, err
+		}
+		record("tier-select", cur, t0, res.Tiers.PlanCPU())
 	}
 
 	hits1, misses1 := esp.Cache.Stats()

@@ -1,0 +1,524 @@
+// Hybrid tier planning: partition the automaton into weakly connected
+// components, determinize each under a blowup budget, and execute the
+// low-ambiguity components as one dense union DFA while the ambiguous rest
+// keeps the compiled bit-parallel NFA engine. The paper's observation that
+// DFA matching is the fastest simple software technique until the table
+// blows caches becomes a per-component decision: the budget is the cache
+// argument made explicit, and the fallback is exactly the regime where
+// spatial/bit-parallel execution wins.
+package dfa
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"impala/internal/automata"
+	"impala/internal/obs"
+	"impala/internal/par"
+	"impala/internal/sim"
+)
+
+// TierKind labels the engine a component executes on.
+type TierKind uint8
+
+const (
+	// TierNFA runs on the compiled bit-parallel NFA engine.
+	TierNFA TierKind = iota
+	// TierDFA runs on the dense union DFA fast path.
+	TierDFA
+)
+
+func (k TierKind) String() string {
+	switch k {
+	case TierNFA:
+		return "nfa"
+	case TierDFA:
+		return "dfa"
+	default:
+		return fmt.Sprintf("TierKind(%d)", uint8(k))
+	}
+}
+
+// TierOptions tunes tier planning.
+type TierOptions struct {
+	// CCMaxStates caps each component's trial determinization (default
+	// 4096): a component whose subset construction exceeds it is assigned
+	// to the NFA tier.
+	CCMaxStates int
+	// MaxStates caps the union DFA over all DFA-eligible components
+	// (default 1<<16). Components are admitted smallest-trial-first until
+	// the union construction would exceed it; the rest are evicted to the
+	// NFA tier.
+	MaxStates int
+	// MinStateShare is the minimum fraction of NFA states the DFA tier
+	// must cover to be worth running a second engine per cycle (default
+	// 0.25). A negative value disables the gate; zero selects the default.
+	MinStateShare float64
+	// Workers bounds the planning and construction pools (<= 0 selects
+	// GOMAXPROCS). Plans and tables are identical for any value.
+	Workers int
+	// Trace, when non-nil, records component-trial and determinization
+	// worker-lane spans.
+	Trace *obs.Trace
+}
+
+// CCPlan records the tier decision for one connected component.
+type CCPlan struct {
+	// Kind is the tier the component executes on.
+	Kind TierKind
+	// States is the component's NFA state count.
+	States int
+	// DFAStates is the component's trial determinization size; 0 means
+	// the trial exceeded CCMaxStates (blowup).
+	DFAStates int
+	// Evicted marks a component that determinized within its own budget
+	// but was dropped from the union DFA (union budget or share gate).
+	Evicted bool
+}
+
+// Plan is the sealed record of a tier selection — enough to reproduce the
+// tier split of the automaton and to gate regressions on its shape.
+type Plan struct {
+	CCs []CCPlan
+	// DFAStates / DFATableBytes describe the union DFA (0 when no DFA
+	// tier was selected). NFAStates / DFANFAStates count the NFA states
+	// executed by each tier.
+	DFAStates     int
+	DFATableBytes int
+	NFAStates     int
+	DFANFAStates  int
+	// Budget echo, for artifact inspection and the regression gate.
+	CCBudget    int
+	UnionBudget int
+}
+
+// DFACCs returns the number of components on the DFA tier.
+func (p *Plan) DFACCs() int {
+	n := 0
+	for _, cc := range p.CCs {
+		if cc.Kind == TierDFA {
+			n++
+		}
+	}
+	return n
+}
+
+// Tiered is the two-engine execution form of a tier plan: at most one
+// union DFA and one compiled bit-parallel NFA, stepped in lockstep per
+// cycle so the pair behaves as a single sim.Core. Reports carry original
+// automaton state IDs; merged output is byte-identical to the scalar
+// simulator's. A Tiered value is immutable after construction and safe to
+// share across goroutines.
+type Tiered struct {
+	nfa  *automata.NFA
+	plan Plan
+
+	dfa     *DFA
+	dfaOrig []automata.StateID // union-sub state id -> original id
+
+	nfac    *sim.Compiled
+	nfaOrig []automata.StateID
+
+	planCPU time.Duration
+	pool    sync.Pool
+}
+
+// extract builds the sub-automaton induced by ids (which must be closed
+// under edges — true for any union of weakly connected components). State
+// order follows ids; match sets are aliased, not copied.
+func extract(n *automata.NFA, ids []automata.StateID) *automata.NFA {
+	sub := automata.New(n.Bits, n.Stride)
+	remap := make(map[automata.StateID]automata.StateID, len(ids))
+	for _, id := range ids {
+		s := n.States[id]
+		s.Out = nil
+		remap[id] = sub.AddState(s)
+	}
+	for _, id := range ids {
+		for _, t := range n.States[id].Out {
+			sub.AddEdge(remap[id], remap[t])
+		}
+	}
+	return sub
+}
+
+// BuildTiered plans and constructs the hybrid execution form:
+//
+//  1. Partition into weakly connected components.
+//  2. Trial-determinize every component in parallel under CCMaxStates.
+//  3. Admit eligible components smallest-trial-first into one union DFA
+//     under MaxStates (the largest admissible prefix is found by binary
+//     search — union subset counts are monotone in the component set).
+//  4. Drop the DFA tier entirely if it covers less than MinStateShare of
+//     the automaton (two engines per cycle must pay for themselves).
+//  5. Compile the remaining components into the bit-parallel NFA engine.
+//
+// The plan and both tables are byte-identical for any worker count.
+func BuildTiered(n *automata.NFA, opts TierOptions) (*Tiered, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("dfa: invalid automaton: %w", err)
+	}
+	ccBudget := opts.CCMaxStates
+	if ccBudget == 0 {
+		ccBudget = 4096
+	}
+	unionBudget := opts.MaxStates
+	if unionBudget == 0 {
+		unionBudget = 1 << 16
+	}
+	minShare := opts.MinStateShare
+	if minShare == 0 {
+		minShare = 0.25
+	}
+	workers := par.Workers(opts.Workers)
+
+	t := &Tiered{nfa: n}
+	ccs := n.ConnectedComponents()
+	plan := Plan{CCs: make([]CCPlan, len(ccs)), CCBudget: ccBudget, UnionBudget: unionBudget}
+
+	// Trial determinization, one component per work item. Durations are
+	// summed as the stage's CPU time.
+	var cpuNS atomic.Int64
+	trialErrs := make([]error, len(ccs))
+	par.TraceFor(opts.Trace, "tier/trial", workers, len(ccs), func(i int) {
+		t0 := time.Now()
+		sub := extract(n, ccs[i])
+		d, err := Build(sub, Options{MaxStates: ccBudget, Workers: 1})
+		cpuNS.Add(int64(time.Since(t0)))
+		pc := &plan.CCs[i]
+		pc.States = len(ccs[i])
+		switch {
+		case err == nil:
+			pc.Kind = TierDFA
+			pc.DFAStates = d.NumStates()
+		case errors.Is(err, ErrStateBlowup):
+			pc.Kind = TierNFA
+		default:
+			trialErrs[i] = err
+		}
+	})
+	for _, err := range trialErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Admission order: smallest trial DFA first, component index as the
+	// tiebreak — deterministic and biased toward covering many components
+	// before the union budget binds.
+	var eligible []int
+	for i := range plan.CCs {
+		if plan.CCs[i].Kind == TierDFA {
+			eligible = append(eligible, i)
+		}
+	}
+	sort.Slice(eligible, func(a, b int) bool {
+		ca, cb := plan.CCs[eligible[a]], plan.CCs[eligible[b]]
+		if ca.DFAStates != cb.DFAStates {
+			return ca.DFAStates < cb.DFAStates
+		}
+		return eligible[a] < eligible[b]
+	})
+
+	unionIDs := func(k int) []automata.StateID {
+		var ids []automata.StateID
+		for _, ci := range eligible[:k] {
+			ids = append(ids, ccs[ci]...)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		return ids
+	}
+	tryUnion := func(k int) (*DFA, []automata.StateID, error) {
+		if k == 0 {
+			return nil, nil, nil
+		}
+		ids := unionIDs(k)
+		t0 := time.Now()
+		d, err := Build(extract(n, ids), Options{MaxStates: unionBudget, Workers: workers, Trace: opts.Trace})
+		cpuNS.Add(int64(time.Since(t0)))
+		if err != nil {
+			if errors.Is(err, ErrStateBlowup) {
+				return nil, nil, nil
+			}
+			return nil, nil, err
+		}
+		return d, ids, nil
+	}
+
+	// Largest admissible prefix. The all-in attempt is the common case;
+	// on blowup, binary search between the empty (always admissible) and
+	// the failed prefix. Monotonicity holds because the union's reachable
+	// subset states project onto each smaller union's.
+	admitted := len(eligible)
+	unionDFA, unionSub, err := tryUnion(admitted)
+	if err != nil {
+		return nil, err
+	}
+	if unionDFA == nil && admitted > 0 {
+		lo, hi := 0, admitted // lo admissible, hi not
+		var loDFA *DFA
+		var loIDs []automata.StateID
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			d, ids, err := tryUnion(mid)
+			if err != nil {
+				return nil, err
+			}
+			if d != nil {
+				lo, loDFA, loIDs = mid, d, ids
+			} else {
+				hi = mid
+			}
+		}
+		admitted, unionDFA, unionSub = lo, loDFA, loIDs
+	}
+	for _, ci := range eligible[admitted:] {
+		plan.CCs[ci].Kind = TierNFA
+		plan.CCs[ci].Evicted = true
+	}
+
+	// Share gate: a tiny DFA tier still costs a second engine dispatch
+	// per cycle; below the share threshold the single-engine NFA run wins.
+	if unionDFA != nil && minShare > 0 {
+		if float64(len(unionSub)) < minShare*float64(n.NumStates()) {
+			for _, ci := range eligible[:admitted] {
+				plan.CCs[ci].Kind = TierNFA
+				plan.CCs[ci].Evicted = true
+			}
+			unionDFA, unionSub = nil, nil
+		}
+	}
+
+	t.dfa, t.dfaOrig = unionDFA, unionSub
+	if unionDFA != nil {
+		plan.DFAStates = unionDFA.NumStates()
+		plan.DFATableBytes = unionDFA.TableBytes()
+		plan.DFANFAStates = len(unionSub)
+	}
+
+	var nfaIDs []automata.StateID
+	for i, cc := range ccs {
+		if plan.CCs[i].Kind == TierNFA {
+			nfaIDs = append(nfaIDs, cc...)
+		}
+	}
+	sort.Slice(nfaIDs, func(a, b int) bool { return nfaIDs[a] < nfaIDs[b] })
+	if len(nfaIDs) > 0 {
+		c, err := sim.Compile(extract(n, nfaIDs))
+		if err != nil {
+			return nil, err
+		}
+		t.nfac, t.nfaOrig = c, nfaIDs
+	}
+	plan.NFAStates = len(nfaIDs)
+	t.plan = plan
+	t.planCPU = time.Duration(cpuNS.Load())
+	t.pool.New = func() any { return t.newCore() }
+
+	if m := tierMetricsPtr.Load(); m != nil {
+		demoted := 0
+		for _, cc := range plan.CCs {
+			if cc.Kind == TierNFA {
+				demoted++
+			}
+		}
+		m.fallbacks.Add(int64(demoted))
+	}
+	return t, nil
+}
+
+// Plan returns the sealed tier-selection record.
+func (t *Tiered) Plan() Plan { return t.plan }
+
+// DFA returns the union DFA (nil when no DFA tier was selected).
+func (t *Tiered) DFA() *DFA { return t.dfa }
+
+// NFACompiled returns the compiled NFA tier (nil when every component is
+// on the DFA tier).
+func (t *Tiered) NFACompiled() *sim.Compiled { return t.nfac }
+
+// NFA returns the original automaton the plan was built for.
+func (t *Tiered) NFA() *automata.NFA { return t.nfa }
+
+// PlanCPU returns the total CPU time spent in trial and union
+// determinizations (the tier-select stage's CPU statistic).
+func (t *Tiered) PlanCPU() time.Duration { return t.planCPU }
+
+// tieredCore steps both tiers in lockstep as one sim.Core. Report sinks
+// are stable closures that remap sub-automaton state IDs to original IDs,
+// so steady-state stepping allocates nothing.
+type tieredCore struct {
+	t     *Tiered
+	dc    *Core
+	ne    *sim.CompiledEngine
+	sink  sim.ReportSink
+	dSink sim.ReportSink
+	nSink sim.ReportSink
+}
+
+func (t *Tiered) newCore() *tieredCore {
+	c := &tieredCore{t: t}
+	if t.dfa != nil {
+		c.dc = t.dfa.NewCore()
+		c.dSink = func(r sim.Report) {
+			r.State = t.dfaOrig[r.State]
+			c.sink(r)
+		}
+	}
+	if t.nfac != nil {
+		c.ne = t.nfac.NewEngine()
+		c.nSink = func(r sim.Report) {
+			r.State = t.nfaOrig[r.State]
+			c.sink(r)
+		}
+	}
+	return c
+}
+
+// NewCore returns a fresh per-stream core over the tiered form; it
+// implements sim.Core.
+func (t *Tiered) NewCore() sim.Core { return t.newCore() }
+
+// NewSession returns a streaming session over the tiered form. Many
+// sessions may run concurrently over one Tiered; each owns its cores.
+func (t *Tiered) NewSession(sink sim.ReportSink) *sim.Session {
+	return sim.NewSession(t.newCore(), sink)
+}
+
+// Geometry implements sim.Core.
+func (c *tieredCore) Geometry() (bits, stride int) { return c.t.nfa.Bits, c.t.nfa.Stride }
+
+// ResetState implements sim.Core.
+func (c *tieredCore) ResetState() {
+	if c.dc != nil {
+		c.dc.ResetState()
+	}
+	if c.ne != nil {
+		c.ne.ResetState()
+	}
+}
+
+// StepCycle implements sim.Core: both tiers consume the same chunk; counts
+// sum to exactly the whole automaton's enabled/active counts because the
+// tiers partition its components.
+func (c *tieredCore) StepCycle(chunk []byte, t int, limitBits int, sink sim.ReportSink, tracer sim.Tracer) (int, int) {
+	c.sink = sink
+	var ne, na int
+	if c.dc != nil {
+		e, a := c.dc.StepCycle(chunk, t, limitBits, c.dSink, nil)
+		ne += e
+		na += a
+	}
+	if c.ne != nil {
+		e, a := c.ne.StepCycle(chunk, t, limitBits, c.nSink, nil)
+		ne += e
+		na += a
+	}
+	return ne, na
+}
+
+// Run executes the tiered form over input on a pooled core and returns the
+// sorted reports and stats, byte-identical (reports and statistics both)
+// to the scalar simulator over the original automaton. It is safe for
+// concurrent use.
+func (t *Tiered) Run(input []byte) ([]sim.Report, sim.Stats) {
+	core := t.pool.Get().(*tieredCore)
+	var out []sim.Report
+	s := sim.NewSession(core, func(r sim.Report) { out = append(out, r) })
+	s.Feed(input)
+	s.Flush()
+	sim.SortReports(out)
+	st := s.Stats()
+	t.pool.Put(core)
+	if m := tierMetricsPtr.Load(); m != nil {
+		if t.dfa != nil {
+			m.dfaBytes.Add(int64(len(input)))
+		}
+		if t.nfac != nil {
+			m.nfaBytes.Add(int64(len(input)))
+		}
+		m.reports.Add(int64(len(out)))
+	}
+	return out, st
+}
+
+// Sealed is the serialization form of a tier selection: the plan plus the
+// union DFA's raw tables. The NFA tier is not serialized — it is rebuilt
+// from the automaton and the plan on load (the artifact already carries
+// the automaton; the DFA tables are the part that is expensive to
+// recompute).
+type Sealed struct {
+	Plan Plan
+	DFA  *Raw // nil when no DFA tier
+}
+
+// Seal returns the serialization form of the tier selection.
+func (t *Tiered) Seal() *Sealed {
+	s := &Sealed{Plan: t.plan}
+	if t.dfa != nil {
+		s.DFA = t.dfa.Raw()
+	}
+	return s
+}
+
+// Unseal reassembles a Tiered execution form from a sealed plan and the
+// automaton it was planned for, revalidating the plan against the
+// automaton's current component structure.
+func Unseal(n *automata.NFA, s *Sealed) (*Tiered, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("dfa: invalid automaton: %w", err)
+	}
+	ccs := n.ConnectedComponents()
+	if len(ccs) != len(s.Plan.CCs) {
+		return nil, fmt.Errorf("dfa: sealed plan has %d components, automaton has %d", len(s.Plan.CCs), len(ccs))
+	}
+	t := &Tiered{nfa: n, plan: s.Plan}
+	var dfaIDs, nfaIDs []automata.StateID
+	for i, cc := range ccs {
+		pc := s.Plan.CCs[i]
+		if pc.States != len(cc) {
+			return nil, fmt.Errorf("dfa: sealed component %d has %d states, automaton has %d", i, pc.States, len(cc))
+		}
+		if pc.Kind == TierDFA {
+			dfaIDs = append(dfaIDs, cc...)
+		} else {
+			nfaIDs = append(nfaIDs, cc...)
+		}
+	}
+	sort.Slice(dfaIDs, func(a, b int) bool { return dfaIDs[a] < dfaIDs[b] })
+	sort.Slice(nfaIDs, func(a, b int) bool { return nfaIDs[a] < nfaIDs[b] })
+
+	if (s.DFA == nil) != (len(dfaIDs) == 0) {
+		return nil, fmt.Errorf("dfa: sealed DFA tables inconsistent with plan")
+	}
+	if s.DFA != nil {
+		d, err := FromRaw(s.DFA)
+		if err != nil {
+			return nil, err
+		}
+		if d.bits != n.Bits || d.stride != n.Stride {
+			return nil, fmt.Errorf("dfa: sealed DFA geometry %d/%d != automaton %d/%d", d.bits, d.stride, n.Bits, n.Stride)
+		}
+		for _, entries := range d.reports {
+			for _, e := range entries {
+				if int(e.State) < 0 || int(e.State) >= len(dfaIDs) {
+					return nil, fmt.Errorf("dfa: sealed report state %d out of tier range [0,%d)", e.State, len(dfaIDs))
+				}
+			}
+		}
+		t.dfa, t.dfaOrig = d, dfaIDs
+	}
+	if len(nfaIDs) > 0 {
+		c, err := sim.Compile(extract(n, nfaIDs))
+		if err != nil {
+			return nil, err
+		}
+		t.nfac, t.nfaOrig = c, nfaIDs
+	}
+	t.pool.New = func() any { return t.newCore() }
+	return t, nil
+}

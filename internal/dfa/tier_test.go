@@ -1,0 +1,288 @@
+package dfa_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/core"
+	"impala/internal/dfa"
+	"impala/internal/regexc"
+	"impala/internal/sim"
+)
+
+// Determinism pin (acceptance criterion): dfa.Build produces byte-identical
+// tables for workers {1, 2, 8}.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	n := regexc.MustCompile([]regexc.Rule{
+		{Pattern: "impala", Code: 1},
+		{Pattern: "a[bc]+d", Code: 2},
+		{Pattern: `\d\d\d`, Code: 3},
+		{Pattern: "^anchor", Code: 4},
+	})
+	ref, err := dfa.Build(n, dfa.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		d, err := dfa.Build(n, dfa.Options{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Raw(), d.Raw()) {
+			t.Fatalf("workers=%d: table differs from serial construction", w)
+		}
+	}
+}
+
+// geometries compiles one rule set through the V-TeSS pipeline at every
+// supported (bits, stride) design point.
+func geometries(t *testing.T, rules []regexc.Rule) map[string]*automata.NFA {
+	t.Helper()
+	n := regexc.MustCompile(rules)
+	out := map[string]*automata.NFA{"8/1": n}
+	for _, cfg := range []core.Config{
+		{TargetBits: 8, StrideDims: 2},
+		{TargetBits: 4, StrideDims: 1},
+		{TargetBits: 4, StrideDims: 2},
+		{TargetBits: 4, StrideDims: 4},
+		{TargetBits: 2, StrideDims: 4},
+	} {
+		res, err := core.Compile(n, cfg)
+		if err != nil {
+			t.Fatalf("compile %d/%d: %v", cfg.TargetBits, cfg.StrideDims, err)
+		}
+		out[fmt.Sprintf("%d/%d", cfg.TargetBits, cfg.StrideDims)] = res.NFA
+	}
+	return out
+}
+
+// Differential fuzz pin (acceptance criterion): tiered execution ==
+// compiled NFA == scalar simulator, byte-identical reports (including
+// state attribution) and identical statistics, on every (bits, stride)
+// geometry.
+func TestTieredDifferentialFuzz(t *testing.T) {
+	rules := []regexc.Rule{
+		{Pattern: "abc", Code: 1},
+		{Pattern: "x[yz]+w", Code: 2},
+		{Pattern: "^head", Code: 3},
+		{Pattern: "go+al", Code: 4},
+	}
+	r := rand.New(rand.NewSource(7))
+	for name, n := range geometries(t, rules) {
+		tiered, err := dfa.BuildTiered(n, dfa.TierOptions{MinStateShare: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c, err := sim.Compile(n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			input := make([]byte, 1+r.Intn(300))
+			for i := range input {
+				input[i] = "abcdxyzwheadgol "[r.Intn(16)]
+			}
+			want, wantStats, err := sim.Run(n, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotC, _ := c.Run(input)
+			if !reflect.DeepEqual(want, gotC) {
+				t.Fatalf("%s trial %d: compiled != scalar\n  scalar=%v\ncompiled=%v", name, trial, want, gotC)
+			}
+			gotT, gotStats := tiered.Run(input)
+			if len(want) == 0 {
+				if len(gotT) != 0 {
+					t.Fatalf("%s trial %d: tiered=%v scalar=[]", name, trial, gotT)
+				}
+			} else if !reflect.DeepEqual(want, gotT) {
+				t.Fatalf("%s trial %d: tiered != scalar\nscalar=%v\ntiered=%v", name, trial, want, gotT)
+			}
+			if wantStats != gotStats {
+				t.Fatalf("%s trial %d: tiered stats %+v != scalar %+v", name, trial, gotStats, wantStats)
+			}
+		}
+	}
+}
+
+// Rescan-free parallel scan pin: DFA.RunParallel and Tiered.RunParallel are
+// byte-identical to the serial run for every worker geometry, including
+// worker counts exceeding the cycle count.
+func TestTieredRunParallelFuzz(t *testing.T) {
+	rules := []regexc.Rule{
+		{Pattern: "abab", Code: 1},
+		{Pattern: "cd+e", Code: 2},
+		{Pattern: "^init", Code: 3},
+	}
+	r := rand.New(rand.NewSource(11))
+	for name, n := range geometries(t, rules) {
+		tiered, err := dfa.BuildTiered(n, dfa.TierOptions{MinStateShare: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for trial := 0; trial < 6; trial++ {
+			input := make([]byte, 1+r.Intn(4096))
+			for i := range input {
+				input[i] = "abcdeinit "[r.Intn(10)]
+			}
+			want, _ := tiered.Run(input)
+			for _, w := range []int{2, 3, 8, len(input) + 3} {
+				got, err := tiered.RunParallel(input, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(want) == 0 && len(got) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("%s trial %d workers %d: parallel != serial\nserial=%v\nparallel=%v",
+						name, trial, w, want, got)
+				}
+			}
+		}
+	}
+}
+
+// A component whose determinization explodes must land on the NFA tier
+// while literal components take the DFA fast path — and the mixed plan
+// still reproduces scalar reports.
+func TestTierPlanMixed(t *testing.T) {
+	n := regexc.MustCompile([]regexc.Rule{
+		{Pattern: "a.{12}b", Code: 1}, // 2^12 subset states: blows the CC budget
+		{Pattern: "literal", Code: 2},
+		{Pattern: "keyword", Code: 3},
+	})
+	tiered, err := dfa.BuildTiered(n, dfa.TierOptions{CCMaxStates: 1024, MinStateShare: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := tiered.Plan()
+	var nfaCCs, dfaCCs int
+	for _, cc := range plan.CCs {
+		switch cc.Kind {
+		case dfa.TierNFA:
+			nfaCCs++
+		case dfa.TierDFA:
+			dfaCCs++
+		}
+	}
+	if nfaCCs == 0 || dfaCCs == 0 {
+		t.Fatalf("want a mixed plan, got %d NFA / %d DFA components", nfaCCs, dfaCCs)
+	}
+	if tiered.DFA() == nil || tiered.NFACompiled() == nil {
+		t.Fatal("mixed plan must build both engines")
+	}
+	input := []byte("xx literal aXXXXXXXXXXXXb keyword literal")
+	want, _, err := sim.Run(n, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tiered.Run(input)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("mixed tier run != scalar\nscalar=%v\n tiered=%v", want, got)
+	}
+	gotP, err := tiered.RunParallel(input, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, gotP) {
+		t.Fatalf("mixed tier parallel != scalar\nscalar=%v\n tiered=%v", want, gotP)
+	}
+}
+
+// The share gate drops a DFA tier that covers too little of the automaton.
+func TestTierShareGate(t *testing.T) {
+	n := regexc.MustCompile([]regexc.Rule{
+		{Pattern: "a.{10}b", Code: 1}, // big component, blows up
+		{Pattern: "ok", Code: 2},      // tiny DFA-able component
+	})
+	tiered, err := dfa.BuildTiered(n, dfa.TierOptions{CCMaxStates: 512, MinStateShare: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiered.DFA() != nil {
+		t.Fatalf("share gate should have dropped the DFA tier: %+v", tiered.Plan())
+	}
+	for _, cc := range tiered.Plan().CCs {
+		if cc.Kind != dfa.TierNFA {
+			t.Fatalf("all components must fall back: %+v", cc)
+		}
+	}
+	// The all-NFA tiered form still runs correctly.
+	input := []byte("ok aXXXXXXXXXXb ok")
+	want, _, err := sim.Run(n, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tiered.Run(input)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("gated run != scalar\nscalar=%v\ntiered=%v", want, got)
+	}
+}
+
+// Seal/Unseal round-trips the plan and tables and yields an equivalent
+// execution form.
+func TestSealUnsealRoundTrip(t *testing.T) {
+	n := regexc.MustCompile([]regexc.Rule{
+		{Pattern: "impala", Code: 1},
+		{Pattern: "a.{12}b", Code: 2},
+		{Pattern: "tier", Code: 3},
+	})
+	tiered, err := dfa.BuildTiered(n, dfa.TierOptions{CCMaxStates: 1024, MinStateShare: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := tiered.Seal()
+	restored, err := dfa.Unseal(n, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tiered.Plan(), restored.Plan()) {
+		t.Fatalf("plan changed across seal/unseal:\n%+v\n%+v", tiered.Plan(), restored.Plan())
+	}
+	input := []byte("xx impala aXXXXXXXXXXXXb tier impala")
+	want, wantStats := tiered.Run(input)
+	got, gotStats := restored.Run(input)
+	if !reflect.DeepEqual(want, got) || wantStats != gotStats {
+		t.Fatalf("unsealed run differs:\n%v %+v\n%v %+v", want, wantStats, got, gotStats)
+	}
+
+	// Tampered plans must be rejected.
+	bad := *sealed
+	bad.Plan.CCs = bad.Plan.CCs[:len(bad.Plan.CCs)-1]
+	if _, err := dfa.Unseal(n, &bad); err == nil {
+		t.Fatal("truncated plan accepted")
+	}
+}
+
+// The streaming session over a tiered core must behave identically to the
+// batch run regardless of chunking.
+func TestTieredSessionChunked(t *testing.T) {
+	n := regexc.MustCompile([]regexc.Rule{
+		{Pattern: "stream", Code: 1},
+		{Pattern: "^sof", Code: 2},
+	})
+	tiered, err := dfa.BuildTiered(n, dfa.TierOptions{MinStateShare: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("sofstream stream sof stream")
+	want, _ := tiered.Run(input)
+	var got []sim.Report
+	s := tiered.NewSession(func(r sim.Report) { got = append(got, r) })
+	for i := 0; i < len(input); i += 3 {
+		end := i + 3
+		if end > len(input) {
+			end = len(input)
+		}
+		s.Feed(input[i:end])
+	}
+	s.Flush()
+	sim.SortReports(got)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("chunked session != batch\nbatch=%v\nchunked=%v", want, got)
+	}
+}

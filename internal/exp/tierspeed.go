@@ -1,0 +1,286 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"impala/internal/core"
+	"impala/internal/dfa"
+	"impala/internal/obs"
+	"impala/internal/sim"
+	"impala/internal/workload"
+)
+
+// TierCell is one row of the tier-execution table: one benchmark compiled
+// at the Impala 4-stride design point, tier-planned, and scanned by the
+// scalar reference engine, the bit-parallel compiled NFA engine, and the
+// hybrid tiered engine (serial and rescan-free parallel).
+type TierCell struct {
+	Benchmark string `json:"benchmark"`
+	Family    string `json:"family"`
+	// Tier-selection shape — deterministic for a fixed scale/seed, so the
+	// regression gate compares it exactly.
+	States        int `json:"states"`
+	CCs           int `json:"ccs"`
+	DFACCs        int `json:"dfa_ccs"`
+	DFAStates     int `json:"dfa_states"`
+	DFANFAStates  int `json:"dfa_nfa_states"`
+	NFATierStates int `json:"nfa_tier_states"`
+	TableBytes    int `json:"table_bytes"`
+	// Throughputs, one measured pass each. CompiledWallMS gates the
+	// speedup comparison the same way compilespeed's baseline wall does:
+	// below MinWallMS the ratio is scheduler noise.
+	ScalarMBs         float64 `json:"scalar_mbs"`
+	CompiledMBs       float64 `json:"compiled_mbs"`
+	TieredMBs         float64 `json:"tiered_mbs"`
+	TieredParMBs      float64 `json:"tiered_par_mbs"`
+	ParWorkers        int     `json:"par_workers"`
+	CompiledWallMS    float64 `json:"compiled_wall_ms"`
+	SpeedupVsCompiled float64 `json:"speedup_vs_compiled"`
+}
+
+// TierReport is the JSON document emitted by impala-bench -exp tierspeed
+// -json — the committed BENCH_sim.json baseline.
+type TierReport struct {
+	Design     string     `json:"design"`
+	Scale      float64    `json:"scale"`
+	Seed       int64      `json:"seed"`
+	InputKB    int        `json:"input_kb"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Cells      []TierCell `json:"cells"`
+	// Metrics snapshots the tier counters (bytes per tier, reports,
+	// fallbacks) at the end of an instrumented run. Absent otherwise.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// ReadTierReport parses a stored tierspeed baseline.
+func ReadTierReport(r io.Reader) (*TierReport, error) {
+	var rep TierReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("exp: bad tier report: %w", err)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("exp: tier report has no cells")
+	}
+	return &rep, nil
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *TierReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// tierSpeedBenches spans the four workload families: keyword/regex rule
+// sets (low ambiguity, the DFA tier's home turf), a mesh automaton (dense
+// fan-out), a widget workload, and the synthetic ring suite whose
+// rotational components resist both determinization and hypothesis
+// merging — the NFA-tier fallback case.
+var tierSpeedBenches = []string{"ExactMatch", "Snort", "Hamming", "RandomForest", "CoreRings"}
+
+// TierSpeedReport measures the hybrid DFA/NFA tier against the engines it
+// competes with, at the Impala 4-stride design point. Every cell also
+// cross-checks correctness: the tiered engine (serial and parallel) must
+// reproduce the compiled engine's reports byte-for-byte, and the compiled
+// engine the scalar reference's.
+func TierSpeedReport(o Options) (*TierReport, error) {
+	o = o.withDefaults()
+	names := o.Benchmarks
+	if len(names) == 0 {
+		names = tierSpeedBenches
+	}
+	parWorkers := runtime.GOMAXPROCS(0)
+	if parWorkers > 8 {
+		parWorkers = 8
+	}
+	if parWorkers < 2 {
+		parWorkers = 2
+	}
+	rep := &TierReport{
+		Design:     "Impala 4-bit stride-4 (16 bits/cycle)",
+		Scale:      o.Scale,
+		Seed:       o.Seed,
+		InputKB:    o.InputKB,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	cells := make([]TierCell, len(names))
+	if err := o.forEachCell(len(names), func(i int) error {
+		b, ok := workload.Get(names[i])
+		if !ok {
+			return fmt.Errorf("exp: unknown benchmark %q", names[i])
+		}
+		n8, err := o.generate(b)
+		if err != nil {
+			return err
+		}
+		res, err := core.Compile(n8, core.Config{TargetBits: 4, StrideDims: 4})
+		if err != nil {
+			return err
+		}
+		n := res.NFA
+		tiered, err := dfa.BuildTiered(n, dfa.TierOptions{MinStateShare: -1})
+		if err != nil {
+			return err
+		}
+		input := workload.Input(n8, o.InputKB*1024, o.Seed+3)
+
+		e, err := sim.NewEngine(n)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		scalarReports, _ := e.Run(input, nil)
+		scalarMBs := float64(len(input)) / time.Since(t0).Seconds() / 1e6
+
+		c, err := sim.Compile(n)
+		if err != nil {
+			return err
+		}
+		ce := c.NewEngine()
+		t0 = time.Now()
+		compiledReports, _ := ce.Run(input, nil)
+		compiledWall := time.Since(t0)
+		compiledMBs := float64(len(input)) / compiledWall.Seconds() / 1e6
+		if !sim.SameReports(scalarReports, compiledReports) {
+			return fmt.Errorf("exp: %s: compiled engine diverges from scalar reference", names[i])
+		}
+
+		t0 = time.Now()
+		tieredReports, _ := tiered.Run(input)
+		tieredMBs := float64(len(input)) / time.Since(t0).Seconds() / 1e6
+		if !sim.SameReports(compiledReports, tieredReports) {
+			return fmt.Errorf("exp: %s: tiered engine diverges from compiled (%d vs %d reports)",
+				names[i], len(tieredReports), len(compiledReports))
+		}
+
+		t0 = time.Now()
+		parReports, err := tiered.RunParallel(input, parWorkers)
+		if err != nil {
+			return err
+		}
+		parMBs := float64(len(input)) / time.Since(t0).Seconds() / 1e6
+		if !sim.SameReports(tieredReports, parReports) {
+			return fmt.Errorf("exp: %s: parallel tiered scan diverges from serial (%d vs %d reports)",
+				names[i], len(parReports), len(tieredReports))
+		}
+
+		p := tiered.Plan()
+		cells[i] = TierCell{
+			Benchmark:         names[i],
+			Family:            string(b.Family),
+			States:            n.NumStates(),
+			CCs:               len(p.CCs),
+			DFACCs:            p.DFACCs(),
+			DFAStates:         p.DFAStates,
+			DFANFAStates:      p.DFANFAStates,
+			NFATierStates:     p.NFAStates,
+			TableBytes:        p.DFATableBytes,
+			ScalarMBs:         scalarMBs,
+			CompiledMBs:       compiledMBs,
+			TieredMBs:         tieredMBs,
+			TieredParMBs:      parMBs,
+			ParWorkers:        parWorkers,
+			CompiledWallMS:    float64(compiledWall) / float64(time.Millisecond),
+			SpeedupVsCompiled: tieredMBs / compiledMBs,
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rep.Cells = cells
+	if o.Metrics != nil {
+		snap := o.Metrics.Snapshot()
+		rep.Metrics = &snap
+	}
+	return rep, nil
+}
+
+// TierSpeed is the registry runner: it renders TierSpeedReport as a table.
+func TierSpeed(o Options) ([]*Table, error) {
+	rep, err := TierSpeedReport(o)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{rep.Table()}, nil
+}
+
+// Table renders the report in the harness's text-table format.
+func (r *TierReport) Table() *Table {
+	t := &Table{
+		Title: "Tiered execution: DFA fast path vs compiled NFA vs scalar reference",
+		Header: []string{"benchmark", "family", "states", "DFA CCs", "DFA states",
+			"scalar MB/s", "compiled MB/s", "tiered MB/s", "par MB/s", "vs compiled"},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(c.Benchmark, c.Family, fmt.Sprint(c.States),
+			fmt.Sprintf("%d/%d", c.DFACCs, c.CCs), fmt.Sprint(c.DFAStates),
+			f1(c.ScalarMBs), f1(c.CompiledMBs), f1(c.TieredMBs), f1(c.TieredParMBs),
+			fmt.Sprintf("%.2fx", c.SpeedupVsCompiled))
+	}
+	t.AddNote("DFA CCs = connected components on the dense-table fast path (one table walk per sub-symbol); the rest run the bit-parallel NFA engine")
+	t.AddNote("par MB/s = rescan-free parallel scan at %d workers (simultaneous-DFA segment stitching; NFA tier overlap-rescans)", parWorkersOf(r))
+	t.AddNote("every row cross-checked: tiered serial and parallel reports byte-identical to the compiled engine's, compiled to scalar's")
+	return t
+}
+
+func parWorkersOf(r *TierReport) int {
+	if len(r.Cells) > 0 {
+		return r.Cells[0].ParWorkers
+	}
+	return 0
+}
+
+// CompareTierReports checks a fresh tierspeed report against a stored
+// baseline (the BENCH_sim.json half of impala-bench -check). Two drift
+// classes are flagged:
+//
+//   - Tier-selection shape: when both reports ran the same scale and seed,
+//     a cell's component count, per-tier state counts and table size must
+//     match the baseline exactly — the plan is deterministic, so any
+//     difference is a planner behavior change, not noise.
+//   - Tier speed: a benchmark's tiered-over-compiled speedup may not drop
+//     more than SpeedupTolerance (fractional) below baseline — but only
+//     where the baseline compiled pass took at least MinWallMS, for the
+//     same reason compilespeed gates on its uncached wall.
+//
+// Cells missing from the fresh report are flagged; extra cells are fine.
+func CompareTierReports(base, cur *TierReport, opt CheckOptions) []string {
+	opt = opt.withDefaults()
+	got := make(map[string]TierCell, len(cur.Cells))
+	for _, c := range cur.Cells {
+		got[c.Benchmark] = c
+	}
+	sameRun := base.Scale == cur.Scale && base.Seed == cur.Seed
+
+	var bad []string
+	flag := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	for _, b := range base.Cells {
+		c, ok := got[b.Benchmark]
+		if !ok {
+			flag("%s: cell missing from report", b.Benchmark)
+			continue
+		}
+		if sameRun {
+			if c.States != b.States || c.CCs != b.CCs || c.DFACCs != b.DFACCs ||
+				c.DFAStates != b.DFAStates || c.DFANFAStates != b.DFANFAStates ||
+				c.NFATierStates != b.NFATierStates || c.TableBytes != b.TableBytes {
+				flag("%s: tier plan shape changed: %d/%d DFA CCs, %d DFA states (%d NFA states, %d B tables); baseline %d/%d, %d (%d, %d B)",
+					b.Benchmark, c.DFACCs, c.CCs, c.DFAStates, c.NFATierStates, c.TableBytes,
+					b.DFACCs, b.CCs, b.DFAStates, b.NFATierStates, b.TableBytes)
+			}
+		}
+		if b.CompiledWallMS < opt.MinWallMS {
+			continue // too little work to time; noise, not signal
+		}
+		if floor := b.SpeedupVsCompiled * (1 - opt.SpeedupTolerance); c.SpeedupVsCompiled < floor {
+			flag("%s: tiered speedup vs compiled %.2fx below baseline %.2fx (floor %.2fx at %.0f%% tolerance)",
+				b.Benchmark, c.SpeedupVsCompiled, b.SpeedupVsCompiled, floor, opt.SpeedupTolerance*100)
+		}
+	}
+	return bad
+}

@@ -38,12 +38,25 @@ func RunParallel(n *automata.NFA, input []byte, workers, overlapBytes int) ([]Re
 // loops on reporting paths).
 //
 // Automata with anchored (start-of-data) states are supported: anchored
-// states are only enabled on the first segment. StartEven automata require
-// the default byte-aligned splitting this function performs.
+// states are only enabled on the first segment. Segment boundaries are
+// rounded up to whole cycles — a worker whose extended segment began
+// mid-cycle would chunk the stream on a shifted grid and simulate a
+// different automaton — and, for StartEven automata at >= 8 bits/cycle, to
+// whole cycle *pairs*, so every worker's local cycle counter agrees with
+// the global one's parity. (Below 8 bits/cycle a byte holds an even number
+// of cycles, so byte alignment preserves parity for free.)
 func (c *Compiled) RunParallel(input []byte, workers, overlapBytes int) ([]Report, error) {
 	n := c.nfa
 	if workers < 1 {
 		return nil, fmt.Errorf("sim: workers must be >= 1")
+	}
+	chunkBytes := n.BitsPerCycle() / 8
+	if chunkBytes == 0 {
+		chunkBytes = 1
+	}
+	alignBytes := chunkBytes
+	if c.anyEven && n.BitsPerCycle() >= 8 {
+		alignBytes *= 2
 	}
 	if overlapBytes < 0 {
 		span, ok := n.MaxMatchSpan()
@@ -52,10 +65,6 @@ func (c *Compiled) RunParallel(input []byte, workers, overlapBytes int) ([]Repor
 		}
 		// span is in chunks; convert to bytes (ceil) and subtract the one
 		// chunk that ends inside the segment proper.
-		chunkBytes := n.BitsPerCycle() / 8
-		if chunkBytes == 0 {
-			chunkBytes = 1
-		}
 		overlapBytes = span * chunkBytes
 	}
 	if workers == 1 || len(input) == 0 {
@@ -66,6 +75,8 @@ func (c *Compiled) RunParallel(input []byte, workers, overlapBytes int) ([]Repor
 	}
 
 	segBytes := (len(input) + workers - 1) / workers
+	segBytes = (segBytes + alignBytes - 1) / alignBytes * alignBytes
+	overlapBytes = (overlapBytes + alignBytes - 1) / alignBytes * alignBytes
 	reportsPerWorker := make([][]Report, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -133,6 +133,110 @@ func TestRunParallelEdgeCases(t *testing.T) {
 	}
 }
 
+// Overlap larger than the segment length: with 4 workers over 40 bytes the
+// segments are ~10 bytes but the overlap reaches 30 back — most workers'
+// extended segments clamp to the start of data and re-observe earlier
+// segments wholesale, so the dedup pass carries the full correctness load.
+func TestRunParallelOverlapExceedsSegment(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("abcde", automata.StartAllInput, 1)
+	n.AddLiteral("ee", automata.StartAllInput, 2)
+	input := []byte("abcdeeabcdeeabcdeeabcdeeabcdeeabcdeeabcd")
+	if len(input) != 40 {
+		t.Fatalf("input length = %d, want 40", len(input))
+	}
+	seq, _, err := Run(n, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(n, input, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameReports(seq, par) {
+		t.Fatalf("overlap>segment: parallel %v != sequential %v",
+			ReportKeys(par), ReportKeys(seq))
+	}
+}
+
+// Worker count exceeding the input byte count, with a nonzero overlap:
+// trailing workers get empty segments and must neither run nor duplicate.
+func TestRunParallelMoreWorkersThanBytes(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("ab", automata.StartAllInput, 1)
+	input := []byte("babab")
+	seq, _, err := Run(n, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, overlap := range []int{1, 3, 64} {
+		par, err := RunParallel(n, input, 8, overlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameReports(seq, par) {
+			t.Fatalf("overlap=%d: parallel %v != sequential %v",
+				overlap, ReportKeys(par), ReportKeys(seq))
+		}
+	}
+}
+
+// Multi-byte cycles: a stride-2 automaton consumes 2 bytes per cycle, so a
+// segment boundary at an odd byte offset would shift the worker's chunking
+// grid half a cycle off the global one. The lengths/worker-counts here are
+// chosen so the naive ceil-split lands on odd offsets; RunParallel must
+// round its segments to whole cycles. The StartEven variant additionally
+// needs segment starts on even global cycles (whole cycle pairs).
+func TestRunParallelCycleAlignment(t *testing.T) {
+	build := func(start automata.StartKind) *automata.NFA {
+		n := automata.New(8, 2)
+		s0 := n.AddState(automata.State{
+			Match: automata.MatchSet{automata.Rect{bitvec.ByteOf('a'), bitvec.ByteOf('b')}},
+			Start: start,
+		})
+		s1 := n.AddState(automata.State{
+			Match:  automata.MatchSet{automata.Rect{bitvec.ByteOf('c'), bitvec.ByteOf('d')}},
+			Report: true,
+		})
+		n.AddEdge(s0, s1)
+		return n
+	}
+	for name, start := range map[string]automata.StartKind{
+		"all-input":  automata.StartAllInput,
+		"start-even": automata.StartEven,
+	} {
+		t.Run(name, func(t *testing.T) {
+			n := build(start)
+			input := make([]byte, 101)
+			for i := range input {
+				input[i] = 'x'
+			}
+			// Plant matches on the cycle grid, including ones straddling the
+			// naive split points (51 for 2 workers, 34/68 for 3).
+			for _, at := range []int{0, 32, 48, 66, 96} {
+				copy(input[at:], "abcd")
+			}
+			seq, _, err := Run(n, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seq) == 0 {
+				t.Fatal("no sequential matches; test input is broken")
+			}
+			for _, workers := range []int{2, 3, 5, 8} {
+				par, err := RunParallel(n, input, workers, -1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !SameReports(seq, par) {
+					t.Fatalf("workers=%d: parallel %v != sequential %v",
+						workers, ReportKeys(par), ReportKeys(seq))
+				}
+			}
+		})
+	}
+}
+
 // Strided automata (from the V-TeSS pipeline) must also split correctly:
 // byte-boundary splits are chunk-agnostic thanks to wildcard prefixes.
 func TestRunParallelStrided4Bit(t *testing.T) {
