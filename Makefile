@@ -38,7 +38,7 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/... ./internal/dfa/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/... ./internal/dfa/... ./internal/backend/...
 
 # tierspeed runs at 256 KiB inputs so the big benchmarks' compiled-engine
 # walls clear the MinWallMS noise gate and the speedup floor actually arms.
@@ -46,15 +46,19 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 	$(GO) run ./cmd/impala-bench -exp compilespeed -json BENCH_compile.json
 	$(GO) run ./cmd/impala-bench -exp tierspeed -input-kb 256 -json BENCH_sim.json
+	$(GO) run ./cmd/impala-bench -exp backendcmp -json BENCH_backend.json
 
 # bench-check is the perf-regression smoke gate: rerun the compilespeed
 # sweep and compare cache hit rate, cache speedup (best-of-sweep, only on
 # benchmarks big enough to time), and compiled-automaton shape against the
 # committed baseline; then rerun the tierspeed sweep and compare tier-plan
-# shape (exact) and tiered-over-compiled speedup against its baseline.
+# shape (exact) and tiered-over-compiled speedup against its baseline; then
+# rerun the cross-backend comparison and require every deterministic column
+# (shape, placement grouping, capacity/energy/area model) to match exactly.
 bench-check:
 	$(GO) run ./cmd/impala-bench -exp compilespeed -check BENCH_compile.json
 	$(GO) run ./cmd/impala-bench -exp tierspeed -input-kb 256 -check BENCH_sim.json
+	$(GO) run ./cmd/impala-bench -exp backendcmp -check BENCH_backend.json
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,59 @@
+package impala
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"impala/internal/artifact"
+	"impala/internal/backend"
+	"impala/internal/core"
+	"impala/internal/place"
+	"impala/internal/regexc"
+)
+
+// TestFacadeRejectsForeignBackend pins the cross-backend load contract: an
+// artifact sealed for the CAM target must be refused by the capsule engine
+// (and therefore by impala-serve tenants, which load through the same
+// facade) with the sentinel mismatch error, not a garbled machine.
+func TestFacadeRejectsForeignBackend(t *testing.T) {
+	rules := []regexc.Rule{
+		{Pattern: "GET /index", Code: 0},
+		{Pattern: "User-Agent", Code: 1},
+	}
+	n8, err := regexc.Compile(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := backend.Get(backend.CamName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(n8, core.Config{TargetBits: 8, StrideDims: 2, Backend: backend.CamName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := bk.Place(res.NFA, place.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := artifact.New(res.NFA, pl, n8, artifact.Meta{Seed: 1, CreatedUnix: 1700000000}, nil)
+	payload, err := bk.SealSection(res.NFA, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetBackend(bk.Name(), payload)
+
+	if _, err := MachineFromArtifact(a); !errors.Is(err, backend.ErrMismatch) {
+		t.Fatalf("cam artifact accepted by the capsule engine: %v", err)
+	}
+
+	// The same rejection must hold through the serialized path.
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMachine(bytes.NewReader(buf.Bytes())); !errors.Is(err, backend.ErrMismatch) {
+		t.Fatalf("serialized cam artifact accepted: %v", err)
+	}
+}

@@ -38,6 +38,13 @@
 // writes the report (the committed BENCH_sim.json baseline); -check FILE
 // gates CI on tier-plan shape (exact, same scale/seed) and on the
 // tiered-over-compiled speedup (within -tolerance).
+//
+// The backendcmp experiment compiles every benchmark for both registered
+// compile targets (the Impala capsule design and the CAMA-style CAM rows,
+// both at 16 bits/cycle) and tabulates their capacity/energy/throughput
+// models side by side, cross-checking that both produce identical match
+// reports. -json FILE writes the report (the committed BENCH_backend.json
+// baseline); -check FILE gates CI exactly on every deterministic column.
 package main
 
 import (
@@ -115,6 +122,13 @@ func main() {
 		}
 		if id == "tierspeed" && (*jsonOut != "" || *check != "") {
 			if err := runTierSpeed(o, *jsonOut, *check, *tol); err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+			continue
+		}
+		if id == "backendcmp" && (*jsonOut != "" || *check != "") {
+			if err := runBackendCmp(o, *jsonOut, *check); err != nil {
 				fatal(fmt.Errorf("%s: %w", id, err))
 			}
 			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
@@ -242,6 +256,53 @@ func runTierSpeed(o exp.Options, jsonPath, checkPath string, tol float64) error 
 			return fmt.Errorf("%d regression(s) vs %s", len(bad), checkPath)
 		}
 		fmt.Printf("check vs %s: pass (%d cells within tolerance)\n", checkPath, len(base.Cells))
+	}
+	return nil
+}
+
+// runBackendCmp runs the backendcmp experiment once, renders its table,
+// optionally writes the JSON report, and optionally checks it against a
+// stored baseline — the BENCH_backend.json third of the CI regression gate.
+// Every deterministic column (compiled shape, placement grouping, the
+// backend's analytical capacity/energy/area model) must match the baseline
+// exactly on a same-scale/seed run; the measured MB/s column is never gated.
+func runBackendCmp(o exp.Options, jsonPath, checkPath string) error {
+	rep, err := exp.BackendCmpReport(o)
+	if err != nil {
+		return err
+	}
+	rep.Table().Render(os.Stdout)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if checkPath != "" {
+		f, err := os.Open(checkPath)
+		if err != nil {
+			return err
+		}
+		base, err := exp.ReadBackendReport(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if bad := exp.CompareBackendReports(base, rep, exp.CheckOptions{}); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "regression: %s\n", msg)
+			}
+			return fmt.Errorf("%d regression(s) vs %s", len(bad), checkPath)
+		}
+		fmt.Printf("check vs %s: pass (%d cells match)\n", checkPath, len(base.Cells))
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"impala/internal/arch"
 	"impala/internal/artifact"
 	"impala/internal/automata"
+	"impala/internal/backend"
 	"impala/internal/bitvec"
 	"impala/internal/core"
 	"impala/internal/dfa"
@@ -268,6 +269,7 @@ func printArtifactInfo(path string) error {
 		design += " (CA)"
 	}
 	fmt.Printf("artifact        : %s (v%d, %d bytes)\n", path, info.Version, info.SizeBytes)
+	fmt.Printf("backend         : %s\n", m.BackendName())
 	fmt.Printf("design point    : %s, placement seed %d\n", design, m.Seed)
 	if m.CreatedUnix != 0 {
 		fmt.Printf("created         : %s\n", time.Unix(m.CreatedUnix, 0).UTC().Format(time.RFC3339))
@@ -300,6 +302,12 @@ func loadAutomaton(loadFile, nfaFile, patterns string, stride int, caMode bool) 
 		a, err := artifact.LoadFile(loadFile)
 		if err != nil {
 			return nil, nil, err
+		}
+		// The simulator executes the Impala engines; artifacts sealed for
+		// another backend would run under the wrong hardware model.
+		if got := a.Meta.BackendName(); got != backend.DefaultName {
+			return nil, nil, fmt.Errorf("artifact %s was sealed for backend %q, this simulator runs %q: %w",
+				loadFile, got, backend.DefaultName, backend.ErrMismatch)
 		}
 		return a.NFA, a.Tier, nil
 	}

@@ -30,6 +30,7 @@ import (
 	"impala/internal/arch"
 	"impala/internal/artifact"
 	"impala/internal/automata"
+	"impala/internal/backend"
 	"impala/internal/core"
 	"impala/internal/dfa"
 	"impala/internal/obs"
@@ -53,8 +54,22 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace of the compile + placement pipeline here (open in chrome://tracing or Perfetto)")
 		tier      = flag.Bool("tier", false, "run the tier-selection stage: determinize components within budget into a DFA fast path and seal the plan into the artifact")
 		tierCap   = flag.Int("tier-budget", 0, "per-component determinization budget in DFA states for -tier (0 = default)")
+		bkName    = flag.String("backend", backend.DefaultName, "compile target (see -backend list)")
 	)
 	flag.Parse()
+
+	if *bkName == "list" {
+		for _, name := range backend.Names() {
+			bk, _ := backend.Get(name)
+			b, s := bk.DefaultGeometry()
+			fmt.Printf("%-8s v%d  default %d-bit x%d  %s\n", name, bk.Version(), b, s, bk.Description())
+		}
+		return
+	}
+	bk, err := backend.Get(*bkName)
+	if err != nil {
+		fatal(err)
+	}
 
 	nfa, err := loadInput(*rulesFile, *nfaFile, *anmlFile, *patterns)
 	if err != nil {
@@ -65,15 +80,22 @@ func main() {
 		return
 	}
 
-	bits := 4
-	if *caMode {
-		bits = 8
+	// Explicit -stride/-ca override the backend's native design point.
+	bits, strideDims := bk.DefaultGeometry()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["ca"] || set["stride"] || bk.Name() == backend.DefaultName {
+		bits = 4
+		if *caMode {
+			bits = 8
+		}
+		strideDims = *stride
 	}
 	var tr *obs.Trace
 	if *traceOut != "" {
 		tr = obs.NewTrace()
 	}
-	cfg := core.Config{TargetBits: bits, StrideDims: *stride, Workers: *workers, Trace: tr}
+	cfg := core.Config{TargetBits: bits, StrideDims: strideDims, Workers: *workers, Trace: tr, Backend: bk.Name()}
 	if *tier {
 		cfg.Tier = &dfa.TierOptions{CCMaxStates: *tierCap}
 	}
@@ -98,29 +120,37 @@ func main() {
 	fmt.Printf("compile time    : %s  (espresso cover cache: %d hits / %d misses, %.0f%% hit rate)\n",
 		res.CompileTime, res.CacheHits, res.CacheMisses, res.CacheHitRate()*100)
 
-	pl, err := place.Place(res.NFA, place.Options{Seed: *seed, Workers: *workers, Trace: tr})
+	pl, err := bk.Place(res.NFA, place.Options{Seed: *seed, Workers: *workers, Trace: tr})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("placement       : %d G4 units, %.1f states/G4, %d uncovered, GA used %dx\n",
-		len(pl.G4s), pl.AvgStatesPerG4(), pl.TotalUncovered, pl.GAInvocations)
+	unitLabel := "G4 units"
+	if bk.Name() != backend.DefaultName {
+		unitLabel = "match banks"
+	}
+	fmt.Printf("placement       : %d %s, %.1f states/group, %d uncovered, GA used %dx\n",
+		len(pl.G4s), unitLabel, pl.AvgStatesPerG4(), pl.TotalUncovered, pl.GAInvocations)
 	if !pl.Valid() {
 		fatal(fmt.Errorf("placement failed: %d transitions unrouted", pl.TotalUncovered))
 	}
 
-	m, err := arch.Build(res.NFA, pl)
-	if err != nil {
-		fatal(err)
+	// The capsule machine and its bitstream exist only for the Impala
+	// target; other backends report their analytical model instead.
+	var m *arch.Machine
+	md := bk.Model(res.NFA)
+	fmt.Printf("design point    : %s, %.2f GHz, %.1f Gbps\n", md.Design, md.FreqGHz, md.ThroughputGbps)
+	fmt.Printf("capacity        : %d rows (%d unit(s) of %d)\n", md.Rows, md.Units, md.UnitCapacity)
+	fmt.Printf("area            : %.3f mm² (match %.3f + interconnect %.3f), %.2f Gbps/mm², %.2f pJ/byte\n",
+		md.TotalMM2, md.MatchMM2, md.RouteMM2, md.ThroughputPerMM2, md.PJPerByte)
+	if bk.Name() == backend.DefaultName {
+		m, err = arch.Build(res.NFA, pl)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bitstream       : %d bytes\n", m.BitstreamBytes())
+	} else if *bitFile != "" {
+		fatal(fmt.Errorf("-bitstream is only available for the %s backend", backend.DefaultName))
 	}
-	d := arch.Design{Arch: arch.Impala, Bits: bits, Stride: *stride}
-	if *caMode {
-		d.Arch = arch.CacheAutomaton
-	}
-	area := arch.AreaBreakdown(d, res.NFA.NumStates())
-	fmt.Printf("design point    : %s, %.2f GHz, %.1f Gbps\n", d, d.FreqGHz(), d.ThroughputGbps())
-	fmt.Printf("area            : %.3f mm² (match %.3f + interconnect %.3f)\n",
-		area.TotalMM2(), area.StateMatchMM2, area.InterconnectMM2)
-	fmt.Printf("bitstream       : %d bytes\n", m.BitstreamBytes())
 
 	if *out != "" {
 		if strings.HasSuffix(*out, ".impala") {
@@ -139,6 +169,11 @@ func main() {
 			if res.Tiers != nil {
 				a.SetTier(res.Tiers.Seal())
 			}
+			payload, err := bk.SealSection(res.NFA, pl)
+			if err != nil {
+				fatal(err)
+			}
+			a.SetBackend(bk.Name(), payload)
 			if err := a.WriteFile(*out); err != nil {
 				fatal(err)
 			}

@@ -23,6 +23,7 @@ import (
 	"impala/internal/arch"
 	"impala/internal/artifact"
 	"impala/internal/automata"
+	"impala/internal/backend"
 	"impala/internal/core"
 	"impala/internal/dfa"
 	"impala/internal/espresso"
@@ -225,8 +226,16 @@ func LoadMachineFile(path string) (*Machine, error) {
 }
 
 // MachineFromArtifact builds the execution engines from an already decoded
-// artifact.
+// artifact. The facade executes only the default Impala target (the capsule
+// machine it rebuilds assumes the G4 fabric): artifacts sealed for another
+// backend are rejected with backend.ErrMismatch rather than silently run
+// under the wrong hardware model — impala-serve tenants and impala-sim
+// -load both go through here.
 func MachineFromArtifact(a *artifact.Artifact) (*Machine, error) {
+	if got := a.Meta.BackendName(); got != backend.DefaultName {
+		return nil, fmt.Errorf("impala: artifact was sealed for backend %q, this engine runs %q: %w",
+			got, backend.DefaultName, backend.ErrMismatch)
+	}
 	am, err := arch.Build(a.NFA, a.Placement)
 	if err != nil {
 		return nil, fmt.Errorf("impala: artifact placement does not build: %w", err)

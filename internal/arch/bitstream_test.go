@@ -1,10 +1,11 @@
-package arch
+package arch_test
 
 import (
 	"bytes"
 	"math/rand"
 	"testing"
 
+	"impala/internal/arch"
 	"impala/internal/automata"
 	"impala/internal/core"
 	"impala/internal/place"
@@ -21,7 +22,7 @@ func TestBitstreamRoundTrip(t *testing.T) {
 	if err := m.WriteConfig(&buf); err != nil {
 		t.Fatal(err)
 	}
-	back, err := ReadConfig(&buf)
+	back, err := arch.ReadConfig(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestBitstreamRoundTripHierarchical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Build(n, p)
+	m, err := arch.Build(n, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestBitstreamRoundTripHierarchical(t *testing.T) {
 	if err := m.WriteConfig(&buf); err != nil {
 		t.Fatal(err)
 	}
-	back, err := ReadConfig(&buf)
+	back, err := arch.ReadConfig(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,10 +93,10 @@ func TestBitstreamRoundTripHierarchical(t *testing.T) {
 }
 
 func TestBitstreamRejectsGarbage(t *testing.T) {
-	if _, err := ReadConfig(bytes.NewReader([]byte("garbage"))); err == nil {
+	if _, err := arch.ReadConfig(bytes.NewReader([]byte("garbage"))); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if _, err := ReadConfig(bytes.NewReader(nil)); err == nil {
+	if _, err := arch.ReadConfig(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty accepted")
 	}
 	// Truncated valid prefix.
@@ -106,7 +107,7 @@ func TestBitstreamRejectsGarbage(t *testing.T) {
 	if err := m.WriteConfig(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadConfig(bytes.NewReader(buf.Bytes()[:100])); err == nil {
+	if _, err := arch.ReadConfig(bytes.NewReader(buf.Bytes()[:100])); err == nil {
 		t.Fatal("truncated stream accepted")
 	}
 }

@@ -1,10 +1,11 @@
-package arch
+package arch_test
 
 import (
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"impala/internal/arch"
 	"impala/internal/automata"
 	"impala/internal/bitvec"
 	"impala/internal/core"
@@ -12,7 +13,7 @@ import (
 	"impala/internal/sim"
 )
 
-func compileAndBuild(t *testing.T, n *automata.NFA, cfg core.Config) (*Machine, *automata.NFA) {
+func compileAndBuild(t *testing.T, n *automata.NFA, cfg core.Config) (*arch.Machine, *automata.NFA) {
 	t.Helper()
 	res, err := core.Compile(n, cfg)
 	if err != nil {
@@ -22,7 +23,7 @@ func compileAndBuild(t *testing.T, n *automata.NFA, cfg core.Config) (*Machine, 
 	if err != nil {
 		t.Fatalf("Place: %v", err)
 	}
-	m, err := Build(res.NFA, p)
+	m, err := arch.Build(res.NFA, p)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -96,7 +97,7 @@ func TestMachineRejectsNonCapsuleLegal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Build(n, p); err == nil {
+	if _, err := arch.Build(n, p); err == nil {
 		t.Fatal("non-capsule-legal automaton accepted")
 	}
 }
@@ -165,7 +166,7 @@ func TestMachineEndToEndRandom(t *testing.T) {
 }
 
 func ExampleDesign_ThroughputGbps() {
-	d := Design{Arch: Impala, Bits: 4, Stride: 4}
+	d := arch.Design{Arch: arch.Impala, Bits: 4, Stride: 4}
 	fmt.Printf("%.0f Gbps\n", d.ThroughputGbps())
 	// Output: 80 Gbps
 }
@@ -216,7 +217,7 @@ func TestMachineHierarchicalG16(t *testing.T) {
 	if !hier {
 		t.Fatal("expected a hierarchical group")
 	}
-	m, err := Build(n, p)
+	m, err := arch.Build(n, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,9 @@
-package arch
+package arch_test
 
 import (
 	"testing"
 
+	"impala/internal/arch"
 	"impala/internal/automata"
 	"impala/internal/core"
 	"impala/internal/obs"
@@ -12,8 +13,8 @@ import (
 // same cycle and switch-activity totals the energy model consumes.
 func TestMachineMetricsMirrorActivity(t *testing.T) {
 	reg := obs.NewRegistry()
-	EnableMetrics(reg)
-	defer EnableMetrics(nil)
+	arch.EnableMetrics(reg)
+	defer arch.EnableMetrics(nil)
 
 	n := automata.New(8, 1)
 	n.AddLiteral("abc", automata.StartAllInput, 1)

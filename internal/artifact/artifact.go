@@ -7,7 +7,8 @@
 // metadata, the per-state match-set tables (the subarray column images),
 // the successor lists (the rows of the dense successor matrix, stored
 // sparsely and re-densified by sim.Compile on load), and the G4/G16
-// placement the bitstream was generated from.
+// placement the bitstream was generated from — plus, for non-default
+// compile targets, a backend tag and the backend's own sealed section.
 //
 // The container is a strict little-endian binary format:
 //
@@ -28,9 +29,13 @@
 // sections sealing the tier-selection stage: "TIER" (the per-component
 // DFA/NFA execution plan with its budgets) and "DFAT" (the union DFA's
 // dense transition table and per-state metadata), so a loaded machine gets
-// the DFA fast path without re-determinizing. Save output is
-// deterministic: a Load/Save round trip is byte-identical, which the
-// property tests pin.
+// the DFA fast path without re-determinizing. Artifacts sealed for a
+// non-default compile target additionally carry the backend name as a
+// trailing META field and the backend-owned payload in an optional "BKND"
+// section (internal/backend revalidates it on load); default-target
+// artifacts carry neither, staying byte-identical with the pre-backend
+// layout. Save output is deterministic: a Load/Save round trip is
+// byte-identical, which the property tests pin.
 //
 // Every Load validates the magic, version, CRC and all structural bounds
 // before returning; Stat decodes only META and STAG (still CRC-checking
@@ -50,6 +55,7 @@ import (
 	"time"
 
 	"impala/internal/automata"
+	"impala/internal/backend"
 	"impala/internal/bitvec"
 	"impala/internal/dfa"
 	"impala/internal/interconnect"
@@ -97,6 +103,21 @@ type Meta struct {
 	// (all zero when the artifact carries none) — duplicated from the TIER
 	// payload so Stat can show the tier split without decoding it.
 	TierCCs, TierDFACCs, TierDFAStates int
+	// Backend names the compile target the artifact was sealed for. The
+	// empty string means the default Impala target: default-backend
+	// artifacts carry no tag at all (the field is appended to the META
+	// payload only when non-empty), so they stay byte-identical with the
+	// pre-backend format and legacy files load as Backend "". Set it with
+	// Artifact.SetBackend, which normalizes the default name away.
+	Backend string
+}
+
+// BackendName returns the effective backend name ("" reads as the default).
+func (m Meta) BackendName() string {
+	if m.Backend == "" {
+		return backend.DefaultName
+	}
+	return m.Backend
 }
 
 // Stage is one compile-pipeline stage recorded in the artifact (mirrors
@@ -121,6 +142,22 @@ type Artifact struct {
 	// built without the tier-selection stage). Set it with SetTier so the
 	// Meta summary fields stay consistent.
 	Tier *dfa.Sealed
+	// BackendPayload is the backend-owned "BKND" section (nil when the
+	// backend seals nothing — the default Impala target always does). Set it
+	// with SetBackend so the Meta tag stays consistent.
+	BackendPayload []byte
+}
+
+// SetBackend stamps the artifact with its compile target and the backend's
+// sealed section payload. The default backend name is normalized to the
+// empty tag so default artifacts keep the legacy byte layout; a payload
+// without a non-default name is rejected at Save time.
+func (a *Artifact) SetBackend(name string, payload []byte) {
+	if name == backend.DefaultName {
+		name = ""
+	}
+	a.Meta.Backend = name
+	a.BackendPayload = payload
 }
 
 // SetTier attaches (or, with nil, detaches) a sealed tier plan, keeping
@@ -172,11 +209,17 @@ func (a *Artifact) Save(w io.Writer) error {
 	if err := a.NFA.Validate(); err != nil {
 		return fmt.Errorf("artifact: refusing to save invalid automaton: %w", err)
 	}
+	if len(a.BackendPayload) > 0 && a.Meta.Backend == "" {
+		return fmt.Errorf("%w: backend payload without a backend tag (use SetBackend)", ErrCorrupt)
+	}
 	var body bytes.Buffer
 	writeSection(&body, "META", a.encodeMeta())
 	writeSection(&body, "STAG", encodeStages(a.Stages))
 	writeSection(&body, "AUTM", encodeNFA(a.NFA))
 	writeSection(&body, "PLAC", encodePlacement(a.Placement))
+	if len(a.BackendPayload) > 0 {
+		writeSection(&body, "BKND", a.BackendPayload)
+	}
 	if a.Tier != nil {
 		writeSection(&body, "TIER", encodeTierPlan(&a.Tier.Plan))
 		if a.Tier.DFA != nil {
@@ -255,6 +298,9 @@ func Load(r io.Reader) (*Artifact, error) {
 			var err error
 			tierDFA, err = decodeDFATable(payload)
 			return err
+		case "BKND":
+			a.BackendPayload = append([]byte(nil), payload...)
+			return nil
 		default:
 			return fmt.Errorf("%w: unknown section %q", ErrCorrupt, id)
 		}
@@ -366,6 +412,23 @@ func (a *Artifact) validate() error {
 	}
 	if placed != n.NumStates() {
 		return fmt.Errorf("%w: placement covers %d of %d states", ErrCorrupt, placed, n.NumStates())
+	}
+	if a.BackendPayload != nil && a.Meta.Backend == "" {
+		return fmt.Errorf("%w: BKND section without a META backend tag", ErrCorrupt)
+	}
+	if a.Meta.Backend != "" {
+		// A tagged artifact must name a registered backend, and the backend
+		// revalidates its own sealed section (nil when it carried none).
+		bk, err := backend.Get(a.Meta.Backend)
+		if err != nil {
+			return fmt.Errorf("artifact: META backend: %w", err)
+		}
+		if err := bk.ValidateGeometry(n.Bits, n.Stride); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if err := bk.OpenSection(a.BackendPayload, n, pl); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
 	}
 	if a.Tier == nil {
 		if a.Meta.TierCCs != 0 || a.Meta.TierDFACCs != 0 || a.Meta.TierDFAStates != 0 {
@@ -569,6 +632,12 @@ func (a *Artifact) encodeMeta() []byte {
 	e.u32(uint32(m.TierCCs))
 	e.u32(uint32(m.TierDFACCs))
 	e.u32(uint32(m.TierDFAStates))
+	// The backend tag is appended only when a non-default target sealed the
+	// artifact, so default-backend files keep the legacy META layout
+	// byte-for-byte.
+	if m.Backend != "" {
+		e.str(m.Backend)
+	}
 	return e.b
 }
 
@@ -590,6 +659,16 @@ func (a *Artifact) decodeMeta(payload []byte) error {
 	m.TierCCs = int(d.u32())
 	m.TierDFACCs = int(d.u32())
 	m.TierDFAStates = int(d.u32())
+	// Legacy artifacts end here (Backend ""); a trailing string is the
+	// non-default backend tag. The container CRC already passed, so a tail
+	// that does not decode as a non-empty string is corruption, not
+	// truncation.
+	if d.err == nil && d.off < len(d.b) {
+		m.Backend = d.str()
+		if d.err != nil || m.Backend == "" {
+			return fmt.Errorf("%w: META carries a malformed backend tag", ErrCorrupt)
+		}
+	}
 	if err := d.done("META"); err != nil {
 		return err
 	}

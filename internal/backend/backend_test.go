@@ -1,0 +1,339 @@
+package backend_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/backend"
+	"impala/internal/core"
+	"impala/internal/interconnect"
+	"impala/internal/place"
+	"impala/internal/regexc"
+)
+
+// dupProbe is a minimal Backend used only to probe registry collisions.
+type dupProbe struct{ name string }
+
+func (d dupProbe) Name() string                    { return d.name }
+func (dupProbe) Version() int                      { return 1 }
+func (dupProbe) Description() string               { return "test probe" }
+func (dupProbe) DefaultGeometry() (int, int)       { return 8, 1 }
+func (dupProbe) ValidateGeometry(_, _ int) error   { return nil }
+func (dupProbe) NeedsRefine() bool                 { return false }
+func (dupProbe) Model(*automata.NFA) backend.Model { return backend.Model{} }
+func (dupProbe) Place(n *automata.NFA, opts place.Options) (*place.Placement, error) {
+	return nil, nil
+}
+func (dupProbe) SealSection(*automata.NFA, *place.Placement) ([]byte, error) { return nil, nil }
+func (dupProbe) OpenSection([]byte, *automata.NFA, *place.Placement) error   { return nil }
+
+func TestRegistry(t *testing.T) {
+	names := backend.Names()
+	if len(names) < 2 {
+		t.Fatalf("registry has %v, want at least impala and cam", names)
+	}
+	for _, name := range []string{"", backend.DefaultName, backend.CamName} {
+		bk, err := backend.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = backend.DefaultName
+		}
+		if bk.Name() != want {
+			t.Fatalf("Get(%q).Name() = %q", name, bk.Name())
+		}
+	}
+
+	if _, err := backend.Get("no-such-target"); !errors.Is(err, backend.ErrUnknown) {
+		t.Fatalf("unknown name: got %v, want ErrUnknown", err)
+	}
+	if err := backend.Register(dupProbe{name: backend.DefaultName}); !errors.Is(err, backend.ErrDuplicate) {
+		t.Fatalf("duplicate register: got %v, want ErrDuplicate", err)
+	}
+	if err := backend.Register(dupProbe{}); err == nil {
+		t.Fatal("empty-name register accepted")
+	}
+}
+
+func TestValidateGeometry(t *testing.T) {
+	cases := []struct {
+		backend      string
+		bits, stride int
+		ok           bool
+	}{
+		{backend.DefaultName, 2, 4, true},
+		{backend.DefaultName, 2, 8, true},
+		{backend.DefaultName, 2, 2, false},
+		{backend.DefaultName, 4, 1, true},
+		{backend.DefaultName, 4, 2, true},
+		{backend.DefaultName, 4, 4, true},
+		{backend.DefaultName, 4, 8, true},
+		{backend.DefaultName, 4, 3, false},
+		{backend.DefaultName, 8, 1, true},
+		{backend.DefaultName, 8, 2, true},
+		{backend.DefaultName, 8, 4, false},
+		{backend.DefaultName, 16, 1, false},
+		{backend.CamName, 8, 1, true},
+		{backend.CamName, 8, 2, true},
+		{backend.CamName, 8, 4, false},
+		{backend.CamName, 4, 4, false},
+	}
+	for _, c := range cases {
+		bk, err := backend.Get(c.backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = bk.ValidateGeometry(c.bits, c.stride)
+		if (err == nil) != c.ok {
+			t.Errorf("%s ValidateGeometry(%d,%d): err=%v, want ok=%t", c.backend, c.bits, c.stride, err, c.ok)
+		}
+	}
+}
+
+// TestValidationUnified pins the satellite contract: core.Config.Validate
+// delegates to the backend, so every layer reports the backend's error text
+// verbatim.
+func TestValidationUnified(t *testing.T) {
+	for _, name := range []string{backend.DefaultName, backend.CamName} {
+		bk, err := backend.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgErr := core.Config{TargetBits: 4, StrideDims: 3, Backend: name}.Validate()
+		bkErr := bk.ValidateGeometry(4, 3)
+		if cfgErr == nil || bkErr == nil {
+			t.Fatalf("%s: expected both layers to reject (4,3): core=%v backend=%v", name, cfgErr, bkErr)
+		}
+		if cfgErr.Error() != bkErr.Error() {
+			t.Fatalf("%s: core reports %q, backend reports %q", name, cfgErr, bkErr)
+		}
+	}
+	if err := (core.Config{TargetBits: 4, StrideDims: 4, Backend: "no-such"}).Validate(); !errors.Is(err, backend.ErrUnknown) {
+		t.Fatalf("unknown backend in config: got %v, want ErrUnknown", err)
+	}
+}
+
+// compileCam builds a CAM-target automaton through the real pipeline.
+func compileCam(t *testing.T) *automata.NFA {
+	t.Helper()
+	rules := []regexc.Rule{
+		{Pattern: "GET /index", Code: 0},
+		{Pattern: "POST /login", Code: 1},
+		{Pattern: "User-Agent", Code: 2},
+	}
+	n8, err := regexc.Compile(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(n8, core.Config{TargetBits: 8, StrideDims: 2, Backend: backend.CamName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Stages {
+		if strings.Contains(st.Name, "refine") {
+			t.Fatalf("cam compile ran refinement stage %q", st.Name)
+		}
+	}
+	return res.NFA
+}
+
+func TestCamPlaceCoversAllStates(t *testing.T) {
+	bk, _ := backend.Get(backend.CamName)
+	n := compileCam(t)
+	pl, err := bk.Place(n, place.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Valid() {
+		t.Fatalf("cam placement reports %d uncovered transitions", pl.TotalUncovered)
+	}
+	seen := map[automata.StateID]bool{}
+	for gi, g := range pl.G4s {
+		if len(g.Slots) != interconnect.G4Size {
+			t.Fatalf("bank %d has %d slots, want %d", gi, len(g.Slots), interconnect.G4Size)
+		}
+		for _, id := range g.Slots {
+			if id < 0 {
+				continue
+			}
+			if seen[id] {
+				t.Fatalf("state %d placed twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != n.NumStates() {
+		t.Fatalf("placement covers %d of %d states", len(seen), n.NumStates())
+	}
+
+	// Deterministic: a second run is identical.
+	pl2, err := bk.Place(n, place.Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl2.G4s) != len(pl.G4s) {
+		t.Fatalf("cam placement not deterministic: %d vs %d banks", len(pl2.G4s), len(pl.G4s))
+	}
+	for gi := range pl.G4s {
+		for si := range pl.G4s[gi].Slots {
+			if pl.G4s[gi].Slots[si] != pl2.G4s[gi].Slots[si] {
+				t.Fatalf("bank %d slot %d differs across runs", gi, si)
+			}
+		}
+	}
+}
+
+func TestCamModelCountsRows(t *testing.T) {
+	bk, _ := backend.Get(backend.CamName)
+	n := compileCam(t)
+	md := bk.Model(n)
+	if md.Rows < n.NumStates() {
+		t.Fatalf("cam rows %d < states %d (one row per rect, at least one per state)", md.Rows, n.NumStates())
+	}
+	wantRows := 0
+	for i := range n.States {
+		r := len(n.States[i].Match)
+		if r == 0 {
+			r = 1
+		}
+		wantRows += r
+	}
+	if md.Rows != wantRows {
+		t.Fatalf("cam rows %d, want %d", md.Rows, wantRows)
+	}
+	if md.Units < 1 || md.TotalMM2 <= 0 || md.PJPerByte <= 0 || md.ThroughputGbps <= 0 {
+		t.Fatalf("degenerate cam model: %+v", md)
+	}
+	if md.BitsPerCycle != 16 {
+		t.Fatalf("cam (8,2) bits/cycle = %d, want 16", md.BitsPerCycle)
+	}
+}
+
+func TestCamSealOpenRoundTrip(t *testing.T) {
+	bk, _ := backend.Get(backend.CamName)
+	n := compileCam(t)
+	pl, err := bk.Place(n, place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := bk.SealSection(n, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) == 0 {
+		t.Fatal("cam seals an empty section")
+	}
+	if err := bk.OpenSection(payload, n, pl); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+
+	// Tampered row count, truncated payload, and absent section all fail.
+	bad := append([]byte(nil), payload...)
+	bad[4] ^= 0xFF
+	if err := bk.OpenSection(bad, n, pl); err == nil {
+		t.Fatal("tampered row count accepted")
+	}
+	if err := bk.OpenSection(payload[:8], n, pl); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if err := bk.OpenSection(nil, n, pl); err == nil {
+		t.Fatal("missing payload accepted")
+	}
+}
+
+// TestImpalaModelMatchesArch pins the refactored default target: Place is
+// the G4 genetic search and the model is the Table 3/5 parameterization,
+// reached through the interface instead of direct arch calls.
+func TestImpalaModelMatchesArch(t *testing.T) {
+	bk, err := backend.Get(backend.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := bk.Version(); v < 1 {
+		t.Fatalf("impala version %d", v)
+	}
+	if bk.Description() == "" {
+		t.Fatal("impala has no description")
+	}
+	if bits, dims := bk.DefaultGeometry(); bits != 4 || dims != 4 {
+		t.Fatalf("impala default geometry (%d,%d), want (4,4)", bits, dims)
+	}
+	cam, _ := backend.Get(backend.CamName)
+	if bits, dims := cam.DefaultGeometry(); bits != 8 || dims != 2 {
+		t.Fatalf("cam default geometry (%d,%d), want (8,2)", bits, dims)
+	}
+	if cam.Version() < 1 || cam.Description() == "" {
+		t.Fatal("cam version/description missing")
+	}
+
+	rules := []regexc.Rule{{Pattern: "GET /index", Code: 0}, {Pattern: "User-Agent", Code: 1}}
+	n8, err := regexc.Compile(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(n8, core.Config{TargetBits: 4, StrideDims: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := bk.Place(res.NFA, place.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Valid() {
+		t.Fatalf("impala placement uncovered: %d", pl.TotalUncovered)
+	}
+	md := bk.Model(res.NFA)
+	if md.Rows != res.NFA.NumStates() {
+		t.Fatalf("impala rows %d != states %d (capsule columns are one per state)", md.Rows, res.NFA.NumStates())
+	}
+	if md.BitsPerCycle != 16 || md.FreqGHz <= 0 || md.TotalMM2 <= 0 || md.PJPerByte <= 0 || md.Units < 1 {
+		t.Fatalf("degenerate impala model: %+v", md)
+	}
+	// The 8-bit geometry is the baked-in Cache-Automaton comparison point.
+	res8, err := core.Compile(n8, core.Config{TargetBits: 8, StrideDims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca := bk.Model(res8.NFA); ca.Design == md.Design {
+		t.Fatalf("8-bit geometry should map to the CA design point, got %q twice", ca.Design)
+	}
+
+	// OpenSection accepts exactly the nothing SealSection seals.
+	if err := bk.OpenSection(nil, res.NFA, pl); err != nil {
+		t.Fatalf("impala open of empty section: %v", err)
+	}
+	if err := bk.OpenSection([]byte{1}, res.NFA, pl); err == nil {
+		t.Fatal("impala accepted a non-empty backend section")
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister of a duplicate did not panic")
+		}
+	}()
+	backend.MustRegister(dupProbe{name: backend.DefaultName})
+}
+
+func TestImpalaSealsNothing(t *testing.T) {
+	bk, _ := backend.Get(backend.DefaultName)
+	payload, err := bk.SealSection(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload != nil {
+		t.Fatalf("impala seals %d bytes, want none", len(payload))
+	}
+	if !bk.NeedsRefine() {
+		t.Fatal("impala must require capsule refinement")
+	}
+	cam, _ := backend.Get(backend.CamName)
+	if cam.NeedsRefine() {
+		t.Fatal("cam must skip capsule refinement")
+	}
+}

@@ -1,0 +1,131 @@
+package backend
+
+import (
+	"fmt"
+
+	"impala/internal/arch"
+	"impala/internal/automata"
+	"impala/internal/interconnect"
+	"impala/internal/place"
+)
+
+// impalaBackend is the default target: the paper's 4-bit capsule design
+// (16-row match subarrays, G4 switch fabric, Espresso capsule refinement)
+// plus the Cache-Automaton 8-bit comparison geometry and the 2-bit
+// squash-width ablation it has always carried. It is the pipeline tail the
+// refactor pulled out of core/place/arch: geometry legality is the old
+// core.Config.Validate switch, placement is the G4 genetic search, and the
+// model is the Table 3/5 subarray parameterization.
+type impalaBackend struct{}
+
+func (impalaBackend) Name() string { return DefaultName }
+func (impalaBackend) Version() int { return 1 }
+func (impalaBackend) Description() string {
+	return "Impala 4-bit capsule subarrays + G4 fabric (default; 8-bit geometry = Cache-Automaton comparison point)"
+}
+
+func (impalaBackend) DefaultGeometry() (int, int) { return 4, 4 }
+
+// ValidateGeometry is the former core.Config.Validate switch, verbatim: the
+// supported (bits, stride-dims) pairs of the capsule design and its
+// comparison/ablation geometries.
+func (impalaBackend) ValidateGeometry(bits, strideDims int) error {
+	switch bits {
+	case 2:
+		switch strideDims {
+		case 4, 8:
+		default:
+			return fmt.Errorf("backend %s: 2-bit target supports stride dims 4/8, got %d", DefaultName, strideDims)
+		}
+	case 4:
+		switch strideDims {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("backend %s: 4-bit target supports stride dims 1/2/4/8, got %d", DefaultName, strideDims)
+		}
+	case 8:
+		switch strideDims {
+		case 1, 2:
+		default:
+			return fmt.Errorf("backend %s: 8-bit target supports stride dims 1/2, got %d", DefaultName, strideDims)
+		}
+	default:
+		return fmt.Errorf("backend %s: unsupported target bits %d", DefaultName, bits)
+	}
+	return nil
+}
+
+// NeedsRefine: capsule columns can only match conjunctions of per-dimension
+// sets, so Espresso refinement to capsule-legal form is mandatory.
+func (impalaBackend) NeedsRefine() bool { return true }
+
+// Place runs the G4/G16 genetic placement search of internal/place.
+func (impalaBackend) Place(n *automata.NFA, opts place.Options) (*place.Placement, error) {
+	return place.Place(n, opts)
+}
+
+// design maps the automaton geometry to the arch design point: 8-bit
+// geometries are the baked-in Cache-Automaton comparison mode.
+func (impalaBackend) design(n *automata.NFA) arch.Design {
+	if n.Bits == 8 {
+		return arch.Design{Arch: arch.CacheAutomaton, Bits: n.Bits, Stride: n.Stride}
+	}
+	return arch.Design{Arch: arch.Impala, Bits: n.Bits, Stride: n.Stride}
+}
+
+// Model wraps the internal/arch capacity/area/energy tables.
+func (b impalaBackend) Model(n *automata.NFA) Model {
+	d := b.design(n)
+	states := n.NumStates()
+	unit := arch.StandardUnit(d)
+	area := arch.AreaBreakdown(d, states)
+
+	// Analytic match-array energy: every occupied state-matching subarray
+	// is read every cycle (the arrays cannot be power-gated cycle-by-cycle
+	// — see internal/arch's energy model); one block of 256 states needs
+	// Stride subarrays.
+	blocks, _ := arch.OccupancyFor(states)
+	perArrayMW := arch.ImpalaMatchSubarray.ReadPowMW
+	if d.Arch == arch.CacheAutomaton {
+		perArrayMW = arch.CAMatchSubarray.ReadPowMW
+	}
+	cycleNS := 1.0 / d.FreqGHz()
+	pjPerCycle := float64(blocks) * float64(d.Stride) * perArrayMW * cycleNS
+	bytesPerCycle := float64(d.BitsPerCycle()) / 8.0
+
+	return Model{
+		Design:           d.String(),
+		BitsPerCycle:     d.BitsPerCycle(),
+		Rows:             states,
+		UnitCapacity:     unit.Capacity,
+		Units:            unit.UnitsFor(states),
+		FreqGHz:          d.FreqGHz(),
+		ThroughputGbps:   d.ThroughputGbps(),
+		MatchMM2:         area.StateMatchMM2,
+		RouteMM2:         area.InterconnectMM2,
+		TotalMM2:         area.TotalMM2(),
+		ThroughputPerMM2: arch.ThroughputPerArea(d, states),
+		PJPerByte:        pjPerCycle / bytesPerCycle,
+	}
+}
+
+// SealSection seals nothing: the default backend's artifacts carry no
+// backend-owned section, keeping them byte-identical with the pre-backend
+// container format (and loadable by older readers of the layout).
+func (impalaBackend) SealSection(*automata.NFA, *place.Placement) ([]byte, error) {
+	return nil, nil
+}
+
+// OpenSection accepts only the absence it seals.
+func (impalaBackend) OpenSection(payload []byte, n *automata.NFA, pl *place.Placement) error {
+	if len(payload) != 0 {
+		return fmt.Errorf("backend %s: unexpected %d-byte backend section", DefaultName, len(payload))
+	}
+	// The placement must fit the G4 fabric this backend places onto.
+	for gi, g := range pl.G4s {
+		if len(g.Slots) != interconnect.G4Size && len(g.Slots) != interconnect.G16Size {
+			return fmt.Errorf("backend %s: group %d has %d slots, want G4/G16", DefaultName, gi, len(g.Slots))
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"impala/internal/automata"
+	"impala/internal/backend"
 	"impala/internal/dfa"
 	"impala/internal/espresso"
 	"impala/internal/obs"
@@ -57,33 +58,23 @@ type Config struct {
 	// (Result.Tiers). Worker count and trace default to this Config's when
 	// unset on the tier options.
 	Tier *dfa.TierOptions
+	// Backend names the compile target (internal/backend registry). The
+	// empty string selects the default Impala capsule target. The backend
+	// owns geometry legality (Validate delegates to it) and whether the
+	// Espresso capsule-refinement stage applies: targets whose match arrays
+	// encode arbitrary rects (the CAM backend) skip refinement entirely.
+	Backend string
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Geometry legality is owned by the
+// selected backend, so impalac, the facade and direct core callers all
+// report the backend's error text verbatim.
 func (c Config) Validate() error {
-	switch c.TargetBits {
-	case 2:
-		switch c.StrideDims {
-		case 4, 8:
-		default:
-			return fmt.Errorf("core: 2-bit target supports stride dims 4/8, got %d", c.StrideDims)
-		}
-	case 4:
-		switch c.StrideDims {
-		case 1, 2, 4, 8:
-		default:
-			return fmt.Errorf("core: 4-bit target supports stride dims 1/2/4/8, got %d", c.StrideDims)
-		}
-	case 8:
-		switch c.StrideDims {
-		case 1, 2:
-		default:
-			return fmt.Errorf("core: 8-bit target supports stride dims 1/2, got %d", c.StrideDims)
-		}
-	default:
-		return fmt.Errorf("core: unsupported target bits %d", c.TargetBits)
+	bk, err := backend.Get(c.Backend)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
-	return nil
+	return bk.ValidateGeometry(c.TargetBits, c.StrideDims)
 }
 
 // BitsPerCycle returns the input bits consumed per cycle at this design
@@ -167,6 +158,10 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	bk, err := backend.Get(cfg.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if err := n.Validate(); err != nil {
 		return nil, fmt.Errorf("core: Compile input invalid: %w", err)
 	}
@@ -219,7 +214,6 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 
 	var cur *automata.NFA
 	var cpu time.Duration
-	var err error
 	t0 := time.Now()
 	switch {
 	case cfg.TargetBits == 8 && cfg.StrideDims == 1:
@@ -247,7 +241,7 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 		record("minimize", cur, t0, -1)
 	}
 
-	if !cfg.DisableRefine {
+	if !cfg.DisableRefine && bk.NeedsRefine() {
 		t0 = time.Now()
 		res.SplitStates, cpu, err = refineWork(cur, esp, cfg.Workers, cfg.Trace)
 		if err != nil {
