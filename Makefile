@@ -17,8 +17,9 @@ all: check
 # fitness evaluation), the capsule-level machine (instrumented StepCycle),
 # the observability layer itself (lock-free counters/histograms), and the
 # serving stack (multi-tenant registry hot-swaps under concurrent streams,
-# bounded match pool, artifact codec), and the tiered engine (pooled cores
-# shared across Run callers, parallel simultaneous-DFA build and scan).
+# bounded match pool, artifact codec), the tiered engine (pooled cores
+# shared across Run callers, parallel simultaneous-DFA build and scan),
+# and the sharded engine (concurrent shard construction and fan-out scan).
 check: fmt-check build vet test test-race
 
 build:
@@ -38,15 +39,18 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/... ./internal/dfa/... ./internal/backend/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/... ./internal/dfa/... ./internal/backend/... ./internal/shard/...
 
-# tierspeed runs at 256 KiB inputs so the big benchmarks' compiled-engine
-# walls clear the MinWallMS noise gate and the speedup floor actually arms.
+# tierspeed runs at 256 KiB inputs and shardspeed at 1 MiB so the big
+# benchmarks' engine walls clear the MinWallMS noise gate and the speedup
+# floors actually arm; the committed baselines use the same sizes.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 	$(GO) run ./cmd/impala-bench -exp compilespeed -json BENCH_compile.json
 	$(GO) run ./cmd/impala-bench -exp tierspeed -input-kb 256 -json BENCH_sim.json
 	$(GO) run ./cmd/impala-bench -exp backendcmp -json BENCH_backend.json
+	$(GO) run ./cmd/impala-bench -exp servespeed -json BENCH_serve.json
+	$(GO) run ./cmd/impala-bench -exp shardspeed -input-kb 1024 -json BENCH_shard.json
 
 # bench-check is the perf-regression smoke gate: rerun the compilespeed
 # sweep and compare cache hit rate, cache speedup (best-of-sweep, only on
@@ -54,11 +58,20 @@ bench:
 # committed baseline; then rerun the tierspeed sweep and compare tier-plan
 # shape (exact) and tiered-over-compiled speedup against its baseline; then
 # rerun the cross-backend comparison and require every deterministic column
-# (shape, placement grouping, capacity/energy/area model) to match exactly.
+# (shape, placement grouping, capacity/energy/area model) to match exactly;
+# then rerun the servespeed sweep (served request/match counts exact,
+# concurrency speedups within tolerance) and the shardspeed sweep
+# (partition shape exact, per-K speedups within tolerance, and — on
+# parallel hardware — at least two families doubling throughput at 8
+# shards) against their baselines. The shardspeed ratio floor runs at a
+# wider 50% tolerance: serial K-to-K ratios swing ~30% under shared-host
+# load, and the tolerance-independent 2x headline gate carries the claim.
 bench-check:
 	$(GO) run ./cmd/impala-bench -exp compilespeed -check BENCH_compile.json
 	$(GO) run ./cmd/impala-bench -exp tierspeed -input-kb 256 -check BENCH_sim.json
 	$(GO) run ./cmd/impala-bench -exp backendcmp -check BENCH_backend.json
+	$(GO) run ./cmd/impala-bench -exp servespeed -check BENCH_serve.json
+	$(GO) run ./cmd/impala-bench -exp shardspeed -input-kb 1024 -tolerance 0.5 -check BENCH_shard.json
 
 cover:
 	$(GO) test -cover ./...

@@ -29,7 +29,20 @@
 //
 // The servespeed experiment measures the impala-serve one-shot match path
 // end to end over loopback HTTP at 1/8/64 concurrent clients; -json FILE
-// embeds the cells and a serving-metrics snapshot in a JSON report.
+// embeds the cells and a serving-metrics snapshot in a JSON report (the
+// committed BENCH_serve.json baseline); -check FILE gates CI on the match
+// counts (exact, same scale/seed) and on the concurrency speedup (within
+// -tolerance, MinWallMS-guarded).
+//
+// The shardspeed experiment sweeps the shard count over K in {1,2,4,8}
+// across the four workload families, holding the per-engine DFA budget
+// fixed so K shards carry K budgets: throughput rises with K even on one
+// core (more states on the dense fast path) and fans out across shards on
+// a multi-core host. -json FILE writes the report (the committed
+// BENCH_shard.json baseline); -check FILE gates CI on partition shape
+// (exact, same scale/seed), on each point's speedup over its own K=1 row
+// (within -tolerance), and on at least two families retaining a 2x
+// speedup at K=8.
 //
 // The tierspeed experiment measures the hybrid tiered engine (dense-DFA
 // fast path per connected component, bit-parallel NFA fallback) against the
@@ -59,6 +72,7 @@ import (
 	"impala/internal/exp"
 	"impala/internal/obs"
 	"impala/internal/par"
+	"impala/internal/shard"
 )
 
 func main() {
@@ -134,8 +148,15 @@ func main() {
 			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
 			continue
 		}
-		if id == "servespeed" && *jsonOut != "" {
-			if err := runServeSpeed(o, *jsonOut); err != nil {
+		if id == "shardspeed" && (*jsonOut != "" || *check != "") {
+			if err := runShardSpeed(o, *jsonOut, *check, *tol); err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+			continue
+		}
+		if id == "servespeed" && (*jsonOut != "" || *check != "") {
+			if err := runServeSpeed(o, *jsonOut, *check, *tol); err != nil {
 				fatal(fmt.Errorf("%s: %w", id, err))
 			}
 			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
@@ -307,10 +328,65 @@ func runBackendCmp(o exp.Options, jsonPath, checkPath string) error {
 	return nil
 }
 
+// runShardSpeed runs the shardspeed experiment once (instrumented with the
+// shard-execution counters), renders its table, optionally writes the JSON
+// report, and optionally checks it against a stored baseline — the
+// BENCH_shard.json part of the CI regression gate. Partition shape must
+// match the baseline exactly on a same-scale/seed run; each sweep point's
+// speedup over its own K=1 row may not drop more than -tolerance below
+// baseline, and at least two families must keep a 2x speedup at K=8.
+func runShardSpeed(o exp.Options, jsonPath, checkPath string, tol float64) error {
+	reg := obs.NewRegistry()
+	shard.EnableMetrics(reg)
+	defer shard.EnableMetrics(nil)
+	o.Metrics = reg
+
+	rep, err := exp.ShardSpeedReport(o)
+	if err != nil {
+		return err
+	}
+	rep.Table().Render(os.Stdout)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if checkPath != "" {
+		f, err := os.Open(checkPath)
+		if err != nil {
+			return err
+		}
+		base, err := exp.ReadShardReport(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		opt := exp.CheckOptions{SpeedupTolerance: tol}
+		if bad := exp.CompareShardReports(base, rep, opt); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "regression: %s\n", msg)
+			}
+			return fmt.Errorf("%d regression(s) vs %s", len(bad), checkPath)
+		}
+		fmt.Printf("check vs %s: pass (%d cells within tolerance)\n", checkPath, len(base.Cells))
+	}
+	return nil
+}
+
 // runServeSpeed runs the servespeed experiment instrumented (the report
-// carries a snapshot of the serving counters), renders its table, and
-// writes the JSON report.
-func runServeSpeed(o exp.Options, jsonPath string) error {
+// carries a snapshot of the serving counters), renders its table,
+// optionally writes the JSON report, and optionally checks it against a
+// stored baseline — the BENCH_serve.json part of the CI regression gate.
+func runServeSpeed(o exp.Options, jsonPath, checkPath string, tol float64) error {
 	reg := obs.NewRegistry()
 	o.Metrics = reg
 
@@ -319,18 +395,39 @@ func runServeSpeed(o exp.Options, jsonPath string) error {
 		return err
 	}
 	rep.Table().Render(os.Stdout)
-	f, err := os.Create(jsonPath)
-	if err != nil {
-		return err
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
-	if err := rep.WriteJSON(f); err != nil {
+	if checkPath != "" {
+		f, err := os.Open(checkPath)
+		if err != nil {
+			return err
+		}
+		base, err := exp.ReadServeReport(f)
 		f.Close()
-		return err
+		if err != nil {
+			return err
+		}
+		opt := exp.CheckOptions{SpeedupTolerance: tol}
+		if bad := exp.CompareServeReports(base, rep, opt); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "regression: %s\n", msg)
+			}
+			return fmt.Errorf("%d regression(s) vs %s", len(bad), checkPath)
+		}
+		fmt.Printf("check vs %s: pass (%d cells within tolerance)\n", checkPath, len(base.Cells))
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", jsonPath)
 	return nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"impala/internal/dfa"
 	"impala/internal/obs"
 	"impala/internal/server"
+	"impala/internal/shard"
 	"impala/internal/sim"
 )
 
@@ -66,6 +67,7 @@ func main() {
 		reg = obs.NewRegistry()
 		sim.EnableMetrics(reg)
 		dfa.EnableMetrics(reg)
+		shard.EnableMetrics(reg)
 	}
 	srv := server.New(server.Config{
 		Workers:        *workers,

@@ -33,6 +33,7 @@ import (
 	"impala/internal/dfa"
 	"impala/internal/obs"
 	"impala/internal/regexc"
+	"impala/internal/shard"
 	"impala/internal/sim"
 )
 
@@ -78,6 +79,7 @@ func main() {
 		sim.EnableMetrics(reg)
 		arch.EnableMetrics(reg)
 		dfa.EnableMetrics(reg)
+		shard.EnableMetrics(reg)
 		_, url, err := obs.Serve(*ops, reg)
 		if err != nil {
 			fatal(err)

@@ -54,6 +54,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace of the compile + placement pipeline here (open in chrome://tracing or Perfetto)")
 		tier      = flag.Bool("tier", false, "run the tier-selection stage: determinize components within budget into a DFA fast path and seal the plan into the artifact")
 		tierCap   = flag.Int("tier-budget", 0, "per-component determinization budget in DFA states for -tier (0 = default)")
+		shards    = flag.Int("shards", 1, "partition components into this many shard automata (with -tier the DFA budgets apply per shard); the plan is sealed into the artifact")
 		bkName    = flag.String("backend", backend.DefaultName, "compile target (see -backend list)")
 	)
 	flag.Parse()
@@ -99,6 +100,7 @@ func main() {
 	if *tier {
 		cfg.Tier = &dfa.TierOptions{CCMaxStates: *tierCap}
 	}
+	cfg.Shards = *shards
 	res, err := core.Compile(nfa, cfg)
 	if err != nil {
 		fatal(err)
@@ -116,6 +118,12 @@ func main() {
 		p := res.Tiers.Plan()
 		fmt.Printf("tier plan       : %d/%d components on the DFA fast path (%d DFA states, %d KiB tables; %d NFA-tier states)\n",
 			p.DFACCs(), len(p.CCs), p.DFAStates, p.DFATableBytes/1024, p.NFAStates)
+	}
+	if res.Shards != nil {
+		p := res.Shards.Plan()
+		fmt.Printf("shard plan      : %d components over %d shards (%d..%d states/shard; %d shard(s) carry a DFA fast path, %d DFA states total)\n",
+			len(p.CCShard), p.Shards, p.MinStates(), p.MaxStates(),
+			res.Shards.TieredShards(), res.Shards.DFAStates())
 	}
 	fmt.Printf("compile time    : %s  (espresso cover cache: %d hits / %d misses, %.0f%% hit rate)\n",
 		res.CompileTime, res.CacheHits, res.CacheMisses, res.CacheHitRate()*100)
@@ -168,6 +176,9 @@ func main() {
 			}, stages)
 			if res.Tiers != nil {
 				a.SetTier(res.Tiers.Seal())
+			}
+			if res.Shards != nil {
+				a.SetShards(res.Shards.Seal())
 			}
 			payload, err := bk.SealSection(res.NFA, pl)
 			if err != nil {

@@ -29,6 +29,7 @@ import (
 	"impala/internal/espresso"
 	"impala/internal/place"
 	"impala/internal/regexc"
+	"impala/internal/shard"
 	"impala/internal/sim"
 )
 
@@ -55,6 +56,14 @@ type Config struct {
 	// (0 = the dfa package default). Components that exceed it fall back to
 	// the NFA tier.
 	TierBudget int
+	// Shards > 1 partitions the compiled automaton's connected components
+	// into that many independent shard engines (size-balanced, whole
+	// components). Match, NewStream and RunParallel then execute all shards
+	// and merge reports — identical output, but with Tier set the DFA
+	// budgets apply per shard (more states on the fast path), and on a
+	// multi-core host one-shot scans fan out across shards. The partition
+	// travels inside the artifact, so loaded machines keep it.
+	Shards int
 }
 
 // DefaultConfig returns the paper's best design point: 4-stride 4-bit
@@ -76,6 +85,7 @@ func (c Config) coreConfig() core.Config {
 	if c.Tier {
 		cc.Tier = &dfa.TierOptions{CCMaxStates: c.TierBudget}
 	}
+	cc.Shards = c.Shards
 	return cc
 }
 
@@ -103,6 +113,10 @@ type Machine struct {
 	// tiered is the hybrid DFA/NFA execution form (nil unless Config.Tier
 	// was set or the loaded artifact carried a sealed plan).
 	tiered *dfa.Tiered
+	// sharded is the K-shard execution form (nil unless Config.Shards > 1
+	// or the loaded artifact carried a sealed partition). When set, the
+	// serving paths prefer it over tiered/simc.
+	sharded *shard.Sharded
 	// Pre-transformation shape and compile-stage trace, carried as plain
 	// values so a Machine loaded from an artifact (where the original
 	// automaton and live compile result no longer exist) reports the same
@@ -170,6 +184,7 @@ func CompileAutomaton(nfa *automata.NFA, cfg Config) (*Machine, error) {
 		machine:         m,
 		simc:            simc,
 		tiered:          res.Tiers,
+		sharded:         res.Shards,
 		origStates:      nfa.NumStates(),
 		origTransitions: nfa.NumTransitions(),
 	}
@@ -194,7 +209,10 @@ func (m *Machine) Artifact() *artifact.Artifact {
 		OriginalTransitions: m.origTransitions,
 	}
 	a := artifact.New(m.transformed, m.placement, nil, meta, m.stages)
-	if m.tiered != nil {
+	switch {
+	case m.sharded != nil:
+		a.SetShards(m.sharded.Seal())
+	case m.tiered != nil:
 		a.SetTier(m.tiered.Seal())
 	}
 	return a
@@ -251,23 +269,44 @@ func MachineFromArtifact(a *artifact.Artifact) (*Machine, error) {
 			return nil, fmt.Errorf("impala: artifact tier plan does not unseal: %w", err)
 		}
 	}
+	var sharded *shard.Sharded
+	shardsTiered := false
+	if a.Shards != nil {
+		sharded, err = shard.Unseal(a.NFA, a.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("impala: artifact shard plan does not unseal: %w", err)
+		}
+		for _, t := range a.Shards.Tiers {
+			if t != nil {
+				shardsTiered = true
+				break
+			}
+		}
+	}
 	return &Machine{
 		cfg: Config{
 			StrideDims: a.Meta.Stride,
 			CAMode:     a.Meta.CAMode,
 			Seed:       a.Meta.Seed,
-			Tier:       tiered != nil,
+			Tier:       tiered != nil || shardsTiered,
+			Shards:     a.Meta.Shards,
 		},
 		transformed:     a.NFA,
 		placement:       a.Placement,
 		machine:         am,
 		simc:            simc,
 		tiered:          tiered,
+		sharded:         sharded,
 		origStates:      a.Meta.OriginalStates,
 		origTransitions: a.Meta.OriginalTransitions,
 		stages:          a.Stages,
 	}, nil
 }
+
+// Config returns the design point this machine was compiled at. For a
+// loaded machine it is reconstructed from the artifact metadata, so
+// callers can inspect how a saved engine was configured.
+func (m *Machine) Config() Config { return m.cfg }
 
 // Geometry returns the machine's symbol geometry: sub-symbol bit width and
 // sub-symbols consumed per cycle.
@@ -291,8 +330,14 @@ func (m *Machine) Run(input []byte) []Match {
 // On a tiered machine the DFA tier scans rescan-free (no overlap at all,
 // and no unbounded-span refusal: the NFA tier degrades to a serial scan
 // where spans are unbounded); overlapBytes then applies only to the NFA
-// tier's overlap-rescan path.
+// tier's overlap-rescan path. On a sharded machine the shards themselves
+// are the parallel units: the scan fans out one shard per worker
+// (workers and overlapBytes are then advisory) and merges the streams.
 func (m *Machine) RunParallel(input []byte, workers, overlapBytes int) ([]Match, error) {
+	if m.sharded != nil {
+		reports, _ := m.sharded.Run(input)
+		return toMatches(reports), nil
+	}
 	if m.tiered != nil {
 		reports, err := m.tiered.RunParallel(input, workers)
 		if err != nil {
@@ -322,6 +367,10 @@ func (m *Machine) Simulate(input []byte) ([]Match, error) {
 // fast path handles its components with one table walk per sub-symbol.
 // Reports are identical to Run and Simulate.
 func (m *Machine) Match(input []byte) []Match {
+	if m.sharded != nil {
+		reports, _ := m.sharded.Run(input)
+		return toMatches(reports)
+	}
 	if m.tiered != nil {
 		reports, _ := m.tiered.Run(input)
 		return toMatches(reports)
@@ -356,6 +405,36 @@ func (m *Machine) TierInfo() *TierInfo {
 	}
 }
 
+// ShardInfo summarizes the machine's shard partition for display (nil when
+// the machine runs unsharded).
+type ShardInfo struct {
+	// Shards is the partition's shard count K.
+	Shards int
+	// MaxStates and MinStates bound the per-shard state totals (the
+	// balance the planner optimizes; MinStates ignores empty shards).
+	MaxStates, MinStates int
+	// TieredShards counts shards carrying a dense-DFA fast path; DFAStates
+	// sums their DFA state counts — the coverage the per-shard budgets
+	// bought.
+	TieredShards, DFAStates int
+}
+
+// ShardInfo returns the shard-partition summary, or nil for unsharded
+// machines.
+func (m *Machine) ShardInfo() *ShardInfo {
+	if m.sharded == nil {
+		return nil
+	}
+	p := m.sharded.Plan()
+	return &ShardInfo{
+		Shards:       p.Shards,
+		MaxStates:    p.MaxStates(),
+		MinStates:    p.MinStates(),
+		TieredShards: m.sharded.TieredShards(),
+		DFAStates:    m.sharded.DFAStates(),
+	}
+}
+
 // Stream is one incremental input stream over the compiled machine: bytes
 // arrive in arbitrary chunks (a packet flow, a file read loop) and the
 // callback fires as matches complete, with no per-chunk allocation in
@@ -386,9 +465,12 @@ func (m *Machine) NewStream(onMatch func(Match)) *Stream {
 		bitsPerCycle: m.transformed.BitsPerCycle(),
 		curCycle:     -1,
 	}
-	if m.tiered != nil {
+	switch {
+	case m.sharded != nil:
+		s.sess = m.sharded.NewSession(s.report)
+	case m.tiered != nil:
 		s.sess = m.tiered.NewSession(s.report)
-	} else {
+	default:
 		s.sess = m.simc.NewSession(s.report)
 	}
 	return s

@@ -494,3 +494,84 @@ func TestTieredMachineFacade(t *testing.T) {
 		t.Fatal("tiered artifact save(load(save)) not byte-identical")
 	}
 }
+
+func TestShardedMachineFacade(t *testing.T) {
+	patterns := []string{"GET /", "a.{12}b", `\d\d`, "needle", "zz.?zz"}
+	cfg := DefaultConfig()
+	plain, err := CompileRegex(patterns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	cfg.Tier = true
+	cfg.TierBudget = 1024
+	sharded, err := CompileRegex(patterns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sharded.ShardInfo()
+	if info == nil || info.Shards != 4 {
+		t.Fatalf("sharded machine has no shard plan: %+v", info)
+	}
+	if info.TieredShards == 0 || info.DFAStates == 0 {
+		t.Fatalf("per-shard tiering bought no fast path: %+v", info)
+	}
+	if plain.ShardInfo() != nil {
+		t.Fatal("unsharded machine reports a shard plan")
+	}
+
+	input := []byte("GET /x aXXXXXXXXXXXXb 42 needle zzAzz GET / needle 77")
+	want := plain.Match(input)
+	if got := sharded.Match(input); !matchesEqual(want, got) {
+		t.Fatalf("sharded Match diverges: %v vs %v", got, want)
+	}
+	got, err := sharded.RunParallel(input, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesEqual(want, got) {
+		t.Fatalf("sharded RunParallel diverges: %v vs %v", got, want)
+	}
+
+	var streamGot []Match
+	s := sharded.NewStream(func(mt Match) { streamGot = append(streamGot, mt) })
+	for i := 0; i < len(input); i += 3 {
+		end := i + 3
+		if end > len(input) {
+			end = len(input)
+		}
+		s.Feed(input[i:end])
+	}
+	s.Flush()
+	if !matchesEqual(want, streamGot) {
+		t.Fatalf("sharded stream diverges: %v vs %v", streamGot, want)
+	}
+
+	// The partition travels inside the artifact: a loaded machine keeps
+	// the shard engines, the per-shard fast paths and the identical plan.
+	var buf bytes.Buffer
+	if err := sharded.SaveArtifact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMachine(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	linfo := loaded.ShardInfo()
+	if linfo == nil || *linfo != *info {
+		t.Fatalf("shard plan diverges across artifact: %+v vs %+v", linfo, info)
+	}
+	if loaded.Config().Shards != 4 || !loaded.Config().Tier {
+		t.Fatalf("loaded config loses sharding: %+v", loaded.Config())
+	}
+	if got := loaded.Match(input); !matchesEqual(want, got) {
+		t.Fatalf("loaded sharded Match diverges: %v vs %v", got, want)
+	}
+	var buf2 bytes.Buffer
+	if err := loaded.SaveArtifact(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("sharded artifact save(load(save)) not byte-identical")
+	}
+}

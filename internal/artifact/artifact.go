@@ -29,7 +29,12 @@
 // sections sealing the tier-selection stage: "TIER" (the per-component
 // DFA/NFA execution plan with its budgets) and "DFAT" (the union DFA's
 // dense transition table and per-state metadata), so a loaded machine gets
-// the DFA fast path without re-determinizing. Artifacts sealed for a
+// the DFA fast path without re-determinizing. Version 3 adds the optional
+// "SHRD" section sealing the shard-plan stage: the component-to-shard
+// partition plus each shard's tier seal (plan and DFA tables as nested
+// blobs), so a loaded machine executes sharded — per-shard fast paths
+// included — without re-planning; SHRD and TIER are mutually exclusive
+// (a sharded artifact tiers per shard). Artifacts sealed for a
 // non-default compile target additionally carry the backend name as a
 // trailing META field and the backend-owned payload in an optional "BKND"
 // section (internal/backend revalidates it on load); default-target
@@ -60,13 +65,15 @@ import (
 	"impala/internal/dfa"
 	"impala/internal/interconnect"
 	"impala/internal/place"
+	"impala/internal/shard"
 )
 
 // Version is the current container version. Load accepts only this
 // version: the format carries compiled internals, so cross-version
 // compatibility is a recompile, not a migration. Version 2 added the
-// optional TIER/DFAT tier-plan sections.
-const Version = 2
+// optional TIER/DFAT tier-plan sections; version 3 the optional SHRD
+// shard-plan section and the Meta shard summary.
+const Version = 3
 
 var magic = [6]byte{'I', 'M', 'P', 'A', 'L', 'A'}
 
@@ -103,6 +110,9 @@ type Meta struct {
 	// (all zero when the artifact carries none) — duplicated from the TIER
 	// payload so Stat can show the tier split without decoding it.
 	TierCCs, TierDFACCs, TierDFAStates int
+	// Shards is the sealed shard count (0 when the artifact carries no
+	// shard plan) — duplicated from the SHRD payload for Stat.
+	Shards int
 	// Backend names the compile target the artifact was sealed for. The
 	// empty string means the default Impala target: default-backend
 	// artifacts carry no tag at all (the field is appended to the META
@@ -142,6 +152,11 @@ type Artifact struct {
 	// built without the tier-selection stage). Set it with SetTier so the
 	// Meta summary fields stay consistent.
 	Tier *dfa.Sealed
+	// Shards is the sealed shard partition (nil when the artifact was
+	// built without the shard-plan stage). Set it with SetShards so the
+	// Meta summary stays consistent. Mutually exclusive with Tier: a
+	// sharded artifact carries its tier plans per shard.
+	Shards *shard.Sealed
 	// BackendPayload is the backend-owned "BKND" section (nil when the
 	// backend seals nothing — the default Impala target always does). Set it
 	// with SetBackend so the Meta tag stays consistent.
@@ -169,6 +184,16 @@ func (a *Artifact) SetTier(s *dfa.Sealed) {
 		a.Meta.TierCCs = len(s.Plan.CCs)
 		a.Meta.TierDFACCs = s.Plan.DFACCs()
 		a.Meta.TierDFAStates = s.Plan.DFAStates
+	}
+}
+
+// SetShards attaches (or, with nil, detaches) a sealed shard partition,
+// keeping the Meta shard summary in sync.
+func (a *Artifact) SetShards(s *shard.Sealed) {
+	a.Shards = s
+	a.Meta.Shards = 0
+	if s != nil {
+		a.Meta.Shards = s.Plan.Shards
 	}
 }
 
@@ -212,6 +237,9 @@ func (a *Artifact) Save(w io.Writer) error {
 	if len(a.BackendPayload) > 0 && a.Meta.Backend == "" {
 		return fmt.Errorf("%w: backend payload without a backend tag (use SetBackend)", ErrCorrupt)
 	}
+	if a.Tier != nil && a.Shards != nil {
+		return fmt.Errorf("%w: TIER and SHRD are mutually exclusive (a sharded artifact tiers per shard)", ErrCorrupt)
+	}
 	var body bytes.Buffer
 	writeSection(&body, "META", a.encodeMeta())
 	writeSection(&body, "STAG", encodeStages(a.Stages))
@@ -225,6 +253,9 @@ func (a *Artifact) Save(w io.Writer) error {
 		if a.Tier.DFA != nil {
 			writeSection(&body, "DFAT", encodeDFATable(a.Tier.DFA))
 		}
+	}
+	if a.Shards != nil {
+		writeSection(&body, "SHRD", encodeShardPlan(a.Shards))
 	}
 
 	pre := make([]byte, 16)
@@ -297,6 +328,10 @@ func Load(r io.Reader) (*Artifact, error) {
 		case "DFAT":
 			var err error
 			tierDFA, err = decodeDFATable(payload)
+			return err
+		case "SHRD":
+			var err error
+			a.Shards, err = decodeShardPlan(payload)
 			return err
 		case "BKND":
 			a.BackendPayload = append([]byte(nil), payload...)
@@ -430,38 +465,100 @@ func (a *Artifact) validate() error {
 			return fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 	}
+	if a.Tier != nil && a.Shards != nil {
+		return fmt.Errorf("%w: TIER and SHRD sections are mutually exclusive", ErrCorrupt)
+	}
 	if a.Tier == nil {
 		if a.Meta.TierCCs != 0 || a.Meta.TierDFACCs != 0 || a.Meta.TierDFAStates != 0 {
 			return fmt.Errorf("%w: META carries tier summary but no TIER section", ErrCorrupt)
 		}
+	} else {
+		p := &a.Tier.Plan
+		sum, dfaCCs := 0, 0
+		for _, cc := range p.CCs {
+			sum += cc.States
+			if cc.Kind == dfa.TierDFA {
+				dfaCCs++
+			}
+		}
+		if sum != n.NumStates() {
+			return fmt.Errorf("%w: tier plan covers %d of %d states", ErrCorrupt, sum, n.NumStates())
+		}
+		if a.Meta.TierCCs != len(p.CCs) || a.Meta.TierDFACCs != dfaCCs || a.Meta.TierDFAStates != p.DFAStates {
+			return fmt.Errorf("%w: META tier summary %d/%d/%d != plan %d/%d/%d", ErrCorrupt,
+				a.Meta.TierCCs, a.Meta.TierDFACCs, a.Meta.TierDFAStates, len(p.CCs), dfaCCs, p.DFAStates)
+		}
+		if a.Tier.DFA != nil {
+			r := a.Tier.DFA
+			if _, err := dfa.FromRaw(r); err != nil {
+				return fmt.Errorf("%w: DFAT: %v", ErrCorrupt, err)
+			}
+			if len(r.Phase) != p.DFAStates {
+				return fmt.Errorf("%w: DFAT has %d states, plan says %d", ErrCorrupt, len(r.Phase), p.DFAStates)
+			}
+			if r.Bits != n.Bits || r.Stride != n.Stride {
+				return fmt.Errorf("%w: DFAT geometry (%d,%d) != automaton (%d,%d)",
+					ErrCorrupt, r.Bits, r.Stride, n.Bits, n.Stride)
+			}
+		}
+	}
+	return a.validateShards()
+}
+
+// validateShards cross-checks the SHRD section against the automaton and
+// the Meta summary. The deep structural check — plan versus the automaton's
+// actual component decomposition, tier seals versus each shard's
+// sub-automaton — happens in shard.Unseal when a machine is assembled; this
+// layer verifies the invariants decidable without recomputing components.
+func (a *Artifact) validateShards() error {
+	if a.Shards == nil {
+		if a.Meta.Shards != 0 {
+			return fmt.Errorf("%w: META carries shard summary but no SHRD section", ErrCorrupt)
+		}
 		return nil
 	}
-	p := &a.Tier.Plan
-	sum, dfaCCs := 0, 0
-	for _, cc := range p.CCs {
-		sum += cc.States
-		if cc.Kind == dfa.TierDFA {
-			dfaCCs++
-		}
+	n := a.NFA
+	p := &a.Shards.Plan
+	if a.Meta.Shards != p.Shards {
+		return fmt.Errorf("%w: META shard summary %d != plan %d", ErrCorrupt, a.Meta.Shards, p.Shards)
+	}
+	sum := 0
+	for _, s := range p.CCStates {
+		sum += s
 	}
 	if sum != n.NumStates() {
-		return fmt.Errorf("%w: tier plan covers %d of %d states", ErrCorrupt, sum, n.NumStates())
+		return fmt.Errorf("%w: shard plan covers %d of %d states", ErrCorrupt, sum, n.NumStates())
 	}
-	if a.Meta.TierCCs != len(p.CCs) || a.Meta.TierDFACCs != dfaCCs || a.Meta.TierDFAStates != p.DFAStates {
-		return fmt.Errorf("%w: META tier summary %d/%d/%d != plan %d/%d/%d", ErrCorrupt,
-			a.Meta.TierCCs, a.Meta.TierDFACCs, a.Meta.TierDFAStates, len(p.CCs), dfaCCs, p.DFAStates)
+	if len(a.Shards.Tiers) == 0 {
+		return nil
 	}
-	if a.Tier.DFA != nil {
-		r := a.Tier.DFA
-		if _, err := dfa.FromRaw(r); err != nil {
-			return fmt.Errorf("%w: DFAT: %v", ErrCorrupt, err)
+	// Each tiered shard's plan must account for exactly the components and
+	// states the shard plan assigned to it; empty shards carry no tier.
+	ccCount := make([]int, p.Shards)
+	states := p.ShardStates()
+	for _, sh := range p.CCShard {
+		ccCount[sh]++
+	}
+	for k, tier := range a.Shards.Tiers {
+		if tier == nil {
+			continue
 		}
-		if len(r.Phase) != p.DFAStates {
-			return fmt.Errorf("%w: DFAT has %d states, plan says %d", ErrCorrupt, len(r.Phase), p.DFAStates)
+		if states[k] == 0 {
+			return fmt.Errorf("%w: SHRD shard %d is empty but carries a tier plan", ErrCorrupt, k)
 		}
-		if r.Bits != n.Bits || r.Stride != n.Stride {
-			return fmt.Errorf("%w: DFAT geometry (%d,%d) != automaton (%d,%d)",
-				ErrCorrupt, r.Bits, r.Stride, n.Bits, n.Stride)
+		tierStates := 0
+		for _, cc := range tier.Plan.CCs {
+			tierStates += cc.States
+		}
+		if len(tier.Plan.CCs) != ccCount[k] || tierStates != states[k] {
+			return fmt.Errorf("%w: SHRD shard %d tier plan spans %d components/%d states, shard plan assigns %d/%d",
+				ErrCorrupt, k, len(tier.Plan.CCs), tierStates, ccCount[k], states[k])
+		}
+		if tier.DFA != nil {
+			if tier.DFA.Bits != n.Bits || tier.DFA.Stride != n.Stride {
+				return fmt.Errorf("%w: SHRD shard %d DFA geometry (%d,%d) != automaton (%d,%d)",
+					ErrCorrupt, k, tier.DFA.Bits, tier.DFA.Stride, n.Bits, n.Stride)
+			}
 		}
 	}
 	return nil
@@ -632,8 +729,9 @@ func (a *Artifact) encodeMeta() []byte {
 	e.u32(uint32(m.TierCCs))
 	e.u32(uint32(m.TierDFACCs))
 	e.u32(uint32(m.TierDFAStates))
+	e.u32(uint32(m.Shards))
 	// The backend tag is appended only when a non-default target sealed the
-	// artifact, so default-backend files keep the legacy META layout
+	// artifact, so default-backend files keep the fixed META layout
 	// byte-for-byte.
 	if m.Backend != "" {
 		e.str(m.Backend)
@@ -659,9 +757,10 @@ func (a *Artifact) decodeMeta(payload []byte) error {
 	m.TierCCs = int(d.u32())
 	m.TierDFACCs = int(d.u32())
 	m.TierDFAStates = int(d.u32())
-	// Legacy artifacts end here (Backend ""); a trailing string is the
-	// non-default backend tag. The container CRC already passed, so a tail
-	// that does not decode as a non-empty string is corruption, not
+	m.Shards = int(d.u32())
+	// Default-backend artifacts end here (Backend ""); a trailing string is
+	// the non-default backend tag. The container CRC already passed, so a
+	// tail that does not decode as a non-empty string is corruption, not
 	// truncation.
 	if d.err == nil && d.off < len(d.b) {
 		m.Backend = d.str()
@@ -950,6 +1049,113 @@ func decodeDFATable(payload []byte) (*dfa.Raw, error) {
 		return nil, fmt.Errorf("%w: DFAT: %v", ErrCorrupt, err)
 	}
 	return r, nil
+}
+
+// SHRD layout: the partition plan (shard count, per-component shard
+// assignment and state count), then the per-shard tier seals as nested
+// length-prefixed blobs reusing the TIER/DFAT codecs. The tier list is
+// either absent (untiered plan sealed with no entries) or exactly one
+// presence-flagged entry per shard.
+func encodeShardPlan(s *shard.Sealed) []byte {
+	var e enc
+	e.u32(uint32(s.Plan.Shards))
+	e.u32(uint32(len(s.Plan.CCShard)))
+	for i, sh := range s.Plan.CCShard {
+		e.u32(uint32(sh))
+		e.u32(uint32(s.Plan.CCStates[i]))
+	}
+	e.u32(uint32(len(s.Tiers)))
+	for _, tier := range s.Tiers {
+		if tier == nil {
+			e.u8(0)
+			continue
+		}
+		e.u8(1)
+		plan := encodeTierPlan(&tier.Plan)
+		e.u64(uint64(len(plan)))
+		e.b = append(e.b, plan...)
+		if tier.DFA == nil {
+			e.u8(0)
+			continue
+		}
+		e.u8(1)
+		table := encodeDFATable(tier.DFA)
+		e.u64(uint64(len(table)))
+		e.b = append(e.b, table...)
+	}
+	return e.b
+}
+
+// blob takes a length-prefixed nested payload off the decoder.
+func (d *dec) blob() []byte {
+	n := d.u64()
+	if d.err == nil && n > uint64(len(d.b)-d.off) {
+		d.err = ErrTruncated
+		return nil
+	}
+	return d.take(int(n))
+}
+
+func decodeShardPlan(payload []byte) (*shard.Sealed, error) {
+	d := &dec{b: payload}
+	s := &shard.Sealed{}
+	s.Plan.Shards = int(d.u32())
+	if d.err == nil && (s.Plan.Shards < 1 || s.Plan.Shards > 1<<20) {
+		return nil, fmt.Errorf("%w: SHRD claims %d shards", ErrCorrupt, s.Plan.Shards)
+	}
+	ncc := int(d.u32())
+	if d.err == nil && uint64(ncc)*8 > uint64(len(payload)-d.off) {
+		return nil, fmt.Errorf("%w: %d shard components in %d-byte section", ErrCorrupt, ncc, len(payload))
+	}
+	for i := 0; i < ncc && d.err == nil; i++ {
+		sh := int(d.u32())
+		st := int(d.u32())
+		if d.err != nil {
+			break
+		}
+		if sh < 0 || sh >= s.Plan.Shards {
+			return nil, fmt.Errorf("%w: SHRD component %d assigned to shard %d of %d", ErrCorrupt, i, sh, s.Plan.Shards)
+		}
+		s.Plan.CCShard = append(s.Plan.CCShard, sh)
+		s.Plan.CCStates = append(s.Plan.CCStates, st)
+	}
+	ntiers := int(d.u32())
+	if d.err == nil && ntiers != 0 && ntiers != s.Plan.Shards {
+		return nil, fmt.Errorf("%w: SHRD has %d tier entries for %d shards", ErrCorrupt, ntiers, s.Plan.Shards)
+	}
+	for k := 0; k < ntiers && d.err == nil; k++ {
+		if d.u8() == 0 {
+			s.Tiers = append(s.Tiers, nil)
+			continue
+		}
+		plan, err := decodeTierPlan(d.blob())
+		if d.err != nil {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", k, err)
+		}
+		var table *dfa.Raw
+		hasDFA := d.u8() != 0
+		if hasDFA {
+			table, err = decodeDFATable(d.blob())
+			if d.err != nil {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", k, err)
+			}
+		}
+		if (plan.DFAStates > 0) != hasDFA {
+			return nil, fmt.Errorf("%w: SHRD shard %d plan claims %d DFA states, table present: %t",
+				ErrCorrupt, k, plan.DFAStates, hasDFA)
+		}
+		s.Tiers = append(s.Tiers, &dfa.Sealed{Plan: *plan, DFA: table})
+	}
+	if err := d.done("SHRD"); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func encodePlacement(pl *place.Placement) []byte {

@@ -9,6 +9,7 @@ import (
 	"impala/internal/dfa"
 	"impala/internal/espresso"
 	"impala/internal/obs"
+	"impala/internal/shard"
 )
 
 // Config selects a design point of the V-TeSS compiler.
@@ -56,8 +57,16 @@ type Config struct {
 	// connected components of the transformed automaton are determinized
 	// under the given budgets into a hybrid DFA/NFA execution plan
 	// (Result.Tiers). Worker count and trace default to this Config's when
-	// unset on the tier options.
+	// unset on the tier options. With Shards > 1 the same options instead
+	// tier-plan every shard independently (Result.Shards); Result.Tiers
+	// stays nil.
 	Tier *dfa.TierOptions
+	// Shards > 1 runs the shard-plan stage after the pipeline: connected
+	// components of the transformed automaton are packed into that many
+	// shard automata (Result.Shards), each independently compiled — and,
+	// when Tier is set, independently tier-planned, so the DFA fast-path
+	// budgets apply per shard.
+	Shards int
 	// Backend names the compile target (internal/backend registry). The
 	// empty string selects the default Impala capsule target. The backend
 	// owns geometry legality (Validate delegates to it) and whether the
@@ -115,8 +124,11 @@ type Result struct {
 	// Config.Espresso.Cache).
 	CacheHits, CacheMisses uint64
 	// Tiers is the hybrid execution plan built by the tier-selection stage
-	// (nil unless Config.Tier was set).
+	// (nil unless Config.Tier was set with Config.Shards <= 1).
 	Tiers *dfa.Tiered
+	// Shards is the partitioned execution form built by the shard-plan
+	// stage (nil unless Config.Shards > 1).
+	Shards *shard.Sharded
 }
 
 // CacheHitRate returns the fraction of Espresso lookups served from the
@@ -256,7 +268,28 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 		}
 	}
 
-	if cfg.Tier != nil {
+	switch {
+	case cfg.Shards > 1:
+		var topt *dfa.TierOptions
+		if cfg.Tier != nil {
+			t := *cfg.Tier
+			if t.Trace == nil {
+				t.Trace = cfg.Trace
+			}
+			topt = &t
+		}
+		t0 = time.Now()
+		res.Shards, err = shard.Build(cur, shard.Options{
+			Shards:  cfg.Shards,
+			Tier:    topt,
+			Workers: cfg.Workers,
+			Trace:   cfg.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		record("shard-plan", cur, t0, res.Shards.BuildCPU())
+	case cfg.Tier != nil:
 		topt := *cfg.Tier
 		if topt.Workers == 0 {
 			topt.Workers = cfg.Workers

@@ -256,6 +256,7 @@ func Registry() map[string]Runner {
 		"compilespeed": CompileSpeed,
 		"servespeed":   ServeSpeed,
 		"tierspeed":    TierSpeed,
+		"shardspeed":   ShardSpeed,
 		"backendcmp":   BackendCmp,
 	}
 }
@@ -264,6 +265,6 @@ func Registry() map[string]Runner {
 func IDs() []string {
 	return []string{
 		"fig2", "table1", "table4", "table5", "fig13", "fig14",
-		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed", "compilespeed", "servespeed", "tierspeed", "backendcmp",
+		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed", "compilespeed", "servespeed", "tierspeed", "shardspeed", "backendcmp",
 	}
 }

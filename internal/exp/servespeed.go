@@ -64,6 +64,76 @@ func (r *ServeReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// ReadServeReport parses a stored servespeed baseline.
+func ReadServeReport(r io.Reader) (*ServeReport, error) {
+	var rep ServeReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("exp: bad serve report: %w", err)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("exp: serve report has no cells")
+	}
+	return &rep, nil
+}
+
+// CompareServeReports checks a fresh servespeed report against a stored
+// baseline (the BENCH_serve.json part of impala-bench -check). Two drift
+// classes are flagged:
+//
+//   - Serving correctness shape: when both reports ran the same scale and
+//     seed, each concurrency row's request count and total match count
+//     must equal the baseline's exactly — the workload is deterministic,
+//     so a drift means the served results changed, not the clock.
+//   - Concurrency scaling: a row's speedup over the single-client row may
+//     not drop more than SpeedupTolerance (fractional) below baseline —
+//     but only where the baseline single-client sweep took at least
+//     MinWallMS, the same guard every wall-clock gate in this package
+//     uses, only when the baseline itself ran on parallel hardware
+//     (GOMAXPROCS > 1 — a single-core baseline has no mechanism for
+//     concurrency speedup, so its ratios hover around 1.0 by noise
+//     alone and make no claim), only when the checker has at least the
+//     baseline's GOMAXPROCS, and only on baseline rows that claim a win
+//     (speedup >= 1) — a row where concurrency lost ground is a
+//     negative control whose exact depth is noise.
+//
+// Rows missing from the fresh report are flagged; extra rows are fine.
+func CompareServeReports(base, cur *ServeReport, opt CheckOptions) []string {
+	opt = opt.withDefaults()
+	got := make(map[int]ServeCell, len(cur.Cells))
+	for _, c := range cur.Cells {
+		got[c.Clients] = c
+	}
+	sameRun := base.Scale == cur.Scale && base.Seed == cur.Seed &&
+		base.Benchmark == cur.Benchmark
+
+	var bad []string
+	flag := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	if sameRun && (cur.States != base.States || cur.InputBytes != base.InputBytes) {
+		flag("workload shape changed: %d states/%d input bytes, baseline %d/%d",
+			cur.States, cur.InputBytes, base.States, base.InputBytes)
+	}
+	timed := len(base.Cells) > 0 && base.Cells[0].WallMS >= opt.MinWallMS
+	for _, b := range base.Cells {
+		c, ok := got[b.Clients]
+		if !ok {
+			flag("%d clients: row missing from report", b.Clients)
+			continue
+		}
+		if sameRun && (c.Requests != b.Requests || c.Matches != b.Matches) {
+			flag("%d clients: served %d requests/%d matches, baseline %d/%d",
+				b.Clients, c.Requests, c.Matches, b.Requests, b.Matches)
+		}
+		if !timed || base.GOMAXPROCS <= 1 || cur.GOMAXPROCS < base.GOMAXPROCS || b.SpeedupVs1 < 1 {
+			continue // too quick to time, no parallel baseline, fewer cores than baseline, or a negative-control row; ratios are noise
+		}
+		if floor := b.SpeedupVs1 * (1 - opt.SpeedupTolerance); c.SpeedupVs1 < floor {
+			flag("%d clients: speedup vs 1 client %.2fx below baseline %.2fx (floor %.2fx at %.0f%% tolerance)",
+				b.Clients, c.SpeedupVs1, b.SpeedupVs1, floor, opt.SpeedupTolerance*100)
+		}
+	}
+	return bad
+}
+
 // ServeSpeedReport measures impala-serve's one-shot match path end to end —
 // HTTP request in, JSON matches out — at 1, 8 and 64 concurrent clients
 // against a loopback listener hosting one tenant. The tenant machine is

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,20 @@ import (
 	"impala/internal/obs"
 	"impala/internal/par"
 )
+
+// Per-request buffers are recycled across requests, mirroring the engine
+// pools in sim/compiled.go: bodyPool holds /match request bodies, rowsPool
+// the response match rows, and chunkPool the /stream read buffers. Under
+// steady-state traffic the handlers then allocate only what the engine and
+// the JSON encoder need (pinned by TestMatchHandlerAllocs).
+var (
+	bodyPool  = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	rowsPool  = sync.Pool{New: func() any { return &matchRows{rows: make([]matchJSON, 0, 64)} }}
+	chunkPool = sync.Pool{New: func() any { b := make([]byte, 32<<10); return &b }}
+)
+
+// matchRows boxes the pooled row slice so Put never allocates.
+type matchRows struct{ rows []matchJSON }
 
 // Config tunes the daemon.
 type Config struct {
@@ -179,11 +194,14 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
-	if err != nil {
+	bb := bodyPool.Get().(*bytes.Buffer)
+	bb.Reset()
+	defer bodyPool.Put(bb)
+	if _, err := bb.ReadFrom(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1)); err != nil {
 		s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
+	body := bb.Bytes()
 	if int64(len(body)) > s.cfg.MaxBodyBytes {
 		s.httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBodyBytes)
 		return
@@ -196,7 +214,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	t0 := time.Now()
 	var matches []impala.Match
-	err = s.pool.Do(ctx, func() { matches = t.Machine.Match(body) })
+	err := s.pool.Do(ctx, func() { matches = t.Machine.Match(body) })
 	switch {
 	case errors.Is(err, par.ErrQueueFull), errors.Is(err, par.ErrPoolClosed):
 		s.m.rejected.Inc()
@@ -213,18 +231,21 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	s.m.matchLatency.Observe(elapsed.Nanoseconds())
 	s.m.reports.Add(int64(len(matches)))
 
+	rp := rowsPool.Get().(*matchRows)
+	rp.rows = rp.rows[:0]
+	for _, mt := range matches {
+		rp.rows = append(rp.rows, matchJSON{End: mt.End, Pattern: mt.Pattern})
+	}
 	resp := matchResponse{
 		Tenant:     t.Name,
 		Generation: t.Generation,
 		Bytes:      len(body),
-		Matches:    make([]matchJSON, 0, len(matches)),
+		Matches:    rp.rows,
 		ElapsedUS:  elapsed.Microseconds(),
-	}
-	for _, mt := range matches {
-		resp.Matches = append(resp.Matches, matchJSON{End: mt.End, Pattern: mt.Pattern})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
+	rowsPool.Put(rp)
 }
 
 // streamDone is the final NDJSON line of a /stream response; match lines
@@ -290,7 +311,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			encErr = enc.Encode(matchJSON{End: mt.End, Pattern: mt.Pattern})
 		}
 	})
-	buf := make([]byte, 32<<10)
+	bufp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bufp)
+	buf := *bufp
 	for {
 		n, err := r.Body.Read(buf)
 		if n > 0 {

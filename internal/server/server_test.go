@@ -500,3 +500,34 @@ func TestMetricsBound(t *testing.T) {
 		t.Fatalf("latency histogram: %+v", snap.Histograms["serve_match_latency_ns"])
 	}
 }
+
+// TestMatchHandlerAllocs pins the steady-state allocation cost of the
+// one-shot /match path. The body, row and chunk pools recycle the
+// per-request buffers, so what remains is the engine run, the JSON encode
+// and net/http plumbing — dropping one of the pools shows up as a jump
+// well past the bound.
+func TestMatchHandlerAllocs(t *testing.T) {
+	m := compileMachine(t, []string{"GET /", "needle"})
+	s := New(Config{Workers: 1})
+	t.Cleanup(s.Drain)
+	s.Tenants().Install("alloc", m)
+	h := s.Handler()
+	input := bytes.Repeat([]byte("GET /index needle "), 64)
+
+	run := func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/alloc/match", bytes.NewReader(input))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("match status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+	run() // warm the pools and the engine cache
+
+	allocs := testing.AllocsPerRun(100, run)
+	t.Logf("allocs per /match request: %.1f", allocs)
+	const limit = 100
+	if allocs > limit {
+		t.Errorf("/match allocates %.1f objects per request, want <= %d", allocs, limit)
+	}
+}

@@ -1,0 +1,563 @@
+// Package shard partitions an automaton's weakly connected components into
+// K independent shard automata and executes them as one logical engine.
+// The planner is the CAM backend's bank packer lifted one level up:
+// first-fit-decreasing over per-component weights into K capacity bins,
+// deterministic for any worker count. Components are atomic, so every
+// pattern's reports come from exactly one shard and the merged, sorted
+// output is identical to the unsharded engine's.
+//
+// Sharding pays twice. Each shard is tier-planned independently, so the
+// DFA fast-path budget applies per shard: rulesets whose union DFA blows
+// the budget as one automaton determinize shard by shard, moving states
+// from the bit-parallel NFA fallback onto dense table walks even on one
+// core. And shards are independent engines, so a multi-core host scans
+// them concurrently on a bounded worker pool.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"impala/internal/automata"
+	"impala/internal/dfa"
+	"impala/internal/obs"
+	"impala/internal/par"
+	"impala/internal/sim"
+)
+
+// Options tunes shard planning and construction.
+type Options struct {
+	// Shards is the shard count K (>= 1).
+	Shards int
+	// Tier, when non-nil, tier-plans every shard independently under these
+	// budgets (dfa.BuildTiered per shard): the CCMaxStates / MaxStates
+	// caps model per-engine capacity, so K shards carry K times the
+	// fast-path budget of the unsharded automaton.
+	Tier *dfa.TierOptions
+	// Workers bounds the shard-construction pool and the default Run
+	// fan-out (<= 0 selects GOMAXPROCS). Plans and engines are identical
+	// for any value.
+	Workers int
+	// Trace, when non-nil, records per-shard construction spans.
+	Trace *obs.Trace
+}
+
+// Plan is the sealed record of a shard partition: which shard each
+// connected component executes on. It is deterministic for a fixed
+// automaton and shard count, so artifacts carry it and the regression gate
+// compares it exactly.
+type Plan struct {
+	// Shards is the shard count K.
+	Shards int
+	// CCShard maps component index (automata.ConnectedComponents order) to
+	// its shard in [0, Shards).
+	CCShard []int
+	// CCStates records each component's state count, so an unsealed plan
+	// can be revalidated against the automaton it claims to partition.
+	CCStates []int
+}
+
+// ShardStates returns the per-shard state totals.
+func (p Plan) ShardStates() []int {
+	out := make([]int, p.Shards)
+	for i, s := range p.CCShard {
+		out[s] += p.CCStates[i]
+	}
+	return out
+}
+
+// MaxStates and MinStates bound the per-shard state totals (the balance
+// the planner optimizes). MinStates counts only non-empty shards when the
+// component count is below the shard count.
+func (p Plan) MaxStates() int {
+	max := 0
+	for _, s := range p.ShardStates() {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// MinStates returns the smallest non-empty shard's state total (0 when
+// every shard is empty).
+func (p Plan) MinStates() int {
+	min := 0
+	for _, s := range p.ShardStates() {
+		if s > 0 && (min == 0 || s < min) {
+			min = s
+		}
+	}
+	return min
+}
+
+// ccWeight is the planner's size estimate for one component: states plus
+// match rects, the same stack the CAM bank packer prices (every state is a
+// row; every extra rect widens its match arrays).
+func ccWeight(n *automata.NFA, cc []automata.StateID) int {
+	w := len(cc)
+	for _, id := range cc {
+		w += len(n.States[id].Match)
+	}
+	return w
+}
+
+// planShards assigns components to shards: first-fit-decreasing by weight
+// (component index breaks ties) into the least-loaded shard (lowest index
+// breaks ties). Whole components stay together, so no pattern's reports
+// ever straddle shards — the merged report stream interleaves only at
+// component granularity.
+func planShards(n *automata.NFA, ccs [][]automata.StateID, k int) Plan {
+	p := Plan{
+		Shards:   k,
+		CCShard:  make([]int, len(ccs)),
+		CCStates: make([]int, len(ccs)),
+	}
+	weights := make([]int, len(ccs))
+	order := make([]int, len(ccs))
+	for i, cc := range ccs {
+		p.CCStates[i] = len(cc)
+		weights[i] = ccWeight(n, cc)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	load := make([]int, k)
+	for _, ci := range order {
+		best := 0
+		for s := 1; s < k; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		p.CCShard[ci] = best
+		load[best] += weights[ci]
+	}
+	return p
+}
+
+// shardEngine is one shard's execution form: a tier-planned hybrid when
+// tiering was requested, the bit-parallel compiled form otherwise. orig
+// remaps shard-local state IDs back to the original automaton's.
+type shardEngine struct {
+	orig   []automata.StateID
+	tiered *dfa.Tiered
+	comp   *sim.Compiled
+}
+
+func (e *shardEngine) empty() bool { return len(e.orig) == 0 }
+
+// Sharded is the K-shard execution form. It is immutable after
+// construction and safe to share across goroutines; per-stream state lives
+// in the cores handed out by NewCore/NewSession and in the pooled
+// fan-out buffers of Run.
+type Sharded struct {
+	nfa      *automata.NFA
+	plan     Plan
+	shards   []shardEngine
+	workers  int
+	buildCPU time.Duration
+	pool     sync.Pool // of *shardedCore, for one-shot Run merging
+}
+
+// extract builds the sub-automaton induced by ids (closed under edges —
+// true for any union of weakly connected components). State order follows
+// ids; match sets are aliased, not copied.
+func extract(n *automata.NFA, ids []automata.StateID) *automata.NFA {
+	sub := automata.New(n.Bits, n.Stride)
+	remap := make(map[automata.StateID]automata.StateID, len(ids))
+	for _, id := range ids {
+		s := n.States[id]
+		s.Out = nil
+		remap[id] = sub.AddState(s)
+	}
+	for _, id := range ids {
+		for _, t := range n.States[id].Out {
+			sub.AddEdge(remap[id], remap[t])
+		}
+	}
+	return sub
+}
+
+// shardIDs collects each shard's state IDs, sorted ascending, from a plan.
+func shardIDs(ccs [][]automata.StateID, p Plan) [][]automata.StateID {
+	ids := make([][]automata.StateID, p.Shards)
+	for ci, cc := range ccs {
+		ids[p.CCShard[ci]] = append(ids[p.CCShard[ci]], cc...)
+	}
+	for _, list := range ids {
+		sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
+	}
+	return ids
+}
+
+// Build plans a K-way partition of the automaton's components and
+// constructs every shard's engine. Shards are built concurrently on a pool
+// bounded by opts.Workers; the plan and every engine are byte-identical
+// for any worker count.
+func Build(n *automata.NFA, opts Options) (*Sharded, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("shard: shard count must be >= 1, got %d", opts.Shards)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: invalid automaton: %w", err)
+	}
+	ccs := n.ConnectedComponents()
+	plan := planShards(n, ccs, opts.Shards)
+	s := &Sharded{nfa: n, plan: plan, workers: par.Workers(opts.Workers)}
+	var err error
+	s.shards, s.buildCPU, err = buildEngines(n, shardIDs(ccs, plan), opts)
+	if err != nil {
+		return nil, err
+	}
+	s.pool.New = func() any { return s.newCore() }
+	if m := shardMetricsPtr.Load(); m != nil {
+		m.builds.Add(1)
+	}
+	return s, nil
+}
+
+// buildEngines constructs one engine per shard (empty shards get none).
+// Per-shard tier planning runs serially inside each shard slot — the
+// cross-shard pool is the parallelism — so nested pools never oversubscribe.
+func buildEngines(n *automata.NFA, ids [][]automata.StateID, opts Options) ([]shardEngine, time.Duration, error) {
+	engines := make([]shardEngine, len(ids))
+	errs := make([]error, len(ids))
+	var cpuNS atomic.Int64
+	par.TraceFor(opts.Trace, "shard/build", opts.Workers, len(ids), func(k int) {
+		if len(ids[k]) == 0 {
+			return
+		}
+		t0 := time.Now()
+		defer func() { cpuNS.Add(int64(time.Since(t0))) }()
+		sub := extract(n, ids[k])
+		engines[k].orig = ids[k]
+		if opts.Tier != nil {
+			topt := *opts.Tier
+			topt.Workers = 1
+			topt.Trace = nil
+			t, err := dfa.BuildTiered(sub, topt)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			engines[k].tiered = t
+			return
+		}
+		c, err := sim.Compile(sub)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		engines[k].comp = c
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return engines, time.Duration(cpuNS.Load()), nil
+}
+
+// Plan returns the sealed partition record.
+func (s *Sharded) Plan() Plan { return s.plan }
+
+// NFA returns the original automaton the partition was planned for.
+func (s *Sharded) NFA() *automata.NFA { return s.nfa }
+
+// Shards returns the shard count K.
+func (s *Sharded) Shards() int { return s.plan.Shards }
+
+// BuildCPU returns the total CPU time spent constructing shard engines
+// (the shard-plan stage's CPU statistic).
+func (s *Sharded) BuildCPU() time.Duration { return s.buildCPU }
+
+// TieredShards counts shards that carry a DFA fast-path tier.
+func (s *Sharded) TieredShards() int {
+	n := 0
+	for i := range s.shards {
+		e := &s.shards[i]
+		if e.tiered != nil && e.tiered.DFA() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// DFAStates sums the dense-DFA state counts across all shards — the total
+// fast-path coverage the per-shard budgets bought.
+func (s *Sharded) DFAStates() int {
+	total := 0
+	for i := range s.shards {
+		if t := s.shards[i].tiered; t != nil {
+			total += t.Plan().DFAStates
+		}
+	}
+	return total
+}
+
+// NFATierStates sums the automaton states executing on the bit-parallel
+// NFA tier across all shards (every state of an untiered shard counts) —
+// the slow-path residual the per-shard budgets did not buy out.
+func (s *Sharded) NFATierStates() int {
+	total := 0
+	for i := range s.shards {
+		e := &s.shards[i]
+		if e.tiered != nil {
+			total += e.tiered.Plan().NFAStates
+		} else {
+			total += len(e.orig)
+		}
+	}
+	return total
+}
+
+// nonEmpty returns the indices of shards that hold states.
+func (s *Sharded) nonEmpty() []int {
+	var out []int
+	for i := range s.shards {
+		if !s.shards[i].empty() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Run executes every shard over the input and merges their reports into
+// one sorted stream, identical to the unsharded engine's (components
+// partition the state space, so per-shard report sets are disjoint and
+// SortReports produces the same total order). Shards run concurrently on
+// at most Options.Workers goroutines; with one usable shard (or one
+// worker's worth of work) the lockstep core runs instead, so statistics
+// degrade gracefully: the fan-out path sums per-shard activity and takes
+// the conservative sum of per-shard peaks, while the lockstep path is
+// cycle-exact. It is safe for concurrent use.
+func (s *Sharded) Run(input []byte) ([]sim.Report, sim.Stats) {
+	live := s.nonEmpty()
+	if len(live) <= 1 || s.workers <= 1 {
+		return s.runLockstep(input)
+	}
+
+	type shardOut struct {
+		reports []sim.Report
+		stats   sim.Stats
+	}
+	outs := make([]shardOut, len(live))
+	par.For(s.workers, len(live), func(i int) {
+		e := &s.shards[live[i]]
+		var r []sim.Report
+		var st sim.Stats
+		if e.tiered != nil {
+			r, st = e.tiered.Run(input)
+		} else {
+			r, st = e.comp.Run(input)
+		}
+		for j := range r {
+			r[j].State = e.orig[r[j].State]
+		}
+		outs[i] = shardOut{reports: r, stats: st}
+	})
+
+	var reports []sim.Report
+	var st sim.Stats
+	for i := range outs {
+		reports = append(reports, outs[i].reports...)
+		o := &outs[i].stats
+		if o.Cycles > st.Cycles {
+			st.Cycles = o.Cycles
+		}
+		st.TotalActive += o.TotalActive
+		st.TotalEnabled += o.TotalEnabled
+		st.PeakActive += o.PeakActive
+		st.Reports += o.Reports
+	}
+	if st.Cycles > 0 {
+		st.ActivePerCycleAvg = float64(st.TotalActive) / float64(st.Cycles)
+	}
+	sim.SortReports(reports)
+	s.countRun(len(input), len(live), len(reports))
+	return reports, st
+}
+
+// runLockstep is Run on a pooled lockstep core: exact statistics, no
+// fan-out overhead.
+func (s *Sharded) runLockstep(input []byte) ([]sim.Report, sim.Stats) {
+	core := s.pool.Get().(*shardedCore)
+	var reports []sim.Report
+	sess := sim.NewSession(core, func(r sim.Report) { reports = append(reports, r) })
+	sess.Feed(input)
+	sess.Flush()
+	sim.SortReports(reports)
+	st := sess.Stats()
+	s.pool.Put(core)
+	s.countRun(len(input), len(s.nonEmpty()), len(reports))
+	return reports, st
+}
+
+func (s *Sharded) countRun(inputBytes, liveShards, reports int) {
+	if m := shardMetricsPtr.Load(); m != nil {
+		m.scans.Add(1)
+		m.bytes.Add(int64(inputBytes) * int64(liveShards))
+		m.reports.Add(int64(reports))
+	}
+}
+
+// shardedCore steps every shard engine in lockstep as one sim.Core: the
+// N-way generalization of the tiered core's two-engine dispatch. Report
+// sinks are stable closures that remap shard-local state IDs, so
+// steady-state stepping allocates nothing. Enabled/active counts sum to
+// exactly the whole automaton's because the shards partition its states.
+type shardedCore struct {
+	s     *Sharded
+	cores []sim.Core
+	sinks []sim.ReportSink
+	sink  sim.ReportSink
+}
+
+func (s *Sharded) newCore() *shardedCore {
+	c := &shardedCore{s: s}
+	for i := range s.shards {
+		e := &s.shards[i]
+		if e.empty() {
+			continue
+		}
+		var core sim.Core
+		if e.tiered != nil {
+			core = e.tiered.NewCore()
+		} else {
+			core = e.comp.NewEngine()
+		}
+		orig := e.orig
+		c.cores = append(c.cores, core)
+		c.sinks = append(c.sinks, func(r sim.Report) {
+			r.State = orig[r.State]
+			c.sink(r)
+		})
+	}
+	return c
+}
+
+// NewCore returns a fresh per-stream lockstep core over all shards; it
+// implements sim.Core.
+func (s *Sharded) NewCore() sim.Core { return s.newCore() }
+
+// NewSession returns a streaming session over the sharded form. Many
+// sessions may run concurrently over one Sharded; each owns its cores.
+func (s *Sharded) NewSession(sink sim.ReportSink) *sim.Session {
+	return sim.NewSession(s.newCore(), sink)
+}
+
+// Geometry implements sim.Core.
+func (c *shardedCore) Geometry() (bits, stride int) { return c.s.nfa.Bits, c.s.nfa.Stride }
+
+// ResetState implements sim.Core.
+func (c *shardedCore) ResetState() {
+	for _, core := range c.cores {
+		core.ResetState()
+	}
+}
+
+// StepCycle implements sim.Core: every shard consumes the same chunk.
+func (c *shardedCore) StepCycle(chunk []byte, t int, limitBits int, sink sim.ReportSink, tracer sim.Tracer) (int, int) {
+	c.sink = sink
+	var ne, na int
+	for i, core := range c.cores {
+		e, a := core.StepCycle(chunk, t, limitBits, c.sinks[i], nil)
+		ne += e
+		na += a
+	}
+	return ne, na
+}
+
+// Sealed is the serialization form of a shard partition: the plan plus
+// each shard's sealed tier selection (nil entries for untiered or empty
+// shards). Shard engines are rebuilt from the automaton and the plan on
+// load, exactly like the tier plan's NFA side; the per-shard DFA tables
+// ride along because they are the expensive part.
+type Sealed struct {
+	Plan  Plan
+	Tiers []*dfa.Sealed
+}
+
+// Seal returns the serialization form of the shard partition.
+func (s *Sharded) Seal() *Sealed {
+	out := &Sealed{Plan: s.plan, Tiers: make([]*dfa.Sealed, len(s.shards))}
+	for i := range s.shards {
+		if t := s.shards[i].tiered; t != nil {
+			out.Tiers[i] = t.Seal()
+		}
+	}
+	return out
+}
+
+// Unseal reassembles a Sharded execution form from a sealed plan and the
+// automaton it was planned for, revalidating the plan against the
+// automaton's current component structure. Per-shard tier seals are
+// revalidated by dfa.Unseal against each shard's sub-automaton.
+func Unseal(n *automata.NFA, s *Sealed) (*Sharded, error) {
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: invalid automaton: %w", err)
+	}
+	k := s.Plan.Shards
+	if k < 1 {
+		return nil, fmt.Errorf("shard: sealed plan has %d shards", k)
+	}
+	if len(s.Tiers) != 0 && len(s.Tiers) != k {
+		return nil, fmt.Errorf("shard: sealed plan has %d shards but %d tier entries", k, len(s.Tiers))
+	}
+	ccs := n.ConnectedComponents()
+	if len(ccs) != len(s.Plan.CCShard) {
+		return nil, fmt.Errorf("shard: sealed plan has %d components, automaton has %d", len(s.Plan.CCShard), len(ccs))
+	}
+	if len(s.Plan.CCStates) != len(s.Plan.CCShard) {
+		return nil, fmt.Errorf("shard: sealed plan has %d component sizes for %d components", len(s.Plan.CCStates), len(s.Plan.CCShard))
+	}
+	for i, cc := range ccs {
+		if sh := s.Plan.CCShard[i]; sh < 0 || sh >= k {
+			return nil, fmt.Errorf("shard: sealed component %d assigned to shard %d of %d", i, sh, k)
+		}
+		if s.Plan.CCStates[i] != len(cc) {
+			return nil, fmt.Errorf("shard: sealed component %d has %d states, automaton has %d", i, s.Plan.CCStates[i], len(cc))
+		}
+	}
+
+	out := &Sharded{nfa: n, plan: s.Plan, workers: par.Workers(0)}
+	ids := shardIDs(ccs, s.Plan)
+	out.shards = make([]shardEngine, k)
+	for i := 0; i < k; i++ {
+		var tier *dfa.Sealed
+		if len(s.Tiers) != 0 {
+			tier = s.Tiers[i]
+		}
+		if len(ids[i]) == 0 {
+			if tier != nil {
+				return nil, fmt.Errorf("shard: sealed shard %d is empty but carries a tier plan", i)
+			}
+			continue
+		}
+		sub := extract(n, ids[i])
+		out.shards[i].orig = ids[i]
+		if tier != nil {
+			t, err := dfa.Unseal(sub, tier)
+			if err != nil {
+				return nil, fmt.Errorf("shard: shard %d tier does not unseal: %w", i, err)
+			}
+			out.shards[i].tiered = t
+			continue
+		}
+		c, err := sim.Compile(sub)
+		if err != nil {
+			return nil, err
+		}
+		out.shards[i].comp = c
+	}
+	out.pool.New = func() any { return out.newCore() }
+	return out, nil
+}

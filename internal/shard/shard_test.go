@@ -1,0 +1,336 @@
+package shard_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/core"
+	"impala/internal/dfa"
+	"impala/internal/regexc"
+	"impala/internal/shard"
+	"impala/internal/sim"
+	"impala/internal/workload"
+)
+
+// Plan determinism pin: the partition is byte-identical for any worker
+// count, every component lands in range, and the FFD bins are balanced —
+// no shard exceeds the ideal per-shard weight by more than the heaviest
+// single component (the classic first-fit-decreasing bound).
+func TestPlanDeterministicAndBalanced(t *testing.T) {
+	b, _ := workload.Get("ExactMatch")
+	n, err := b.Generate(0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := shard.Build(n, shard.Options{Shards: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		s, err := shard.Build(n, shard.Options{Shards: 4, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Plan(), s.Plan()) {
+			t.Fatalf("workers=%d: plan differs from serial planning", w)
+		}
+	}
+	p := ref.Plan()
+	ccs := n.ConnectedComponents()
+	if len(p.CCShard) != len(ccs) {
+		t.Fatalf("plan covers %d components, automaton has %d", len(p.CCShard), len(ccs))
+	}
+	total := 0
+	for i, sh := range p.CCShard {
+		if sh < 0 || sh >= p.Shards {
+			t.Fatalf("component %d assigned out of range: %d", i, sh)
+		}
+		if p.CCStates[i] != len(ccs[i]) {
+			t.Fatalf("component %d recorded %d states, has %d", i, p.CCStates[i], len(ccs[i]))
+		}
+		total += p.CCStates[i]
+	}
+	if total != n.NumStates() {
+		t.Fatalf("plan covers %d states, automaton has %d", total, n.NumStates())
+	}
+	// Balance: max load <= ideal + heaviest component (state-count proxy).
+	heaviest := 0
+	for _, cc := range ccs {
+		if len(cc) > heaviest {
+			heaviest = len(cc)
+		}
+	}
+	ideal := (n.NumStates() + p.Shards - 1) / p.Shards
+	if max := p.MaxStates(); max > ideal+heaviest {
+		t.Fatalf("unbalanced plan: max shard %d states, ideal %d, heaviest CC %d", max, ideal, heaviest)
+	}
+}
+
+// Differential pin (acceptance criterion): sharded reports are exactly the
+// unsharded compiled engine's across all four workload families × strides
+// {1, 2, 4} × shard counts {1, 2, 3, 8}, untiered and (at the design
+// point) with per-shard tiering.
+func TestShardedDifferentialWorkloads(t *testing.T) {
+	families := []string{"ExactMatch", "Hamming", "RandomForest", "CoreRings"}
+	for _, name := range families {
+		b, ok := workload.Get(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		n8, err := b.Generate(0.01, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input := workload.Input(n8, 8*1024, 4)
+		for _, stride := range []int{1, 2, 4} {
+			res, err := core.Compile(n8, core.Config{TargetBits: 4, StrideDims: stride})
+			if err != nil {
+				t.Fatalf("%s stride %d: %v", name, stride, err)
+			}
+			n := res.NFA
+			c, err := sim.Compile(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := c.Run(input)
+			for _, k := range []int{1, 2, 3, 8} {
+				opts := []shard.Options{{Shards: k}}
+				if stride == 4 {
+					opts = append(opts, shard.Options{Shards: k, Tier: &dfa.TierOptions{MinStateShare: -1}})
+				}
+				for _, o := range opts {
+					s, err := shard.Build(n, o)
+					if err != nil {
+						t.Fatalf("%s stride %d shards %d (tier=%v): %v", name, stride, k, o.Tier != nil, err)
+					}
+					got, _ := s.Run(input)
+					if !sim.SameReports(want, got) {
+						t.Fatalf("%s stride %d shards %d (tier=%v): sharded reports diverge (%d vs %d)",
+							name, stride, k, o.Tier != nil, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// multiCC compiles a rule set with several connected components.
+func multiCC(t *testing.T) *automata.NFA {
+	t.Helper()
+	return regexc.MustCompile([]regexc.Rule{
+		{Pattern: "impala", Code: 1},
+		{Pattern: "sh[ao]rd", Code: 2},
+		{Pattern: "^head", Code: 3},
+		{Pattern: "go+al", Code: 4},
+		{Pattern: "merge", Code: 5},
+	})
+}
+
+// The lockstep core partitions the per-cycle counts exactly: a sharded
+// session reproduces the unsharded compiled engine's reports and
+// statistics field for field.
+func TestShardedLockstepStatsExact(t *testing.T) {
+	n := multiCC(t)
+	c, err := sim.Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("impala shard sharda head merge goal goooal merge impala")
+	var want []sim.Report
+	ws := sim.NewSession(c.NewEngine(), func(r sim.Report) { want = append(want, r) })
+	ws.Feed(input)
+	ws.Flush()
+	sim.SortReports(want)
+
+	for _, k := range []int{1, 2, 3, 8} {
+		s, err := shard.Build(n, shard.Options{Shards: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []sim.Report
+		gs := s.NewSession(func(r sim.Report) { got = append(got, r) })
+		gs.Feed(input)
+		gs.Flush()
+		sim.SortReports(got)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d: lockstep reports diverge\nwant=%v\n got=%v", k, want, got)
+		}
+		if ws.Stats() != gs.Stats() {
+			t.Fatalf("shards=%d: lockstep stats %+v != unsharded %+v", k, gs.Stats(), ws.Stats())
+		}
+	}
+}
+
+// Chunked streaming over a sharded session equals the batch run for any
+// chunking.
+func TestShardedSessionChunked(t *testing.T) {
+	n := multiCC(t)
+	s, err := shard.Build(n, shard.Options{Shards: 3, Tier: &dfa.TierOptions{MinStateShare: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("headimpala shard goal merge impala head")
+	want, _ := s.Run(input)
+	var got []sim.Report
+	sess := s.NewSession(func(r sim.Report) { got = append(got, r) })
+	for i := 0; i < len(input); i += 3 {
+		end := i + 3
+		if end > len(input) {
+			end = len(input)
+		}
+		sess.Feed(input[i:end])
+	}
+	sess.Flush()
+	sim.SortReports(got)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("chunked session != batch\nbatch=%v\nchunked=%v", want, got)
+	}
+}
+
+// Edge cases: a single-component automaton sharded far wider than its
+// component count, and the empty automaton, both execute exactly; invalid
+// shard counts are rejected.
+func TestShardedEdgeCases(t *testing.T) {
+	if _, err := shard.Build(multiCC(t), shard.Options{Shards: 0}); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+
+	// Single CC, 8 shards: 7 shards are empty.
+	single := regexc.MustCompile([]regexc.Rule{{Pattern: "solo+", Code: 9}})
+	s, err := shard.Build(single, shard.Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("a solo soloooo b")
+	want, _, err := sim.Run(single, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Run(input)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("single-CC sharded run != scalar\nscalar=%v\nsharded=%v", want, got)
+	}
+	if max, min := s.Plan().MaxStates(), s.Plan().MinStates(); max != min || max != single.NumStates() {
+		t.Fatalf("single CC should occupy one shard whole: max=%d min=%d", max, min)
+	}
+
+	// Empty automaton: no components, no reports, no crash.
+	empty := automata.New(8, 1)
+	es, err := shard.Build(empty, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := es.Run([]byte("anything")); len(r) != 0 {
+		t.Fatalf("empty automaton reported: %v", r)
+	}
+	if len(es.Plan().CCShard) != 0 {
+		t.Fatalf("empty automaton planned components: %+v", es.Plan())
+	}
+}
+
+// Seal/Unseal round-trips the partition and per-shard tier seals into an
+// equivalent execution form; tampered seals are rejected.
+func TestShardSealUnsealRoundTrip(t *testing.T) {
+	n := multiCC(t)
+	s, err := shard.Build(n, shard.Options{Shards: 3, Tier: &dfa.TierOptions{MinStateShare: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := s.Seal()
+	restored, err := shard.Unseal(n, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Plan(), restored.Plan()) {
+		t.Fatalf("plan changed across seal/unseal:\n%+v\n%+v", s.Plan(), restored.Plan())
+	}
+	input := []byte("impala shard head goal merge impala")
+	want, _ := s.Run(input)
+	got, _ := restored.Run(input)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("unsealed run differs:\n%v\n%v", want, got)
+	}
+
+	corrupt := func(name string, mutate func(*shard.Sealed)) {
+		bad := *sealed
+		bad.Plan.CCShard = append([]int(nil), sealed.Plan.CCShard...)
+		bad.Plan.CCStates = append([]int(nil), sealed.Plan.CCStates...)
+		bad.Tiers = append([]*dfa.Sealed(nil), sealed.Tiers...)
+		mutate(&bad)
+		if _, err := shard.Unseal(n, &bad); err == nil {
+			t.Fatalf("%s: corrupted seal accepted", name)
+		}
+	}
+	corrupt("out-of-range assignment", func(b *shard.Sealed) { b.Plan.CCShard[0] = b.Plan.Shards })
+	corrupt("negative assignment", func(b *shard.Sealed) { b.Plan.CCShard[0] = -1 })
+	corrupt("component-count lie", func(b *shard.Sealed) { b.Plan.CCShard = b.Plan.CCShard[:len(b.Plan.CCShard)-1] })
+	corrupt("state-count lie", func(b *shard.Sealed) { b.Plan.CCStates[0]++ })
+	corrupt("shard-count lie", func(b *shard.Sealed) { b.Plan.Shards = 0 })
+	corrupt("tier-length lie", func(b *shard.Sealed) { b.Tiers = b.Tiers[:1] })
+}
+
+// Per-shard tier budgets are the single-core speedup story: a budget too
+// small for the whole automaton's union DFA still fits shard by shard, so
+// the sharded form covers more states on the fast path than the unsharded
+// tier plan — while reports stay identical.
+func TestPerShardTierBudget(t *testing.T) {
+	b, _ := workload.Get("ExactMatch")
+	n8, err := b.Generate(0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(n8, core.Config{TargetBits: 4, StrideDims: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.NFA
+
+	// Find a union budget the whole automaton cannot use but shards can:
+	// cap it at roughly a quarter of the all-in union DFA.
+	full, err := dfa.BuildTiered(n, dfa.TierOptions{MinStateShare: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Plan().DFAStates == 0 {
+		t.Skip("benchmark has no DFA-able components at this scale")
+	}
+	budget := full.Plan().DFAStates / 4
+	if budget < 2 {
+		t.Skip("union DFA too small to subdivide")
+	}
+	topt := dfa.TierOptions{MaxStates: budget, MinStateShare: -1}
+
+	capped, err := dfa.BuildTiered(n, topt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := shard.Build(n, shard.Options{Shards: 8, Tier: &topt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DFAStates() <= capped.Plan().DFAStates {
+		t.Fatalf("per-shard budgets should widen fast-path coverage: sharded %d DFA states vs unsharded %d",
+			s.DFAStates(), capped.Plan().DFAStates)
+	}
+
+	input := workload.Input(n8, 16*1024, 4)
+	want, _ := capped.Run(input)
+	got, _ := s.Run(input)
+	if !sim.SameReports(want, got) {
+		t.Fatalf("budgeted sharded run diverges: %d vs %d reports", len(got), len(want))
+	}
+}
+
+func ExampleBuild() {
+	n := regexc.MustCompile([]regexc.Rule{
+		{Pattern: "alpha", Code: 0},
+		{Pattern: "beta", Code: 1},
+		{Pattern: "gamma", Code: 2},
+	})
+	s, _ := shard.Build(n, shard.Options{Shards: 2})
+	reports, _ := s.Run([]byte("alpha then beta then gamma"))
+	fmt.Println(s.Shards(), "shards,", len(reports), "reports")
+	// Output: 2 shards, 3 reports
+}
