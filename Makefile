@@ -6,7 +6,7 @@ GO ?= go
 # at ~82% — raise the floor as coverage grows, never lower it.
 COVER_MIN ?= 80.0
 
-.PHONY: all check build vet fmt-check test test-short test-race bench bench-check cover cover-check examples experiments artifact serve smoke-serve clean
+.PHONY: all check build vet fmt-check test test-short test-race bench bench-check cover cover-check examples experiments artifact serve smoke-serve smoke-cluster clean
 
 all: check
 
@@ -19,7 +19,8 @@ all: check
 # serving stack (multi-tenant registry hot-swaps under concurrent streams,
 # bounded match pool, artifact codec), the tiered engine (pooled cores
 # shared across Run callers, parallel simultaneous-DFA build and scan),
-# and the sharded engine (concurrent shard construction and fan-out scan).
+# and the sharded engine (concurrent shard construction and fan-out scan),
+# and the topology placer (deterministic placement under GA worker pools).
 check: fmt-check build vet test test-race
 
 build:
@@ -39,7 +40,7 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/... ./internal/dfa/... ./internal/backend/... ./internal/shard/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/... ./internal/dfa/... ./internal/backend/... ./internal/shard/... ./internal/topo/...
 
 # tierspeed runs at 256 KiB inputs and shardspeed at 1 MiB so the big
 # benchmarks' engine walls clear the MinWallMS noise gate and the speedup
@@ -51,6 +52,7 @@ bench:
 	$(GO) run ./cmd/impala-bench -exp backendcmp -json BENCH_backend.json
 	$(GO) run ./cmd/impala-bench -exp servespeed -json BENCH_serve.json
 	$(GO) run ./cmd/impala-bench -exp shardspeed -input-kb 1024 -json BENCH_shard.json
+	$(GO) run ./cmd/impala-bench -exp clustersweep -json BENCH_cluster.json
 
 # bench-check is the perf-regression smoke gate: rerun the compilespeed
 # sweep and compare cache hit rate, cache speedup (best-of-sweep, only on
@@ -66,12 +68,16 @@ bench:
 # shards) against their baselines. The shardspeed ratio floor runs at a
 # wider 50% tolerance: serial K-to-K ratios swing ~30% under shared-host
 # load, and the tolerance-independent 2x headline gate carries the claim.
+# Finally the clustersweep gate: topology placement, per-domain state loads,
+# cut cost, and served match/byte counts compared exactly — fully hermetic,
+# no wall-clock column, so it holds on any host.
 bench-check:
 	$(GO) run ./cmd/impala-bench -exp compilespeed -check BENCH_compile.json
 	$(GO) run ./cmd/impala-bench -exp tierspeed -input-kb 256 -check BENCH_sim.json
 	$(GO) run ./cmd/impala-bench -exp backendcmp -check BENCH_backend.json
 	$(GO) run ./cmd/impala-bench -exp servespeed -check BENCH_serve.json
 	$(GO) run ./cmd/impala-bench -exp shardspeed -input-kb 1024 -tolerance 0.5 -check BENCH_shard.json
+	$(GO) run ./cmd/impala-bench -exp clustersweep -check BENCH_cluster.json
 
 cover:
 	$(GO) test -cover ./...
@@ -110,6 +116,12 @@ serve: artifact
 # SIGTERM drain (the CI job).
 smoke-serve:
 	./scripts/smoke_serve.sh
+
+# End-to-end cluster smoke: compile with a topology → 2 domain workers + a
+# frontend → fan-out match/stream → kill a worker → explicit partial-result
+# degradation → SIGTERM drain (the CI job).
+smoke-cluster:
+	./scripts/smoke_cluster.sh
 
 clean:
 	rm -rf out/ coverage.out

@@ -44,6 +44,18 @@
 // (within -tolerance), and on at least two families retaining a 2x
 // speedup at K=8.
 //
+// The clustersweep experiment deploys each workload family's K-shard
+// machine (K in {2,4}) as a cluster: the shard plan is placed onto two
+// topologies (a flat two-domain cluster and a skewed three-domain one),
+// sealed into a v4 artifact, and served through one worker process per
+// domain behind a frontend — all in-process over loopback HTTP. Each cell
+// cross-checks the frontend's merged rows byte-for-byte against a single
+// process hosting every shard and against the in-process match set, and
+// drives the NDJSON stream fan-out. -json FILE writes the report (the
+// committed BENCH_cluster.json baseline); -check FILE gates CI exactly on
+// every deterministic column (placement, domain loads, cut cost, match
+// counts) with no wall-clock term — a fully hermetic gate.
+//
 // The tierspeed experiment measures the hybrid tiered engine (dense-DFA
 // fast path per connected component, bit-parallel NFA fallback) against the
 // compiled NFA engine and the scalar reference across the four workload
@@ -150,6 +162,13 @@ func main() {
 		}
 		if id == "shardspeed" && (*jsonOut != "" || *check != "") {
 			if err := runShardSpeed(o, *jsonOut, *check, *tol); err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+			continue
+		}
+		if id == "clustersweep" && (*jsonOut != "" || *check != "") {
+			if err := runClusterSweep(o, *jsonOut, *check); err != nil {
 				fatal(fmt.Errorf("%s: %w", id, err))
 			}
 			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
@@ -378,6 +397,56 @@ func runShardSpeed(o exp.Options, jsonPath, checkPath string, tol float64) error
 			return fmt.Errorf("%d regression(s) vs %s", len(bad), checkPath)
 		}
 		fmt.Printf("check vs %s: pass (%d cells within tolerance)\n", checkPath, len(base.Cells))
+	}
+	return nil
+}
+
+// runClusterSweep runs the clustersweep experiment once (instrumented with
+// the frontend's cluster counters), renders its table, optionally writes
+// the JSON report, and optionally checks it against a stored baseline —
+// the BENCH_cluster.json part of the CI regression gate. Every gated column
+// (placement, domain loads, cut cost, served match counts) is deterministic
+// for a fixed scale/seed, so the gate is exact with no wall-clock term.
+func runClusterSweep(o exp.Options, jsonPath, checkPath string) error {
+	reg := obs.NewRegistry()
+	o.Metrics = reg
+
+	rep, err := exp.ClusterSweepReport(o)
+	if err != nil {
+		return err
+	}
+	rep.Table().Render(os.Stdout)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if checkPath != "" {
+		f, err := os.Open(checkPath)
+		if err != nil {
+			return err
+		}
+		base, err := exp.ReadClusterReport(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if bad := exp.CompareClusterReports(base, rep, exp.CheckOptions{}); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "regression: %s\n", msg)
+			}
+			return fmt.Errorf("%d regression(s) vs %s", len(bad), checkPath)
+		}
+		fmt.Printf("check vs %s: pass (%d cells match)\n", checkPath, len(base.Cells))
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 //
 //	impalac -rules rules.txt [-stride 4] [-ca] [-o out.json] [-seed 1]
 //	impalac -rules rules.txt -o machine.impala   # sealed artifact for impala-serve / impala-sim -load
+//	impalac -rules rules.txt -shards 4 -topo cluster.json -o machine.impala   # + cluster placement
 //	impalac -rules rules.txt -trace trace.json   # Chrome trace of the pipeline
 //	impalac -nfa automaton.json -stride 2
 //	echo 'GET /|POST /' | impalac -patterns 'GET /,POST /'
@@ -36,6 +37,7 @@ import (
 	"impala/internal/obs"
 	"impala/internal/place"
 	"impala/internal/regexc"
+	"impala/internal/topo"
 )
 
 func main() {
@@ -55,6 +57,7 @@ func main() {
 		tier      = flag.Bool("tier", false, "run the tier-selection stage: determinize components within budget into a DFA fast path and seal the plan into the artifact")
 		tierCap   = flag.Int("tier-budget", 0, "per-component determinization budget in DFA states for -tier (0 = default)")
 		shards    = flag.Int("shards", 1, "partition components into this many shard automata (with -tier the DFA budgets apply per shard); the plan is sealed into the artifact")
+		topoSpec  = flag.String("topo", "", "cluster topology (JSON file, inline JSON, or name[:cap[:bw]],... compact spec): place shards onto domains and seal the placement (requires -shards > 1)")
 		bkName    = flag.String("backend", backend.DefaultName, "compile target (see -backend list)")
 	)
 	flag.Parse()
@@ -125,6 +128,42 @@ func main() {
 			len(p.CCShard), p.Shards, p.MinStates(), p.MaxStates(),
 			res.Shards.TieredShards(), res.Shards.DFAStates())
 	}
+
+	// Cluster placement: map the shard plan onto the named topology domains
+	// and seal the assignment so workers can host their domain's subset.
+	var topoSealed *topo.Sealed
+	if *topoSpec != "" {
+		if res.Shards == nil || res.Shards.Plan().Shards < 2 {
+			fatal(fmt.Errorf("-topo requires -shards > 1"))
+		}
+		t, err := topo.LoadSpec(*topoSpec)
+		if err != nil {
+			fatal(err)
+		}
+		mw, err := topo.MergeWeights(res.NFA, res.Shards.Plan())
+		if err != nil {
+			fatal(err)
+		}
+		tp, err := topo.Place(res.Shards.Plan(), mw, t, topo.Options{Seed: *seed, Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		names := t.Names()
+		domainShards := make([]int, len(names))
+		for _, d := range tp.ShardDomain {
+			domainShards[d]++
+		}
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s=%d shard(s)/%d states", name, domainShards[i], tp.DomainStates[i])
+		}
+		fmt.Printf("topology        : %d domains [%s], makespan %.1f, cut cost %.1f\n",
+			len(names), strings.Join(parts, ", "), tp.Makespan, tp.CutCost)
+		if tp.Overflow > 0 {
+			fmt.Printf("topology        : WARNING %d states over domain capacity\n", int(tp.Overflow))
+		}
+		topoSealed = &topo.Sealed{Topology: t, ShardDomain: tp.ShardDomain}
+	}
 	fmt.Printf("compile time    : %s  (espresso cover cache: %d hits / %d misses, %.0f%% hit rate)\n",
 		res.CompileTime, res.CacheHits, res.CacheMisses, res.CacheHitRate()*100)
 
@@ -179,6 +218,9 @@ func main() {
 			}
 			if res.Shards != nil {
 				a.SetShards(res.Shards.Seal())
+			}
+			if topoSealed != nil {
+				a.SetTopo(topoSealed)
 			}
 			payload, err := bk.SealSection(res.NFA, pl)
 			if err != nil {

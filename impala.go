@@ -18,6 +18,7 @@ package impala
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"impala/internal/anml"
 	"impala/internal/arch"
@@ -250,9 +251,54 @@ func LoadMachineFile(path string) (*Machine, error) {
 // under the wrong hardware model — impala-serve tenants and impala-sim
 // -load both go through here.
 func MachineFromArtifact(a *artifact.Artifact) (*Machine, error) {
+	return machineFromArtifact(a, nil)
+}
+
+// LoadMachineFileDomain loads an artifact and builds the worker-side
+// machine for one topology domain: only the shards the artifact's TOPO
+// placement assigns to the named domain get engines, so the machine's
+// matches cover exactly that domain's shard subset. The frontend re-merges
+// the per-domain streams into the full report set.
+func LoadMachineFileDomain(path, domain string) (*Machine, error) {
+	a, err := artifact.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return MachineFromArtifactDomain(a, domain)
+}
+
+// MachineFromArtifactDomain is MachineFromArtifact restricted to the shard
+// subset the artifact's topology placement assigns to the named domain.
+// The artifact must carry both SHRD and TOPO sections.
+func MachineFromArtifactDomain(a *artifact.Artifact, domain string) (*Machine, error) {
+	if a.Topo == nil {
+		return nil, fmt.Errorf("impala: artifact carries no topology placement (compile with -topo)")
+	}
+	if a.Shards == nil {
+		return nil, fmt.Errorf("impala: artifact topology placement without a shard plan")
+	}
+	idx := a.Topo.Topology.DomainIndex(domain)
+	if idx < 0 {
+		return nil, fmt.Errorf("impala: topology has no domain %q (domains: %s)",
+			domain, strings.Join(a.Topo.Topology.Names(), ", "))
+	}
+	keep := a.Topo.ShardsIn(idx)
+	if keep == nil {
+		keep = []int{} // valid domain, zero shards: an idle worker
+	}
+	return machineFromArtifact(a, keep)
+}
+
+// machineFromArtifact builds the execution engines; a non-nil keep
+// restricts the sharded form to that shard subset (the worker side of
+// cluster dispatch).
+func machineFromArtifact(a *artifact.Artifact, keep []int) (*Machine, error) {
 	if got := a.Meta.BackendName(); got != backend.DefaultName {
 		return nil, fmt.Errorf("impala: artifact was sealed for backend %q, this engine runs %q: %w",
 			got, backend.DefaultName, backend.ErrMismatch)
+	}
+	if keep != nil && a.Shards == nil {
+		return nil, fmt.Errorf("impala: shard subset requested but artifact has no shard plan")
 	}
 	am, err := arch.Build(a.NFA, a.Placement)
 	if err != nil {
@@ -272,7 +318,7 @@ func MachineFromArtifact(a *artifact.Artifact) (*Machine, error) {
 	var sharded *shard.Sharded
 	shardsTiered := false
 	if a.Shards != nil {
-		sharded, err = shard.Unseal(a.NFA, a.Shards)
+		sharded, err = shard.UnsealShards(a.NFA, a.Shards, keep)
 		if err != nil {
 			return nil, fmt.Errorf("impala: artifact shard plan does not unseal: %w", err)
 		}

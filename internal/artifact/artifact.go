@@ -34,13 +34,17 @@
 // partition plus each shard's tier seal (plan and DFA tables as nested
 // blobs), so a loaded machine executes sharded — per-shard fast paths
 // included — without re-planning; SHRD and TIER are mutually exclusive
-// (a sharded artifact tiers per shard). Artifacts sealed for a
-// non-default compile target additionally carry the backend name as a
-// trailing META field and the backend-owned payload in an optional "BKND"
-// section (internal/backend revalidates it on load); default-target
-// artifacts carry neither, staying byte-identical with the pre-backend
-// layout. Save output is deterministic: a Load/Save round trip is
-// byte-identical, which the property tests pin.
+// (a sharded artifact tiers per shard). Version 4 adds the optional
+// "TOPO" section sealing the cluster placement stage: the normalized
+// topology (domains with capacities and bandwidths, the cross-domain cost
+// matrix) and the shard-to-domain assignment, so a worker process can
+// self-select the shard subset its domain was assigned; TOPO requires
+// SHRD. Artifacts sealed for a non-default compile target additionally
+// carry the backend name as a trailing META field and the backend-owned
+// payload in an optional "BKND" section (internal/backend revalidates it
+// on load); default-target artifacts carry neither, staying byte-identical
+// with the pre-backend layout. Save output is deterministic: a Load/Save
+// round trip is byte-identical, which the property tests pin.
 //
 // Every Load validates the magic, version, CRC and all structural bounds
 // before returning; Stat decodes only META and STAG (still CRC-checking
@@ -66,14 +70,16 @@ import (
 	"impala/internal/interconnect"
 	"impala/internal/place"
 	"impala/internal/shard"
+	"impala/internal/topo"
 )
 
 // Version is the current container version. Load accepts only this
 // version: the format carries compiled internals, so cross-version
 // compatibility is a recompile, not a migration. Version 2 added the
 // optional TIER/DFAT tier-plan sections; version 3 the optional SHRD
-// shard-plan section and the Meta shard summary.
-const Version = 3
+// shard-plan section and the Meta shard summary; version 4 the optional
+// TOPO cluster-placement section.
+const Version = 4
 
 var magic = [6]byte{'I', 'M', 'P', 'A', 'L', 'A'}
 
@@ -157,6 +163,10 @@ type Artifact struct {
 	// Meta summary stays consistent. Mutually exclusive with Tier: a
 	// sharded artifact carries its tier plans per shard.
 	Shards *shard.Sealed
+	// Topo is the sealed cluster placement (nil when the artifact was
+	// built without a topology stage). Set it with SetTopo; it requires
+	// Shards, whose plan it assigns to topology domains.
+	Topo *topo.Sealed
 	// BackendPayload is the backend-owned "BKND" section (nil when the
 	// backend seals nothing — the default Impala target always does). Set it
 	// with SetBackend so the Meta tag stays consistent.
@@ -194,6 +204,20 @@ func (a *Artifact) SetShards(s *shard.Sealed) {
 	a.Meta.Shards = 0
 	if s != nil {
 		a.Meta.Shards = s.Plan.Shards
+	}
+}
+
+// SetTopo attaches (or, with nil, detaches) a sealed cluster placement.
+// The topology is normalized so the sealed form is fully explicit and the
+// encoding deterministic.
+func (a *Artifact) SetTopo(s *topo.Sealed) {
+	if s == nil {
+		a.Topo = nil
+		return
+	}
+	a.Topo = &topo.Sealed{
+		Topology:    s.Topology.Normalize(),
+		ShardDomain: append([]int(nil), s.ShardDomain...),
 	}
 }
 
@@ -240,6 +264,9 @@ func (a *Artifact) Save(w io.Writer) error {
 	if a.Tier != nil && a.Shards != nil {
 		return fmt.Errorf("%w: TIER and SHRD are mutually exclusive (a sharded artifact tiers per shard)", ErrCorrupt)
 	}
+	if a.Topo != nil && a.Shards == nil {
+		return fmt.Errorf("%w: TOPO without SHRD (a placement assigns shards to domains)", ErrCorrupt)
+	}
 	var body bytes.Buffer
 	writeSection(&body, "META", a.encodeMeta())
 	writeSection(&body, "STAG", encodeStages(a.Stages))
@@ -256,6 +283,9 @@ func (a *Artifact) Save(w io.Writer) error {
 	}
 	if a.Shards != nil {
 		writeSection(&body, "SHRD", encodeShardPlan(a.Shards))
+	}
+	if a.Topo != nil {
+		writeSection(&body, "TOPO", encodeTopo(a.Topo))
 	}
 
 	pre := make([]byte, 16)
@@ -332,6 +362,10 @@ func Load(r io.Reader) (*Artifact, error) {
 		case "SHRD":
 			var err error
 			a.Shards, err = decodeShardPlan(payload)
+			return err
+		case "TOPO":
+			var err error
+			a.Topo, err = decodeTopo(payload)
 			return err
 		case "BKND":
 			a.BackendPayload = append([]byte(nil), payload...)
@@ -502,7 +536,25 @@ func (a *Artifact) validate() error {
 			}
 		}
 	}
-	return a.validateShards()
+	if err := a.validateShards(); err != nil {
+		return err
+	}
+	return a.validateTopo()
+}
+
+// validateTopo cross-checks the TOPO section: it requires SHRD, and the
+// sealed placement must cover the plan's shards with in-range domains.
+func (a *Artifact) validateTopo() error {
+	if a.Topo == nil {
+		return nil
+	}
+	if a.Shards == nil {
+		return fmt.Errorf("%w: TOPO section without SHRD", ErrCorrupt)
+	}
+	if err := a.Topo.Validate(a.Shards.Plan.Shards); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nil
 }
 
 // validateShards cross-checks the SHRD section against the automaton and
@@ -1154,6 +1206,79 @@ func decodeShardPlan(payload []byte) (*shard.Sealed, error) {
 	}
 	if err := d.done("SHRD"); err != nil {
 		return nil, err
+	}
+	return s, nil
+}
+
+// TOPO layout: the normalized topology — domain count, then per domain
+// name, state capacity and bandwidth (f64 bits), then the dense
+// domains×domains cost matrix row-major — followed by the shard count and
+// the per-shard domain assignment. The topology is sealed normalized
+// (explicit bandwidths and cost matrix), so the encoding is deterministic.
+func encodeTopo(s *topo.Sealed) []byte {
+	t := s.Topology.Normalize()
+	var e enc
+	e.u32(uint32(len(t.Domains)))
+	for _, d := range t.Domains {
+		e.str(d.Name)
+		e.u32(uint32(d.StateCapacity))
+		e.u64(math.Float64bits(d.Bandwidth))
+	}
+	for _, row := range t.Cost {
+		for _, c := range row {
+			e.u64(math.Float64bits(c))
+		}
+	}
+	e.u32(uint32(len(s.ShardDomain)))
+	for _, d := range s.ShardDomain {
+		e.u32(uint32(d))
+	}
+	return e.b
+}
+
+func decodeTopo(payload []byte) (*topo.Sealed, error) {
+	d := &dec{b: payload}
+	nd := int(d.u32())
+	if d.err == nil && (nd < 1 || nd > 1<<16) {
+		return nil, fmt.Errorf("%w: TOPO claims %d domains", ErrCorrupt, nd)
+	}
+	s := &topo.Sealed{}
+	for i := 0; i < nd && d.err == nil; i++ {
+		s.Topology.Domains = append(s.Topology.Domains, topo.Domain{
+			Name:          d.str(),
+			StateCapacity: int(d.u32()),
+			Bandwidth:     math.Float64frombits(d.u64()),
+		})
+	}
+	if d.err == nil && uint64(nd)*uint64(nd)*8 > uint64(len(payload)-d.off) {
+		return nil, fmt.Errorf("%w: TOPO cost matrix overruns section", ErrCorrupt)
+	}
+	for i := 0; i < nd && d.err == nil; i++ {
+		row := make([]float64, 0, nd)
+		for j := 0; j < nd && d.err == nil; j++ {
+			row = append(row, math.Float64frombits(d.u64()))
+		}
+		s.Topology.Cost = append(s.Topology.Cost, row)
+	}
+	ns := int(d.u32())
+	if d.err == nil && uint64(ns)*4 > uint64(len(payload)-d.off) {
+		return nil, fmt.Errorf("%w: %d placed shards in %d-byte section", ErrCorrupt, ns, len(payload))
+	}
+	for i := 0; i < ns && d.err == nil; i++ {
+		dom := int(d.u32())
+		if d.err != nil {
+			break
+		}
+		if dom < 0 || dom >= nd {
+			return nil, fmt.Errorf("%w: TOPO shard %d placed on domain %d of %d", ErrCorrupt, i, dom, nd)
+		}
+		s.ShardDomain = append(s.ShardDomain, dom)
+	}
+	if err := d.done("TOPO"); err != nil {
+		return nil, err
+	}
+	if err := s.Topology.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return s, nil
 }

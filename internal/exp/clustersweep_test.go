@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// clusterTiny keeps the sweep sub-second: one component-rich benchmark at a
+// small scale, tiny input. The report only exists if every in-run
+// cross-check (frontend merge vs single process vs in-process match set,
+// plus the stream fan-out) passed.
+func clusterTiny() Options {
+	return Options{Scale: 0.004, Seed: 1, InputKB: 4, Benchmarks: []string{"CoreRings"}}
+}
+
+func TestClusterSweepReport(t *testing.T) {
+	o := clusterTiny()
+	rep, err := ClusterSweepReport(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scale != o.Scale || rep.Seed != o.Seed || rep.InputKB != o.InputKB || rep.GOMAXPROCS < 1 {
+		t.Fatalf("bad report envelope: %+v", rep)
+	}
+	want := len(clusterKs) * len(clusterTopos)
+	if len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), want)
+	}
+	for _, c := range rep.Cells {
+		if c.Benchmark != "CoreRings" || c.States <= 0 || c.Domains <= 0 {
+			t.Fatalf("bad cell envelope: %+v", c)
+		}
+		if len(c.ShardDomain) != c.Shards {
+			t.Fatalf("placement length %d for K=%d: %+v", len(c.ShardDomain), c.Shards, c)
+		}
+		if len(c.DomainStates) != c.Domains {
+			t.Fatalf("domain-state length %d for %d domains: %+v", len(c.DomainStates), c.Domains, c)
+		}
+		hosted := 0
+		for _, s := range c.DomainStates {
+			hosted += s
+		}
+		if hosted != c.States {
+			t.Fatalf("domains host %d states, machine has %d: %+v", hosted, c.States, c)
+		}
+		if c.Bytes != int64(o.InputKB*1024) || c.Matches < 0 || c.CutCost < 0 || c.MBPerSec <= 0 {
+			t.Fatalf("bad measurements: %+v", c)
+		}
+	}
+
+	// The sweep is deterministic end to end: a second run produces the same
+	// cells (MBPerSec aside), which is what makes the exact gate tenable.
+	rep2, err := ClusterSweepReport(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := CompareClusterReports(rep, rep2, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("repeated sweep drifts: %v", bad)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadClusterReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := CompareClusterReports(rep, back, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("JSON round trip diverges: %v", bad)
+	}
+}
+
+func TestClusterSweepRunner(t *testing.T) {
+	tables, err := ClusterSweep(clusterTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, tables)
+	if !strings.Contains(out, "Cluster dispatch") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "CoreRings") || !strings.Contains(out, "skewed3") {
+		t.Fatalf("missing sweep rows:\n%s", out)
+	}
+}
+
+func TestClusterSweepUnknownBenchmark(t *testing.T) {
+	o := clusterTiny()
+	o.Benchmarks = []string{"NoSuchBenchmark"}
+	if _, err := ClusterSweepReport(o); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestReadClusterReportRejects(t *testing.T) {
+	if _, err := ReadClusterReport(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ReadClusterReport(strings.NewReader(`{"cells":[]}`)); err == nil {
+		t.Fatal("empty report accepted")
+	}
+}
+
+// clusterBaseline builds a synthetic baseline: two benchmarks × one K × one
+// topology, all-deterministic columns filled in.
+func clusterBaseline() *ClusterReport {
+	mk := func(name string) ClusterCell {
+		return ClusterCell{
+			Benchmark: name, Family: "Regex", Topology: "uniform2",
+			Shards: 2, Domains: 2, States: 100,
+			ShardDomain: []int{0, 1}, DomainStates: []int{60, 40},
+			CutCost: 3, Matches: 17, Bytes: 4096, MBPerSec: 12.5,
+		}
+	}
+	return &ClusterReport{
+		Scale: 0.02, Seed: 1, InputKB: 4, GOMAXPROCS: 4,
+		Cells: []ClusterCell{mk("A"), mk("B")},
+	}
+}
+
+func TestCompareClusterReportsIdenticalPasses(t *testing.T) {
+	base := clusterBaseline()
+	cur := clusterBaseline()
+	// Throughput is informational: wildly different wall-clock must not gate.
+	cur.Cells[0].MBPerSec = 0.001
+	cur.GOMAXPROCS = 1
+	if bad := CompareClusterReports(base, cur, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("identical reports flagged: %v", bad)
+	}
+}
+
+func TestCompareClusterReportsFlagsDrift(t *testing.T) {
+	base := clusterBaseline()
+
+	cur := clusterBaseline()
+	cur.Cells = cur.Cells[:1]
+	if bad := CompareClusterReports(base, cur, CheckOptions{}); len(bad) == 0 ||
+		!strings.Contains(strings.Join(bad, "\n"), "cell missing") {
+		t.Fatalf("missing cell not flagged: %v", bad)
+	}
+
+	cur = clusterBaseline()
+	cur.Cells[0].States += 5
+	if bad := CompareClusterReports(base, cur, CheckOptions{}); len(bad) == 0 ||
+		!strings.Contains(strings.Join(bad, "\n"), "shape changed") {
+		t.Fatalf("state drift not flagged: %v", bad)
+	}
+
+	cur = clusterBaseline()
+	cur.Cells[0].ShardDomain = []int{1, 0}
+	if bad := CompareClusterReports(base, cur, CheckOptions{}); len(bad) == 0 ||
+		!strings.Contains(strings.Join(bad, "\n"), "placement changed") {
+		t.Fatalf("placement drift not flagged: %v", bad)
+	}
+
+	cur = clusterBaseline()
+	cur.Cells[0].CutCost++
+	if bad := CompareClusterReports(base, cur, CheckOptions{}); len(bad) == 0 ||
+		!strings.Contains(strings.Join(bad, "\n"), "cut cost") {
+		t.Fatalf("cut-cost drift not flagged: %v", bad)
+	}
+
+	cur = clusterBaseline()
+	cur.Cells[1].Matches++
+	if bad := CompareClusterReports(base, cur, CheckOptions{}); len(bad) == 0 ||
+		!strings.Contains(strings.Join(bad, "\n"), "matches") {
+		t.Fatalf("match drift not flagged: %v", bad)
+	}
+
+	// A different scale is a different workload: the exact comparisons are
+	// disarmed, only cell presence is checked.
+	cur = clusterBaseline()
+	cur.Scale = 0.05
+	cur.Cells[0].Matches++
+	cur.Cells[0].ShardDomain = []int{1, 0}
+	if bad := CompareClusterReports(base, cur, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("cross-scale exact compare fired: %v", bad)
+	}
+}

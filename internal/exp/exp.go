@@ -257,6 +257,7 @@ func Registry() map[string]Runner {
 		"servespeed":   ServeSpeed,
 		"tierspeed":    TierSpeed,
 		"shardspeed":   ShardSpeed,
+		"clustersweep": ClusterSweep,
 		"backendcmp":   BackendCmp,
 	}
 }
@@ -265,6 +266,6 @@ func Registry() map[string]Runner {
 func IDs() []string {
 	return []string{
 		"fig2", "table1", "table4", "table5", "fig13", "fig14",
-		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed", "compilespeed", "servespeed", "tierspeed", "shardspeed", "backendcmp",
+		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed", "compilespeed", "servespeed", "tierspeed", "shardspeed", "clustersweep", "backendcmp",
 	}
 }

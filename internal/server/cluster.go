@@ -1,0 +1,781 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"impala/internal/obs"
+)
+
+// WorkerSpec names one worker endpoint of a cluster frontend.
+type WorkerSpec struct {
+	// Name is the display/reporting handle (defaults to the URL host).
+	Name string
+	// URL is the worker's base URL, e.g. "http://10.0.0.1:8600".
+	URL string
+}
+
+// ParseWorkers parses the -workers flag: comma-separated worker endpoints,
+// each "name=url" or a bare URL (the host:port becomes the name).
+func ParseWorkers(s string) ([]WorkerSpec, error) {
+	var out []WorkerSpec
+	seen := map[string]bool{}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		spec := WorkerSpec{}
+		if name, rest, ok := strings.Cut(field, "="); ok {
+			spec.Name, spec.URL = strings.TrimSpace(name), strings.TrimSpace(rest)
+		} else {
+			spec.URL = field
+		}
+		u, err := url.Parse(spec.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("server: bad worker URL %q (want scheme://host:port)", spec.URL)
+		}
+		spec.URL = strings.TrimRight(spec.URL, "/")
+		if spec.Name == "" {
+			spec.Name = u.Host
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("server: duplicate worker name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("server: no workers in %q", s)
+	}
+	return out, nil
+}
+
+// ClusterConfig tunes a frontend.
+type ClusterConfig struct {
+	// Workers is the worker endpoint set; every worker hosts a disjoint
+	// shard subset of each tenant, so all of them answer every request.
+	Workers []WorkerSpec
+	// WorkerTimeout bounds one worker's /match leg (default 10s); an
+	// expired leg degrades the request to a partial-result error.
+	WorkerTimeout time.Duration
+	// HealthInterval paces the background worker health checks
+	// (default 2s; < 0 disables the loop — tests drive CheckWorkers).
+	HealthInterval time.Duration
+	// MaxBodyBytes bounds a /match payload (default 16 MiB).
+	MaxBodyBytes int64
+	// Metrics, when non-nil, receives the cluster instruments.
+	Metrics *obs.Registry
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.WorkerTimeout == 0 {
+		c.WorkerTimeout = 10 * time.Second
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// workerState is the registry entry for one worker: the spec plus the
+// health checker's latest verdict.
+type workerState struct {
+	spec      WorkerSpec
+	healthy   atomic.Bool
+	lastErr   atomic.Pointer[string]
+	checkedAt atomic.Int64 // unix nanos, 0 = never
+}
+
+// Frontend fans /v1/{tenant}/match and /v1/{tenant}/stream out to a set of
+// worker processes, each hosting a disjoint shard subset of the same sealed
+// artifact, and merges the report streams. Merged one-shot responses use
+// the same canonical (end, pattern) row order as a single-process server,
+// so clients cannot tell the deployment shapes apart; a worker failure or
+// timeout degrades to an explicit partial-result error (HTTP 502 with the
+// failed workers named) rather than silently missing that worker's shards.
+type Frontend struct {
+	cfg     ClusterConfig
+	workers []*workerState
+	client  *http.Client
+	mux     *http.ServeMux
+	m       *clusterMetrics
+
+	stop      chan struct{}
+	loopDone  chan struct{}
+	draining  chan struct{}
+	drainOnce sync.Once
+	drainMu   sync.Mutex
+	wg        sync.WaitGroup // in-flight streaming connections
+}
+
+// NewFrontend builds a frontend over the worker set and starts its health
+// loop (unless disabled). Callers must Drain for a clean shutdown.
+func NewFrontend(cfg ClusterConfig) (*Frontend, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("server: frontend needs at least one worker")
+	}
+	f := &Frontend{
+		cfg:      cfg,
+		client:   &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		draining: make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, spec := range cfg.Workers {
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("server: duplicate worker name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		f.workers = append(f.workers, &workerState{spec: spec})
+	}
+	f.m = bindClusterMetrics(cfg.Metrics, f)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/{tenant}/match", f.handleMatch)
+	mux.HandleFunc("POST /v1/{tenant}/stream", f.handleStream)
+	mux.HandleFunc("POST /v1/{tenant}/reload", f.handleReload)
+	mux.HandleFunc("GET /v1/workers", f.handleWorkers)
+	mux.HandleFunc("GET /healthz", f.handleHealth)
+	f.mux = mux
+	if cfg.HealthInterval > 0 {
+		go f.healthLoop()
+	} else {
+		close(f.loopDone)
+	}
+	return f, nil
+}
+
+// Handler returns the HTTP handler (mount on any listener).
+func (f *Frontend) Handler() http.Handler { return f.mux }
+
+// Drain stops the health loop and new admissions, then waits for in-flight
+// streams. Pair with http.Server.Shutdown for a clean SIGTERM exit.
+func (f *Frontend) Drain() {
+	f.drainOnce.Do(func() {
+		close(f.stop)
+		f.drainMu.Lock()
+		close(f.draining)
+		f.drainMu.Unlock()
+	})
+	<-f.loopDone
+	f.wg.Wait()
+	f.client.CloseIdleConnections()
+}
+
+func (f *Frontend) isDraining() bool {
+	select {
+	case <-f.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *Frontend) enterStream() bool {
+	f.drainMu.Lock()
+	defer f.drainMu.Unlock()
+	if f.isDraining() {
+		return false
+	}
+	f.wg.Add(1)
+	return true
+}
+
+// healthLoop polls every worker's /healthz on the configured cadence.
+func (f *Frontend) healthLoop() {
+	defer close(f.loopDone)
+	f.CheckWorkers()
+	tick := time.NewTicker(f.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-tick.C:
+			f.CheckWorkers()
+		}
+	}
+}
+
+// CheckWorkers probes every worker's /healthz once, concurrently, and
+// updates the registry. The health verdict feeds /v1/workers and /healthz
+// only — correctness never depends on it, since every request tries every
+// worker and reports failures explicitly.
+func (f *Frontend) CheckWorkers() {
+	var wg sync.WaitGroup
+	for _, w := range f.workers {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), f.cfg.WorkerTimeout)
+			defer cancel()
+			err := f.probe(ctx, w)
+			w.checkedAt.Store(time.Now().UnixNano())
+			if err != nil {
+				msg := err.Error()
+				w.lastErr.Store(&msg)
+				w.healthy.Store(false)
+				return
+			}
+			w.lastErr.Store(nil)
+			w.healthy.Store(true)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (f *Frontend) probe(ctx context.Context, w *workerState) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.spec.URL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (f *Frontend) healthyCount() int {
+	n := 0
+	for _, w := range f.workers {
+		if w.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// httpError writes a JSON error body and counts it.
+func (f *Frontend) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	f.m.errors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// workerMatch is one worker's leg of a fanned one-shot match.
+type workerMatch struct {
+	generation int
+	rows       []matchJSON
+	status     int // worker HTTP status (0 on transport error)
+	err        error
+}
+
+func (f *Frontend) postMatch(ctx context.Context, w *workerState, tenant string, body []byte) workerMatch {
+	f.m.workerRequests.Inc()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.spec.URL+"/v1/"+url.PathEscape(tenant)+"/match", bytes.NewReader(body))
+	if err != nil {
+		return workerMatch{err: err}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			f.m.workerTimeouts.Inc()
+		}
+		f.m.workerErrors.Inc()
+		return workerMatch{err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		f.m.workerErrors.Inc()
+		return workerMatch{status: resp.StatusCode,
+			err: fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))}
+	}
+	var mr struct {
+		Generation int         `json:"generation"`
+		Matches    []matchJSON `json:"matches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		f.m.workerErrors.Inc()
+		return workerMatch{status: resp.StatusCode, err: fmt.Errorf("bad response: %w", err)}
+	}
+	return workerMatch{generation: mr.Generation, rows: mr.Matches, status: resp.StatusCode}
+}
+
+// partialResponse is the degraded-result document: the merged matches from
+// the workers that answered, plus the ones that did not. Clients must
+// treat the match list as incomplete.
+type partialResponse struct {
+	Error         string      `json:"error"`
+	Tenant        string      `json:"tenant"`
+	FailedWorkers []string    `json:"failed_workers"`
+	Bytes         int         `json:"bytes"`
+	Matches       []matchJSON `json:"matches"`
+}
+
+// handleMatch fans the one-shot request to every worker and merges the
+// disjoint shard-subset results into the canonical (end, pattern) order —
+// byte-identical with a single process hosting all shards. Any failed
+// worker leg degrades the response to 502 with the failures named.
+func (f *Frontend) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if f.isDraining() {
+		f.httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	tenant := r.PathValue("tenant")
+	bb := bodyPool.Get().(*bytes.Buffer)
+	bb.Reset()
+	defer bodyPool.Put(bb)
+	if _, err := bb.ReadFrom(io.LimitReader(r.Body, f.cfg.MaxBodyBytes+1)); err != nil {
+		f.httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	body := bb.Bytes()
+	if int64(len(body)) > f.cfg.MaxBodyBytes {
+		f.httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", f.cfg.MaxBodyBytes)
+		return
+	}
+	f.m.matchRequests.Inc()
+	f.m.bytesIn.Add(int64(len(body)))
+
+	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.WorkerTimeout)
+	defer cancel()
+	t0 := time.Now()
+	results := make([]workerMatch, len(f.workers))
+	var wg sync.WaitGroup
+	for i, wk := range f.workers {
+		wg.Add(1)
+		go func(i int, wk *workerState) {
+			defer wg.Done()
+			results[i] = f.postMatch(ctx, wk, tenant, body)
+		}(i, wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	f.m.fanoutLatency.Observe(elapsed.Nanoseconds())
+
+	var rows []matchJSON
+	var failed []string
+	generation, all404 := 0, true
+	for i, res := range results {
+		if res.err != nil {
+			failed = append(failed, f.workers[i].spec.Name)
+			if res.status != http.StatusNotFound {
+				all404 = false
+			}
+			continue
+		}
+		all404 = false
+		rows = append(rows, res.rows...)
+		if res.generation > generation {
+			generation = res.generation
+		}
+	}
+	mergeRows(&rows)
+	f.m.reports.Add(int64(len(rows)))
+
+	switch {
+	case all404:
+		// Every worker rejected the tenant: surface the 404, not a partial.
+		f.httpError(w, http.StatusNotFound, "unknown tenant %q on all %d workers", tenant, len(f.workers))
+	case len(failed) > 0:
+		f.m.partials.Inc()
+		f.m.errors.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		_ = json.NewEncoder(w).Encode(partialResponse{
+			Error: fmt.Sprintf("partial result: %d of %d workers failed (%s)",
+				len(failed), len(f.workers), strings.Join(failed, ", ")),
+			Tenant:        tenant,
+			FailedWorkers: failed,
+			Bytes:         len(body),
+			Matches:       rows,
+		})
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(matchResponse{
+			Tenant:     tenant,
+			Generation: generation,
+			Bytes:      len(body),
+			Matches:    rows,
+			ElapsedUS:  elapsed.Microseconds(),
+		})
+	}
+}
+
+// mergeRows sorts the concatenated worker rows into the canonical order
+// and drops duplicates. Shard subsets are disjoint, so duplicates only
+// appear when the same (end, pattern) fires on patterns split across
+// workers' report dedup windows — exactly what the single-process dedup
+// collapses, so the merge collapses them too.
+func mergeRows(rows *[]matchJSON) {
+	sortRows(*rows)
+	out := (*rows)[:0]
+	for i, row := range *rows {
+		if i > 0 && row == (*rows)[i-1] {
+			continue
+		}
+		out = append(out, row)
+	}
+	*rows = out
+}
+
+// clusterStreamDone is the frontend's final NDJSON stream line. On the
+// healthy path it carries exactly the single-process fields; a degraded
+// stream adds the failed workers and the partial flag.
+type clusterStreamDone struct {
+	Done          bool     `json:"done"`
+	Bytes         int64    `json:"bytes"`
+	Matches       int64    `json:"matches"`
+	Partial       bool     `json:"partial,omitempty"`
+	FailedWorkers []string `json:"failed_workers,omitempty"`
+}
+
+// workerStream is one worker's leg of a fanned stream: the frontend tees
+// every client chunk into pw, and the reader goroutine relays the worker's
+// NDJSON match lines until its done line (or an error) arrives.
+type workerStream struct {
+	pw      *io.PipeWriter
+	dead    atomic.Bool
+	done    chan struct{}
+	matches int64
+	err     error
+}
+
+// handleStream fans an NDJSON stream to every worker: client chunks are
+// teed into per-worker request bodies as they arrive, worker match lines
+// are relayed to the client as they come back (interleaved across workers;
+// per-worker order preserved), and the final done line sums the legs. Any
+// failed leg flags the done line partial with the worker named.
+func (f *Frontend) handleStream(w http.ResponseWriter, r *http.Request) {
+	if f.isDraining() {
+		f.httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if !f.enterStream() {
+		f.httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer f.wg.Done()
+	f.m.streamRequests.Inc()
+	tenant := r.PathValue("tenant")
+
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	var mu sync.Mutex // serializes relayed lines and the final write
+	relay := func(line []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		_, _ = w.Write(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	legs := make([]*workerStream, len(f.workers))
+	for i, wk := range f.workers {
+		pr, pw := io.Pipe()
+		leg := &workerStream{pw: pw, done: make(chan struct{})}
+		legs[i] = leg
+		go func(wk *workerState, leg *workerStream, pr *io.PipeReader) {
+			defer close(leg.done)
+			f.m.workerRequests.Inc()
+			leg.err = f.relayWorkerStream(r.Context(), wk, tenant, pr, leg, relay)
+			if leg.err != nil {
+				f.m.workerErrors.Inc()
+				leg.dead.Store(true)
+				// Unblock the feeder: drain and discard the remaining tee.
+				pr.CloseWithError(leg.err)
+			}
+		}(wk, leg, pr)
+	}
+
+	bufp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bufp)
+	buf := *bufp
+	var total int64
+	for {
+		n, err := r.Body.Read(buf)
+		if n > 0 {
+			total += int64(n)
+			f.m.bytesIn.Add(int64(n))
+			for _, leg := range legs {
+				if leg.dead.Load() {
+					continue
+				}
+				if _, werr := leg.pw.Write(buf[:n]); werr != nil {
+					leg.dead.Store(true)
+				}
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				for _, leg := range legs {
+					leg.pw.CloseWithError(err)
+				}
+				return // client went away; nothing sensible to write
+			}
+			break
+		}
+	}
+	var matches int64
+	var failed []string
+	for i, leg := range legs {
+		leg.pw.Close()
+		<-leg.done
+		if leg.err != nil {
+			failed = append(failed, f.workers[i].spec.Name)
+			continue
+		}
+		matches += leg.matches
+	}
+	f.m.reports.Add(matches)
+	if len(failed) > 0 {
+		f.m.partials.Inc()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(clusterStreamDone{
+		Done: true, Bytes: total, Matches: matches,
+		Partial: len(failed) > 0, FailedWorkers: failed,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// relayWorkerStream runs one worker leg: POST the teed body, relay match
+// lines, stop at the worker's done line (recording its match count).
+func (f *Frontend) relayWorkerStream(ctx context.Context, wk *workerState, tenant string, body io.Reader, leg *workerStream, relay func([]byte)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		wk.spec.URL+"/v1/"+url.PathEscape(tenant)+"/stream", body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	sawDone := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var probe struct {
+			Done    *bool `json:"done"`
+			Matches int64 `json:"matches"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return fmt.Errorf("bad stream line: %w", err)
+		}
+		if probe.Done != nil {
+			leg.matches = probe.Matches
+			sawDone = true
+			break
+		}
+		relay(append(line, '\n'))
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawDone {
+		return fmt.Errorf("stream ended without a done line")
+	}
+	return nil
+}
+
+// handleReload fans the tenant reload to every worker and reports the
+// per-worker outcome; any failed leg makes the response a 502 (workers
+// that did reload keep their new generation — reloads are idempotent).
+func (f *Frontend) handleReload(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	type outcome struct {
+		Generation int    `json:"generation,omitempty"`
+		Error      string `json:"error,omitempty"`
+	}
+	outcomes := make([]outcome, len(f.workers))
+	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.WorkerTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, wk := range f.workers {
+		wg.Add(1)
+		go func(i int, wk *workerState) {
+			defer wg.Done()
+			gen, err := f.postReload(ctx, wk, tenant)
+			if err != nil {
+				outcomes[i] = outcome{Error: err.Error()}
+				return
+			}
+			outcomes[i] = outcome{Generation: gen}
+		}(i, wk)
+	}
+	wg.Wait()
+	failed := 0
+	byWorker := make(map[string]outcome, len(outcomes))
+	for i, o := range outcomes {
+		byWorker[f.workers[i].spec.Name] = o
+		if o.Error != "" {
+			failed++
+		}
+	}
+	code := http.StatusOK
+	if failed > 0 {
+		f.m.errors.Inc()
+		code = http.StatusBadGateway
+	} else {
+		f.m.reloads.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{"tenant": tenant, "workers": byWorker})
+}
+
+func (f *Frontend) postReload(ctx context.Context, wk *workerState, tenant string) (int, error) {
+	f.m.workerRequests.Inc()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		wk.spec.URL+"/v1/"+url.PathEscape(tenant)+"/reload", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.m.workerErrors.Inc()
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		f.m.workerErrors.Inc()
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var body struct {
+		Generation int `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		f.m.workerErrors.Inc()
+		return 0, fmt.Errorf("bad response: %w", err)
+	}
+	return body.Generation, nil
+}
+
+// workerJSON is one row of the GET /v1/workers listing.
+type workerJSON struct {
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	LastError string `json:"last_error,omitempty"`
+	CheckedAt string `json:"checked_at,omitempty"`
+}
+
+func (f *Frontend) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	out := make([]workerJSON, 0, len(f.workers))
+	for _, wk := range f.workers {
+		row := workerJSON{
+			Name:    wk.spec.Name,
+			URL:     wk.spec.URL,
+			Healthy: wk.healthy.Load(),
+		}
+		if msg := wk.lastErr.Load(); msg != nil {
+			row.LastError = *msg
+		}
+		if at := wk.checkedAt.Load(); at != 0 {
+			row.CheckedAt = time.Unix(0, at).UTC().Format(time.RFC3339)
+		}
+		out = append(out, row)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (f *Frontend) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	healthy := f.healthyCount()
+	switch {
+	case f.isDraining():
+		status, code = "draining", http.StatusServiceUnavailable
+	case healthy < len(f.workers):
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status": status, "role": "frontend",
+		"workers": len(f.workers), "healthy": healthy,
+	})
+}
+
+// clusterMetrics is the frontend's instrument set (all nil-safe):
+//
+//	cluster_match_requests_total   one-shot requests fanned out
+//	cluster_stream_requests_total  streams fanned out
+//	cluster_worker_requests_total  worker legs issued (match/stream/reload)
+//	cluster_worker_errors_total    failed worker legs
+//	cluster_worker_timeouts_total  worker legs lost to WorkerTimeout
+//	cluster_partial_results_total  responses degraded to partial
+//	cluster_errors_total           error responses from the frontend
+//	cluster_reloads_total          fully successful fanned reloads
+//	cluster_bytes_in_total         payload bytes accepted
+//	cluster_reports_total          merged matches returned
+//	cluster_workers                gauge: configured workers
+//	cluster_healthy_workers        gauge: workers passing health checks
+//	cluster_fanout_latency_ns      histogram: fan-out round trip per /match
+type clusterMetrics struct {
+	matchRequests  *obs.Counter
+	streamRequests *obs.Counter
+	workerRequests *obs.Counter
+	workerErrors   *obs.Counter
+	workerTimeouts *obs.Counter
+	partials       *obs.Counter
+	errors         *obs.Counter
+	reloads        *obs.Counter
+	bytesIn        *obs.Counter
+	reports        *obs.Counter
+	fanoutLatency  *obs.Histogram
+}
+
+func bindClusterMetrics(reg *obs.Registry, f *Frontend) *clusterMetrics {
+	m := &clusterMetrics{
+		matchRequests:  reg.Counter("cluster_match_requests_total"),
+		streamRequests: reg.Counter("cluster_stream_requests_total"),
+		workerRequests: reg.Counter("cluster_worker_requests_total"),
+		workerErrors:   reg.Counter("cluster_worker_errors_total"),
+		workerTimeouts: reg.Counter("cluster_worker_timeouts_total"),
+		partials:       reg.Counter("cluster_partial_results_total"),
+		errors:         reg.Counter("cluster_errors_total"),
+		reloads:        reg.Counter("cluster_reloads_total"),
+		bytesIn:        reg.Counter("cluster_bytes_in_total"),
+		reports:        reg.Counter("cluster_reports_total"),
+		fanoutLatency:  reg.Histogram("cluster_fanout_latency_ns", obs.LatencyBuckets()),
+	}
+	reg.GaugeFunc("cluster_workers", func() int64 { return int64(len(f.workers)) })
+	reg.GaugeFunc("cluster_healthy_workers", func() int64 { return int64(f.healthyCount()) })
+	return m
+}

@@ -1,0 +1,514 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"impala"
+	"impala/internal/obs"
+	"impala/internal/topo"
+)
+
+// clusterFixture is a two-worker deployment of one sealed artifact: a
+// 2-shard machine placed onto two domains, one worker process (well,
+// httptest server) per domain, a frontend fanning over both, and a
+// single-process server over the full artifact as the reference.
+type clusterFixture struct {
+	machine *impala.Machine // full machine, in-process reference
+	path    string          // sealed artifact (workers reload from it)
+	domains []string
+	workers []*httptest.Server
+	fe      *Frontend
+	feTS    *httptest.Server
+	single  *httptest.Server
+	reg     *obs.Registry
+}
+
+func newClusterFixture(t *testing.T) *clusterFixture {
+	t.Helper()
+	cfg := impala.DefaultConfig()
+	cfg.Shards = 2
+	m, err := impala.CompileRegex([]string{"GET /", "needle", "ab+a", "zz.?zz"}, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	a := m.Artifact()
+	tp := topo.Topology{Domains: []topo.Domain{{Name: "n0"}, {Name: "n1"}}}
+	mw, err := topo.MergeWeights(a.NFA, a.Shards.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := topo.Place(a.Shards.Plan, mw, tp, topo.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetTopo(&topo.Sealed{Topology: tp, ShardDomain: pl.ShardDomain})
+	path := filepath.Join(t.TempDir(), "web.impala")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	f := &clusterFixture{machine: m, path: path, domains: []string{"n0", "n1"}}
+	var specs []WorkerSpec
+	for _, dom := range f.domains {
+		ws, wts := newTestServer(t, Config{})
+		if _, err := ws.Tenants().LoadFileDomain("web", path, dom); err != nil {
+			t.Fatalf("worker %s: %v", dom, err)
+		}
+		f.workers = append(f.workers, wts)
+		specs = append(specs, WorkerSpec{Name: dom, URL: wts.URL})
+	}
+
+	f.reg = obs.NewRegistry()
+	fe, err := NewFrontend(ClusterConfig{
+		Workers:        specs,
+		HealthInterval: -1, // tests drive CheckWorkers explicitly
+		Metrics:        f.reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.fe = fe
+	f.feTS = httptest.NewServer(fe.Handler())
+	t.Cleanup(func() {
+		f.feTS.Close()
+		fe.Drain()
+	})
+
+	ss, sts := newTestServer(t, Config{})
+	if _, err := ss.Tenants().LoadFile("web", path); err != nil {
+		t.Fatal(err)
+	}
+	f.single = sts
+	return f
+}
+
+// wantRows is the in-process reference in canonical (end, pattern) order.
+func (f *clusterFixture) wantRows(input []byte) []matchJSON {
+	var rows []matchJSON
+	for _, m := range f.machine.Match(input) {
+		rows = append(rows, matchJSON{End: m.End, Pattern: m.Pattern})
+	}
+	sortRows(rows)
+	return rows
+}
+
+var clusterInput = []byte(strings.Repeat("GET /idx abba zzAzz needle abbbba GET needle / ", 8))
+
+// TestClusterMergeMatchesSingleProcess is the dispatch acceptance property:
+// the frontend's merged one-shot response is indistinguishable from a
+// single process hosting every shard — same rows, same order, same
+// envelope — and both equal the in-process match.
+func TestClusterMergeMatchesSingleProcess(t *testing.T) {
+	f := newClusterFixture(t)
+	want := f.wantRows(clusterInput)
+	if len(want) == 0 {
+		t.Fatal("fixture input produces no matches; test is vacuous")
+	}
+
+	code, fr := postMatch(t, f.feTS, "web", clusterInput)
+	if code != http.StatusOK {
+		t.Fatalf("frontend status %d", code)
+	}
+	scode, sr := postMatch(t, f.single, "web", clusterInput)
+	if scode != http.StatusOK {
+		t.Fatalf("single-process status %d", scode)
+	}
+
+	if !reflect.DeepEqual(fr.Matches, want) {
+		t.Fatalf("frontend rows diverge from in-process:\n%v\n%v", fr.Matches, want)
+	}
+	// Byte-identity of the row payloads across deployment shapes.
+	fb, _ := json.Marshal(fr.Matches)
+	sb, _ := json.Marshal(sr.Matches)
+	if !bytes.Equal(fb, sb) {
+		t.Fatalf("merged rows not byte-identical with single process:\n%s\n%s", fb, sb)
+	}
+	if fr.Tenant != sr.Tenant || fr.Bytes != sr.Bytes || fr.Generation != sr.Generation {
+		t.Fatalf("envelopes diverge: %+v vs %+v", fr, sr)
+	}
+
+	snap := f.reg.Snapshot()
+	if snap.Counters["cluster_match_requests_total"] != 1 {
+		t.Fatalf("match counter: %v", snap.Counters)
+	}
+	if snap.Counters["cluster_worker_requests_total"] != 2 {
+		t.Fatalf("worker-leg counter: %v", snap.Counters)
+	}
+	if got := snap.Counters["cluster_reports_total"]; got != int64(len(want)) {
+		t.Fatalf("reports counter %d, want %d", got, len(want))
+	}
+}
+
+// TestClusterWorkerFailurePartial: a dead worker degrades the one-shot
+// request to an explicit 502 partial-result document naming the failure —
+// never a silently incomplete 200.
+func TestClusterWorkerFailurePartial(t *testing.T) {
+	f := newClusterFixture(t)
+	// The surviving worker's rows are the expected partial payload.
+	_, n0 := postMatch(t, f.workers[0], "web", clusterInput)
+	f.workers[1].Close()
+
+	resp, err := http.Post(f.feTS.URL+"/v1/web/match", "application/octet-stream", bytes.NewReader(clusterInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+	var pr partialResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pr.FailedWorkers, []string{"n1"}) {
+		t.Fatalf("failed workers %v, want [n1]", pr.FailedWorkers)
+	}
+	if !strings.Contains(pr.Error, "partial result") || pr.Tenant != "web" || pr.Bytes != len(clusterInput) {
+		t.Fatalf("bad partial envelope: %+v", pr)
+	}
+	sortRows(n0.Matches)
+	if !reflect.DeepEqual(pr.Matches, n0.Matches) {
+		t.Fatalf("partial rows diverge from surviving worker:\n%v\n%v", pr.Matches, n0.Matches)
+	}
+
+	snap := f.reg.Snapshot()
+	if snap.Counters["cluster_partial_results_total"] != 1 {
+		t.Fatalf("partial counter: %v", snap.Counters)
+	}
+	if snap.Counters["cluster_worker_errors_total"] == 0 {
+		t.Fatalf("worker-error counter: %v", snap.Counters)
+	}
+}
+
+// TestClusterUnknownTenant: every worker 404s → the frontend surfaces 404,
+// not a partial-result 502.
+func TestClusterUnknownTenant(t *testing.T) {
+	f := newClusterFixture(t)
+	if code, _ := postMatch(t, f.feTS, "nosuch", []byte("x")); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant: status %d, want 404", code)
+	}
+}
+
+// clusterStream drives one /stream request against the frontend and decodes
+// the cluster done line (which carries the partial fields).
+func clusterStream(t *testing.T, ts *httptest.Server, tenant string, input []byte) ([]matchJSON, clusterStreamDone) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/"+tenant+"/stream", "application/octet-stream", bytes.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	var rows []matchJSON
+	var done clusterStreamDone
+	sawDone := false
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		if bytes.Contains(raw, []byte(`"done"`)) {
+			if err := json.Unmarshal(raw, &done); err != nil {
+				t.Fatal(err)
+			}
+			sawDone = true
+			continue
+		}
+		var mj matchJSON
+		if err := json.Unmarshal(raw, &mj); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, mj)
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a done line")
+	}
+	return rows, done
+}
+
+// TestClusterStreamFanout: streamed matches from both workers (interleaved
+// on the wire, per-worker order preserved) cover exactly the in-process
+// match set, and the done line sums the legs.
+func TestClusterStreamFanout(t *testing.T) {
+	f := newClusterFixture(t)
+	want := f.wantRows(clusterInput)
+
+	// Chunked client exercises the tee path; plain POST the simple path.
+	got, sdone, err := streamClient(f.feTS, "web", clusterInput, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortRows(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chunked stream rows diverge:\n%v\n%v", got, want)
+	}
+	if sdone.Bytes != int64(len(clusterInput)) || sdone.Matches != int64(len(want)) || !sdone.Done {
+		t.Fatalf("bad chunked summary: %+v for %d matches", sdone, len(want))
+	}
+
+	rows, done := clusterStream(t, f.feTS, "web", clusterInput)
+	sortRows(rows)
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("stream rows diverge:\n%v\n%v", rows, want)
+	}
+	if done.Partial || len(done.FailedWorkers) != 0 {
+		t.Fatalf("healthy stream flagged partial: %+v", done)
+	}
+}
+
+// TestClusterStreamWorkerFailure: a dead worker leg flags the stream's done
+// line partial with the worker named; the surviving leg's rows still flow.
+func TestClusterStreamWorkerFailure(t *testing.T) {
+	f := newClusterFixture(t)
+	_, n0 := postMatch(t, f.workers[0], "web", clusterInput)
+	f.workers[1].Close()
+
+	rows, done := clusterStream(t, f.feTS, "web", clusterInput)
+	if !done.Done || !done.Partial {
+		t.Fatalf("degraded stream not flagged partial: %+v", done)
+	}
+	if !reflect.DeepEqual(done.FailedWorkers, []string{"n1"}) {
+		t.Fatalf("failed workers %v, want [n1]", done.FailedWorkers)
+	}
+	sortRows(rows)
+	sortRows(n0.Matches)
+	if !reflect.DeepEqual(rows, n0.Matches) {
+		t.Fatalf("degraded stream rows diverge from surviving worker:\n%v\n%v", rows, n0.Matches)
+	}
+	if snap := f.reg.Snapshot(); snap.Counters["cluster_partial_results_total"] != 1 {
+		t.Fatalf("partial counter: %v", snap.Counters)
+	}
+}
+
+// TestClusterReloadFanout: a fanned reload bumps every worker's generation;
+// once the artifact is gone, the fan-out degrades to 502 with per-worker
+// errors (reloads are idempotent, so no rollback is needed).
+func TestClusterReloadFanout(t *testing.T) {
+	f := newClusterFixture(t)
+	type outcome struct {
+		Generation int    `json:"generation"`
+		Error      string `json:"error"`
+	}
+	reload := func() (int, map[string]outcome) {
+		resp, err := http.Post(f.feTS.URL+"/v1/web/reload", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Tenant  string             `json:"tenant"`
+			Workers map[string]outcome `json:"workers"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body.Workers
+	}
+
+	code, workers := reload()
+	if code != http.StatusOK {
+		t.Fatalf("reload status %d", code)
+	}
+	for _, dom := range f.domains {
+		if workers[dom].Generation != 2 || workers[dom].Error != "" {
+			t.Fatalf("worker %s after reload: %+v", dom, workers[dom])
+		}
+	}
+	if snap := f.reg.Snapshot(); snap.Counters["cluster_reloads_total"] != 1 {
+		t.Fatalf("reload counter: %v", snap.Counters)
+	}
+
+	if err := os.Remove(f.path); err != nil {
+		t.Fatal(err)
+	}
+	code, workers = reload()
+	if code != http.StatusBadGateway {
+		t.Fatalf("reload without artifact: status %d, want 502", code)
+	}
+	for _, dom := range f.domains {
+		if workers[dom].Error == "" {
+			t.Fatalf("worker %s reported no error: %+v", dom, workers[dom])
+		}
+	}
+	// The failed reload must not have disturbed serving.
+	if code, _ := postMatch(t, f.feTS, "web", clusterInput); code != http.StatusOK {
+		t.Fatalf("match after failed reload: status %d", code)
+	}
+}
+
+// TestClusterWorkersAndHealth: the health endpoints reflect CheckWorkers
+// verdicts — informational only, but accurate.
+func TestClusterWorkersAndHealth(t *testing.T) {
+	f := newClusterFixture(t)
+	health := func() (int, map[string]any) {
+		resp, err := http.Get(f.feTS.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+	listWorkers := func() []workerJSON {
+		resp, err := http.Get(f.feTS.URL + "/v1/workers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rows []workerJSON
+		if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+
+	// Before any check, workers are conservatively unhealthy.
+	if code, body := health(); code != http.StatusOK || body["status"] != "degraded" {
+		t.Fatalf("pre-check health: %d %v", code, body)
+	}
+	f.fe.CheckWorkers()
+	code, body := health()
+	if code != http.StatusOK || body["status"] != "ok" || body["healthy"].(float64) != 2 {
+		t.Fatalf("healthy cluster: %d %v", code, body)
+	}
+	for _, row := range listWorkers() {
+		if !row.Healthy || row.LastError != "" || row.CheckedAt == "" {
+			t.Fatalf("healthy worker row: %+v", row)
+		}
+	}
+	if snap := f.reg.Snapshot(); snap.Gauges["cluster_healthy_workers"] != 2 {
+		t.Fatalf("healthy gauge: %v", snap.Gauges)
+	}
+
+	f.workers[0].Close()
+	f.fe.CheckWorkers()
+	if code, body := health(); code != http.StatusOK || body["status"] != "degraded" || body["healthy"].(float64) != 1 {
+		t.Fatalf("degraded cluster: %d %v", code, body)
+	}
+	for _, row := range listWorkers() {
+		if row.Name == "n0" && (row.Healthy || row.LastError == "") {
+			t.Fatalf("dead worker row: %+v", row)
+		}
+		if row.Name == "n1" && !row.Healthy {
+			t.Fatalf("live worker row: %+v", row)
+		}
+	}
+}
+
+// TestClusterDrain: a draining frontend refuses new work with 503 and
+// reports it on /healthz.
+func TestClusterDrain(t *testing.T) {
+	f := newClusterFixture(t)
+	f.fe.Drain()
+	if code, _ := postMatch(t, f.feTS, "web", clusterInput); code != http.StatusServiceUnavailable {
+		t.Fatalf("match while draining: status %d, want 503", code)
+	}
+	resp, err := http.Post(f.feTS.URL+"/v1/web/stream", "application/octet-stream", bytes.NewReader(clusterInput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stream while draining: status %d, want 503", resp.StatusCode)
+	}
+	hr, err := http.Get(f.feTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", hr.StatusCode)
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	good := []struct {
+		in   string
+		want []WorkerSpec
+	}{
+		{"http://h1:8600", []WorkerSpec{{Name: "h1:8600", URL: "http://h1:8600"}}},
+		{"a=http://h1:8600, b=http://h2:8600/", []WorkerSpec{
+			{Name: "a", URL: "http://h1:8600"}, {Name: "b", URL: "http://h2:8600"}}},
+		{"http://h1:1,http://h2:2", []WorkerSpec{
+			{Name: "h1:1", URL: "http://h1:1"}, {Name: "h2:2", URL: "http://h2:2"}}},
+	}
+	for _, tc := range good {
+		got, err := ParseWorkers(tc.in)
+		if err != nil {
+			t.Errorf("ParseWorkers(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseWorkers(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	bad := []string{
+		"",                                 // no workers
+		" , ",                              // only separators
+		"h1:8600",                          // no scheme
+		"a=notaurl",                        // unparsable
+		"a=http://h1:1,a=http://h2:2",      // duplicate explicit names
+		"http://h1:8600,http://h1:8600",    // duplicate derived names
+		"a=http://h1:1,h1:2=http://h1:2=x", // junk
+	}
+	for _, in := range bad {
+		if got, err := ParseWorkers(in); err == nil {
+			t.Errorf("ParseWorkers(%q) accepted: %+v", in, got)
+		}
+	}
+}
+
+// TestClusterHealthLoop: with a positive interval the background loop
+// drives CheckWorkers on its own — the production path the hermetic tests
+// otherwise disable.
+func TestClusterHealthLoop(t *testing.T) {
+	f := newClusterFixture(t)
+	fe, err := NewFrontend(ClusterConfig{
+		Workers: []WorkerSpec{
+			{Name: "n0", URL: f.workers[0].URL},
+			{Name: "n1", URL: f.workers[1].URL},
+		},
+		HealthInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Drain()
+	deadline := time.Now().Add(5 * time.Second)
+	for fe.healthyCount() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never marked both workers healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNewFrontendErrors(t *testing.T) {
+	if _, err := NewFrontend(ClusterConfig{}); err == nil {
+		t.Fatal("frontend without workers accepted")
+	}
+	_, err := NewFrontend(ClusterConfig{Workers: []WorkerSpec{
+		{Name: "a", URL: "http://h1:1"}, {Name: "a", URL: "http://h2:2"}}})
+	if err == nil {
+		t.Fatal("duplicate worker names accepted")
+	}
+}

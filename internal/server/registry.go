@@ -29,6 +29,11 @@ type Tenant struct {
 	// Path is the artifact file this tenant was loaded from ("" when the
 	// machine was installed directly).
 	Path string
+	// Domain, when non-empty, is the topology domain this tenant was
+	// restricted to at load time (-role worker -domain): the machine hosts
+	// only the shards the artifact's TOPO placement assigns there, and
+	// reloads keep the restriction.
+	Domain string
 	// Info is the artifact header (nil when installed directly).
 	Info *artifact.Info
 	// Generation counts installs of this tenant name (1 = first load);
@@ -120,7 +125,21 @@ func (r *Registry) Install(name string, m *impala.Machine) *Tenant {
 // publishes it under name: a hot-swap when the tenant already exists.
 // In-flight requests keep the tenant snapshot they resolved at entry.
 func (r *Registry) LoadFile(name, path string) (*Tenant, error) {
-	m, err := impala.LoadMachineFile(path)
+	return r.LoadFileDomain(name, path, "")
+}
+
+// LoadFileDomain is LoadFile restricted to one topology domain: the
+// machine hosts only the shards the artifact's TOPO placement assigns to
+// the named domain (the worker side of cluster dispatch). An empty domain
+// loads the full machine.
+func (r *Registry) LoadFileDomain(name, path, domain string) (*Tenant, error) {
+	var m *impala.Machine
+	var err error
+	if domain == "" {
+		m, err = impala.LoadMachineFile(path)
+	} else {
+		m, err = impala.LoadMachineFileDomain(path, domain)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("server: tenant %q: %w", name, err)
 	}
@@ -130,7 +149,7 @@ func (r *Registry) LoadFile(name, path string) (*Tenant, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	t := &Tenant{Name: name, Machine: m, Path: path, Info: info, LoadedAt: time.Now()}
+	t := &Tenant{Name: name, Machine: m, Path: path, Domain: domain, Info: info, LoadedAt: time.Now()}
 	r.publish(t)
 	return t, nil
 }
@@ -147,7 +166,7 @@ func (r *Registry) Reload(name string) (*Tenant, error) {
 	if t.Path == "" {
 		return nil, fmt.Errorf("server: tenant %q was installed without an artifact path", name)
 	}
-	return r.LoadFile(name, t.Path)
+	return r.LoadFileDomain(name, t.Path, t.Domain)
 }
 
 // Evict removes a tenant. In-flight requests on the old snapshot finish

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"slices"
 	"sync"
 	"time"
 
@@ -180,6 +181,20 @@ type matchJSON struct {
 	Pattern int `json:"pattern"`
 }
 
+// sortRows puts match rows in the serving-boundary canonical order:
+// (end, pattern), ascending. Both the single-process /match handler and
+// the cluster frontend's merge emit this order, so a client cannot tell a
+// frontend fanning out to workers from one process hosting every shard —
+// the byte-identity the clustersweep gate pins.
+func sortRows(rows []matchJSON) {
+	slices.SortFunc(rows, func(a, b matchJSON) int {
+		if a.End != b.End {
+			return a.End - b.End
+		}
+		return a.Pattern - b.Pattern
+	})
+}
+
 // handleMatch is the one-shot batched endpoint: the request body is the
 // input stream, the response lists every distinct match. Work runs on the
 // bounded pool — a full queue is a 503, an expired per-request timeout a
@@ -236,6 +251,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	for _, mt := range matches {
 		rp.rows = append(rp.rows, matchJSON{End: mt.End, Pattern: mt.Pattern})
 	}
+	sortRows(rp.rows)
 	resp := matchResponse{
 		Tenant:     t.Name,
 		Generation: t.Generation,
@@ -348,6 +364,7 @@ type tenantJSON struct {
 	Name       string `json:"name"`
 	Generation int    `json:"generation"`
 	Path       string `json:"path,omitempty"`
+	Domain     string `json:"domain,omitempty"`
 	States     int    `json:"states"`
 	Stride     int    `json:"stride"`
 	Bits       int    `json:"bits"`
@@ -364,6 +381,7 @@ func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
 			Name:       t.Name,
 			Generation: t.Generation,
 			Path:       t.Path,
+			Domain:     t.Domain,
 			States:     md.States,
 			Stride:     stride,
 			Bits:       bits,

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -75,6 +76,13 @@ func TestMatchAgainstInProcess(t *testing.T) {
 
 	input := []byte("GET /index abba needle abbbba GET needle /")
 	want := m.Match(input)
+	// The serving boundary emits rows in canonical (end, pattern) order.
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].End != want[j].End {
+			return want[i].End < want[j].End
+		}
+		return want[i].Pattern < want[j].Pattern
+	})
 
 	code, mr := postMatch(t, ts, "web", input)
 	if code != http.StatusOK {

@@ -502,6 +502,18 @@ func (s *Sharded) Seal() *Sealed {
 // automaton's current component structure. Per-shard tier seals are
 // revalidated by dfa.Unseal against each shard's sub-automaton.
 func Unseal(n *automata.NFA, s *Sealed) (*Sharded, error) {
+	return UnsealShards(n, s, nil)
+}
+
+// UnsealShards is Unseal restricted to a subset of shard indices: only the
+// kept shards' engines are built (nil keep = all). The others stay empty,
+// so Run and the lockstep core skip them and the merged report stream
+// covers exactly the kept shards — the worker side of cluster dispatch,
+// where each process hosts the shards its topology domain was assigned
+// and the frontend re-merges the disjoint streams. The full plan is still
+// revalidated against the automaton, so a worker rejects an artifact whose
+// plan no longer matches.
+func UnsealShards(n *automata.NFA, s *Sealed, keep []int) (*Sharded, error) {
 	if err := n.Validate(); err != nil {
 		return nil, fmt.Errorf("shard: invalid automaton: %w", err)
 	}
@@ -528,6 +540,20 @@ func Unseal(n *automata.NFA, s *Sealed) (*Sharded, error) {
 		}
 	}
 
+	kept := make([]bool, k)
+	if keep == nil {
+		for i := range kept {
+			kept[i] = true
+		}
+	} else {
+		for _, i := range keep {
+			if i < 0 || i >= k {
+				return nil, fmt.Errorf("shard: kept shard %d out of range [0, %d)", i, k)
+			}
+			kept[i] = true
+		}
+	}
+
 	out := &Sharded{nfa: n, plan: s.Plan, workers: par.Workers(0)}
 	ids := shardIDs(ccs, s.Plan)
 	out.shards = make([]shardEngine, k)
@@ -541,6 +567,9 @@ func Unseal(n *automata.NFA, s *Sealed) (*Sharded, error) {
 				return nil, fmt.Errorf("shard: sealed shard %d is empty but carries a tier plan", i)
 			}
 			continue
+		}
+		if !kept[i] {
+			continue // hosted by another worker; its engine is never built
 		}
 		sub := extract(n, ids[i])
 		out.shards[i].orig = ids[i]

@@ -323,6 +323,59 @@ func TestPerShardTierBudget(t *testing.T) {
 	}
 }
 
+// UnsealShards with a keep subset is the worker side of cluster dispatch:
+// each worker's reports are exactly the kept shards' contribution, the
+// per-shard report sets are disjoint, and their union is the full run.
+func TestUnsealShardsKeepSubset(t *testing.T) {
+	n := multiCC(t)
+	s, err := shard.Build(n, shard.Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := s.Seal()
+	input := []byte("impala shard head goal merge impala shord goooal")
+	full, _ := s.Run(input)
+	if len(full) == 0 {
+		t.Fatal("no reports; test is vacuous")
+	}
+
+	seen := map[[2]int]int{}
+	var union []sim.Report
+	for keep := 0; keep < 3; keep++ {
+		w, err := shard.UnsealShards(n, sealed, []int{keep})
+		if err != nil {
+			t.Fatalf("keep=%d: %v", keep, err)
+		}
+		reports, _ := w.Run(input)
+		for _, r := range reports {
+			seen[r.Key()]++
+			if seen[r.Key()] > 1 {
+				t.Fatalf("report %v emitted by more than one shard subset", r)
+			}
+		}
+		union = append(union, reports...)
+	}
+	if !sim.SameReports(full, union) {
+		t.Fatalf("kept-subset union diverges from full run: %d vs %d reports", len(union), len(full))
+	}
+
+	// An empty keep slice is a legal idle worker: no engines, no reports.
+	idle, err := shard.UnsealShards(n, sealed, []int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports, _ := idle.Run(input); len(reports) != 0 {
+		t.Fatalf("idle worker reported %d matches", len(reports))
+	}
+
+	// Out-of-range kept indices are rejected.
+	for _, bad := range [][]int{{-1}, {3}, {0, 99}} {
+		if _, err := shard.UnsealShards(n, sealed, bad); err == nil {
+			t.Fatalf("keep=%v accepted", bad)
+		}
+	}
+}
+
 func ExampleBuild() {
 	n := regexc.MustCompile([]regexc.Rule{
 		{Pattern: "alpha", Code: 0},

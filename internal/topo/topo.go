@@ -1,0 +1,424 @@
+// Package topo models a cluster topology — named capacity domains (worker
+// processes, NUMA nodes, machines) joined by a cross-domain cost matrix —
+// and places a shard partition onto it. It is the compile pipeline's
+// placement problem lifted one more level: internal/place maps capsule
+// groups onto crossbar-connected memory arrays, internal/shard packs
+// connected components into K shard automata, and this package assigns
+// those shards to domains so that report-merge traffic crosses the
+// cheapest links while no domain exceeds its state capacity or its share
+// of scan bandwidth.
+//
+// Placement is a deterministic greedy first-fit-decreasing seed refined by
+// the same GA machinery the crossbar placer uses (place.EvolveAssign),
+// with a lexicographic fitness: capacity overflow, then bandwidth-weighted
+// makespan, then cut cost (inter-shard report-merge traffic × domain
+// distance). Like every other stage, the result is byte-identical for any
+// worker count and deterministic for a given seed.
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"impala/internal/automata"
+	"impala/internal/place"
+	"impala/internal/shard"
+)
+
+// Domain is one placement target: a worker process, NUMA node or machine.
+type Domain struct {
+	// Name identifies the domain; impala-serve -role worker -domain NAME
+	// selects the shards placed here.
+	Name string `json:"name"`
+	// StateCapacity caps the automaton states hosted on this domain
+	// (0 = unbounded). Overflow dominates the placement fitness.
+	StateCapacity int `json:"state_capacity,omitempty"`
+	// Bandwidth is the domain's relative scan bandwidth (default 1.0).
+	// Load balance is priced as max over domains of states/bandwidth, so
+	// a domain with twice the bandwidth absorbs twice the states.
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+}
+
+// Topology is a set of domains plus the cross-domain report-merge cost
+// matrix Cost[i][j] (0 on the diagonal; omitted = uniform cost 1 between
+// distinct domains).
+type Topology struct {
+	Domains []Domain    `json:"domains"`
+	Cost    [][]float64 `json:"cost,omitempty"`
+}
+
+// Normalize fills the defaults — bandwidth 1.0, the uniform cost matrix —
+// so a normalized topology is fully explicit (the form artifacts seal).
+func (t Topology) Normalize() Topology {
+	domains := append([]Domain(nil), t.Domains...)
+	for i := range domains {
+		if domains[i].Bandwidth == 0 {
+			domains[i].Bandwidth = 1
+		}
+	}
+	cost := t.Cost
+	if cost == nil {
+		cost = make([][]float64, len(domains))
+		for i := range cost {
+			cost[i] = make([]float64, len(domains))
+			for j := range cost[i] {
+				if i != j {
+					cost[i][j] = 1
+				}
+			}
+		}
+	}
+	return Topology{Domains: domains, Cost: cost}
+}
+
+// Validate checks structural sanity: at least one domain, unique non-empty
+// names, non-negative capacities and bandwidths, and (when present) a
+// square cost matrix with a zero diagonal and non-negative entries.
+func (t Topology) Validate() error {
+	if len(t.Domains) == 0 {
+		return fmt.Errorf("topo: topology has no domains")
+	}
+	seen := make(map[string]bool, len(t.Domains))
+	for i, d := range t.Domains {
+		if d.Name == "" {
+			return fmt.Errorf("topo: domain %d has no name", i)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("topo: duplicate domain name %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.StateCapacity < 0 {
+			return fmt.Errorf("topo: domain %q: negative state capacity", d.Name)
+		}
+		if d.Bandwidth < 0 || math.IsNaN(d.Bandwidth) || math.IsInf(d.Bandwidth, 0) {
+			return fmt.Errorf("topo: domain %q: bad bandwidth %v", d.Name, d.Bandwidth)
+		}
+	}
+	if t.Cost != nil {
+		if len(t.Cost) != len(t.Domains) {
+			return fmt.Errorf("topo: cost matrix is %dx, want %d rows", len(t.Cost), len(t.Domains))
+		}
+		for i, row := range t.Cost {
+			if len(row) != len(t.Domains) {
+				return fmt.Errorf("topo: cost row %d has %d entries, want %d", i, len(row), len(t.Domains))
+			}
+			for j, c := range row {
+				if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+					return fmt.Errorf("topo: cost[%d][%d] is bad: %v", i, j, c)
+				}
+				if i == j && c != 0 {
+					return fmt.Errorf("topo: cost[%d][%d] must be zero on the diagonal", i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DomainIndex returns the index of the named domain, or -1.
+func (t Topology) DomainIndex(name string) int {
+	for i, d := range t.Domains {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the domain names in order.
+func (t Topology) Names() []string {
+	out := make([]string, len(t.Domains))
+	for i, d := range t.Domains {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// ParseSpec parses a JSON topology spec:
+//
+//	{"domains": [{"name": "node0", "state_capacity": 4096, "bandwidth": 2},
+//	             {"name": "node1"}],
+//	 "cost": [[0, 1], [1, 0]]}
+func ParseSpec(b []byte) (Topology, error) {
+	var t Topology
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return Topology{}, fmt.Errorf("topo: bad spec: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// ParseCompact parses the flag shorthand "name[:capacity[:bandwidth]],..."
+// (e.g. "node0:4096,node1:4096:2") with the uniform cost matrix.
+func ParseCompact(s string) (Topology, error) {
+	var t Topology
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		parts := strings.Split(field, ":")
+		if len(parts) > 3 {
+			return Topology{}, fmt.Errorf("topo: bad domain spec %q (want name[:capacity[:bandwidth]])", field)
+		}
+		d := Domain{Name: parts[0]}
+		if len(parts) > 1 && parts[1] != "" {
+			cap, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return Topology{}, fmt.Errorf("topo: bad capacity in %q: %w", field, err)
+			}
+			d.StateCapacity = cap
+		}
+		if len(parts) > 2 && parts[2] != "" {
+			bw, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return Topology{}, fmt.Errorf("topo: bad bandwidth in %q: %w", field, err)
+			}
+			d.Bandwidth = bw
+		}
+		t.Domains = append(t.Domains, d)
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// LoadSpec resolves a -topo flag value: inline JSON (starts with '{'), a
+// path to a JSON spec file, or the compact "name[:cap[:bw]],..." form.
+func LoadSpec(arg string) (Topology, error) {
+	trimmed := strings.TrimSpace(arg)
+	if strings.HasPrefix(trimmed, "{") {
+		return ParseSpec([]byte(trimmed))
+	}
+	if st, err := os.Stat(arg); err == nil && !st.IsDir() {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return Topology{}, fmt.Errorf("topo: %w", err)
+		}
+		return ParseSpec(b)
+	}
+	return ParseCompact(arg)
+}
+
+// Options tunes the placement search. Zero values select the place
+// package's GA defaults; Workers <= 0 selects GOMAXPROCS. The placement is
+// byte-identical for any worker count.
+type Options struct {
+	Seed        int64
+	Population  int
+	Generations int
+	Workers     int
+}
+
+// Placement is the result of placing a shard plan onto a topology.
+type Placement struct {
+	// ShardDomain maps shard index to its domain in Topology.Domains
+	// order.
+	ShardDomain []int
+	// DomainStates is the per-domain hosted state total.
+	DomainStates []int
+	// Overflow is the total states above capacity across domains (0 for a
+	// feasible placement).
+	Overflow float64
+	// Makespan is the bandwidth-weighted bottleneck load
+	// (max states/bandwidth over domains).
+	Makespan float64
+	// CutCost is the inter-shard report-merge traffic × domain distance
+	// the GA minimized.
+	CutCost float64
+}
+
+// MergeWeights derives each shard's report-merge traffic weight — the
+// number of reporting states it hosts — from the automaton and its plan.
+// Two shards placed on distant domains pay their weight product times the
+// domain distance at every merge.
+func MergeWeights(n *automata.NFA, plan shard.Plan) ([]int, error) {
+	ccs := n.ConnectedComponents()
+	if len(ccs) != len(plan.CCShard) {
+		return nil, fmt.Errorf("topo: plan covers %d components, automaton has %d", len(plan.CCShard), len(ccs))
+	}
+	out := make([]int, plan.Shards)
+	for i, cc := range ccs {
+		w := 0
+		for _, id := range cc {
+			if n.States[id].Report {
+				w++
+			}
+		}
+		out[plan.CCShard[i]] += w
+	}
+	return out, nil
+}
+
+// cost prices an assignment lexicographically: capacity overflow, then
+// bandwidth-weighted makespan, then cut cost. Evaluated in fixed iteration
+// order so the value is bit-identical wherever it runs.
+func (t Topology) cost(weights, merge []int) func(assign []int) []float64 {
+	return func(assign []int) []float64 {
+		load := make([]int, len(t.Domains))
+		for i, d := range assign {
+			load[d] += weights[i]
+		}
+		overflow, makespan := 0.0, 0.0
+		for d := range t.Domains {
+			if cap := t.Domains[d].StateCapacity; cap > 0 && load[d] > cap {
+				overflow += float64(load[d] - cap)
+			}
+			if m := float64(load[d]) / t.Domains[d].Bandwidth; m > makespan {
+				makespan = m
+			}
+		}
+		cut := 0.0
+		for i := range assign {
+			if merge[i] == 0 {
+				continue
+			}
+			for j := i + 1; j < len(assign); j++ {
+				if assign[i] != assign[j] {
+					cut += float64(merge[i]) * float64(merge[j]) * t.Cost[assign[i]][assign[j]]
+				}
+			}
+		}
+		return []float64{overflow, makespan, cut}
+	}
+}
+
+// greedySeed builds the first-fit-decreasing seed: shards in decreasing
+// weight order (index breaks ties) each go to the fitting domain with the
+// lowest resulting bandwidth-weighted load; when nothing fits, to the
+// domain with the least overflow. Deterministic.
+func (t Topology) greedySeed(weights []int) []int {
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by decreasing weight keeps ties in index order.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && weights[order[j]] > weights[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	assign := make([]int, len(weights))
+	load := make([]int, len(t.Domains))
+	for _, s := range order {
+		best, bestFits := -1, false
+		var bestLoad, bestOver float64
+		for d := range t.Domains {
+			after := load[d] + weights[s]
+			fits := t.Domains[d].StateCapacity == 0 || after <= t.Domains[d].StateCapacity
+			eff := float64(after) / t.Domains[d].Bandwidth
+			over := 0.0
+			if !fits {
+				over = float64(after - t.Domains[d].StateCapacity)
+			}
+			better := false
+			switch {
+			case best == -1:
+				better = true
+			case fits != bestFits:
+				better = fits
+			case fits:
+				better = eff < bestLoad
+			default:
+				better = over < bestOver || (over == bestOver && eff < bestLoad)
+			}
+			if better {
+				best, bestFits, bestLoad, bestOver = d, fits, eff, over
+			}
+		}
+		assign[s] = best
+		load[best] += weights[s]
+	}
+	return assign
+}
+
+// Place assigns every shard of the plan to a topology domain. merge holds
+// per-shard report-merge weights (MergeWeights); nil means uniform weight 1.
+// The FFD seed is refined by place.EvolveAssign under the lexicographic
+// fitness, and elitism guarantees the result is never worse than the seed.
+func Place(plan shard.Plan, merge []int, t Topology, opts Options) (*Placement, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.Shards <= 0 {
+		return nil, fmt.Errorf("topo: plan has no shards")
+	}
+	if merge == nil {
+		merge = make([]int, plan.Shards)
+		for i := range merge {
+			merge[i] = 1
+		}
+	}
+	if len(merge) != plan.Shards {
+		return nil, fmt.Errorf("topo: %d merge weights for %d shards", len(merge), plan.Shards)
+	}
+	full := t.Normalize()
+	weights := plan.ShardStates()
+	costFn := full.cost(weights, merge)
+	assign := full.greedySeed(weights)
+	assign = place.EvolveAssign(place.AssignSpec{
+		Items: plan.Shards,
+		Bins:  len(full.Domains),
+		Cost:  costFn,
+	}, assign, place.Options{
+		Seed:        opts.Seed,
+		Population:  opts.Population,
+		Generations: opts.Generations,
+		Workers:     opts.Workers,
+	})
+	v := costFn(assign)
+	p := &Placement{
+		ShardDomain:  assign,
+		DomainStates: make([]int, len(full.Domains)),
+		Overflow:     v[0],
+		Makespan:     v[1],
+		CutCost:      v[2],
+	}
+	for i, d := range assign {
+		p.DomainStates[d] += weights[i]
+	}
+	return p, nil
+}
+
+// Sealed is the artifact form of a placement: the topology plus the
+// shard → domain map, enough for a worker to self-select its shard set.
+type Sealed struct {
+	Topology    Topology
+	ShardDomain []int
+}
+
+// Validate checks the sealed placement against a shard count.
+func (s *Sealed) Validate(shards int) error {
+	if err := s.Topology.Validate(); err != nil {
+		return err
+	}
+	if len(s.ShardDomain) != shards {
+		return fmt.Errorf("topo: placement covers %d shards, plan has %d", len(s.ShardDomain), shards)
+	}
+	for i, d := range s.ShardDomain {
+		if d < 0 || d >= len(s.Topology.Domains) {
+			return fmt.Errorf("topo: shard %d placed on domain %d, topology has %d", i, d, len(s.Topology.Domains))
+		}
+	}
+	return nil
+}
+
+// ShardsIn returns the shard indices placed on the given domain.
+func (s *Sealed) ShardsIn(domain int) []int {
+	var out []int
+	for i, d := range s.ShardDomain {
+		if d == domain {
+			out = append(out, i)
+		}
+	}
+	return out
+}

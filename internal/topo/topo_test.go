@@ -1,0 +1,273 @@
+package topo
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/regexc"
+	"impala/internal/shard"
+)
+
+// buildPlan compiles a multi-component rule set and shards it K ways,
+// returning the automaton and the plan.
+func buildPlan(t *testing.T, k int) (*automata.NFA, shard.Plan) {
+	t.Helper()
+	n := regexc.MustCompile([]regexc.Rule{
+		{Pattern: "a.{12}b", Code: 1},
+		{Pattern: "literal", Code: 2},
+		{Pattern: "keyword", Code: 3},
+		{Pattern: "ab[cd]ef", Code: 4},
+		{Pattern: "zz.?zz", Code: 5},
+		{Pattern: "needle", Code: 6},
+	})
+	sh, err := shard.Build(n, shard.Options{Shards: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, sh.Plan()
+}
+
+func threeDomains() Topology {
+	return Topology{
+		Domains: []Domain{
+			{Name: "big", Bandwidth: 2},
+			{Name: "mid"},
+			{Name: "far", Bandwidth: 0.5},
+		},
+		Cost: [][]float64{{0, 1, 4}, {1, 0, 4}, {4, 4, 0}},
+	}
+}
+
+// TestPlaceDeterministicAcrossWorkers pins the core determinism contract:
+// the placement is byte-identical for any GA worker count.
+func TestPlaceDeterministicAcrossWorkers(t *testing.T) {
+	n, plan := buildPlan(t, 4)
+	mw, err := MergeWeights(n, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := threeDomains()
+	var ref *Placement
+	for _, workers := range []int{1, 2, 8} {
+		pl, err := Place(plan, mw, topo, Options{Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = pl
+			continue
+		}
+		if !reflect.DeepEqual(pl, ref) {
+			t.Fatalf("workers=%d placement diverges:\n%+v\n%+v", workers, pl, ref)
+		}
+	}
+}
+
+// TestPlaceBalancesEqualDomains: two equal shards on two equal domains must
+// spread one per domain — the makespan term forbids collapsing onto one
+// domain even though that would zero the cut cost.
+func TestPlaceBalancesEqualDomains(t *testing.T) {
+	_, plan := buildPlan(t, 2)
+	topo := Topology{Domains: []Domain{{Name: "a"}, {Name: "b"}}}
+	pl, err := Place(plan, nil, topo, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.ShardDomain[0] == pl.ShardDomain[1] {
+		t.Fatalf("both shards on domain %d, want a spread: %+v", pl.ShardDomain[0], pl)
+	}
+	if pl.Overflow != 0 {
+		t.Fatalf("unbounded domains report overflow %v", pl.Overflow)
+	}
+}
+
+// TestPlaceRespectsCapacity: with one domain too small for both shards and
+// one unbounded, a feasible placement exists and must be found (overflow 0).
+func TestPlaceRespectsCapacity(t *testing.T) {
+	_, plan := buildPlan(t, 2)
+	states := plan.ShardStates()
+	topo := Topology{Domains: []Domain{
+		{Name: "small", StateCapacity: states[0]},
+		{Name: "rest"},
+	}}
+	pl, err := Place(plan, nil, topo, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Overflow != 0 {
+		t.Fatalf("feasible topology placed with overflow %v: %+v", pl.Overflow, pl)
+	}
+	for d, load := range pl.DomainStates {
+		if cap := topo.Domains[d].StateCapacity; cap > 0 && load > cap {
+			t.Fatalf("domain %d holds %d states over capacity %d", d, load, cap)
+		}
+	}
+}
+
+// TestPlaceBandwidthSkew: a domain with double bandwidth should absorb the
+// load when shards are identical — the makespan is states/bandwidth.
+func TestPlaceBandwidthSkew(t *testing.T) {
+	n, plan := buildPlan(t, 2)
+	mw, err := MergeWeights(n, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := Topology{Domains: []Domain{
+		{Name: "fast", Bandwidth: 8},
+		{Name: "slow", Bandwidth: 0.25},
+	}}
+	pl, err := Place(plan, mw, topo, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both shards on the fast domain: its makespan for the full load is
+	// still below the slow domain's for a single shard.
+	if pl.ShardDomain[0] != 0 || pl.ShardDomain[1] != 0 {
+		t.Fatalf("bandwidth skew ignored: %+v (shard states %v)", pl, plan.ShardStates())
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	_, plan := buildPlan(t, 2)
+	topo := Topology{Domains: []Domain{{Name: "a"}}}
+	if _, err := Place(shard.Plan{}, nil, topo, Options{}); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+	if _, err := Place(plan, []int{1}, topo, Options{}); err == nil {
+		t.Fatal("short merge-weight vector accepted")
+	}
+	if _, err := Place(plan, nil, Topology{}, Options{}); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+}
+
+func TestMergeWeights(t *testing.T) {
+	n, plan := buildPlan(t, 3)
+	mw, err := MergeWeights(n, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mw) != plan.Shards {
+		t.Fatalf("%d weights for %d shards", len(mw), plan.Shards)
+	}
+	total := 0
+	for _, w := range mw {
+		total += w
+	}
+	if want := len(n.ReportStates()); total != want {
+		t.Fatalf("merge weights sum to %d, automaton has %d reporting states", total, want)
+	}
+	// A plan for a different automaton must be rejected.
+	other := regexc.MustCompile([]regexc.Rule{{Pattern: "x", Code: 1}})
+	if _, err := MergeWeights(other, plan); err == nil {
+		t.Fatal("mismatched plan accepted")
+	}
+}
+
+func TestParseSpecAndValidate(t *testing.T) {
+	good := `{"domains": [{"name": "a", "state_capacity": 64, "bandwidth": 2}, {"name": "b"}],
+		"cost": [[0, 3], [3, 0]]}`
+	topo, err := ParseSpec([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.DomainIndex("b") != 1 || topo.DomainIndex("zzz") != -1 {
+		t.Fatalf("DomainIndex broken: %+v", topo)
+	}
+	if got := topo.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Names = %v", got)
+	}
+
+	bad := []string{
+		`{"domains": []}`,                                         // no domains
+		`{"domains": [{"name": ""}]}`,                             // unnamed
+		`{"domains": [{"name": "a"}, {"name": "a"}]}`,             // duplicate
+		`{"domains": [{"name": "a", "bandwidth": -1}]}`,           // negative bandwidth
+		`{"domains": [{"name": "a", "state_capacity": -5}]}`,      // negative capacity
+		`{"domains": [{"name": "a"}], "cost": [[1]]}`,             // nonzero diagonal
+		`{"domains": [{"name": "a"}], "cost": [[0, 1]]}`,          // non-square
+		`{"domains": [{"name": "a"}], "cost": [[0]], "bogus": 1}`, // unknown field
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec([]byte(spec)); err == nil {
+			t.Errorf("bad spec accepted: %s", spec)
+		}
+	}
+}
+
+func TestParseCompact(t *testing.T) {
+	topo, err := ParseCompact("node0:4096,node1:0:2,node2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Domain{
+		{Name: "node0", StateCapacity: 4096},
+		{Name: "node1", Bandwidth: 2},
+		{Name: "node2"},
+	}
+	if !reflect.DeepEqual(topo.Domains, want) {
+		t.Fatalf("domains = %+v, want %+v", topo.Domains, want)
+	}
+	for _, spec := range []string{"", "a:b", "a:1:x", "a:1:2:3", "a,a"} {
+		if _, err := ParseCompact(spec); err == nil {
+			t.Errorf("bad compact spec accepted: %q", spec)
+		}
+	}
+}
+
+func TestLoadSpecForms(t *testing.T) {
+	inline := `{"domains": [{"name": "x"}]}`
+	if topo, err := LoadSpec(inline); err != nil || topo.DomainIndex("x") != 0 {
+		t.Fatalf("inline JSON: %v %+v", err, topo)
+	}
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, []byte(inline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if topo, err := LoadSpec(path); err != nil || topo.DomainIndex("x") != 0 {
+		t.Fatalf("file spec: %v %+v", err, topo)
+	}
+	if topo, err := LoadSpec("y:16"); err != nil || topo.DomainIndex("y") != 0 {
+		t.Fatalf("compact spec: %v %+v", err, topo)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	topo := Topology{Domains: []Domain{{Name: "a"}, {Name: "b", Bandwidth: 3}}}
+	full := topo.Normalize()
+	if full.Domains[0].Bandwidth != 1 || full.Domains[1].Bandwidth != 3 {
+		t.Fatalf("bandwidth defaults wrong: %+v", full.Domains)
+	}
+	want := [][]float64{{0, 1}, {1, 0}}
+	if !reflect.DeepEqual(full.Cost, want) {
+		t.Fatalf("uniform cost = %v, want %v", full.Cost, want)
+	}
+	if topo.Cost != nil {
+		t.Fatal("Normalize mutated the receiver")
+	}
+}
+
+func TestSealedValidateAndShardsIn(t *testing.T) {
+	topo := Topology{Domains: []Domain{{Name: "a"}, {Name: "b"}}}
+	s := &Sealed{Topology: topo, ShardDomain: []int{0, 1, 0}}
+	if err := s.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(4); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	if got := s.ShardsIn(0); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("ShardsIn(0) = %v", got)
+	}
+	if got := s.ShardsIn(1); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("ShardsIn(1) = %v", got)
+	}
+	bad := &Sealed{Topology: topo, ShardDomain: []int{0, 2}}
+	if err := bad.Validate(2); err == nil || !strings.Contains(err.Error(), "domain") {
+		t.Fatalf("out-of-range domain accepted: %v", err)
+	}
+}
