@@ -6,7 +6,7 @@ GO ?= go
 # at ~82% — raise the floor as coverage grows, never lower it.
 COVER_MIN ?= 80.0
 
-.PHONY: all check build vet fmt-check test test-short test-race bench bench-check cover cover-check examples experiments artifact serve smoke-serve smoke-cluster clean
+.PHONY: all check build vet fmt-check test test-short test-race bench bench-check cover cover-check examples experiments artifact serve smoke-serve smoke-cluster smoke-align clean
 
 all: check
 
@@ -20,7 +20,8 @@ all: check
 # bounded match pool, artifact codec), the tiered engine (pooled cores
 # shared across Run callers, parallel simultaneous-DFA build and scan),
 # and the sharded engine (concurrent shard construction and fan-out scan),
-# and the topology placer (deterministic placement under GA worker pools).
+# and the topology placer (deterministic placement under GA worker pools),
+# and the scored engine (pooled scoring engines shared across Run callers).
 check: fmt-check build vet test test-race
 
 build:
@@ -40,7 +41,7 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/... ./internal/dfa/... ./internal/backend/... ./internal/shard/... ./internal/topo/...
+	$(GO) test -race ./internal/sim/... ./internal/core/... ./internal/espresso/... ./internal/place/... ./internal/arch/... ./internal/obs/... ./internal/par/... ./internal/server/... ./internal/artifact/... ./internal/dfa/... ./internal/backend/... ./internal/shard/... ./internal/topo/... ./internal/score/... ./internal/workload/...
 
 # tierspeed runs at 256 KiB inputs and shardspeed at 1 MiB so the big
 # benchmarks' engine walls clear the MinWallMS noise gate and the speedup
@@ -53,6 +54,7 @@ bench:
 	$(GO) run ./cmd/impala-bench -exp servespeed -json BENCH_serve.json
 	$(GO) run ./cmd/impala-bench -exp shardspeed -input-kb 1024 -json BENCH_shard.json
 	$(GO) run ./cmd/impala-bench -exp clustersweep -json BENCH_cluster.json
+	$(GO) run ./cmd/impala-bench -exp scorespeed -input-kb 1024 -json BENCH_score.json
 
 # bench-check is the perf-regression smoke gate: rerun the compilespeed
 # sweep and compare cache hit rate, cache speedup (best-of-sweep, only on
@@ -78,6 +80,7 @@ bench-check:
 	$(GO) run ./cmd/impala-bench -exp servespeed -check BENCH_serve.json
 	$(GO) run ./cmd/impala-bench -exp shardspeed -input-kb 1024 -tolerance 0.5 -check BENCH_shard.json
 	$(GO) run ./cmd/impala-bench -exp clustersweep -check BENCH_cluster.json
+	$(GO) run ./cmd/impala-bench -exp scorespeed -input-kb 1024 -tolerance 0.5 -check BENCH_score.json
 
 cover:
 	$(GO) test -cover ./...
@@ -97,6 +100,7 @@ examples:
 	$(GO) run ./examples/motif
 	$(GO) run ./examples/entityresolution
 	$(GO) run ./examples/toolchain
+	$(GO) run ./examples/alignment
 
 # Regenerate every paper table/figure (writes CSVs under out/).
 experiments:
@@ -122,6 +126,12 @@ smoke-serve:
 # degradation → SIGTERM drain (the CI job).
 smoke-cluster:
 	./scripts/smoke_cluster.sh
+
+# Scored-execution smoke: the alignment demo's known read scores through the
+# one-shot and streaming paths, plus the impalac -score / impala-sim scored
+# artifact round trip (the CI job).
+smoke-align:
+	./scripts/smoke_align.sh
 
 clean:
 	rm -rf out/ coverage.out

@@ -70,6 +70,15 @@
 // models side by side, cross-checking that both produce identical match
 // reports. -json FILE writes the report (the committed BENCH_backend.json
 // baseline); -check FILE gates CI exactly on every deterministic column.
+//
+// The scorespeed experiment runs the scored max-plus engine against the
+// binary compiled engine over the two scored universes (DNA-read alignment
+// on the edit-distance mesh, fuzzy entity resolution on the Hamming mesh),
+// cross-checking that a threshold-free weight table reproduces the binary
+// report set exactly. -json FILE writes the report (the committed
+// BENCH_score.json baseline); -check FILE gates CI on workload shape and
+// report counts (exact, same scale/seed) and on the scored engine's
+// retained throughput (within -tolerance, MinWallMS-guarded).
 package main
 
 import (
@@ -84,6 +93,7 @@ import (
 	"impala/internal/exp"
 	"impala/internal/obs"
 	"impala/internal/par"
+	"impala/internal/score"
 	"impala/internal/shard"
 )
 
@@ -169,6 +179,13 @@ func main() {
 		}
 		if id == "clustersweep" && (*jsonOut != "" || *check != "") {
 			if err := runClusterSweep(o, *jsonOut, *check); err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+			continue
+		}
+		if id == "scorespeed" && (*jsonOut != "" || *check != "") {
+			if err := runScoreSpeed(o, *jsonOut, *check, *tol); err != nil {
 				fatal(fmt.Errorf("%s: %w", id, err))
 			}
 			fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
@@ -490,6 +507,60 @@ func runServeSpeed(o exp.Options, jsonPath, checkPath string, tol float64) error
 		}
 		opt := exp.CheckOptions{SpeedupTolerance: tol}
 		if bad := exp.CompareServeReports(base, rep, opt); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "regression: %s\n", msg)
+			}
+			return fmt.Errorf("%d regression(s) vs %s", len(bad), checkPath)
+		}
+		fmt.Printf("check vs %s: pass (%d cells within tolerance)\n", checkPath, len(base.Cells))
+	}
+	return nil
+}
+
+// runScoreSpeed runs the scorespeed experiment once (instrumented with the
+// scored-engine counters), renders its table, optionally writes the JSON
+// report, and optionally checks it against a stored baseline — the
+// BENCH_score.json part of the CI regression gate. Workload shape and both
+// report counts must match the baseline exactly on a same-scale/seed run;
+// the scored engine's retained throughput relative to the binary engine may
+// not drop more than -tolerance below baseline.
+func runScoreSpeed(o exp.Options, jsonPath, checkPath string, tol float64) error {
+	reg := obs.NewRegistry()
+	score.EnableMetrics(reg)
+	defer score.EnableMetrics(nil)
+	o.Metrics = reg
+
+	rep, err := exp.ScoreSpeedReport(o)
+	if err != nil {
+		return err
+	}
+	rep.Table().Render(os.Stdout)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if checkPath != "" {
+		f, err := os.Open(checkPath)
+		if err != nil {
+			return err
+		}
+		base, err := exp.ReadScoreReport(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		opt := exp.CheckOptions{SpeedupTolerance: tol}
+		if bad := exp.CompareScoreReports(base, rep, opt); len(bad) > 0 {
 			for _, msg := range bad {
 				fmt.Fprintf(os.Stderr, "regression: %s\n", msg)
 			}

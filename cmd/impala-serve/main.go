@@ -46,6 +46,7 @@ import (
 
 	"impala/internal/dfa"
 	"impala/internal/obs"
+	"impala/internal/score"
 	"impala/internal/server"
 	"impala/internal/shard"
 	"impala/internal/sim"
@@ -87,6 +88,7 @@ func main() {
 		sim.EnableMetrics(reg)
 		dfa.EnableMetrics(reg)
 		shard.EnableMetrics(reg)
+		score.EnableMetrics(reg)
 	}
 
 	var handler http.Handler
@@ -199,6 +201,9 @@ func loadTenants(srv *server.Server, dir, domain string) {
 		suffix := ""
 		if domain != "" {
 			suffix = fmt.Sprintf(", domain %q", domain)
+		}
+		if si := t.Machine.ScoreInfo(); si != nil {
+			suffix += fmt.Sprintf(", scored (threshold %g)", si.Threshold)
 		}
 		fmt.Fprintf(os.Stderr, "impala-serve: tenant %q: %d states, %d-bit stride-%d, %d groups (%s)%s\n",
 			name, t.Machine.Model().States, bits, stride, t.Machine.Model().G4s, path, suffix)

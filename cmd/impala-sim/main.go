@@ -33,6 +33,7 @@ import (
 	"impala/internal/dfa"
 	"impala/internal/obs"
 	"impala/internal/regexc"
+	"impala/internal/score"
 	"impala/internal/shard"
 	"impala/internal/sim"
 )
@@ -80,6 +81,7 @@ func main() {
 		arch.EnableMetrics(reg)
 		dfa.EnableMetrics(reg)
 		shard.EnableMetrics(reg)
+		score.EnableMetrics(reg)
 		_, url, err := obs.Serve(*ops, reg)
 		if err != nil {
 			fatal(err)
@@ -139,9 +141,18 @@ func main() {
 		return
 	}
 
-	nfa, sealed, err := loadAutomaton(*loadFile, *nfaFile, *patterns, *stride, *caMode)
+	nfa, sealed, weights, err := loadAutomaton(*loadFile, *nfaFile, *patterns, *stride, *caMode)
 	if err != nil {
 		fatal(err)
+	}
+	// A scored artifact (SCOR section) runs on the weighted engine: reports
+	// print with their accumulated score, threshold rejects are summarized.
+	if weights != nil {
+		if *tier || *workers > 1 || *trace || *engine != "compiled" {
+			fatal(fmt.Errorf("scored artifacts run on the scored engine only (no -tier, -workers, -trace, -engine)"))
+		}
+		runScored(nfa, weights, input, *chunk, *quiet)
+		return
 	}
 	var tiered *dfa.Tiered
 	if *tier {
@@ -234,6 +245,34 @@ func main() {
 		stats.Reports, stats.ActivePerCycleAvg, stats.PeakActive)
 }
 
+// runScored executes the weighted engine over the input, batch or chunked,
+// printing each threshold-clearing report with its max-plus score.
+func runScored(nfa *automata.NFA, w *automata.Weights, input []byte, chunk int, quiet bool) {
+	c, err := score.Compile(nfa, w)
+	if err != nil {
+		fatal(err)
+	}
+	var reports []score.Report
+	var stats sim.Stats
+	if chunk > 0 {
+		s := c.NewSession(func(r score.Report) { reports = append(reports, r) })
+		feedChunks(s.Feed, input, chunk)
+		s.Flush()
+		score.SortReports(reports)
+		stats = s.Stats()
+	} else {
+		reports, stats = c.Run(input)
+	}
+	if !quiet {
+		for _, r := range reports {
+			fmt.Printf("match: pattern %d at byte %d score %g\n", r.Code, r.BitPos/8, r.Score)
+		}
+	}
+	fmt.Printf("input: %d bytes, %d cycles (%d bits/cycle, scored)\n", len(input), stats.Cycles, nfa.BitsPerCycle())
+	fmt.Printf("reports: %d cleared threshold %g   scalar-scored states: %d\n",
+		len(reports), c.Threshold(), c.ScalarScoredStates())
+}
+
 // feedChunks drives feed over input in chunks of at most size bytes.
 func feedChunks(feed func([]byte), input []byte, size int) {
 	for off := 0; off < len(input); off += size {
@@ -282,6 +321,9 @@ func printArtifactInfo(path string) error {
 		fmt.Printf("tier plan       : %d/%d components on the DFA fast path (%d DFA states)\n",
 			m.TierDFACCs, m.TierCCs, m.TierDFAStates)
 	}
+	if m.ScoredEdges > 0 {
+		fmt.Printf("score table     : %d weighted edges, threshold %g\n", m.ScoredEdges, m.ScoreThreshold)
+	}
 	for _, st := range info.Stages {
 		fmt.Printf("stage %-16s: %6d states, %7d transitions  (wall %s, cpu %s)\n",
 			st.Name, st.States, st.Transitions, st.Duration.Round(0), st.CPUTime.Round(0))
@@ -298,34 +340,35 @@ func printArtifactInfo(path string) error {
 }
 
 // loadAutomaton resolves the automaton source; artifacts additionally
-// surface their sealed tier plan (nil when the artifact carries none).
-func loadAutomaton(loadFile, nfaFile, patterns string, stride int, caMode bool) (*automata.NFA, *dfa.Sealed, error) {
+// surface their sealed tier plan and weight table (nil when the artifact
+// carries none).
+func loadAutomaton(loadFile, nfaFile, patterns string, stride int, caMode bool) (*automata.NFA, *dfa.Sealed, *automata.Weights, error) {
 	if loadFile != "" {
 		a, err := artifact.LoadFile(loadFile)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		// The simulator executes the Impala engines; artifacts sealed for
 		// another backend would run under the wrong hardware model.
 		if got := a.Meta.BackendName(); got != backend.DefaultName {
-			return nil, nil, fmt.Errorf("artifact %s was sealed for backend %q, this simulator runs %q: %w",
+			return nil, nil, nil, fmt.Errorf("artifact %s was sealed for backend %q, this simulator runs %q: %w",
 				loadFile, got, backend.DefaultName, backend.ErrMismatch)
 		}
-		return a.NFA, a.Tier, nil
+		return a.NFA, a.Tier, a.Score, nil
 	}
 	if nfaFile != "" {
 		data, err := os.ReadFile(nfaFile)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		var n automata.NFA
 		if err := json.Unmarshal(data, &n); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return &n, nil, nil
+		return &n, nil, nil, nil
 	}
 	if patterns == "" {
-		return nil, nil, fmt.Errorf("one of -nfa, -patterns is required")
+		return nil, nil, nil, fmt.Errorf("one of -nfa, -patterns is required")
 	}
 	var rules []regexc.Rule
 	for i, p := range strings.Split(patterns, ",") {
@@ -333,7 +376,7 @@ func loadAutomaton(loadFile, nfaFile, patterns string, stride int, caMode bool) 
 	}
 	n, err := regexc.Compile(rules)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	bits := 4
 	if caMode {
@@ -341,9 +384,9 @@ func loadAutomaton(loadFile, nfaFile, patterns string, stride int, caMode bool) 
 	}
 	res, err := core.Compile(n, core.Config{TargetBits: bits, StrideDims: stride})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return res.NFA, nil, nil
+	return res.NFA, nil, nil, nil
 }
 
 func fatal(err error) {

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,7 +38,9 @@ import (
 	"impala/internal/obs"
 	"impala/internal/place"
 	"impala/internal/regexc"
+	"impala/internal/score"
 	"impala/internal/topo"
+	"impala/internal/workload"
 )
 
 func main() {
@@ -59,6 +62,11 @@ func main() {
 		shards    = flag.Int("shards", 1, "partition components into this many shard automata (with -tier the DFA budgets apply per shard); the plan is sealed into the artifact")
 		topoSpec  = flag.String("topo", "", "cluster topology (JSON file, inline JSON, or name[:cap[:bw]],... compact spec): place shards onto domains and seal the placement (requires -shards > 1)")
 		bkName    = flag.String("backend", backend.DefaultName, "compile target (see -backend list)")
+
+		scoreMode = flag.String("score", "", `build a weighted edit-distance mesh instead of compiling regexes: "lev" (Levenshtein) or "ham" (Hamming). -patterns/-rules entries are then literal byte strings; the transformed weight table is sealed into the artifact (SCOR) for scored serving`)
+		scoreDist = flag.Int("score-d", 2, "with -score: per-pattern error budget")
+		scoreCost = flag.String("score-costs", "1,-1,-2", "with -score: match,mismatch,gap costs")
+		scoreThr  = flag.Float64("score-threshold", 0, "with -score: report threshold (hits scoring below it are suppressed on the scored paths)")
 	)
 	flag.Parse()
 
@@ -75,9 +83,26 @@ func main() {
 		fatal(err)
 	}
 
-	nfa, err := loadInput(*rulesFile, *nfaFile, *anmlFile, *patterns)
-	if err != nil {
-		fatal(err)
+	// Scored mode replaces the regex front end with a weighted mesh builder;
+	// the mesh's weight table rides through the pipeline and the artifact.
+	var weights *automata.Weights
+	var nfa *automata.NFA
+	if *scoreMode != "" {
+		if *tier || *shards > 1 || *topoSpec != "" {
+			fatal(fmt.Errorf("-score is mutually exclusive with -tier, -shards and -topo (the scored engine is single-tier)"))
+		}
+		if *nfaFile != "" || *anmlFile != "" || *compare {
+			fatal(fmt.Errorf("-score builds its own automaton; use -patterns or -rules with literal strings"))
+		}
+		nfa, weights, err = buildScoredInput(*scoreMode, *rulesFile, *patterns, *scoreDist, *scoreCost, *scoreThr)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		nfa, err = loadInput(*rulesFile, *nfaFile, *anmlFile, *patterns)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *compare {
 		compareDesigns(nfa)
@@ -104,6 +129,7 @@ func main() {
 		cfg.Tier = &dfa.TierOptions{CCMaxStates: *tierCap}
 	}
 	cfg.Shards = *shards
+	cfg.Weights = weights
 	res, err := core.Compile(nfa, cfg)
 	if err != nil {
 		fatal(err)
@@ -127,6 +153,14 @@ func main() {
 		fmt.Printf("shard plan      : %d components over %d shards (%d..%d states/shard; %d shard(s) carry a DFA fast path, %d DFA states total)\n",
 			len(p.CCShard), p.Shards, p.MinStates(), p.MaxStates(),
 			res.Shards.TieredShards(), res.Shards.DFAStates())
+	}
+	if res.Weights != nil {
+		sc, err := score.Compile(res.NFA, res.Weights)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("score table     : %d weighted edges, threshold %g (%d state(s) on the scalar scoring fallback)\n",
+			res.Weights.NumEdges(), res.Weights.Threshold, sc.ScalarScoredStates())
 	}
 
 	// Cluster placement: map the shard plan onto the named topology domains
@@ -222,6 +256,9 @@ func main() {
 			if topoSealed != nil {
 				a.SetTopo(topoSealed)
 			}
+			if res.Weights != nil {
+				a.SetScore(res.Weights)
+			}
 			payload, err := bk.SealSection(res.NFA, pl)
 			if err != nil {
 				fatal(err)
@@ -306,6 +343,58 @@ func compareDesigns(nfa *automata.NFA) {
 			pt.d.ThroughputGbps(), area.TotalMM2(),
 			arch.ThroughputPerArea(pt.d, res.NFA.NumStates()),
 			res.CompileTime.Round(0))
+	}
+}
+
+// buildScoredInput constructs the weighted edit-distance mesh for -score:
+// literal patterns from -patterns/-rules, a cost table, and the report
+// threshold sealed alongside the weights.
+func buildScoredInput(mode, rulesFile, patterns string, d int, costSpec string, threshold float64) (*automata.NFA, *automata.Weights, error) {
+	var pats [][]byte
+	switch {
+	case patterns != "":
+		for _, p := range strings.Split(patterns, ",") {
+			pats = append(pats, []byte(p))
+		}
+	case rulesFile != "":
+		f, err := os.Open(rulesFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			pats = append(pats, []byte(line))
+		}
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("-score requires literal patterns via -patterns or -rules")
+	}
+	parts := strings.Split(costSpec, ",")
+	if len(parts) != 3 {
+		return nil, nil, fmt.Errorf("-score-costs wants match,mismatch,gap, got %q", costSpec)
+	}
+	var c workload.Costs
+	for i, dst := range []*float64{&c.Match, &c.Mismatch, &c.Gap} {
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-score-costs %q: %v", costSpec, err)
+		}
+		*dst = v
+	}
+	switch mode {
+	case "lev":
+		return workload.ScoredLevenshtein(pats, d, c, threshold)
+	case "ham":
+		return workload.ScoredHamming(pats, d, c, threshold)
+	default:
+		return nil, nil, fmt.Errorf("unknown -score mode %q (want lev or ham)", mode)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"impala/internal/espresso"
 	"impala/internal/place"
 	"impala/internal/regexc"
+	"impala/internal/score"
 	"impala/internal/shard"
 	"impala/internal/sim"
 )
@@ -65,6 +66,15 @@ type Config struct {
 	// multi-core host one-shot scans fan out across shards. The partition
 	// travels inside the artifact, so loaded machines keep it.
 	Shards int
+	// Score attaches a per-transition weight table to the automaton passed
+	// to CompileAutomaton (it must validate against that automaton): the
+	// pipeline transforms it alongside the structure and the machine gains
+	// the scored execution paths (MatchScored, NewScoredStream) with
+	// max-plus accumulation and threshold reporting. The transformed table
+	// travels inside the artifact as the SCOR section, so loaded machines
+	// keep it. Mutually exclusive with Tier and Shards — the scored engine
+	// is single-tier.
+	Score *automata.Weights
 }
 
 // DefaultConfig returns the paper's best design point: 4-stride 4-bit
@@ -87,6 +97,7 @@ func (c Config) coreConfig() core.Config {
 		cc.Tier = &dfa.TierOptions{CCMaxStates: c.TierBudget}
 	}
 	cc.Shards = c.Shards
+	cc.Weights = c.Score
 	return cc
 }
 
@@ -118,6 +129,12 @@ type Machine struct {
 	// or the loaded artifact carried a sealed partition). When set, the
 	// serving paths prefer it over tiered/simc.
 	sharded *shard.Sharded
+	// scored is the weighted execution form and weights its transformed
+	// weight table (nil unless Config.Score was set or the loaded artifact
+	// carried a SCOR section). The binary paths ignore it: Match on a
+	// scored machine still reports every structural hit, threshold or not.
+	scored  *score.Compiled
+	weights *automata.Weights
 	// Pre-transformation shape and compile-stage trace, carried as plain
 	// values so a Machine loaded from an artifact (where the original
 	// automaton and live compile result no longer exist) reports the same
@@ -159,6 +176,9 @@ func CompileANML(r io.Reader, cfg Config) (*Machine, error) {
 // stride-1 automaton (for workloads not expressed as regex). Report codes
 // of the automaton become Match.Pattern values.
 func CompileAutomaton(nfa *automata.NFA, cfg Config) (*Machine, error) {
+	if cfg.Score != nil && (cfg.Tier || cfg.Shards > 1) {
+		return nil, fmt.Errorf("impala: Score is mutually exclusive with Tier and Shards (the scored engine is single-tier)")
+	}
 	res, err := core.Compile(nfa, cfg.coreConfig())
 	if err != nil {
 		return nil, err
@@ -189,6 +209,13 @@ func CompileAutomaton(nfa *automata.NFA, cfg Config) (*Machine, error) {
 		origStates:      nfa.NumStates(),
 		origTransitions: nfa.NumTransitions(),
 	}
+	if res.Weights != nil {
+		mach.scored, err = score.Compile(res.NFA, res.Weights)
+		if err != nil {
+			return nil, err
+		}
+		mach.weights = res.Weights
+	}
 	for _, s := range res.Stages {
 		mach.stages = append(mach.stages, artifact.Stage{
 			Name: s.Name, States: s.States, Transitions: s.Transitions,
@@ -215,6 +242,8 @@ func (m *Machine) Artifact() *artifact.Artifact {
 		a.SetShards(m.sharded.Seal())
 	case m.tiered != nil:
 		a.SetTier(m.tiered.Seal())
+	case m.weights != nil:
+		a.SetScore(m.weights)
 	}
 	return a
 }
@@ -329,6 +358,13 @@ func machineFromArtifact(a *artifact.Artifact, keep []int) (*Machine, error) {
 			}
 		}
 	}
+	var scored *score.Compiled
+	if a.Score != nil {
+		scored, err = score.Compile(a.NFA, a.Score)
+		if err != nil {
+			return nil, fmt.Errorf("impala: artifact weight table does not compile: %w", err)
+		}
+	}
 	return &Machine{
 		cfg: Config{
 			StrideDims: a.Meta.Stride,
@@ -336,6 +372,7 @@ func machineFromArtifact(a *artifact.Artifact, keep []int) (*Machine, error) {
 			Seed:       a.Meta.Seed,
 			Tier:       tiered != nil || shardsTiered,
 			Shards:     a.Meta.Shards,
+			Score:      a.Score,
 		},
 		transformed:     a.NFA,
 		placement:       a.Placement,
@@ -343,6 +380,8 @@ func machineFromArtifact(a *artifact.Artifact, keep []int) (*Machine, error) {
 		simc:            simc,
 		tiered:          tiered,
 		sharded:         sharded,
+		scored:          scored,
+		weights:         a.Score,
 		origStates:      a.Meta.OriginalStates,
 		origTransitions: a.Meta.OriginalTransitions,
 		stages:          a.Stages,
@@ -481,6 +520,71 @@ func (m *Machine) ShardInfo() *ShardInfo {
 	}
 }
 
+// ScoredMatch is one pattern hit with its accumulated max-plus score: the
+// best total transition weight over all paths that completed the match,
+// saturated to ±automata.ScoreLimit.
+type ScoredMatch struct {
+	Match
+	Score float64
+}
+
+// MatchScored matches input on the weighted engine and returns only the
+// hits whose accumulated score clears the machine's threshold, each with
+// its best score. Several reporting states can denote the same (End,
+// Pattern) hit; the returned score is the maximum over them — the quantity
+// the compile pipeline preserves across geometries. The machine must carry
+// a weight table (Config.Score at compile, or a loaded SCOR artifact).
+// Safe for concurrent use.
+func (m *Machine) MatchScored(input []byte) ([]ScoredMatch, error) {
+	if m.scored == nil {
+		return nil, fmt.Errorf("impala: machine carries no weight table (compile with Config.Score or load a scored artifact)")
+	}
+	reports, _ := m.scored.Run(input)
+	return toScoredMatches(reports), nil
+}
+
+func toScoredMatches(reports []score.Report) []ScoredMatch {
+	idx := make(map[Match]int, len(reports))
+	out := make([]ScoredMatch, 0, len(reports))
+	for _, r := range reports {
+		mt := Match{End: r.BitPos / 8, Pattern: r.Code}
+		if i, ok := idx[mt]; ok {
+			if r.Score > out[i].Score {
+				out[i].Score = r.Score
+			}
+			continue
+		}
+		idx[mt] = len(out)
+		out = append(out, ScoredMatch{Match: mt, Score: r.Score})
+	}
+	return out
+}
+
+// ScoreInfo summarizes the machine's scoring configuration for display
+// (nil when the machine carries no weight table).
+type ScoreInfo struct {
+	// Threshold is the report threshold: hits scoring below it are
+	// suppressed on the scored paths.
+	Threshold float64
+	// Edges is the number of weighted transitions in the sealed table.
+	Edges int
+	// ScalarStates counts states whose in-edge weights are heterogeneous —
+	// scored on the scalar fallback instead of the bit-parallel fast path.
+	ScalarStates int
+}
+
+// ScoreInfo returns the scoring summary, or nil for unscored machines.
+func (m *Machine) ScoreInfo() *ScoreInfo {
+	if m.scored == nil {
+		return nil
+	}
+	return &ScoreInfo{
+		Threshold:    m.scored.Threshold(),
+		Edges:        m.weights.NumEdges(),
+		ScalarStates: m.scored.ScalarScoredStates(),
+	}
+}
+
 // Stream is one incremental input stream over the compiled machine: bytes
 // arrive in arbitrary chunks (a packet flow, a file read loop) and the
 // callback fires as matches complete, with no per-chunk allocation in
@@ -581,6 +685,114 @@ func (s *Stream) Reset() {
 
 // Stats returns the functional activity statistics of the stream so far.
 func (s *Stream) Stats() sim.Stats { return s.sess.Stats() }
+
+// ScoredStream is the weighted counterpart of Stream: bytes arrive in
+// arbitrary chunks and the callback fires once per distinct
+// threshold-clearing match with its best score. Because several reporting
+// states can denote the same (End, Pattern) hit in nearby cycles with
+// different scores, emission is deferred by the collision window: a match
+// fires only once every report that could still raise its score has
+// arrived (at most 8 cycles later), then carries the max. Flush drains the
+// window. Not safe for concurrent use by itself.
+type ScoredStream struct {
+	sess         *score.Session
+	onMatch      func(ScoredMatch)
+	bitsPerCycle int
+	curCycle     int
+	// pending holds matches still inside the collision window, max-merged
+	// in place, in first-report order (the emission order).
+	pending []scoredPending
+}
+
+type scoredPending struct {
+	m   ScoredMatch
+	cyc int
+}
+
+// NewScoredStream opens an incremental scored stream over the machine.
+// onMatch is invoked once per distinct threshold-clearing match, carrying
+// the best score over all reports that denote it (nil to count only). The
+// machine must carry a weight table. Many scored streams may run
+// concurrently over one Machine.
+func (m *Machine) NewScoredStream(onMatch func(ScoredMatch)) (*ScoredStream, error) {
+	if m.scored == nil {
+		return nil, fmt.Errorf("impala: machine carries no weight table (compile with Config.Score or load a scored artifact)")
+	}
+	s := &ScoredStream{
+		onMatch:      onMatch,
+		bitsPerCycle: m.transformed.BitsPerCycle(),
+		curCycle:     -1,
+	}
+	s.sess = m.scored.NewSession(s.report)
+	return s, nil
+}
+
+func (s *ScoredStream) report(r score.Report) {
+	// Reports arrive in cycle order; duplicates of one match lie within the
+	// same byte, bounding their cycle distance by 8/bitsPerCycle < 8 — the
+	// same window the binary Stream dedups over, but here entries leaving
+	// the window are emitted rather than merely retired.
+	cyc := (r.BitPos - 1) / s.bitsPerCycle
+	if cyc > s.curCycle {
+		s.curCycle = cyc
+		s.emitBefore(cyc - 8)
+	}
+	mt := Match{End: r.BitPos / 8, Pattern: r.Code}
+	for i := range s.pending {
+		if s.pending[i].m.Match == mt {
+			if r.Score > s.pending[i].m.Score {
+				s.pending[i].m.Score = r.Score
+			}
+			return
+		}
+	}
+	s.pending = append(s.pending, scoredPending{m: ScoredMatch{Match: mt, Score: r.Score}, cyc: cyc})
+}
+
+// emitBefore fires every pending match whose window closed before cyc.
+func (s *ScoredStream) emitBefore(cyc int) {
+	keep := s.pending[:0]
+	for _, e := range s.pending {
+		if e.cyc < cyc {
+			if s.onMatch != nil {
+				s.onMatch(e.m)
+			}
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	s.pending = keep
+}
+
+// Feed consumes the next chunk of the stream; matches whose collision
+// window closes inside it fire the callback with their final score.
+func (s *ScoredStream) Feed(chunk []byte) { s.sess.Feed(chunk) }
+
+// Write implements io.Writer.
+func (s *ScoredStream) Write(p []byte) (int, error) {
+	s.sess.Feed(p)
+	return len(p), nil
+}
+
+// Flush ends the stream: the final partial cycle completes and every match
+// still inside the collision window fires. Feed after Flush panics; Reset
+// starts a new stream.
+func (s *ScoredStream) Flush() {
+	s.sess.Flush()
+	s.curCycle = -1
+	s.emitBefore(int(^uint(0) >> 1))
+}
+
+// Reset returns the scored stream to the start-of-stream state for reuse;
+// matches still pending are dropped, not emitted.
+func (s *ScoredStream) Reset() {
+	s.sess.Reset()
+	s.curCycle = -1
+	s.pending = s.pending[:0]
+}
+
+// Stats returns the functional activity statistics of the stream so far.
+func (s *ScoredStream) Stats() sim.Stats { return s.sess.Stats() }
 
 func toMatches(reports []sim.Report) []Match {
 	seen := make(map[Match]bool, len(reports))

@@ -39,7 +39,11 @@
 // topology (domains with capacities and bandwidths, the cross-domain cost
 // matrix) and the shard-to-domain assignment, so a worker process can
 // self-select the shard subset its domain was assigned; TOPO requires
-// SHRD. Artifacts sealed for a non-default compile target additionally
+// SHRD. Version 5 adds the optional "SCOR" section sealing the scored
+// execution layer: the per-transition weight table and report threshold
+// (internal/automata.Weights), so a loaded machine scores matches without
+// recompiling; SCOR is mutually exclusive with TIER and SHRD (the scored
+// engine is single-tier). Artifacts sealed for a non-default compile target additionally
 // carry the backend name as a trailing META field and the backend-owned
 // payload in an optional "BKND" section (internal/backend revalidates it
 // on load); default-target artifacts carry neither, staying byte-identical
@@ -78,8 +82,9 @@ import (
 // compatibility is a recompile, not a migration. Version 2 added the
 // optional TIER/DFAT tier-plan sections; version 3 the optional SHRD
 // shard-plan section and the Meta shard summary; version 4 the optional
-// TOPO cluster-placement section.
-const Version = 4
+// TOPO cluster-placement section; version 5 the optional SCOR scored-weight
+// section and the Meta score summary.
+const Version = 5
 
 var magic = [6]byte{'I', 'M', 'P', 'A', 'L', 'A'}
 
@@ -119,6 +124,12 @@ type Meta struct {
 	// Shards is the sealed shard count (0 when the artifact carries no
 	// shard plan) — duplicated from the SHRD payload for Stat.
 	Shards int
+	// ScoredEdges/ScoreThreshold summarize the sealed weight table (both
+	// zero when the artifact carries none) — duplicated from the SCOR
+	// payload so Stat can show the scoring configuration without decoding
+	// it. Set them with Artifact.SetScore.
+	ScoredEdges    int
+	ScoreThreshold float64
 	// Backend names the compile target the artifact was sealed for. The
 	// empty string means the default Impala target: default-backend
 	// artifacts carry no tag at all (the field is appended to the META
@@ -167,10 +178,27 @@ type Artifact struct {
 	// built without a topology stage). Set it with SetTopo; it requires
 	// Shards, whose plan it assigns to topology domains.
 	Topo *topo.Sealed
+	// Score is the sealed per-transition weight table and report threshold
+	// (nil when the artifact was built without scoring). Set it with
+	// SetScore so the Meta summary stays consistent. Mutually exclusive
+	// with Tier and Shards: the scored engine is single-tier.
+	Score *automata.Weights
 	// BackendPayload is the backend-owned "BKND" section (nil when the
 	// backend seals nothing — the default Impala target always does). Set it
 	// with SetBackend so the Meta tag stays consistent.
 	BackendPayload []byte
+}
+
+// SetScore attaches (or, with nil, detaches) a scored-execution weight
+// table, keeping the Meta score summary in sync. The table is cloned so
+// later caller mutations cannot desynchronize the seal.
+func (a *Artifact) SetScore(w *automata.Weights) {
+	a.Score = w.Clone()
+	a.Meta.ScoredEdges, a.Meta.ScoreThreshold = 0, 0
+	if w != nil {
+		a.Meta.ScoredEdges = w.NumEdges()
+		a.Meta.ScoreThreshold = w.Threshold
+	}
 }
 
 // SetBackend stamps the artifact with its compile target and the backend's
@@ -267,6 +295,14 @@ func (a *Artifact) Save(w io.Writer) error {
 	if a.Topo != nil && a.Shards == nil {
 		return fmt.Errorf("%w: TOPO without SHRD (a placement assigns shards to domains)", ErrCorrupt)
 	}
+	if a.Score != nil {
+		if a.Tier != nil || a.Shards != nil {
+			return fmt.Errorf("%w: SCOR is mutually exclusive with TIER and SHRD (the scored engine is single-tier)", ErrCorrupt)
+		}
+		if err := a.Score.Validate(a.NFA); err != nil {
+			return fmt.Errorf("artifact: refusing to save invalid weight table: %w", err)
+		}
+	}
 	var body bytes.Buffer
 	writeSection(&body, "META", a.encodeMeta())
 	writeSection(&body, "STAG", encodeStages(a.Stages))
@@ -286,6 +322,9 @@ func (a *Artifact) Save(w io.Writer) error {
 	}
 	if a.Topo != nil {
 		writeSection(&body, "TOPO", encodeTopo(a.Topo))
+	}
+	if a.Score != nil {
+		writeSection(&body, "SCOR", encodeScore(a.Score))
 	}
 
 	pre := make([]byte, 16)
@@ -366,6 +405,10 @@ func Load(r io.Reader) (*Artifact, error) {
 		case "TOPO":
 			var err error
 			a.Topo, err = decodeTopo(payload)
+			return err
+		case "SCOR":
+			var err error
+			a.Score, err = decodeScore(payload)
 			return err
 		case "BKND":
 			a.BackendPayload = append([]byte(nil), payload...)
@@ -539,7 +582,34 @@ func (a *Artifact) validate() error {
 	if err := a.validateShards(); err != nil {
 		return err
 	}
-	return a.validateTopo()
+	if err := a.validateTopo(); err != nil {
+		return err
+	}
+	return a.validateScore()
+}
+
+// validateScore cross-checks the SCOR section against the automaton's
+// out-edge lists (a weight-count lie fails shape validation) and the Meta
+// score summary, and enforces the single-tier restriction.
+func (a *Artifact) validateScore() error {
+	if a.Score == nil {
+		if a.Meta.ScoredEdges != 0 || a.Meta.ScoreThreshold != 0 {
+			return fmt.Errorf("%w: META carries score summary (%d edges, threshold %g) but no SCOR section",
+				ErrCorrupt, a.Meta.ScoredEdges, a.Meta.ScoreThreshold)
+		}
+		return nil
+	}
+	if a.Tier != nil || a.Shards != nil {
+		return fmt.Errorf("%w: SCOR is mutually exclusive with TIER and SHRD", ErrCorrupt)
+	}
+	if err := a.Score.Validate(a.NFA); err != nil {
+		return fmt.Errorf("%w: SCOR: %v", ErrCorrupt, err)
+	}
+	if a.Meta.ScoredEdges != a.Score.NumEdges() || a.Meta.ScoreThreshold != a.Score.Threshold {
+		return fmt.Errorf("%w: META score summary %d edges/threshold %g != SCOR %d/%g", ErrCorrupt,
+			a.Meta.ScoredEdges, a.Meta.ScoreThreshold, a.Score.NumEdges(), a.Score.Threshold)
+	}
+	return nil
 }
 
 // validateTopo cross-checks the TOPO section: it requires SHRD, and the
@@ -782,6 +852,8 @@ func (a *Artifact) encodeMeta() []byte {
 	e.u32(uint32(m.TierDFACCs))
 	e.u32(uint32(m.TierDFAStates))
 	e.u32(uint32(m.Shards))
+	e.u32(uint32(m.ScoredEdges))
+	e.u64(math.Float64bits(m.ScoreThreshold))
 	// The backend tag is appended only when a non-default target sealed the
 	// artifact, so default-backend files keep the fixed META layout
 	// byte-for-byte.
@@ -810,6 +882,8 @@ func (a *Artifact) decodeMeta(payload []byte) error {
 	m.TierDFACCs = int(d.u32())
 	m.TierDFAStates = int(d.u32())
 	m.Shards = int(d.u32())
+	m.ScoredEdges = int(d.u32())
+	m.ScoreThreshold = math.Float64frombits(d.u64())
 	// Default-backend artifacts end here (Backend ""); a trailing string is
 	// the non-default backend tag. The container CRC already passed, so a
 	// tail that does not decode as a non-empty string is corruption, not
@@ -1281,6 +1355,79 @@ func decodeTopo(payload []byte) (*topo.Sealed, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return s, nil
+}
+
+// SCOR layout: u32 state count, then per state the start weight (f64 bits)
+// and its u32 out-edge count followed by that many edge weights (f64 bits),
+// then the report threshold (f64 bits). Weight values are range-checked on
+// decode — NaN, infinities and magnitudes beyond the saturation limits
+// cannot enter a loaded machine even with a valid CRC.
+func encodeScore(w *automata.Weights) []byte {
+	var e enc
+	e.u32(uint32(len(w.Start)))
+	for i, sw := range w.Start {
+		e.u64(math.Float64bits(sw))
+		e.u32(uint32(len(w.Edge[i])))
+		for _, ew := range w.Edge[i] {
+			e.u64(math.Float64bits(ew))
+		}
+	}
+	e.u64(math.Float64bits(w.Threshold))
+	return e.b
+}
+
+// badWeight reports values automata.Weights.Validate would reject, so a
+// corrupted SCOR payload fails decode rather than poisoning score
+// arithmetic (NaN propagates through max-plus; an oversized weight breaks
+// the saturation bound).
+func badWeight(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > automata.WeightLimit
+}
+
+func decodeScore(payload []byte) (*automata.Weights, error) {
+	d := &dec{b: payload}
+	ns := int(d.u32())
+	// Each state costs at least 12 bytes (start weight + edge count).
+	if d.err == nil && uint64(ns)*12 > uint64(len(payload)-d.off) {
+		return nil, fmt.Errorf("%w: SCOR claims %d states in %d-byte section", ErrCorrupt, ns, len(payload))
+	}
+	w := &automata.Weights{
+		Start: make([]float64, 0, ns),
+		Edge:  make([][]float64, 0, ns),
+	}
+	for i := 0; i < ns && d.err == nil; i++ {
+		sw := math.Float64frombits(d.u64())
+		if d.err == nil && badWeight(sw) {
+			return nil, fmt.Errorf("%w: SCOR state %d start weight %g", ErrCorrupt, i, sw)
+		}
+		ne := int(d.u32())
+		if d.err == nil && uint64(ne)*8 > uint64(len(payload)-d.off) {
+			return nil, fmt.Errorf("%w: SCOR state %d claims %d edge weights", ErrCorrupt, i, ne)
+		}
+		// Zero-edge rows stay nil, matching Weights.Clone's shape so round
+		// tripping is DeepEqual-exact.
+		var row []float64
+		if ne > 0 {
+			row = make([]float64, 0, ne)
+		}
+		for j := 0; j < ne && d.err == nil; j++ {
+			ew := math.Float64frombits(d.u64())
+			if d.err == nil && badWeight(ew) {
+				return nil, fmt.Errorf("%w: SCOR state %d edge %d weight %g", ErrCorrupt, i, j, ew)
+			}
+			row = append(row, ew)
+		}
+		w.Start = append(w.Start, sw)
+		w.Edge = append(w.Edge, row)
+	}
+	w.Threshold = math.Float64frombits(d.u64())
+	if d.err == nil && (math.IsNaN(w.Threshold) || math.Abs(w.Threshold) > automata.ScoreLimit) {
+		return nil, fmt.Errorf("%w: SCOR threshold %g", ErrCorrupt, w.Threshold)
+	}
+	if err := d.done("SCOR"); err != nil {
+		return nil, err
+	}
+	return w, nil
 }
 
 func encodePlacement(pl *place.Placement) []byte {

@@ -220,10 +220,10 @@ func TestTopoCorruptionPaths(t *testing.T) {
 	})
 }
 
-// TestVersionIsFour: the format version moved to 4 with the TOPO section;
+// TestVersionIsFive: the format version moved to 5 with the SCOR section;
 // loaders reject anything else by design, so pin it.
-func TestVersionIsFour(t *testing.T) {
-	if Version != 4 {
-		t.Fatalf("artifact version = %d, want 4", Version)
+func TestVersionIsFive(t *testing.T) {
+	if Version != 5 {
+		t.Fatalf("artifact version = %d, want 5", Version)
 	}
 }

@@ -1,0 +1,187 @@
+package automata
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightLimit bounds the magnitude of any single transition or start
+// weight. The bound keeps path compositions exact: the V-TeSS pipeline
+// adds at most Stride weights per strided edge, and the scored engine
+// saturates accumulated scores at ±ScoreLimit, so every intermediate sum
+// of in-range weights is representable exactly for integer-valued costs.
+const WeightLimit = 1 << 40
+
+// ScoreLimit is the saturation bound of max-plus score accumulation: the
+// scored engine clamps every accumulated score to [-ScoreLimit,
+// ScoreLimit]. It is far below the float64 integer-exactness boundary
+// (2^53), so saturating additions of in-range weights never round.
+const ScoreLimit = 1 << 50
+
+// Weights attaches max-plus scores to an automaton: one weight per
+// transition (parallel to each state's Out list), one start weight per
+// state (the score of entering it as a start state), and a report
+// threshold. The score of a path is the sum of the weights of its edges
+// plus the start weight of its first state; a report fires only when the
+// best accumulated score over all paths reaching the reporting state
+// meets Threshold.
+//
+// A Weights value is always interpreted relative to one specific NFA;
+// Validate checks the shapes line up.
+type Weights struct {
+	// Edge[s][j] is the weight of the transition States[s].Out[j].
+	Edge [][]float64
+	// Start[s] is the score of entering state s as a start state. Entries
+	// for states with Start == StartNone are ignored.
+	Start []float64
+	// Threshold is the minimum accumulated score a report must carry to be
+	// emitted.
+	Threshold float64
+}
+
+// NewWeights returns an all-zero weight table shaped for n: with a zero
+// threshold it scores every automaton behavior 0, which makes the scored
+// engine report exactly what the binary engine reports.
+func NewWeights(n *NFA) *Weights {
+	w := &Weights{
+		Edge:  make([][]float64, len(n.States)),
+		Start: make([]float64, len(n.States)),
+	}
+	for i := range n.States {
+		w.Edge[i] = make([]float64, len(n.States[i].Out))
+	}
+	return w
+}
+
+// Clone returns a deep copy (nil in, nil out).
+func (w *Weights) Clone() *Weights {
+	if w == nil {
+		return nil
+	}
+	c := &Weights{
+		Edge:      make([][]float64, len(w.Edge)),
+		Start:     append([]float64(nil), w.Start...),
+		Threshold: w.Threshold,
+	}
+	for i, row := range w.Edge {
+		c.Edge[i] = append([]float64(nil), row...)
+	}
+	return c
+}
+
+// NumEdges returns the total number of weighted transitions.
+func (w *Weights) NumEdges() int {
+	t := 0
+	for _, row := range w.Edge {
+		t += len(row)
+	}
+	return t
+}
+
+// checkWeight rejects NaN, infinities and out-of-range magnitudes — the
+// values that would break max-plus ordering or float exactness.
+func checkWeight(v float64, what string) error {
+	if math.IsNaN(v) {
+		return fmt.Errorf("automata: %s is NaN", what)
+	}
+	if math.IsInf(v, 0) {
+		return fmt.Errorf("automata: %s is infinite", what)
+	}
+	if math.Abs(v) > WeightLimit {
+		return fmt.Errorf("automata: %s magnitude %g exceeds the weight limit %d", what, v, int64(WeightLimit))
+	}
+	return nil
+}
+
+// Validate checks that the weight table is shaped exactly for n and that
+// every weight is finite and within ±WeightLimit (the threshold within
+// ±ScoreLimit).
+func (w *Weights) Validate(n *NFA) error {
+	if len(w.Edge) != len(n.States) || len(w.Start) != len(n.States) {
+		return fmt.Errorf("automata: weights shaped for %d/%d states, automaton has %d",
+			len(w.Edge), len(w.Start), len(n.States))
+	}
+	for i := range n.States {
+		if len(w.Edge[i]) != len(n.States[i].Out) {
+			return fmt.Errorf("automata: state %d has %d weights for %d transitions",
+				i, len(w.Edge[i]), len(n.States[i].Out))
+		}
+		for j, v := range w.Edge[i] {
+			if err := checkWeight(v, fmt.Sprintf("state %d edge %d weight", i, j)); err != nil {
+				return err
+			}
+		}
+		if err := checkWeight(w.Start[i], fmt.Sprintf("state %d start weight", i)); err != nil {
+			return err
+		}
+	}
+	if math.IsNaN(w.Threshold) || math.IsInf(w.Threshold, 0) || math.Abs(w.Threshold) > ScoreLimit {
+		return fmt.Errorf("automata: threshold %g outside ±%d", w.Threshold, int64(ScoreLimit))
+	}
+	return nil
+}
+
+// RemoveUnreachableWeighted is RemoveUnreachable keeping a weight table
+// in sync with the renumbering: kept states' weight rows follow their
+// states, dropped states' rows disappear. With a nil table it is exactly
+// RemoveUnreachable.
+func RemoveUnreachableWeighted(n *NFA, w *Weights) int {
+	if w == nil {
+		return RemoveUnreachable(n)
+	}
+	reach := make([]bool, len(n.States))
+	var stack []StateID
+	for i := range n.States {
+		if n.States[i].Start != StartNone {
+			reach[i] = true
+			stack = append(stack, StateID(i))
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.States[cur].Out {
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+
+	newID := make([]StateID, len(n.States))
+	var kept []State
+	var keptEdge [][]float64
+	var keptStart []float64
+	for i := range n.States {
+		if reach[i] {
+			newID[i] = StateID(len(kept))
+			kept = append(kept, n.States[i])
+			keptEdge = append(keptEdge, w.Edge[i])
+			keptStart = append(keptStart, w.Start[i])
+		} else {
+			newID[i] = -1
+		}
+	}
+	removed := len(n.States) - len(kept)
+	if removed == 0 {
+		return 0
+	}
+	for i := range kept {
+		out := kept[i].Out
+		ew := keptEdge[i]
+		dst := out[:0]
+		dw := ew[:0]
+		for j, t := range out {
+			if reach[t] {
+				dst = append(dst, newID[t])
+				dw = append(dw, ew[j])
+			}
+		}
+		kept[i].Out = dst
+		keptEdge[i] = dw
+	}
+	n.States = kept
+	w.Edge = keptEdge
+	w.Start = keptStart
+	return removed
+}

@@ -1,0 +1,142 @@
+package automata
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"impala/internal/bitvec"
+)
+
+// weightedChain builds start -> mid -> report plus a detached orphan state,
+// with a distinct weight on every edge so renumbering mistakes are visible.
+func weightedChain(t *testing.T) (*NFA, *Weights) {
+	t.Helper()
+	n := New(8, 1)
+	s0 := n.AddState(ByteMatchState(bitvec.ByteOf('a'), StartAllInput, false))
+	s1 := n.AddState(ByteMatchState(bitvec.ByteOf('b'), StartNone, false))
+	s2 := n.AddState(ByteMatchState(bitvec.ByteOf('c'), StartNone, true))
+	n.AddState(ByteMatchState(bitvec.ByteOf('z'), StartNone, false)) // unreachable
+	n.AddEdge(s0, s1)
+	n.AddEdge(s1, s2)
+	w := NewWeights(n)
+	w.Edge[s0][0] = 2
+	w.Edge[s1][0] = -1
+	w.Start[s0] = 3
+	w.Threshold = 4
+	return n, w
+}
+
+func TestWeightsShapeAndClone(t *testing.T) {
+	n, w := weightedChain(t)
+	if len(w.Edge) != n.NumStates() || len(w.Start) != n.NumStates() {
+		t.Fatalf("NewWeights shaped %d/%d for %d states", len(w.Edge), len(w.Start), n.NumStates())
+	}
+	if w.NumEdges() != n.NumTransitions() {
+		t.Fatalf("NumEdges() = %d, want %d", w.NumEdges(), n.NumTransitions())
+	}
+	if err := w.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	c := w.Clone()
+	c.Edge[0][0] = 99
+	c.Start[0] = 99
+	if w.Edge[0][0] != 2 || w.Start[0] != 3 {
+		t.Fatal("Clone aliases the original's storage")
+	}
+	if c.Threshold != w.Threshold {
+		t.Fatal("Clone dropped the threshold")
+	}
+	if (*Weights)(nil).Clone() != nil {
+		t.Fatal("nil Clone should be nil")
+	}
+}
+
+func TestWeightsValidateRejects(t *testing.T) {
+	n, _ := weightedChain(t)
+	cases := []struct {
+		name string
+		mut  func(w *Weights)
+		want string
+	}{
+		{"state count", func(w *Weights) { w.Edge = w.Edge[:1] }, "shaped for"},
+		{"edge count", func(w *Weights) { w.Edge[0] = nil }, "weights for"},
+		{"NaN edge", func(w *Weights) { w.Edge[0][0] = math.NaN() }, "NaN"},
+		{"infinite edge", func(w *Weights) { w.Edge[1][0] = math.Inf(1) }, "infinite"},
+		{"edge over limit", func(w *Weights) { w.Edge[0][0] = 2 * WeightLimit }, "weight limit"},
+		{"bad start weight", func(w *Weights) { w.Start[2] = -3 * WeightLimit }, "start weight"},
+		{"bad threshold", func(w *Weights) { w.Threshold = 2 * ScoreLimit }, "threshold"},
+	}
+	for _, tc := range cases {
+		_, w := weightedChain(t)
+		tc.mut(w)
+		err := w.Validate(n)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRemoveUnreachableWeighted(t *testing.T) {
+	n, w := weightedChain(t)
+	// Give the doomed orphan an edge into the live chain: the survivors'
+	// weight rows must shed nothing, only the orphan's row disappears.
+	n.AddEdge(3, 1)
+	w.Edge[3] = []float64{7}
+	if removed := RemoveUnreachableWeighted(n, w); removed != 1 {
+		t.Fatalf("removed %d states, want 1", removed)
+	}
+	if n.NumStates() != 3 || len(w.Edge) != 3 || len(w.Start) != 3 {
+		t.Fatalf("post-prune shapes: %d states, %d/%d weight rows", n.NumStates(), len(w.Edge), len(w.Start))
+	}
+	if err := w.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if w.Edge[0][0] != 2 || w.Edge[1][0] != -1 || w.Start[0] != 3 {
+		t.Fatal("surviving weights did not follow their states")
+	}
+
+	// Already-pruned automata are a no-op.
+	if removed := RemoveUnreachableWeighted(n, w); removed != 0 {
+		t.Fatalf("second prune removed %d states", removed)
+	}
+
+	// When a surviving state's out-edges point at dropped states, the
+	// matching weight entries must disappear with them: cut s0 -> s1 so the
+	// whole downstream chain dies, leaving s0 with zero edges and weights.
+	n2, w2 := weightedChain(t)
+	n2.AddEdge(1, 3)
+	w2.Edge[1] = append(w2.Edge[1], 5)
+	n2.States[0].Out = nil
+	w2.Edge[0] = nil
+	if removed := RemoveUnreachableWeighted(n2, w2); removed != 3 {
+		t.Fatalf("removed %d states, want 3", removed)
+	}
+	if n2.NumStates() != 1 || w2.NumEdges() != 0 {
+		t.Fatalf("expected lone start state with no edges, got %d states, %d edges", n2.NumStates(), w2.NumEdges())
+	}
+
+	// Nil table delegates to the plain pruner.
+	n3, _ := weightedChain(t)
+	if removed := RemoveUnreachableWeighted(n3, nil); removed != 1 {
+		t.Fatalf("nil-table prune removed %d, want 1", removed)
+	}
+}
+
+func TestMaxMatchSpan(t *testing.T) {
+	n, _ := weightedChain(t)
+	if span, ok := n.MaxMatchSpan(); !ok || span != 3 {
+		t.Fatalf("MaxMatchSpan = (%d, %v), want (3, true)", span, ok)
+	}
+	// A loop on the start->report path makes the span unbounded.
+	n.AddEdge(1, 1)
+	if _, ok := n.MaxMatchSpan(); ok {
+		t.Fatal("MaxMatchSpan reported bounded span despite a self-loop")
+	}
+	// A cycle OFF every start->report path is irrelevant.
+	n2, _ := weightedChain(t)
+	n2.AddEdge(3, 3)
+	if span, ok := n2.MaxMatchSpan(); !ok || span != 3 {
+		t.Fatalf("irrelevant cycle: MaxMatchSpan = (%d, %v), want (3, true)", span, ok)
+	}
+}

@@ -73,6 +73,16 @@ type Config struct {
 	// Espresso capsule-refinement stage applies: targets whose match arrays
 	// encode arbitrary rects (the CAM backend) skip refinement entirely.
 	Backend string
+	// Weights, when non-nil, scores the input automaton: one max-plus
+	// weight per transition (parallel to each state's Out list), a start
+	// weight per state, and a report threshold. Every pipeline transform —
+	// identity, squash, striding, Espresso refinement — carries the table
+	// along, so Result.Weights scores the transformed automaton exactly:
+	// the accumulated weight of any input path is preserved. Weighted
+	// compiles skip the minimize passes (merging states whose entry weights
+	// differ would change scores) and reject Tier/Shards (the scored engine
+	// is single-tier).
+	Weights *automata.Weights
 }
 
 // Validate checks the configuration. Geometry legality is owned by the
@@ -129,6 +139,10 @@ type Result struct {
 	// Shards is the partitioned execution form built by the shard-plan
 	// stage (nil unless Config.Shards > 1).
 	Shards *shard.Sharded
+	// Weights scores the transformed automaton (nil unless Config.Weights
+	// was set): Weights.Edge parallels NFA's out-edge lists, and any input
+	// path's accumulated weight is preserved through every transform.
+	Weights *automata.Weights
 }
 
 // CacheHitRate returns the fraction of Espresso lookups served from the
@@ -176,6 +190,14 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 	}
 	if err := n.Validate(); err != nil {
 		return nil, fmt.Errorf("core: Compile input invalid: %w", err)
+	}
+	if cfg.Weights != nil {
+		if err := cfg.Weights.Validate(n); err != nil {
+			return nil, fmt.Errorf("core: Compile weights invalid: %w", err)
+		}
+		if cfg.Tier != nil || cfg.Shards > 1 {
+			return nil, fmt.Errorf("core: scored compiles do not support tier or shard planning")
+		}
 	}
 	start := time.Now()
 	res := &Result{Config: cfg}
@@ -232,22 +254,25 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 		// The identity design point (classic CA): clone so later stages may
 		// rewrite freely.
 		cur = n.Clone()
+		res.Weights = cfg.Weights.Clone()
 		record("identity", cur, t0, -1)
 	case cfg.TargetBits == 4 && cfg.StrideDims == 1:
-		cur, cpu, err = squashWork(n, esp.Cache, cfg.Workers, cfg.Trace)
+		cur, res.Weights, cpu, err = squashWork(n, cfg.Weights, esp.Cache, cfg.Workers, cfg.Trace)
 		if err != nil {
 			return nil, err
 		}
 		record("squash", cur, t0, cpu)
 	default:
-		cur, cpu, err = strideWork(n, cfg.TargetBits, cfg.StrideDims, esp, cfg.Workers, cfg.Trace)
+		cur, res.Weights, cpu, err = strideWork(n, cfg.Weights, cfg.TargetBits, cfg.StrideDims, esp, cfg.Workers, cfg.Trace)
 		if err != nil {
 			return nil, err
 		}
 		record("v-tess", cur, t0, cpu)
 	}
 
-	if !cfg.DisableMinimize {
+	// Minimize merges states regardless of their entry weights, so weighted
+	// compiles skip it — scores must survive verbatim.
+	if !cfg.DisableMinimize && cfg.Weights == nil {
 		t0 = time.Now()
 		automata.Minimize(cur)
 		record("minimize", cur, t0, -1)
@@ -255,13 +280,13 @@ func Compile(n *automata.NFA, cfg Config) (*Result, error) {
 
 	if !cfg.DisableRefine && bk.NeedsRefine() {
 		t0 = time.Now()
-		res.SplitStates, cpu, err = refineWork(cur, esp, cfg.Workers, cfg.Trace)
+		res.SplitStates, cpu, err = refineWork(cur, res.Weights, esp, cfg.Workers, cfg.Trace)
 		if err != nil {
 			return nil, err
 		}
 		record("espresso-refine", cur, t0, cpu)
 
-		if !cfg.DisableMinimize {
+		if !cfg.DisableMinimize && cfg.Weights == nil {
 			t0 = time.Now()
 			automata.Minimize(cur)
 			record("minimize-2", cur, t0, -1)

@@ -29,14 +29,20 @@ import (
 //
 // Refine returns the number of extra states created.
 func Refine(n *automata.NFA, esp espresso.Options, workers int) (int, error) {
-	added, _, err := refineWork(n, esp, workers, nil)
+	added, _, err := refineWork(n, nil, esp, workers, nil)
 	return added, err
 }
 
 // refineWork is Refine plus the aggregate per-state minimization time (the
 // CPU-time figure Compile reports next to the stage's wall time) and the
 // optional worker-batch trace.
-func refineWork(n *automata.NFA, esp espresso.Options, workers int, tr *obs.Trace) (int, time.Duration, error) {
+//
+// A non-nil weight table is rewritten in place for the refined automaton:
+// every split of a state shares the original's in/out structure, so a split
+// edge a → b (a ∈ splits(q), b ∈ splits(r)) inherits the q → r weight and
+// splits inherit their original's start weight — accumulated path scores
+// are unchanged. Duplicate rebuilt edges keep the maximum weight.
+func refineWork(n *automata.NFA, w *automata.Weights, esp espresso.Options, workers int, tr *obs.Trace) (int, time.Duration, error) {
 	if err := n.Validate(); err != nil {
 		return 0, 0, fmt.Errorf("core: Refine input invalid: %w", err)
 	}
@@ -64,6 +70,12 @@ func refineWork(n *automata.NFA, esp espresso.Options, workers int, tr *obs.Trac
 	// Serial phase: rebuild the automaton from the per-state covers.
 	out := automata.New(n.Bits, n.Stride)
 	splits := make([][]automata.StateID, n.NumStates())
+	type edge struct{ a, b automata.StateID }
+	var ew map[edge]float64
+	var startW []float64
+	if w != nil {
+		ew = map[edge]float64{}
+	}
 	added := 0
 	for i := range n.States {
 		s := n.States[i]
@@ -78,13 +90,22 @@ func refineWork(n *automata.NFA, esp espresso.Options, workers int, tr *obs.Trac
 				ReportOffset: s.ReportOffset,
 			})
 			splits[i] = append(splits[i], id)
+			if w != nil {
+				startW = append(startW, w.Start[i])
+			}
 		}
 	}
 	for q := range n.States {
-		for _, r := range n.States[q].Out {
+		for j, r := range n.States[q].Out {
 			for _, a := range splits[q] {
 				for _, b := range splits[r] {
 					out.AddEdge(a, b)
+					if w != nil {
+						k := edge{a, b}
+						if old, ok := ew[k]; !ok || w.Edge[q][j] > old {
+							ew[k] = w.Edge[q][j]
+						}
+					}
 				}
 			}
 		}
@@ -92,6 +113,17 @@ func refineWork(n *automata.NFA, esp espresso.Options, workers int, tr *obs.Trac
 	out.DedupEdges()
 	if err := out.Validate(); err != nil {
 		return 0, time.Duration(cpu.Load()), fmt.Errorf("core: Refine produced invalid automaton: %w", err)
+	}
+	if w != nil {
+		ow := automata.NewWeights(out)
+		ow.Threshold = w.Threshold
+		copy(ow.Start, startW)
+		for s := range out.States {
+			for j, t := range out.States[s].Out {
+				ow.Edge[s][j] = ew[edge{automata.StateID(s), t}]
+			}
+		}
+		*w = *ow
 	}
 	*n = *out
 	return added, time.Duration(cpu.Load()), nil

@@ -32,7 +32,7 @@ import (
 // i.e. byte boundaries); an anchored byte state becomes hi states with
 // StartOfData.
 func Squash(n *automata.NFA) (*automata.NFA, error) {
-	out, _, err := squashWork(n, nil, 0, nil)
+	out, _, _, err := squashWork(n, nil, nil, 0, nil)
 	return out, err
 }
 
@@ -41,12 +41,18 @@ func Squash(n *automata.NFA) (*automata.NFA, error) {
 // of this stage). It also returns the aggregate per-state decomposition time
 // across workers. The rebuilt automaton is byte-identical for every worker
 // count, with or without the cache, and with or without a trace.
-func squashWork(n *automata.NFA, cache *espresso.CoverCache, workers int, tr *obs.Trace) (*automata.NFA, time.Duration, error) {
+//
+// A non-nil weight table is carried through the squash exactly: the byte
+// edge's weight lands on the lo(q) → hi(r) nibble edge (score accrues once
+// per byte, on the hi entry), hi → lo pair edges weigh 0, and start weights
+// follow the hi states. Duplicate rebuilt edges keep the maximum weight —
+// max-plus semantics make that lossless.
+func squashWork(n *automata.NFA, w *automata.Weights, cache *espresso.CoverCache, workers int, tr *obs.Trace) (*automata.NFA, *automata.Weights, time.Duration, error) {
 	if n.Bits != 8 || n.Stride != 1 {
-		return nil, 0, fmt.Errorf("core: Squash requires an 8-bit stride-1 automaton, got %d-bit stride %d", n.Bits, n.Stride)
+		return nil, nil, 0, fmt.Errorf("core: Squash requires an 8-bit stride-1 automaton, got %d-bit stride %d", n.Bits, n.Stride)
 	}
 	if err := n.Validate(); err != nil {
-		return nil, 0, fmt.Errorf("core: Squash input invalid: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: Squash input invalid: %w", err)
 	}
 
 	// Parallel phase: decompose every state's byte set independently.
@@ -59,6 +65,24 @@ func squashWork(n *automata.NFA, cache *espresso.CoverCache, workers int, tr *ob
 	})
 
 	out := automata.New(4, 1)
+
+	// Weight carry: edge weights max-merge into a (from, to) map applied
+	// after dedup; start weights ride along per created state.
+	type edge struct{ from, to automata.StateID }
+	var ew map[edge]float64
+	var startW []float64
+	if w != nil {
+		ew = map[edge]float64{}
+	}
+	setW := func(from, to automata.StateID, v float64) {
+		if w == nil {
+			return
+		}
+		k := edge{from, to}
+		if old, ok := ew[k]; !ok || v > old {
+			ew[k] = v
+		}
+	}
 
 	// Create each state's hi/lo pairs from its decomposition.
 	his := make([][]automata.StateID, n.NumStates()) // per original: hi state IDs
@@ -73,7 +97,7 @@ func squashWork(n *automata.NFA, cache *espresso.CoverCache, workers int, tr *ob
 			case automata.StartOfData:
 				startKind = automata.StartOfData
 			case automata.StartEven:
-				return nil, 0, fmt.Errorf("core: Squash input state %d already uses StartEven", i)
+				return nil, nil, 0, fmt.Errorf("core: Squash input state %d already uses StartEven", i)
 			}
 			hi := out.AddState(automata.State{
 				Match: automata.MatchSet{automata.Rect{nibbleSet(hl.Hi)}},
@@ -85,26 +109,44 @@ func squashWork(n *automata.NFA, cache *espresso.CoverCache, workers int, tr *ob
 				ReportCode: s.ReportCode,
 			})
 			out.AddEdge(hi, lo)
+			setW(hi, lo, 0)
 			his[i] = append(his[i], hi)
 			los[i] = append(los[i], lo)
+			if w != nil {
+				startW = append(startW, w.Start[i], 0) // hi, lo
+			}
 		}
 	}
 
 	// Original edge q->r becomes lo(q) -> hi(r) for every pair combination.
 	for q := range n.States {
-		for _, r := range n.States[q].Out {
+		for j, r := range n.States[q].Out {
 			for _, lo := range los[q] {
 				for _, hi := range his[r] {
 					out.AddEdge(lo, hi)
+					if w != nil {
+						setW(lo, hi, w.Edge[q][j])
+					}
 				}
 			}
 		}
 	}
 	out.DedupEdges()
 	if err := out.Validate(); err != nil {
-		return nil, 0, fmt.Errorf("core: Squash output invalid: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: Squash output invalid: %w", err)
 	}
-	return out, time.Duration(cpu.Load()), nil
+	var ow *automata.Weights
+	if w != nil {
+		ow = automata.NewWeights(out)
+		ow.Threshold = w.Threshold
+		copy(ow.Start, startW)
+		for s := range out.States {
+			for j, t := range out.States[s].Out {
+				ow.Edge[s][j] = ew[edge{automata.StateID(s), t}]
+			}
+		}
+	}
+	return out, ow, time.Duration(cpu.Load()), nil
 }
 
 // byteSetOf flattens a stride-1 match set into a single byte set.

@@ -25,21 +25,39 @@ import (
 // A final homogenization splits every node by distinct incoming label,
 // yielding a homogeneous NFA that consumes dims sub-symbols per cycle.
 
+// ekey identifies an edge class: the target node and the accumulated
+// max-plus weight of the paths the edge stands for. Unweighted compiles key
+// every edge with weight 0, so grouping — and therefore the output automaton
+// — is unchanged. Weighted compiles partition paths into weight classes:
+// the class label is the union of its member paths' labels, and the maximum
+// over active classes of (source score + class weight) equals the maximum
+// over the underlying paths, so the lifting is exact.
+type ekey struct {
+	to int32
+	w  float64
+}
+
 // repKey identifies a mid-chunk report class: offset in sub-symbols within
-// the chunk, and the report code.
+// the chunk, the report code, and the accumulated path weight (0 throughout
+// unweighted compiles).
 type repKey struct {
 	offset int
 	code   int
+	w      float64
 }
 
 // lgraph is the labeled transition graph.
 type lgraph struct {
 	bits int // sub-symbol width: 4 (Impala) or 8 (CA-mode)
 	dims int // current stride: sub-symbols per chunk
-	// adj[q][r] is the union of vector symbols labelling q -> r.
-	adj []map[int32]automata.MatchSet
+	// adj[q][{r, w}] is the union of vector symbols labelling q -> r paths
+	// of accumulated weight w.
+	adj []map[ekey]automata.MatchSet
 	// rep[q] holds mid-chunk report entries reachable from q (offset < dims).
 	rep []map[repKey]automata.MatchSet
+	// weighted records whether a weight table rides along (homogenize then
+	// emits one for the output automaton).
+	weighted bool
 	// reportCode[e] is the report code of node e, or -1 if e does not report.
 	reportCode []int
 	vAll, v0   int32 // virtual source nodes
@@ -63,7 +81,7 @@ func (g *lgraph) addCPU(t0 time.Time) {
 // homogeneous automaton. For targetBits=4 the base chunk is one byte = two
 // nibble dimensions (labels are Espresso decompositions of byte sets); for
 // targetBits=8 it is one byte = one dimension.
-func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options, workers int, cpu *atomic.Int64, tr *obs.Trace) (*lgraph, error) {
+func buildGraph(n *automata.NFA, w *automata.Weights, targetBits int, esp espresso.Options, workers int, cpu *atomic.Int64, tr *obs.Trace) (*lgraph, error) {
 	if n.Bits != 8 || n.Stride != 1 {
 		return nil, fmt.Errorf("core: striding requires an 8-bit stride-1 automaton, got %d-bit stride %d", n.Bits, n.Stride)
 	}
@@ -86,7 +104,7 @@ func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options, workers i
 	g := &lgraph{
 		bits:       targetBits,
 		dims:       dims,
-		adj:        make([]map[int32]automata.MatchSet, N+2),
+		adj:        make([]map[ekey]automata.MatchSet, N+2),
 		rep:        make([]map[repKey]automata.MatchSet, N+2),
 		reportCode: make([]int, N+2),
 		vAll:       int32(N),
@@ -95,9 +113,10 @@ func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options, workers i
 		workers:    workers,
 		cpu:        cpu,
 		tr:         tr,
+		weighted:   w != nil,
 	}
 	for i := range g.adj {
-		g.adj[i] = map[int32]automata.MatchSet{}
+		g.adj[i] = map[ekey]automata.MatchSet{}
 		g.rep[i] = map[repKey]automata.MatchSet{}
 		g.reportCode[i] = -1
 	}
@@ -132,22 +151,38 @@ func buildGraph(n *automata.NFA, targetBits int, esp espresso.Options, workers i
 		}
 	}
 
+	// Edge weights key the adjacency (0 throughout when unweighted); start
+	// weights ride on the virtual-source edges, the restart self-loop adds
+	// nothing.
+	edgeW := func(q, j int) float64 {
+		if w == nil {
+			return 0
+		}
+		return w.Edge[q][j]
+	}
+	startW := func(q int) float64 {
+		if w == nil {
+			return 0
+		}
+		return w.Start[q]
+	}
 	for q := range n.States {
-		for _, r := range n.States[q].Out {
-			g.adj[q][int32(r)] = g.adj[q][int32(r)].Union(labels[r]).Normalize()
+		for j, r := range n.States[q].Out {
+			k := ekey{to: int32(r), w: edgeW(q, j)}
+			g.adj[q][k] = g.adj[q][k].Union(labels[r]).Normalize()
 		}
 		switch n.States[q].Start {
 		case automata.StartAllInput:
-			g.adj[g.vAll][int32(q)] = labels[q].Clone()
+			g.adj[g.vAll][ekey{to: int32(q), w: startW(q)}] = labels[q].Clone()
 		case automata.StartOfData:
-			g.adj[g.v0][int32(q)] = labels[q].Clone()
+			g.adj[g.v0][ekey{to: int32(q), w: startW(q)}] = labels[q].Clone()
 		case automata.StartEven:
 			return nil, fmt.Errorf("core: striding input state %d uses StartEven", q)
 		}
 	}
 	// The all-input source restarts at every chunk boundary: a full-wildcard
 	// self loop.
-	g.adj[g.vAll][g.vAll] = automata.MatchSet{automata.FullRect(dims, targetBits)}
+	g.adj[g.vAll][ekey{to: g.vAll}] = automata.MatchSet{automata.FullRect(dims, targetBits)}
 	return g, nil
 }
 
@@ -195,7 +230,7 @@ func (g *lgraph) double() *lgraph {
 	out := &lgraph{
 		bits:       g.bits,
 		dims:       2 * S,
-		adj:        make([]map[int32]automata.MatchSet, n),
+		adj:        make([]map[ekey]automata.MatchSet, n),
 		rep:        make([]map[repKey]automata.MatchSet, n),
 		reportCode: g.reportCode,
 		vAll:       g.vAll,
@@ -204,9 +239,10 @@ func (g *lgraph) double() *lgraph {
 		workers:    g.workers,
 		cpu:        g.cpu,
 		tr:         g.tr,
+		weighted:   g.weighted,
 	}
 	for i := range out.adj {
-		out.adj[i] = map[int32]automata.MatchSet{}
+		out.adj[i] = map[ekey]automata.MatchSet{}
 		out.rep[i] = map[repKey]automata.MatchSet{}
 	}
 
@@ -214,11 +250,13 @@ func (g *lgraph) double() *lgraph {
 		t0 := time.Now()
 		// Deterministic iteration: sorted adjacency and report keys.
 		mids := sortedAdjKeys(g.adj[q])
-		// Path composition.
+		// Path composition; weights add along the path (weight classes with
+		// equal sums merge, which max-plus makes lossless).
 		for _, m := range mids {
 			lqm := g.adj[q][m]
-			for _, r := range sortedAdjKeys(g.adj[m]) {
-				out.adj[q][r] = out.adj[q][r].Union(cross(lqm, g.adj[m][r]))
+			for _, r := range sortedAdjKeys(g.adj[m.to]) {
+				nk := ekey{to: r.to, w: m.w + r.w}
+				out.adj[q][nk] = out.adj[q][nk].Union(cross(lqm, g.adj[m.to][r]))
 			}
 		}
 		// Reports from the first half, padded to the new width.
@@ -228,17 +266,17 @@ func (g *lgraph) double() *lgraph {
 		// Chunk-aligned first-half ends at reporting nodes become mid-chunk
 		// reports at offset S.
 		for _, e := range mids {
-			if code := g.reportCode[e]; code >= 0 {
-				k := repKey{offset: S, code: code}
+			if code := g.reportCode[e.to]; code >= 0 {
+				k := repKey{offset: S, code: code, w: e.w}
 				out.rep[q][k] = out.rep[q][k].Union(padWild(g.adj[q][e], S, g.bits))
 			}
 		}
 		// Reports from the second half: first-half path then a report entry.
 		for _, m := range mids {
 			lqm := g.adj[q][m]
-			for _, k := range sortedRepKeys(g.rep[m]) {
-				nk := repKey{offset: S + k.offset, code: k.code}
-				out.rep[q][nk] = out.rep[q][nk].Union(cross(lqm, g.rep[m][k]))
+			for _, k := range sortedRepKeys(g.rep[m.to]) {
+				nk := repKey{offset: S + k.offset, code: k.code, w: m.w + k.w}
+				out.rep[q][nk] = out.rep[q][nk].Union(cross(lqm, g.rep[m.to][k]))
 			}
 		}
 		// Minimize this node's labels (the Espresso-heavy part).
@@ -253,12 +291,17 @@ func (g *lgraph) double() *lgraph {
 	return out
 }
 
-func sortedAdjKeys(m map[int32]automata.MatchSet) []int32 {
-	keys := make([]int32, 0, len(m))
+func sortedAdjKeys(m map[ekey]automata.MatchSet) []ekey {
+	keys := make([]ekey, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].to != keys[j].to {
+			return keys[i].to < keys[j].to
+		}
+		return keys[i].w < keys[j].w
+	})
 	return keys
 }
 
@@ -271,38 +314,50 @@ func sortedRepKeys(m map[repKey]automata.MatchSet) []repKey {
 		if keys[i].offset != keys[j].offset {
 			return keys[i].offset < keys[j].offset
 		}
-		return keys[i].code < keys[j].code
+		if keys[i].code != keys[j].code {
+			return keys[i].code < keys[j].code
+		}
+		return keys[i].w < keys[j].w
 	})
 	return keys
 }
 
 // homogenize converts the labeled graph into a homogeneous NFA: each node is
-// split per distinct incoming label; mid-chunk report entries become
-// dedicated wildcard-padded reporting STEs with exact report offsets.
-func (g *lgraph) homogenize() (*automata.NFA, error) {
+// split per distinct incoming (label, weight) class; mid-chunk report entries
+// become dedicated wildcard-padded reporting STEs with exact report offsets.
+// Every output STE therefore has a single entry weight — the accumulated
+// weight of the chunk paths it stands for — which becomes the weight of all
+// its in-edges (and its start weight) in the returned table. Unweighted
+// graphs key everything with weight 0, so grouping is unchanged and the
+// returned table is nil.
+func (g *lgraph) homogenize() (*automata.NFA, *automata.Weights, error) {
 	out := automata.New(g.bits, g.dims)
+	// entryW[id] is the single entry weight of output STE id.
+	var entryW []float64
 
 	type steKey struct {
 		node  int32
 		label string
+		w     float64
 	}
 	steOf := map[steKey]automata.StateID{}
-	// ensureSTE returns (creating if needed) the STE for node r entered with
-	// the given label.
-	ensureSTE := func(r int32, label automata.MatchSet) automata.StateID {
+	// ensureSTE returns (creating if needed) the STE for node e.to entered
+	// with the given label at accumulated weight e.w.
+	ensureSTE := func(e ekey, label automata.MatchSet) automata.StateID {
 		label = label.Normalize()
-		k := steKey{node: r, label: label.Key()}
+		k := steKey{node: e.to, label: label.Key(), w: e.w}
 		if id, ok := steOf[k]; ok {
 			return id
 		}
 		s := automata.State{Match: label}
-		if code := g.reportCode[r]; code >= 0 {
+		if code := g.reportCode[e.to]; code >= 0 {
 			s.Report = true
 			s.ReportCode = code
 			s.ReportOffset = g.dims
 		}
 		id := out.AddState(s)
 		steOf[k] = id
+		entryW = append(entryW, e.w)
 		return id
 	}
 
@@ -310,21 +365,23 @@ func (g *lgraph) homogenize() (*automata.NFA, error) {
 		label  string
 		offset int
 		code   int
+		w      float64
 	}
 	repOf := map[repSTEKey]automata.StateID{}
-	ensureRepSTE := func(label automata.MatchSet, offset, code int) automata.StateID {
+	ensureRepSTE := func(label automata.MatchSet, k repKey) automata.StateID {
 		label = label.Normalize()
-		k := repSTEKey{label: label.Key(), offset: offset, code: code}
-		if id, ok := repOf[k]; ok {
+		rk := repSTEKey{label: label.Key(), offset: k.offset, code: k.code, w: k.w}
+		if id, ok := repOf[rk]; ok {
 			return id
 		}
 		id := out.AddState(automata.State{
 			Match:        label,
 			Report:       true,
-			ReportCode:   code,
-			ReportOffset: offset,
+			ReportCode:   k.code,
+			ReportOffset: k.offset,
 		})
-		repOf[k] = id
+		repOf[rk] = id
+		entryW = append(entryW, k.w)
 		return id
 	}
 
@@ -356,12 +413,12 @@ func (g *lgraph) homogenize() (*automata.NFA, error) {
 
 	for _, q := range nodes {
 		virtual := q == g.vAll || q == g.v0
-		for _, r := range sortedAdjKeys(g.adj[q]) {
-			if r == g.vAll || r == g.v0 {
+		for _, e := range sortedAdjKeys(g.adj[q]) {
+			if e.to == g.vAll || e.to == g.v0 {
 				continue // virtual self-loop; start handling is implicit
 			}
-			id := ensureSTE(r, g.adj[q][r])
-			addSTE(r, id)
+			id := ensureSTE(e, g.adj[q][e])
+			addSTE(e.to, id)
 			if virtual {
 				if q == g.vAll {
 					promoteStart(id, automata.StartAllInput)
@@ -371,7 +428,7 @@ func (g *lgraph) homogenize() (*automata.NFA, error) {
 			}
 		}
 		for _, k := range sortedRepKeys(g.rep[q]) {
-			id := ensureRepSTE(g.rep[q][k], k.offset, k.code)
+			id := ensureRepSTE(g.rep[q][k], k)
 			if virtual {
 				if q == g.vAll {
 					promoteStart(id, automata.StartAllInput)
@@ -382,8 +439,8 @@ func (g *lgraph) homogenize() (*automata.NFA, error) {
 		}
 	}
 
-	// Pass 2: wire edges — every STE of node q enables the STE (r, label)
-	// for each outgoing edge, and q's report STEs.
+	// Pass 2: wire edges — every STE of node q enables the STE (r, label,
+	// weight) for each outgoing edge, and q's report STEs.
 	for _, q := range nodes {
 		if q == g.vAll || q == g.v0 {
 			continue
@@ -392,28 +449,43 @@ func (g *lgraph) homogenize() (*automata.NFA, error) {
 		if len(srcs) == 0 {
 			continue // node never entered: unreachable
 		}
-		for _, r := range sortedAdjKeys(g.adj[q]) {
-			if r == g.vAll || r == g.v0 {
+		for _, e := range sortedAdjKeys(g.adj[q]) {
+			if e.to == g.vAll || e.to == g.v0 {
 				continue
 			}
-			dst := ensureSTE(r, g.adj[q][r])
+			dst := ensureSTE(e, g.adj[q][e])
 			for _, s := range srcs {
 				out.AddEdge(s, dst)
 			}
 		}
 		for _, k := range sortedRepKeys(g.rep[q]) {
-			dst := ensureRepSTE(g.rep[q][k], k.offset, k.code)
+			dst := ensureRepSTE(g.rep[q][k], k)
 			for _, s := range srcs {
 				out.AddEdge(s, dst)
 			}
 		}
 	}
 	out.DedupEdges()
-	automata.RemoveUnreachable(out)
-	if err := out.Validate(); err != nil {
-		return nil, fmt.Errorf("core: homogenize produced invalid automaton: %w", err)
+	var w *automata.Weights
+	if g.weighted {
+		// Each STE's in-edges (and its start enable) all carry its entry
+		// weight; build the table, then drop unreachable states with their
+		// weight rows.
+		w = automata.NewWeights(out)
+		for i := range out.States {
+			if out.States[i].Start != automata.StartNone {
+				w.Start[i] = entryW[i]
+			}
+			for j, t := range out.States[i].Out {
+				w.Edge[i][j] = entryW[t]
+			}
+		}
 	}
-	return out, nil
+	automata.RemoveUnreachableWeighted(out, w)
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: homogenize produced invalid automaton: %w", err)
+	}
+	return out, w, nil
 }
 
 // decomposeCrumbs splits a byte set into a minimal-ish union of
@@ -461,27 +533,33 @@ func decomposeNibbleCrumbs(ns bitvec.NibbleSet, esp espresso.Options) automata.M
 // every doubling step run on a bounded worker pool (workers <= 0 selects
 // GOMAXPROCS); the output is byte-identical for every worker count.
 func Stride(n *automata.NFA, targetBits, dims int, esp espresso.Options, workers int) (*automata.NFA, error) {
-	out, _, err := strideWork(n, targetBits, dims, esp, workers, nil)
+	out, _, _, err := strideWork(n, nil, targetBits, dims, esp, workers, nil)
 	return out, err
 }
 
-// strideWork is Stride plus the aggregate per-work-item time across workers
-// (the CPU-time figure Compile reports next to the stage's wall time).
-func strideWork(n *automata.NFA, targetBits, dims int, esp espresso.Options, workers int, tr *obs.Trace) (*automata.NFA, time.Duration, error) {
+// strideWork is Stride plus an optional weight table threaded through the
+// transform (see ekey — path weights key the composed edges, so the output
+// table scores the strided automaton exactly) and the aggregate per-work-item
+// time across workers (the CPU-time figure Compile reports next to the
+// stage's wall time).
+func strideWork(n *automata.NFA, w *automata.Weights, targetBits, dims int, esp espresso.Options, workers int, tr *obs.Trace) (*automata.NFA, *automata.Weights, time.Duration, error) {
 	var cpu atomic.Int64
-	g, err := buildGraph(n, targetBits, esp, workers, &cpu, tr)
+	g, err := buildGraph(n, w, targetBits, esp, workers, &cpu, tr)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	if dims < g.dims {
-		return nil, 0, fmt.Errorf("core: stride %d below base chunk %d", dims, g.dims)
+		return nil, nil, 0, fmt.Errorf("core: stride %d below base chunk %d", dims, g.dims)
 	}
 	for cur := g.dims; cur < dims; cur *= 2 {
 		g = g.double()
 	}
 	if g.dims != dims {
-		return nil, 0, fmt.Errorf("core: stride %d is not a power-of-two multiple of the base chunk", dims)
+		return nil, nil, 0, fmt.Errorf("core: stride %d is not a power-of-two multiple of the base chunk", dims)
 	}
-	out, err := g.homogenize()
-	return out, time.Duration(cpu.Load()), err
+	out, ow, err := g.homogenize()
+	if ow != nil && w != nil {
+		ow.Threshold = w.Threshold
+	}
+	return out, ow, time.Duration(cpu.Load()), err
 }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"impala/internal/automata"
+)
+
+// randWeights builds a random integer-valued weight table for n, including
+// heterogeneous in-edge weights.
+func randWeights(r *rand.Rand, n *automata.NFA) *automata.Weights {
+	w := automata.NewWeights(n)
+	for i := range w.Edge {
+		for j := range w.Edge[i] {
+			w.Edge[i][j] = float64(r.Intn(21) - 10)
+		}
+		w.Start[i] = float64(r.Intn(11) - 5)
+	}
+	w.Threshold = -1000
+	return w
+}
+
+var weightGeometries = []Config{
+	{TargetBits: 8, StrideDims: 1},
+	{TargetBits: 4, StrideDims: 1},
+	{TargetBits: 4, StrideDims: 2},
+	{TargetBits: 4, StrideDims: 4},
+}
+
+// A zero weight table must not perturb the compiled automaton relative to
+// a plain weighted compile at the same design point (weight-class keys all
+// carry 0, so grouping is unchanged). Minimize is skipped on weighted
+// compiles, so the binary reference disables it too.
+func TestCompileZeroWeightsShapeIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5; trial++ {
+		n := randNFA(r, 3+r.Intn(5))
+		for _, cfg := range weightGeometries {
+			bcfg := cfg
+			bcfg.DisableMinimize = true
+			bin, err := Compile(n, bcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wcfg := cfg
+			wcfg.Weights = automata.NewWeights(n)
+			sc, err := Compile(n, wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, _ := json.Marshal(bin.NFA)
+			ds, _ := json.Marshal(sc.NFA)
+			if string(db) != string(ds) {
+				t.Fatalf("trial %d cfg %+v: zero-weight compile diverged from binary compile", trial, cfg)
+			}
+			if sc.Weights == nil {
+				t.Fatal("weighted compile returned nil weights")
+			}
+			if err := sc.Weights.Validate(sc.NFA); err != nil {
+				t.Fatalf("output weights invalid: %v", err)
+			}
+			for i, row := range sc.Weights.Edge {
+				for j, v := range row {
+					if v != 0 {
+						t.Fatalf("state %d edge %d: zero-weight compile produced weight %g", i, j, v)
+					}
+				}
+				if sc.Weights.Start[i] != 0 {
+					t.Fatalf("state %d: zero-weight compile produced start weight %g", i, sc.Weights.Start[i])
+				}
+			}
+		}
+	}
+}
+
+// Weighted compiles must emit a weight table shaped exactly for the output
+// automaton at every design point, with weights inside the validation
+// bounds, and the threshold carried through.
+func TestCompileWeightsShapeValid(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 5; trial++ {
+		n := randNFA(r, 3+r.Intn(5))
+		w := randWeights(r, n)
+		w.Threshold = float64(trial) - 2
+		for _, cfg := range weightGeometries {
+			cfg.Weights = w
+			res, err := Compile(n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Weights == nil {
+				t.Fatal("weighted compile returned nil weights")
+			}
+			if err := res.Weights.Validate(res.NFA); err != nil {
+				t.Fatalf("trial %d cfg %+v: output weights invalid: %v", trial, cfg, err)
+			}
+			if res.Weights.Threshold != w.Threshold {
+				t.Fatalf("threshold %g not carried (want %g)", res.Weights.Threshold, w.Threshold)
+			}
+			// Strided edge weights are sums of at most StrideDims base
+			// weights.
+			limit := float64(cfg.StrideDims) * 10 * 2
+			for i, row := range res.Weights.Edge {
+				for j, v := range row {
+					if math.Abs(v) > limit {
+						t.Fatalf("state %d edge %d weight %g outside composed bound %g", i, j, v, limit)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Scored compiles are single-tier: Tier or Shards combined with Weights is
+// a configuration error.
+func TestCompileWeightsRejectTierShards(t *testing.T) {
+	n := litNFA(false, "ab")
+	w := automata.NewWeights(n)
+	if _, err := Compile(n, Config{TargetBits: 4, StrideDims: 2, Weights: w, Shards: 2}); err == nil {
+		t.Fatal("Weights+Shards accepted")
+	}
+	// A malformed table must be rejected up front.
+	bad := automata.NewWeights(n)
+	bad.Start[0] = math.NaN()
+	if _, err := Compile(n, Config{TargetBits: 4, StrideDims: 2, Weights: bad}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	short := &automata.Weights{}
+	if _, err := Compile(n, Config{TargetBits: 4, StrideDims: 2, Weights: short}); err == nil {
+		t.Fatal("mis-shaped weights accepted")
+	}
+}

@@ -259,6 +259,7 @@ func Registry() map[string]Runner {
 		"shardspeed":   ShardSpeed,
 		"clustersweep": ClusterSweep,
 		"backendcmp":   BackendCmp,
+		"scorespeed":   ScoreSpeed,
 	}
 }
 
@@ -266,6 +267,6 @@ func Registry() map[string]Runner {
 func IDs() []string {
 	return []string{
 		"fig2", "table1", "table4", "table5", "fig13", "fig14",
-		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed", "compilespeed", "servespeed", "tierspeed", "shardspeed", "clustersweep", "backendcmp",
+		"fig11", "fig12", "table6", "fig8", "fig9", "fig10", "casestudy", "system", "ablate", "rounds", "squash", "software", "simspeed", "compilespeed", "servespeed", "tierspeed", "shardspeed", "clustersweep", "backendcmp", "scorespeed",
 	}
 }

@@ -1,0 +1,379 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"impala/internal/automata"
+	"impala/internal/obs"
+	"impala/internal/score"
+	"impala/internal/sim"
+	"impala/internal/workload"
+)
+
+// scoreUniverse is one scored-matching workload: a mesh family, the
+// alphabet its patterns and inputs are drawn from, and the alignment cost
+// scheme. The threshold is derived from the pattern length so that perfect
+// and single-edit reads clear it while two-edit reads do not — the ranking
+// regime the alignment demo runs in.
+type scoreUniverse struct {
+	Name     string
+	Mesh     string // "levenshtein" | "hamming"
+	Alphabet string
+	Length   int
+	Dist     int
+	Costs    workload.Costs
+}
+
+// scoreSpeedUniverses are the two inputs the issue names: DNA-read
+// alignment (edit-distance mesh over ACGT reads — its substitution and
+// insertion edges land on the same states with different weights, so it
+// exercises the scalar scoring fallback) and fuzzy entity resolution
+// (Hamming mesh over record keys — uniform in-edge weights, so it stays
+// entirely on the bit-parallel scoring fast path).
+var scoreSpeedUniverses = []scoreUniverse{
+	{Name: "DNA-align", Mesh: "levenshtein", Alphabet: "ACGT", Length: 12, Dist: 2,
+		Costs: workload.DefaultAlignCosts},
+	{Name: "Entity-fuzzy", Mesh: "hamming", Alphabet: "aeilnorst", Length: 10, Dist: 2,
+		Costs: workload.Costs{Match: 1, Mismatch: -1}},
+}
+
+// threshold is the universe's report cutoff: the lowest score any
+// single-edit read can earn. For the edit-distance mesh that is a deletion
+// ((L-1) matches plus one gap); for Hamming it is one substitution. Every
+// two-edit read scores strictly below it under the universes' cost schemes.
+func (u scoreUniverse) threshold() float64 {
+	if u.Mesh == "hamming" {
+		return float64(u.Length-1)*u.Costs.Match + u.Costs.Mismatch
+	}
+	return float64(u.Length-1)*u.Costs.Match + u.Costs.Gap
+}
+
+// ScoreCell is one universe's scored-vs-binary measurement. The shape
+// columns (pattern count, states, weighted edges, scalar-scored states,
+// threshold) and both report counts are deterministic for a fixed
+// scale/seed and compared exactly by the regression gate; the throughput
+// columns are wall-clock.
+type ScoreCell struct {
+	Universe      string  `json:"universe"`
+	Mesh          string  `json:"mesh"`
+	Patterns      int     `json:"patterns"`
+	States        int     `json:"states"`
+	WeightedEdges int     `json:"weighted_edges"`
+	ScalarStates  int     `json:"scalar_states"`
+	Threshold     float64 `json:"threshold"`
+	// BinaryReports is the unweighted engine's structural match count;
+	// ScoredReports is how many of those cleared the threshold.
+	BinaryReports int `json:"binary_reports"`
+	ScoredReports int `json:"scored_reports"`
+	// One measured pass each, best of three interleaved rounds.
+	// RelThroughput is scored-over-binary: the fraction of binary
+	// throughput the score datapath retains.
+	BinaryMBPerSec float64 `json:"binary_mb_per_sec"`
+	ScoredMBPerSec float64 `json:"scored_mb_per_sec"`
+	BinaryWallMS   float64 `json:"binary_wall_ms"`
+	ScoredWallMS   float64 `json:"scored_wall_ms"`
+	RelThroughput  float64 `json:"rel_throughput"`
+}
+
+// ScoreReport is the JSON document emitted by impala-bench -exp scorespeed
+// -json — the committed BENCH_score.json baseline.
+type ScoreReport struct {
+	Design     string        `json:"design"`
+	Scale      float64       `json:"scale"`
+	Seed       int64         `json:"seed"`
+	InputKB    int           `json:"input_kb"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Cells      []ScoreCell   `json:"cells"`
+	Metrics    *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// ReadScoreReport parses a stored scorespeed baseline.
+func ReadScoreReport(r io.Reader) (*ScoreReport, error) {
+	var rep ScoreReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("exp: bad score report: %w", err)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("exp: score report has no cells")
+	}
+	return &rep, nil
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *ScoreReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// scorePatternCount sizes a universe's pattern set off the scale knob the
+// way the benchmark suite does: 400 patterns at full scale, never fewer
+// than two.
+func scorePatternCount(scale float64) int {
+	n := int(scale*400 + 0.5)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// plantedReads synthesizes a read stream for a scored universe: random
+// background over the alphabet with planted copies of the patterns mutated
+// by 0–3 edits, so the input holds perfect reads, reads the threshold
+// admits, and reads it must reject. Deterministic for a fixed seed.
+func plantedReads(r *rand.Rand, pats [][]byte, alphabet string, size int) []byte {
+	buf := make([]byte, 0, size+32)
+	sym := func() byte { return alphabet[r.Intn(len(alphabet))] }
+	for len(buf) < size {
+		for gap := 6 + r.Intn(18); gap > 0; gap-- {
+			buf = append(buf, sym())
+		}
+		read := append([]byte(nil), pats[r.Intn(len(pats))]...)
+		for edits := r.Intn(4); edits > 0 && len(read) > 2; edits-- {
+			i := r.Intn(len(read))
+			switch r.Intn(3) {
+			case 0: // substitution
+				read[i] = sym()
+			case 1: // deletion
+				read = append(read[:i], read[i+1:]...)
+			default: // insertion
+				read = append(read[:i], append([]byte{sym()}, read[i:]...)...)
+			}
+		}
+		buf = append(buf, read...)
+	}
+	return buf[:size]
+}
+
+// buildUniverse generates a universe's mesh and weight table at the given
+// scale/seed.
+func buildUniverse(u scoreUniverse, scale float64, seed int64) (*automata.NFA, *automata.Weights, [][]byte, error) {
+	r := rand.New(rand.NewSource(seed))
+	pats := workload.RandomPatterns(r, scorePatternCount(scale), u.Length, u.Alphabet)
+	var (
+		n   *automata.NFA
+		w   *automata.Weights
+		err error
+	)
+	switch u.Mesh {
+	case "hamming":
+		n, w, err = workload.ScoredHamming(pats, u.Dist, u.Costs, u.threshold())
+	case "levenshtein":
+		n, w, err = workload.ScoredLevenshtein(pats, u.Dist, u.Costs, u.threshold())
+	default:
+		err = fmt.Errorf("exp: unknown scored mesh %q", u.Mesh)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return n, w, pats, nil
+}
+
+// ScoreSpeedReport runs the scored max-plus engine against the binary
+// compiled engine over the two scored universes. Each cell's warm-up pass
+// doubles as a correctness cross-check: a threshold-free clone of the
+// weight table must reproduce the binary engine's report set exactly (the
+// score datapath may never perturb the match semantics), and every
+// threshold-cleared report must be one of the binary reports. Timing is
+// interleaved best-of-three so a slow system phase degrades one round of
+// both engines instead of one engine's whole measurement.
+func ScoreSpeedReport(o Options) (*ScoreReport, error) {
+	o = o.withDefaults()
+	rep := &ScoreReport{
+		Design:     "scored max-plus engine vs binary compiled (8-bit stride-1)",
+		Scale:      o.Scale,
+		Seed:       o.Seed,
+		InputKB:    o.InputKB,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	cells := make([]ScoreCell, len(scoreSpeedUniverses))
+	if err := o.forEachCell(len(scoreSpeedUniverses), func(i int) error {
+		u := scoreSpeedUniverses[i]
+		n, w, pats, err := buildUniverse(u, o.Scale, o.Seed)
+		if err != nil {
+			return err
+		}
+		rin := rand.New(rand.NewSource(o.Seed + 3))
+		input := plantedReads(rin, pats, u.Alphabet, o.InputKB*1024)
+
+		binary, err := sim.Compile(n)
+		if err != nil {
+			return err
+		}
+		scored, err := score.Compile(n, w)
+		if err != nil {
+			return err
+		}
+
+		// Warm-up + correctness. The binary report set is the reference;
+		// with the threshold dropped to the saturation floor the scored
+		// engine must reproduce it report-for-report.
+		want, _ := binary.Run(input)
+		all := w.Clone()
+		all.Threshold = -automata.ScoreLimit
+		unfiltered, err := score.Compile(n, all)
+		if err != nil {
+			return err
+		}
+		allReports, _ := unfiltered.Run(input)
+		if !sim.SameReports(want, stripScores(allReports)) {
+			return fmt.Errorf("exp: %s: threshold-free scored reports diverge from binary (%d vs %d)",
+				u.Name, len(allReports), len(want))
+		}
+		got, _ := scored.Run(input)
+		structural := make(map[sim.Report]bool, len(want))
+		for _, r := range want {
+			structural[r] = true
+		}
+		for _, r := range got {
+			if !structural[r.Report] {
+				return fmt.Errorf("exp: %s: scored report at bit %d is not a binary report", u.Name, r.BitPos)
+			}
+		}
+		if len(got) == 0 || len(got) >= len(want) {
+			return fmt.Errorf("exp: %s: threshold %g filtered %d of %d reports — input is inert or the cutoff is wrong",
+				u.Name, w.Threshold, len(want)-len(got), len(want))
+		}
+
+		binWall, scWall := time.Duration(1<<62), time.Duration(1<<62)
+		for round := 0; round < 3; round++ {
+			t0 := time.Now()
+			binary.Run(input)
+			if d := time.Since(t0); d < binWall {
+				binWall = d
+			}
+			t0 = time.Now()
+			scored.Run(input)
+			if d := time.Since(t0); d < scWall {
+				scWall = d
+			}
+		}
+		binMBs := float64(len(input)) / binWall.Seconds() / 1e6
+		scMBs := float64(len(input)) / scWall.Seconds() / 1e6
+		cells[i] = ScoreCell{
+			Universe:       u.Name,
+			Mesh:           u.Mesh,
+			Patterns:       len(pats),
+			States:         n.NumStates(),
+			WeightedEdges:  w.NumEdges(),
+			ScalarStates:   scored.ScalarScoredStates(),
+			Threshold:      w.Threshold,
+			BinaryReports:  len(want),
+			ScoredReports:  len(got),
+			BinaryMBPerSec: binMBs,
+			ScoredMBPerSec: scMBs,
+			BinaryWallMS:   float64(binWall) / float64(time.Millisecond),
+			ScoredWallMS:   float64(scWall) / float64(time.Millisecond),
+			RelThroughput:  scMBs / binMBs,
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rep.Cells = cells
+	if o.Metrics != nil {
+		snap := o.Metrics.Snapshot()
+		rep.Metrics = &snap
+	}
+	return rep, nil
+}
+
+// stripScores projects scored reports onto their binary part.
+func stripScores(rs []score.Report) []sim.Report {
+	out := make([]sim.Report, len(rs))
+	for i, r := range rs {
+		out[i] = r.Report
+	}
+	return out
+}
+
+// ScoreSpeed is the registry runner: it renders ScoreSpeedReport as a table.
+func ScoreSpeed(o Options) ([]*Table, error) {
+	rep, err := ScoreSpeedReport(o)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{rep.Table()}, nil
+}
+
+// Table renders the report in the harness's text-table format.
+func (r *ScoreReport) Table() *Table {
+	t := &Table{
+		Title: "Scored execution: max-plus scoring vs binary matching",
+		Header: []string{"universe", "mesh", "patterns", "states", "w-edges", "scalar",
+			"thresh", "bin rpts", "scored", "bin MB/s", "scored MB/s", "retained"},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(c.Universe, c.Mesh, fmt.Sprint(c.Patterns), fmt.Sprint(c.States),
+			fmt.Sprint(c.WeightedEdges), fmt.Sprint(c.ScalarStates),
+			fmt.Sprintf("%g", c.Threshold), fmt.Sprint(c.BinaryReports), fmt.Sprint(c.ScoredReports),
+			f1(c.BinaryMBPerSec), f1(c.ScoredMBPerSec), fmt.Sprintf("%.0f%%", c.RelThroughput*100))
+	}
+	t.AddNote("retained = scored throughput as a fraction of binary; scalar = states scored on the per-state fallback (0 = all bit-parallel)")
+	t.AddNote("every cell cross-checked: a threshold-free weight table reproduces the binary report set exactly")
+	return t
+}
+
+// CompareScoreReports checks a fresh scorespeed report against a stored
+// baseline (the BENCH_score.json part of impala-bench -check). Two drift
+// classes are flagged:
+//
+//   - Shape and filtering: when both reports ran the same scale and seed,
+//     a cell's pattern count, mesh shape, weighted-edge count,
+//     scalar-state count, threshold and both report counts must match the
+//     baseline exactly — generation, compilation and threshold filtering
+//     are all deterministic, so any difference is a behavior change, not
+//     noise.
+//   - Scoring overhead: a cell's retained throughput (scored over binary,
+//     measured in the same process on the same input) may not drop more
+//     than SpeedupTolerance (fractional) below baseline — but only where
+//     the baseline's binary scan took at least MinWallMS. Both engines run
+//     serially, so no GOMAXPROCS guard applies.
+func CompareScoreReports(base, cur *ScoreReport, opt CheckOptions) []string {
+	opt = opt.withDefaults()
+	got := make(map[string]ScoreCell, len(cur.Cells))
+	for _, c := range cur.Cells {
+		got[c.Universe] = c
+	}
+	sameRun := base.Scale == cur.Scale && base.Seed == cur.Seed
+
+	var bad []string
+	flag := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	if base.InputKB != cur.InputKB {
+		flag("input size %d KB does not match baseline's %d KB; rerun with -input-kb %d",
+			cur.InputKB, base.InputKB, base.InputKB)
+	}
+	for _, b := range base.Cells {
+		c, ok := got[b.Universe]
+		if !ok {
+			flag("%s: cell missing from report", b.Universe)
+			continue
+		}
+		if sameRun {
+			if c.Patterns != b.Patterns || c.States != b.States || c.WeightedEdges != b.WeightedEdges ||
+				c.ScalarStates != b.ScalarStates || c.Threshold != b.Threshold {
+				flag("%s: workload shape changed: %d patterns, %d states, %d edges, %d scalar, threshold %g; baseline %d, %d, %d, %d, %g",
+					b.Universe, c.Patterns, c.States, c.WeightedEdges, c.ScalarStates, c.Threshold,
+					b.Patterns, b.States, b.WeightedEdges, b.ScalarStates, b.Threshold)
+			}
+			if c.BinaryReports != b.BinaryReports || c.ScoredReports != b.ScoredReports {
+				flag("%s: report counts changed: %d binary / %d scored; baseline %d / %d",
+					b.Universe, c.BinaryReports, c.ScoredReports, b.BinaryReports, b.ScoredReports)
+			}
+		}
+		if b.BinaryWallMS < opt.MinWallMS {
+			continue // binary scan too quick to time; the ratio is noise
+		}
+		if floor := b.RelThroughput * (1 - opt.SpeedupTolerance); c.RelThroughput < floor {
+			flag("%s: retained throughput %.0f%% below baseline %.0f%% (floor %.0f%% at %.0f%% tolerance)",
+				b.Universe, c.RelThroughput*100, b.RelThroughput*100, floor*100, opt.SpeedupTolerance*100)
+		}
+	}
+	return bad
+}

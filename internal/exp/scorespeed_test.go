@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// scoreTiny keeps the run sub-second: two patterns per universe, tiny input.
+func scoreTiny() Options {
+	return Options{Scale: 0.005, Seed: 1, InputKB: 4}
+}
+
+func TestScoreSpeedReport(t *testing.T) {
+	o := scoreTiny()
+	rep, err := ScoreSpeedReport(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scale != o.Scale || rep.Seed != o.Seed || rep.InputKB != o.InputKB || rep.GOMAXPROCS < 1 {
+		t.Fatalf("bad report envelope: %+v", rep)
+	}
+	if len(rep.Cells) != len(scoreSpeedUniverses) {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), len(scoreSpeedUniverses))
+	}
+	for i, c := range rep.Cells {
+		u := scoreSpeedUniverses[i]
+		if c.Universe != u.Name || c.Mesh != u.Mesh || c.Threshold != u.threshold() {
+			t.Fatalf("cell %d envelope diverges from universe %+v: %+v", i, u, c)
+		}
+		if c.Patterns < 2 || c.States <= 0 || c.WeightedEdges <= 0 {
+			t.Fatalf("%s has an empty mesh: %+v", c.Universe, c)
+		}
+		if c.BinaryReports <= 0 || c.ScoredReports <= 0 || c.ScoredReports >= c.BinaryReports {
+			t.Fatalf("%s threshold filtering inert: %d scored of %d binary", c.Universe, c.ScoredReports, c.BinaryReports)
+		}
+		if c.BinaryMBPerSec <= 0 || c.ScoredMBPerSec <= 0 || c.RelThroughput <= 0 {
+			t.Fatalf("%s has zeroed measurements: %+v", c.Universe, c)
+		}
+	}
+	// The Hamming mesh is uniform by construction (all bit-parallel); the
+	// edit-distance mesh must exercise the scalar fallback.
+	if rep.Cells[0].ScalarStates == 0 {
+		t.Fatalf("DNA-align cell does not exercise the scalar fallback: %+v", rep.Cells[0])
+	}
+	if rep.Cells[1].ScalarStates != 0 {
+		t.Fatalf("Entity-fuzzy cell fell off the fast path: %+v", rep.Cells[1])
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScoreReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(rep.Cells) || back.Cells[0].Universe != rep.Cells[0].Universe {
+		t.Fatalf("JSON round trip diverges: %+v", back)
+	}
+}
+
+func TestScoreSpeedRunner(t *testing.T) {
+	tables, err := ScoreSpeed(scoreTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, tables)
+	if !strings.Contains(out, "Scored execution") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "DNA-align") || !strings.Contains(out, "Entity-fuzzy") {
+		t.Fatalf("missing universe rows:\n%s", out)
+	}
+}
+
+func TestReadScoreReportRejects(t *testing.T) {
+	if _, err := ReadScoreReport(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ReadScoreReport(strings.NewReader(`{"cells":[]}`)); err == nil {
+		t.Fatal("empty report accepted")
+	}
+}
+
+// scoreBaseline builds a synthetic timed baseline: both universes clearing
+// MinWallMS with 80% retained throughput.
+func scoreBaseline() *ScoreReport {
+	mk := func(name, mesh string, scalar int) ScoreCell {
+		return ScoreCell{
+			Universe: name, Mesh: mesh, Patterns: 8, States: 200, WeightedEdges: 600,
+			ScalarStates: scalar, Threshold: 9, BinaryReports: 100, ScoredReports: 60,
+			BinaryMBPerSec: 50, ScoredMBPerSec: 40, BinaryWallMS: 100, ScoredWallMS: 125,
+			RelThroughput: 0.8,
+		}
+	}
+	return &ScoreReport{
+		Scale: 0.02, Seed: 1, InputKB: 1024, GOMAXPROCS: 4,
+		Cells: []ScoreCell{mk("DNA-align", "levenshtein", 24), mk("Entity-fuzzy", "hamming", 0)},
+	}
+}
+
+func TestCompareScoreReportsIdenticalPasses(t *testing.T) {
+	base := scoreBaseline()
+	if bad := CompareScoreReports(base, scoreBaseline(), CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("identical reports flagged: %v", bad)
+	}
+}
+
+func TestCompareScoreReportsFlagsDrift(t *testing.T) {
+	base := scoreBaseline()
+
+	cur := scoreBaseline()
+	cur.InputKB = 64
+	if bad := CompareScoreReports(base, cur, CheckOptions{}); len(bad) == 0 ||
+		!strings.Contains(strings.Join(bad, "\n"), "input size") {
+		t.Fatalf("input-size mismatch not flagged: %v", bad)
+	}
+
+	cur = scoreBaseline()
+	cur.Cells = cur.Cells[:1]
+	if bad := CompareScoreReports(base, cur, CheckOptions{}); len(bad) == 0 ||
+		!strings.Contains(strings.Join(bad, "\n"), "cell missing") {
+		t.Fatalf("missing cell not flagged: %v", bad)
+	}
+
+	cur = scoreBaseline()
+	cur.Cells[0].WeightedEdges++
+	if bad := CompareScoreReports(base, cur, CheckOptions{}); len(bad) == 0 ||
+		!strings.Contains(strings.Join(bad, "\n"), "workload shape changed") {
+		t.Fatalf("shape drift not flagged: %v", bad)
+	}
+
+	cur = scoreBaseline()
+	cur.Cells[0].ScoredReports--
+	if bad := CompareScoreReports(base, cur, CheckOptions{}); len(bad) == 0 ||
+		!strings.Contains(strings.Join(bad, "\n"), "report counts changed") {
+		t.Fatalf("report-count drift not flagged: %v", bad)
+	}
+
+	// A different scale is a different workload: shape comparisons must not
+	// fire, only the ratio gate remains armed.
+	cur = scoreBaseline()
+	cur.Scale = 0.05
+	cur.Cells[0].WeightedEdges++
+	cur.Cells[0].ScoredReports--
+	if bad := CompareScoreReports(base, cur, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("cross-scale shape compared: %v", bad)
+	}
+
+	cur = scoreBaseline()
+	cur.Cells[0].RelThroughput = 0.3
+	if bad := CompareScoreReports(base, cur, CheckOptions{}); len(bad) == 0 ||
+		!strings.Contains(strings.Join(bad, "\n"), "retained throughput") {
+		t.Fatalf("overhead regression not flagged: %v", bad)
+	}
+
+	// An untimed baseline cell (binary scan below MinWallMS) never arms the
+	// ratio gate.
+	base2 := scoreBaseline()
+	base2.Cells[0].BinaryWallMS = 1
+	cur = scoreBaseline()
+	cur.Cells[0].RelThroughput = 0.1
+	if bad := CompareScoreReports(base2, cur, CheckOptions{}); len(bad) != 0 {
+		t.Fatalf("untimed cell gated on wall clock: %v", bad)
+	}
+}

@@ -1,0 +1,42 @@
+// Scored-execution observability, following the streaming layer's pattern:
+// one atomic pointer, nil when disabled, drained at session/run boundaries
+// — never inside the cycle loop.
+package score
+
+import (
+	"sync/atomic"
+
+	"impala/internal/obs"
+)
+
+// scoreMetrics is the set of instruments shared by every scored engine in
+// the process.
+type scoreMetrics struct {
+	bytes   *obs.Counter // score_scored_bytes_total
+	reports *obs.Counter // score_reports_total
+	rejects *obs.Counter // score_threshold_rejects_total
+}
+
+// scoreMetricsPtr is nil when disabled; swapped atomically so engines in
+// flight observe the change safely.
+var scoreMetricsPtr atomic.Pointer[scoreMetrics]
+
+// EnableMetrics registers the scored layer's instruments in reg and turns
+// live publication on for every scored engine in the process:
+//
+//	score_scored_bytes_total      input bytes executed with scoring
+//	score_reports_total           reports that cleared the threshold
+//	score_threshold_rejects_total reports suppressed by the threshold
+//
+// EnableMetrics(nil) disables publication again (the default).
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		scoreMetricsPtr.Store(nil)
+		return
+	}
+	scoreMetricsPtr.Store(&scoreMetrics{
+		bytes:   reg.Counter("score_scored_bytes_total"),
+		reports: reg.Counter("score_reports_total"),
+		rejects: reg.Counter("score_threshold_rejects_total"),
+	})
+}

@@ -1,0 +1,401 @@
+// Package score executes weighted automata: the bit-parallel datapath of
+// internal/sim extended with a score vector that rides alongside the
+// active-state words. Each transition carries a max-plus weight
+// (automata.Weights); the score of a state at cycle t is the best
+// accumulated weight over all enabling paths, and a report fires only when
+// its state's score meets the table's threshold — edit-distance and
+// alignment scoring instead of binary accept.
+//
+// Accumulation is max-plus and saturating (scores clamp to
+// ±automata.ScoreLimit, far below float64's integer-exactness boundary, so
+// integer-valued costs never round). The per-cycle scoring pass is
+// bit-parallel where the automaton allows it: states whose in-edges all
+// carry one weight take the fast path — predecessor-row AND over the
+// previous active words, one max-reduce, one add — and only states with
+// heterogeneous in-edge weights fall back to a scalar per-edge walk. The
+// V-TeSS pipeline emits automata whose strided states each have a single
+// entry weight, so compiled scored machines run almost entirely on the
+// fast path.
+package score
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/sim"
+)
+
+// Report is a binary report plus its accumulated max-plus score.
+type Report struct {
+	sim.Report
+	// Score is the best accumulated weight over all paths that produced
+	// this report, saturated to ±automata.ScoreLimit.
+	Score float64
+}
+
+// Sink consumes scored reports as an engine produces them (cycle order,
+// unsorted within a cycle).
+type Sink func(Report)
+
+// inEdge is one scalar-path predecessor: source state and edge weight.
+type inEdge struct {
+	from int32
+	w    float64
+}
+
+// Compiled is the immutable bit-parallel form of a weighted automaton. It
+// mirrors sim.Compiled — identical mask tables, successor matrix and
+// start/report masks, so the binary behavior is byte-identical — plus the
+// scoring configuration: a predecessor matrix for the uniform fast path,
+// per-state entry weights, scalar in-edge lists for heterogeneous states,
+// start weights and the report threshold. Safe to share across goroutines;
+// per-stream state lives in Engine.
+type Compiled struct {
+	nfa *automata.NFA
+
+	// masks[p][v]: states accepting sub-symbol v at stride position p.
+	masks [][]bitvec.Words
+	// residual lists non-position-decomposable states (scalar match path).
+	residual []automata.StateID
+
+	// succ row i: enable mask of state i's successors. pred row i: mask of
+	// state i's predecessors (the transpose), driving the scoring fast path.
+	succ, pred *bitvec.Matrix
+
+	always, startOfData, even bitvec.Words
+	anyStartOfData, anyEven   bool
+
+	reportingMask bitvec.Words
+	anyReports    bool
+
+	// uniform[i] is true when every in-edge of state i carries uniformW[i]
+	// (including states with no in-edges); heterogeneous states carry their
+	// in-edges on hetIn[i] for the scalar fallback.
+	uniform  []bool
+	uniformW []float64
+	hetIn    [][]inEdge
+
+	startW    []float64
+	threshold float64
+
+	pool sync.Pool
+}
+
+// Compile builds the scored bit-parallel form. The weight table must
+// validate against n; neither may be mutated while the compiled form is in
+// use.
+func Compile(n *automata.NFA, w *automata.Weights) (*Compiled, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if w == nil {
+		return nil, fmt.Errorf("score: Compile requires a weight table (use sim.Compile for binary execution)")
+	}
+	if err := w.Validate(n); err != nil {
+		return nil, err
+	}
+	ns := n.NumStates()
+	S := n.Stride
+	dom := automata.DomainSize(n.Bits)
+
+	c := &Compiled{
+		nfa:           n,
+		succ:          bitvec.NewMatrix(ns, ns),
+		pred:          bitvec.NewMatrix(ns, ns),
+		always:        bitvec.NewWords(ns),
+		startOfData:   bitvec.NewWords(ns),
+		even:          bitvec.NewWords(ns),
+		reportingMask: bitvec.NewWords(ns),
+		uniform:       make([]bool, ns),
+		uniformW:      make([]float64, ns),
+		hetIn:         make([][]inEdge, ns),
+		startW:        append([]float64(nil), w.Start...),
+		threshold:     w.Threshold,
+	}
+	c.masks = make([][]bitvec.Words, S)
+	for p := range c.masks {
+		c.masks[p] = make([]bitvec.Words, dom)
+		for v := range c.masks[p] {
+			c.masks[p][v] = bitvec.NewWords(ns)
+		}
+	}
+
+	// In-edge weight classification: collect per-target in-edges, then mark
+	// targets whose weights are all equal as uniform (fast path).
+	in := make([][]inEdge, ns)
+	for i := range n.States {
+		s := &n.States[i]
+		for j, t := range s.Out {
+			c.succ.Set(i, int(t))
+			c.pred.Set(int(t), i)
+			in[t] = append(in[t], inEdge{from: int32(i), w: w.Edge[i][j]})
+		}
+		switch s.Start {
+		case automata.StartAllInput:
+			c.always.Set(i)
+		case automata.StartOfData:
+			c.startOfData.Set(i)
+			c.anyStartOfData = true
+		case automata.StartEven:
+			c.even.Set(i)
+			c.anyEven = true
+		}
+		if s.Report {
+			c.reportingMask.Set(i)
+			c.anyReports = true
+		}
+		if dims, ok := sim.Decompose(s.Match, S); ok {
+			for p := 0; p < S; p++ {
+				for _, v := range dims[p].Values() {
+					c.masks[p][v].Set(i)
+				}
+			}
+		} else {
+			c.residual = append(c.residual, automata.StateID(i))
+		}
+	}
+	for i := range in {
+		c.uniform[i] = true
+		for _, e := range in[i] {
+			if e.w != in[i][0].w {
+				c.uniform[i] = false
+				break
+			}
+		}
+		if c.uniform[i] {
+			if len(in[i]) > 0 {
+				c.uniformW[i] = in[i][0].w
+			}
+		} else {
+			c.hetIn[i] = in[i]
+		}
+	}
+	// Warm the row-extent caches while still single-threaded (the compiled
+	// form is shared read-only afterwards).
+	c.succ.OrRowsInto(nil, nil)
+	c.pred.OrRowsInto(nil, nil)
+	c.pool.New = func() any { return c.NewEngine() }
+	return c, nil
+}
+
+// NFA returns the automaton this form was compiled from.
+func (c *Compiled) NFA() *automata.NFA { return c.nfa }
+
+// Threshold returns the report threshold baked into the compiled form.
+func (c *Compiled) Threshold() float64 { return c.threshold }
+
+// ResidualStates returns the number of states on the scalar match path.
+func (c *Compiled) ResidualStates() int { return len(c.residual) }
+
+// ScalarScoredStates returns the number of states whose in-edge weights are
+// heterogeneous — the ones scored on the scalar fallback each cycle.
+func (c *Compiled) ScalarScoredStates() int {
+	k := 0
+	for _, u := range c.uniform {
+		if !u {
+			k++
+		}
+	}
+	return k
+}
+
+// Engine executes a shared Compiled form over one stream. It implements
+// sim.Core, so sim.Session drives it with identical chunking/flush
+// semantics; the scored sink receives every report that clears the
+// threshold, while the binary sink passed by the session sees the same
+// reports (for statistics and binary consumers). Not safe for concurrent
+// use; engines are cheap — all heavy tables live on the Compiled.
+type Engine struct {
+	c                           *Compiled
+	enabled, active, prevActive bitvec.Words
+	startEn                     bitvec.Words
+	score, prevScore            []float64
+
+	// onScore, when non-nil, receives each threshold-clearing report with
+	// its score.
+	onScore Sink
+
+	// rejects counts threshold-suppressed reports since the last drain;
+	// scored counts emitted scored reports. Plain ints — the obs boundary
+	// is the session/run layer, never the cycle loop.
+	rejects int64
+	scored  int64
+}
+
+// NewEngine allocates per-stream state for the compiled scored automaton.
+func (c *Compiled) NewEngine() *Engine {
+	ns := c.nfa.NumStates()
+	return &Engine{
+		c:          c,
+		enabled:    bitvec.NewWords(ns),
+		active:     bitvec.NewWords(ns),
+		prevActive: bitvec.NewWords(ns),
+		startEn:    bitvec.NewWords(ns),
+		score:      make([]float64, ns),
+		prevScore:  make([]float64, ns),
+	}
+}
+
+// SetSink attaches the scored report sink (may be nil to drop scores).
+func (e *Engine) SetSink(s Sink) { e.onScore = s }
+
+// Geometry implements sim.Core.
+func (e *Engine) Geometry() (int, int) { return e.c.nfa.Bits, e.c.nfa.Stride }
+
+// ResetState implements sim.Core.
+func (e *Engine) ResetState() { e.prevActive.ClearAll() }
+
+// satAdd is the saturating max-plus addition: sums clamp to ±ScoreLimit.
+func satAdd(a, b float64) float64 {
+	s := a + b
+	if s > automata.ScoreLimit {
+		return automata.ScoreLimit
+	}
+	if s < -automata.ScoreLimit {
+		return -automata.ScoreLimit
+	}
+	return s
+}
+
+// StepCycle implements sim.Core: one cycle of the bit-parallel datapath
+// plus the score propagation pass. Stale score slots are never read — a
+// previous-cycle score is consulted only under the prevActive mask, and a
+// current score only for states in the active set.
+func (e *Engine) StepCycle(chunk []byte, t int, limitBits int, sink sim.ReportSink, tracer sim.Tracer) (int, int) {
+	c := e.c
+	n := c.nfa
+	enabled, active, prev := e.enabled, e.active, e.prevActive
+
+	// Start-enable sources are remembered separately: a state enabled as a
+	// start candidate scores startW even when no predecessor reaches it.
+	startEn := e.startEn
+	startEn.CopyFrom(c.always)
+	if t == 0 && c.anyStartOfData {
+		c.startOfData.OrInto(startEn)
+	}
+	if t%2 == 0 && c.anyEven {
+		c.even.OrInto(startEn)
+	}
+	enabled.CopyFrom(startEn)
+	c.succ.OrRowsInto(prev, enabled)
+
+	// State-match phase — identical to sim.CompiledEngine.
+	m0 := c.masks[0][chunk[0]][:len(active)]
+	en := enabled[:len(active)]
+	for w := range active {
+		active[w] = en[w] & m0[w]
+	}
+	for p := 1; p < n.Stride; p++ {
+		mp := c.masks[p][chunk[p]][:len(active)]
+		for w := range active {
+			active[w] &= mp[w]
+		}
+	}
+	for _, id := range c.residual {
+		if enabled.Get(int(id)) && n.States[id].Match.Has(chunk) {
+			active.Set(int(id))
+		}
+	}
+
+	// Score propagation: for every active state, the best of its start
+	// score (if start-enabled this cycle) and max over active predecessors
+	// of (predecessor score + entry weight).
+	score, prevScore := e.score, e.prevScore
+	pw := prevScore
+	for w, word := range active {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			best := math.Inf(-1)
+			if startEn.Get(i) {
+				best = c.startW[i]
+			}
+			if c.uniform[i] {
+				// Fast path: one row AND against the previous active words,
+				// max-reduce the surviving predecessors, one add.
+				row := c.pred.Row(i)
+				maxPrev := math.Inf(-1)
+				for rw, rword := range row {
+					rword &= prev[rw]
+					for rword != 0 {
+						u := rw<<6 + bits.TrailingZeros64(rword)
+						rword &= rword - 1
+						if pw[u] > maxPrev {
+							maxPrev = pw[u]
+						}
+					}
+				}
+				if !math.IsInf(maxPrev, -1) {
+					if v := satAdd(maxPrev, c.uniformW[i]); v > best {
+						best = v
+					}
+				}
+			} else {
+				// Scalar fallback: heterogeneous in-edge weights.
+				for _, ie := range c.hetIn[i] {
+					if prev.Get(int(ie.from)) {
+						if v := satAdd(pw[ie.from], ie.w); v > best {
+							best = v
+						}
+					}
+				}
+			}
+			score[i] = best
+		}
+	}
+
+	// Reporting: binary-identical gate, then the threshold comparator.
+	if c.anyReports {
+		base := t * n.Stride
+		for w, word := range active {
+			word &= c.reportingMask[w]
+			for word != 0 {
+				i := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				s := &n.States[i]
+				bitPos := (base + s.ReportOffset) * n.Bits
+				if limitBits >= 0 && bitPos > limitBits {
+					continue
+				}
+				if sc := score[i]; sc >= c.threshold {
+					r := sim.Report{BitPos: bitPos, Code: s.ReportCode, State: automata.StateID(i)}
+					sink(r)
+					e.scored++
+					if e.onScore != nil {
+						e.onScore(Report{Report: r, Score: sc})
+					}
+				} else {
+					e.rejects++
+				}
+			}
+		}
+	}
+
+	na, ne := active.Count(), enabled.Count()
+	if tracer != nil {
+		tracer.OnCycle(t, enabled, active)
+	}
+	e.prevActive, e.active = active, prev
+	e.prevScore, e.score = score, prevScore
+	return ne, na
+}
+
+// SortReports orders scored reports by (BitPos, Code, State) — the binary
+// convention, so zero-weight scored output lines up with sim output
+// byte-for-byte.
+func SortReports(reports []Report) {
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].BitPos != reports[j].BitPos {
+			return reports[i].BitPos < reports[j].BitPos
+		}
+		if reports[i].Code != reports[j].Code {
+			return reports[i].Code < reports[j].Code
+		}
+		return reports[i].State < reports[j].State
+	})
+}

@@ -1,0 +1,414 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"impala/internal/automata"
+	"impala/internal/bitvec"
+	"impala/internal/core"
+	"impala/internal/obs"
+	"impala/internal/sim"
+)
+
+// naiveScoredRun is an independent, deliberately simple reference for the
+// scored semantics (maps, per-state scalar max-plus, no bitsets): the
+// redundancy that keeps the optimized engine honest.
+func naiveScoredRun(n *automata.NFA, w *automata.Weights, input []byte) []Report {
+	syms := sim.SubSymbols(n.Bits, input)
+	S := n.Stride
+	totalBits := len(syms) * n.Bits
+	cycles := (len(syms) + S - 1) / S
+
+	type ie struct {
+		from automata.StateID
+		w    float64
+	}
+	in := make([][]ie, len(n.States))
+	for q := range n.States {
+		for j, r := range n.States[q].Out {
+			in[r] = append(in[r], ie{automata.StateID(q), w.Edge[q][j]})
+		}
+	}
+
+	active := map[automata.StateID]float64{}
+	var reports []Report
+	for t := 0; t < cycles; t++ {
+		chunk := make([]byte, S)
+		for i := 0; i < S; i++ {
+			if p := t*S + i; p < len(syms) {
+				chunk[i] = syms[p]
+			}
+		}
+		next := map[automata.StateID]float64{}
+		for i := range n.States {
+			s := &n.States[i]
+			enabled := false
+			best := math.Inf(-1)
+			switch s.Start {
+			case automata.StartAllInput:
+				enabled = true
+				best = w.Start[i]
+			case automata.StartOfData:
+				if t == 0 {
+					enabled = true
+					best = w.Start[i]
+				}
+			case automata.StartEven:
+				if t%2 == 0 {
+					enabled = true
+					best = w.Start[i]
+				}
+			}
+			for _, e := range in[i] {
+				if sc, ok := active[e.from]; ok {
+					enabled = true
+					if v := satAdd(sc, e.w); v > best {
+						best = v
+					}
+				}
+			}
+			if !enabled || !s.Match.Has(chunk) {
+				continue
+			}
+			next[automata.StateID(i)] = best
+			if s.Report {
+				bitPos := (t*S + s.ReportOffset) * n.Bits
+				if bitPos <= totalBits && best >= w.Threshold {
+					reports = append(reports, Report{
+						Report: sim.Report{BitPos: bitPos, Code: s.ReportCode, State: automata.StateID(i)},
+						Score:  best,
+					})
+				}
+			}
+		}
+		active = next
+	}
+	SortReports(reports)
+	return reports
+}
+
+// randNFA8 generates a random small 8-bit stride-1 automaton with loops,
+// ranges and branches.
+func randNFA8(r *rand.Rand, nStates int) *automata.NFA {
+	n := automata.New(8, 1)
+	for i := 0; i < nStates; i++ {
+		var set bitvec.ByteSet
+		switch r.Intn(3) {
+		case 0:
+			set = bitvec.ByteOf(byte(r.Intn(4)))
+		case 1:
+			lo := byte(r.Intn(6))
+			set = bitvec.ByteRange(lo, lo+byte(r.Intn(4)))
+		default:
+			for k := 0; k < 1+r.Intn(3); k++ {
+				set = set.Add(byte(r.Intn(8)))
+			}
+		}
+		kind := automata.StartNone
+		if i == 0 || r.Intn(4) == 0 {
+			kind = automata.StartAllInput
+		}
+		n.AddState(automata.State{
+			Match:      automata.MatchSet{automata.Rect{set}},
+			Start:      kind,
+			Report:     r.Intn(3) == 0 || i == nStates-1,
+			ReportCode: i,
+		})
+	}
+	for i := 0; i < nStates-1; i++ {
+		n.AddEdge(automata.StateID(i), automata.StateID(i+1))
+	}
+	for k := 0; k < nStates; k++ {
+		n.AddEdge(automata.StateID(r.Intn(nStates)), automata.StateID(r.Intn(nStates)))
+	}
+	n.DedupEdges()
+	return n
+}
+
+// randWeights builds a random integer weight table including heterogeneous
+// in-edge weights (the scalar fallback path).
+func randWeights(r *rand.Rand, n *automata.NFA) *automata.Weights {
+	w := automata.NewWeights(n)
+	for i := range w.Edge {
+		for j := range w.Edge[i] {
+			w.Edge[i][j] = float64(r.Intn(11) - 5)
+		}
+		w.Start[i] = float64(r.Intn(7) - 3)
+	}
+	w.Threshold = -automata.ScoreLimit // see every report; tests clamp it later
+	return w
+}
+
+func randInput(r *rand.Rand, length int) []byte {
+	in := make([]byte, length)
+	for i := range in {
+		in[i] = byte(r.Intn(8))
+	}
+	return in
+}
+
+// The compiled scored engine must agree exactly with the scalar reference
+// on random automata with heterogeneous random weights — scores included.
+func TestScoredMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := randNFA8(r, 2+r.Intn(7))
+		w := randWeights(r, n)
+		w.Threshold = float64(r.Intn(9) - 4)
+		c, err := Compile(n, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			input := randInput(r, r.Intn(40))
+			got, _ := c.Run(input)
+			want := naiveScoredRun(n, w, input)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: scored engine diverged from reference\n got: %v\nwant: %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// Scores must survive the V-TeSS pipeline exactly: for every (position,
+// code), the best score reported by the strided scored machine equals the
+// best score of the original 8-bit automaton under the scalar reference —
+// across squash and strides 2 and 4.
+func TestScoredCompilePreservesBestScores(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	geoms := []core.Config{
+		{TargetBits: 8, StrideDims: 1},
+		{TargetBits: 4, StrideDims: 1},
+		{TargetBits: 4, StrideDims: 2},
+		{TargetBits: 4, StrideDims: 4},
+	}
+	type key struct {
+		pos, code int
+	}
+	bestOf := func(reports []Report) map[key]float64 {
+		m := map[key]float64{}
+		for _, r := range reports {
+			k := key{r.BitPos, r.Code}
+			if v, ok := m[k]; !ok || r.Score > v {
+				m[k] = r.Score
+			}
+		}
+		return m
+	}
+	for trial := 0; trial < 12; trial++ {
+		n := randNFA8(r, 2+r.Intn(5))
+		w := randWeights(r, n)
+		input := randInput(r, 8+r.Intn(24))
+		want := bestOf(naiveScoredRun(n, w, input))
+		for _, cfg := range geoms {
+			cfg.Weights = w
+			res, err := core.Compile(n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Compile(res.NFA, res.Weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports, _ := c.Run(input)
+			got := bestOf(reports)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d cfg %d/%d: %d scored (pos,code) groups, want %d\n got %v\nwant %v",
+					trial, cfg.TargetBits, cfg.StrideDims, len(got), len(want), got, want)
+			}
+			for k, v := range want {
+				gv, ok := got[k]
+				if !ok || gv != v {
+					t.Fatalf("trial %d cfg %d/%d: best score at %+v = %v, want %v",
+						trial, cfg.TargetBits, cfg.StrideDims, k, gv, v)
+				}
+			}
+		}
+	}
+}
+
+// Differential pin (the ISSUE's satellite): a scored engine with all-zero
+// weights and threshold 0 must produce byte-identical reports to the binary
+// compiled engine across all (bits, stride) geometries.
+func TestZeroWeightDifferentialPin(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	geoms := []core.Config{
+		{TargetBits: 8, StrideDims: 1},
+		{TargetBits: 4, StrideDims: 1},
+		{TargetBits: 4, StrideDims: 2},
+		{TargetBits: 4, StrideDims: 4},
+		{TargetBits: 2, StrideDims: 4},
+	}
+	for trial := 0; trial < 10; trial++ {
+		n := randNFA8(r, 2+r.Intn(6))
+		input := randInput(r, 12+r.Intn(30))
+		for _, cfg := range geoms {
+			bcfg := cfg
+			bcfg.DisableMinimize = true
+			bin, err := core.Compile(n, bcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wcfg := cfg
+			wcfg.Weights = automata.NewWeights(n) // zero weights, threshold 0
+			sc, err := core.Compile(n, wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bc, err := sim.Compile(bin.NFA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cc, err := Compile(sc.NFA, sc.Weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binReports, _ := bc.Run(input)
+			scored, _ := cc.Run(input)
+			var gotBin []sim.Report
+			for _, sr := range scored {
+				if sr.Score != 0 {
+					t.Fatalf("zero-weight score = %g", sr.Score)
+				}
+				gotBin = append(gotBin, sr.Report)
+			}
+			if !reflect.DeepEqual(gotBin, binReports) {
+				t.Fatalf("trial %d cfg %d/%d: zero-weight scored reports diverged\n got: %v\nwant: %v",
+					trial, cfg.TargetBits, cfg.StrideDims, gotBin, binReports)
+			}
+		}
+	}
+}
+
+// Streaming scored sessions must match one-shot runs for any chunking.
+func TestScoredSessionMatchesRun(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := randNFA8(r, 2+r.Intn(6))
+		w := randWeights(r, n)
+		w.Threshold = float64(r.Intn(5) - 2)
+		c, err := Compile(n, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input := randInput(r, 5+r.Intn(50))
+		want, _ := c.Run(input)
+
+		var got []Report
+		s := c.NewSession(func(rep Report) { got = append(got, rep) })
+		rest := input
+		for len(rest) > 0 {
+			k := 1 + r.Intn(len(rest))
+			s.Feed(rest[:k])
+			rest = rest[k:]
+		}
+		s.Flush()
+		SortReports(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: streaming diverged\n got: %v\nwant: %v", trial, got, want)
+		}
+	}
+}
+
+// The threshold comparator must suppress reports below it and count them.
+func TestThresholdRejects(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	t.Cleanup(func() { EnableMetrics(nil) })
+
+	n := automata.New(8, 1)
+	n.AddLiteral("ab", automata.StartAllInput, 1)
+	w := automata.NewWeights(n)
+	for i := range w.Edge {
+		for j := range w.Edge[i] {
+			w.Edge[i][j] = 1
+		}
+	}
+	w.Threshold = 100 // unreachable: every report suppressed
+	c, err := Compile(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := []byte("abxab")
+	reports, st := c.Run(input)
+	if len(reports) != 0 {
+		t.Fatalf("threshold 100 leaked %d reports", len(reports))
+	}
+	if st.Reports != 0 {
+		t.Fatalf("session counted %d reports through the threshold", st.Reports)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["score_threshold_rejects_total"]; got != 2 {
+		t.Errorf("threshold rejects = %d, want 2", got)
+	}
+	if got := snap.Counters["score_scored_bytes_total"]; got != int64(len(input)) {
+		t.Errorf("scored bytes = %d, want %d", got, len(input))
+	}
+
+	// Lower the threshold: both matches clear it and are scored 1 ("a"
+	// starts at weight 0... every in-edge weighs 1, start weight 0, so "ab"
+	// accumulates 1 on the reporting state).
+	w.Threshold = 1
+	c2, err := Compile(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, _ = c2.Run(input)
+	if len(reports) != 2 || reports[0].Score != 1 || reports[1].Score != 1 {
+		t.Fatalf("threshold 1: got %v", reports)
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counters["score_reports_total"]; got != 2 {
+		t.Errorf("scored reports = %d, want 2", got)
+	}
+}
+
+// Compile must reject nil and invalid weight tables.
+func TestCompileRejectsBadWeights(t *testing.T) {
+	n := automata.New(8, 1)
+	n.AddLiteral("ab", automata.StartAllInput, 1)
+	if _, err := Compile(n, nil); err == nil {
+		t.Fatal("nil weights accepted")
+	}
+	w := automata.NewWeights(n)
+	w.Edge[0] = w.Edge[0][:0:0]
+	w.Edge[0] = append(w.Edge[0], math.NaN())
+	if _, err := Compile(n, w); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}
+
+// Saturation: chained +WeightLimit edges must clamp at ScoreLimit, not
+// overflow or lose max-plus ordering.
+func TestScoreSaturation(t *testing.T) {
+	n := automata.New(8, 1)
+	s0 := n.AddState(automata.ByteMatchState(bitvec.ByteOf('a'), automata.StartAllInput, false))
+	s1 := n.AddState(automata.ByteMatchState(bitvec.ByteOf('a'), automata.StartNone, true))
+	n.States[s1].ReportCode = 1
+	n.AddEdge(s0, s1)
+	n.AddEdge(s1, s1)
+	w := automata.NewWeights(n)
+	w.Edge[0][0] = automata.WeightLimit
+	w.Edge[1][0] = automata.WeightLimit
+	c, err := Compile(n, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long run of 'a': the self loop keeps adding WeightLimit; the score
+	// must saturate exactly at ScoreLimit.
+	input := make([]byte, 2000)
+	for i := range input {
+		input[i] = 'a'
+	}
+	reports, _ := c.Run(input)
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	last := reports[len(reports)-1]
+	if last.Score != automata.ScoreLimit {
+		t.Fatalf("saturated score = %g, want %d", last.Score, int64(automata.ScoreLimit))
+	}
+}

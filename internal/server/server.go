@@ -179,6 +179,10 @@ type matchResponse struct {
 type matchJSON struct {
 	End     int `json:"end"`
 	Pattern int `json:"pattern"`
+	// Score carries the accumulated max-plus score on scored tenants
+	// (machines whose artifact sealed a SCOR weight table); it is absent on
+	// binary tenants, so their response bytes are unchanged.
+	Score *float64 `json:"score,omitempty"`
 }
 
 // sortRows puts match rows in the serving-boundary canonical order:
@@ -228,8 +232,18 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	t0 := time.Now()
+	// A tenant whose artifact sealed a weight table serves threshold-filtered
+	// scored rows; binary tenants keep the exact pre-scoring response bytes.
+	scoredTenant := t.Machine.ScoreInfo() != nil
 	var matches []impala.Match
-	err := s.pool.Do(ctx, func() { matches = t.Machine.Match(body) })
+	var scored []impala.ScoredMatch
+	err := s.pool.Do(ctx, func() {
+		if scoredTenant {
+			scored, _ = t.Machine.MatchScored(body)
+		} else {
+			matches = t.Machine.Match(body)
+		}
+	})
 	switch {
 	case errors.Is(err, par.ErrQueueFull), errors.Is(err, par.ErrPoolClosed):
 		s.m.rejected.Inc()
@@ -244,12 +258,16 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(t0)
 	s.m.matchLatency.Observe(elapsed.Nanoseconds())
-	s.m.reports.Add(int64(len(matches)))
+	s.m.reports.Add(int64(len(matches) + len(scored)))
 
 	rp := rowsPool.Get().(*matchRows)
 	rp.rows = rp.rows[:0]
 	for _, mt := range matches {
 		rp.rows = append(rp.rows, matchJSON{End: mt.End, Pattern: mt.Pattern})
+	}
+	for _, sm := range scored {
+		sc := sm.Score
+		rp.rows = append(rp.rows, matchJSON{End: sm.End, Pattern: sm.Pattern, Score: &sc})
 	}
 	sortRows(rp.rows)
 	resp := matchResponse{
@@ -321,12 +339,29 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	var total, nmatches int64
 	var encErr error
-	stream := t.Machine.NewStream(func(mt impala.Match) {
-		nmatches++
-		if encErr == nil {
-			encErr = enc.Encode(matchJSON{End: mt.End, Pattern: mt.Pattern})
-		}
-	})
+	// Scored tenants stream scored rows; the window-deferred emission means
+	// a row appears once its score can no longer change (at most a few
+	// cycles after the match), with the remainder drained at Flush.
+	var stream interface {
+		Feed([]byte)
+		Flush()
+	}
+	if t.Machine.ScoreInfo() != nil {
+		stream, _ = t.Machine.NewScoredStream(func(sm impala.ScoredMatch) {
+			nmatches++
+			if encErr == nil {
+				sc := sm.Score
+				encErr = enc.Encode(matchJSON{End: sm.End, Pattern: sm.Pattern, Score: &sc})
+			}
+		})
+	} else {
+		stream = t.Machine.NewStream(func(mt impala.Match) {
+			nmatches++
+			if encErr == nil {
+				encErr = enc.Encode(matchJSON{End: mt.End, Pattern: mt.Pattern})
+			}
+		})
+	}
 	bufp := chunkPool.Get().(*[]byte)
 	defer chunkPool.Put(bufp)
 	buf := *bufp
@@ -370,6 +405,8 @@ type tenantJSON struct {
 	Bits       int    `json:"bits"`
 	Groups     int    `json:"groups,omitempty"`
 	LoadedAt   string `json:"loaded_at"`
+	// ScoreThreshold is present only on scored tenants (SCOR artifacts).
+	ScoreThreshold *float64 `json:"score_threshold,omitempty"`
 }
 
 func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
@@ -377,7 +414,7 @@ func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
 	for _, t := range s.tenants.Tenants() {
 		md := t.Machine.Model()
 		bits, stride := t.Machine.Geometry()
-		out = append(out, tenantJSON{
+		row := tenantJSON{
 			Name:       t.Name,
 			Generation: t.Generation,
 			Path:       t.Path,
@@ -387,7 +424,12 @@ func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
 			Bits:       bits,
 			Groups:     md.G4s,
 			LoadedAt:   t.LoadedAt.UTC().Format(time.RFC3339),
-		})
+		}
+		if si := t.Machine.ScoreInfo(); si != nil {
+			th := si.Threshold
+			row.ScoreThreshold = &th
+		}
+		out = append(out, row)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)

@@ -134,11 +134,16 @@ func (c *Compiled) releaseEngine(e *CompiledEngine) {
 	c.pool.Put(e)
 }
 
-// decompose returns per-position symbol sets D with m = D[0]×…×D[S-1] when
+// Decompose returns per-position symbol sets D with m = D[0]×…×D[S-1] when
 // the match set is such a cartesian product (position-decomposable), which
 // is exactly the shape one capsule's per-dimension columns can express. A
 // single rect is trivially a product; a union of rects is one iff it equals
-// the product of its per-position projections.
+// the product of its per-position projections. The scored engine reuses it
+// to build identical mask tables.
+func Decompose(m automata.MatchSet, S int) (automata.Rect, bool) {
+	return decompose(m, S)
+}
+
 func decompose(m automata.MatchSet, S int) (automata.Rect, bool) {
 	nonEmpty := make(automata.MatchSet, 0, len(m))
 	for _, r := range m {

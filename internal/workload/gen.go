@@ -270,45 +270,11 @@ func genHamming(target int, r *rand.Rand) *automata.NFA {
 	return n
 }
 
+// addHamming delegates to the shared mesh definition in scored.go with zero
+// costs (an unweighted mesh records no weights, and the structure is
+// identical by construction).
 func addHamming(n *automata.NFA, pat []byte, d, code int) {
-	L := len(pat)
-	match := make([][]automata.StateID, d+1)
-	miss := make([][]automata.StateID, d+1)
-	for e := 0; e <= d; e++ {
-		match[e] = make([]automata.StateID, L)
-		miss[e] = make([]automata.StateID, L)
-		for i := 0; i < L; i++ {
-			kind := automata.StartNone
-			if i == 0 && e == 0 {
-				kind = automata.StartAllInput
-			}
-			report := i == L-1
-			match[e][i] = n.AddState(automata.State{
-				Match:      automata.MatchSet{automata.Rect{bitvec.ByteOf(pat[i])}},
-				Start:      kind,
-				Report:     report,
-				ReportCode: code,
-			})
-			miss[e][i] = n.AddState(automata.State{
-				Match:      automata.MatchSet{automata.Rect{bitvec.ByteOf(pat[i]).Complement()}},
-				Start:      kind,
-				Report:     report && e > 0, // a mismatch at the last position costs an error
-				ReportCode: code,
-			})
-		}
-	}
-	for e := 0; e <= d; e++ {
-		for i := 0; i < L-1; i++ {
-			n.AddEdge(match[e][i], match[e][i+1])
-			if e < d {
-				n.AddEdge(match[e][i], miss[e+1][i+1])
-			}
-			n.AddEdge(miss[e][i], match[e][i+1])
-			if e < d {
-				n.AddEdge(miss[e][i], miss[e+1][i+1])
-			}
-		}
-	}
+	buildHamming(&mesh{n: n}, pat, d, code, Costs{})
 }
 
 // genLevenshtein builds approximate-edit-distance mesh automata with
@@ -330,54 +296,10 @@ func genLevenshtein(target int, r *rand.Rand) *automata.NFA {
 	return n
 }
 
+// addLevenshtein delegates to the shared mesh definition in scored.go with
+// zero costs.
 func addLevenshtein(n *automata.NFA, pat []byte, d, code int) {
-	L := len(pat)
-	match := make([][]automata.StateID, d+1)
-	any := make([][]automata.StateID, d+1)
-	for e := 0; e <= d; e++ {
-		match[e] = make([]automata.StateID, L)
-		any[e] = make([]automata.StateID, L)
-		for i := 0; i < L; i++ {
-			kind := automata.StartNone
-			if i == 0 && e == 0 {
-				kind = automata.StartAllInput
-			}
-			match[e][i] = n.AddState(automata.State{
-				Match:      automata.MatchSet{automata.Rect{bitvec.ByteOf(pat[i])}},
-				Start:      kind,
-				Report:     i == L-1,
-				ReportCode: code,
-			})
-			any[e][i] = n.AddState(automata.State{
-				Match:      automata.MatchSet{automata.Rect{bitvec.ByteAll()}},
-				Start:      automata.StartNone,
-				Report:     i == L-1 && e > 0,
-				ReportCode: code,
-			})
-		}
-	}
-	for e := 0; e <= d; e++ {
-		for i := 0; i < L; i++ {
-			if i+1 < L {
-				n.AddEdge(match[e][i], match[e][i+1]) // exact advance
-			}
-			if e < d {
-				if i+1 < L {
-					n.AddEdge(match[e][i], any[e+1][i+1]) // substitution
-					n.AddEdge(any[e][i], any[e+1][i+1])
-				}
-				n.AddEdge(match[e][i], any[e+1][i]) // insertion (stay)
-				n.AddEdge(any[e][i], any[e+1][i])
-				if i+2 < L {
-					n.AddEdge(match[e][i], match[e+1][i+2]) // deletion (skip)
-					n.AddEdge(any[e][i], match[e+1][i+2])
-				}
-			}
-			if i+1 < L {
-				n.AddEdge(any[e][i], match[e][i+1])
-			}
-		}
-	}
+	buildLevenshtein(&mesh{n: n}, pat, d, code, Costs{})
 }
 
 // ---------- widget generators ----------

@@ -1,0 +1,264 @@
+package impala
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+
+	"impala/internal/workload"
+)
+
+// scoredFixture compiles a scored Levenshtein machine at the default design
+// point and returns it with an input carrying exact and mutated reads.
+func scoredFixture(t *testing.T, cfg Config) (*Machine, []byte) {
+	t.Helper()
+	pats := [][]byte{[]byte("ACGTACGT"), []byte("TTGACCAT")}
+	n, w, err := workload.ScoredLevenshtein(pats, 2, workload.DefaultAlignCosts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Score = w
+	m, err := CompileAutomaton(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	input := make([]byte, 0, 256)
+	for len(input) < 200 {
+		read := append([]byte(nil), pats[r.Intn(len(pats))]...)
+		if r.Intn(2) == 0 {
+			read[1+r.Intn(len(read)-2)] = "ACGT"[r.Intn(4)]
+		}
+		input = append(input, read...)
+		for j := r.Intn(6); j > 0; j-- {
+			input = append(input, "ACGT"[r.Intn(4)])
+		}
+	}
+	return m, input
+}
+
+func sortScored(ms []ScoredMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].End != ms[j].End {
+			return ms[i].End < ms[j].End
+		}
+		return ms[i].Pattern < ms[j].Pattern
+	})
+}
+
+// TestMatchScored: the scored one-shot reports only threshold-clearing
+// hits, every hit is also a binary match, and the summary accessors
+// describe the sealed table.
+func TestMatchScored(t *testing.T) {
+	m, input := scoredFixture(t, DefaultConfig())
+	scored, err := m.MatchScored(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) == 0 {
+		t.Fatal("no scored matches — fixture input is inert")
+	}
+	binary := make(map[Match]bool)
+	for _, mt := range m.Match(input) {
+		binary[mt] = true
+	}
+	if len(scored) >= len(binary) {
+		t.Fatalf("threshold suppressed nothing: %d scored vs %d binary", len(scored), len(binary))
+	}
+	info := m.ScoreInfo()
+	if info == nil || info.Threshold != 5 || info.Edges == 0 {
+		t.Fatalf("score info %+v", info)
+	}
+	seen := make(map[Match]bool)
+	for _, s := range scored {
+		if s.Score < info.Threshold {
+			t.Fatalf("match %+v below threshold", s)
+		}
+		if !binary[s.Match] {
+			t.Fatalf("scored match %+v not in binary output", s)
+		}
+		if seen[s.Match] {
+			t.Fatalf("duplicate scored match %+v", s)
+		}
+		seen[s.Match] = true
+	}
+}
+
+// TestScoredStreamMatchesOneShot: chunked scored streaming emits exactly
+// the one-shot match set with identical max-merged scores, at every chunk
+// size including byte-at-a-time.
+func TestScoredStreamMatchesOneShot(t *testing.T) {
+	m, input := scoredFixture(t, DefaultConfig())
+	want, err := m.MatchScored(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortScored(want)
+	for _, chunk := range []int{1, 3, 7, 64, len(input)} {
+		var got []ScoredMatch
+		s, err := m.NewScoredStream(func(sm ScoredMatch) { got = append(got, sm) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(input); off += chunk {
+			end := off + chunk
+			if end > len(input) {
+				end = len(input)
+			}
+			s.Feed(input[off:end])
+		}
+		s.Flush()
+		sortScored(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk %d: stream %v, one-shot %v", chunk, got, want)
+		}
+	}
+}
+
+// TestScoredArtifactRoundTrip: the weight table rides the artifact, and the
+// loaded machine's scored output is identical.
+func TestScoredArtifactRoundTrip(t *testing.T) {
+	m, input := scoredFixture(t, DefaultConfig())
+	var buf bytes.Buffer
+	if err := m.SaveArtifact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMachine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ScoreInfo() == nil {
+		t.Fatal("weight table lost in artifact round trip")
+	}
+	want, err := m.MatchScored(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.MatchScored(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("loaded machine scored output diverges:\n%v\n%v", got, want)
+	}
+	if !reflect.DeepEqual(loaded.Match(input), m.Match(input)) {
+		t.Fatal("loaded machine binary output diverges")
+	}
+}
+
+// TestScoredConfigExclusions: Score with Tier or Shards is rejected before
+// the pipeline runs, and scored paths on an unscored machine error.
+func TestScoredConfigExclusions(t *testing.T) {
+	n, w, err := workload.ScoredHamming([][]byte{[]byte("ACGTAC")}, 1, workload.DefaultAlignCosts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileAutomaton(n, Config{StrideDims: 2, Score: w, Tier: true}); err == nil {
+		t.Fatal("Score+Tier accepted")
+	}
+	if _, err := CompileAutomaton(n, Config{StrideDims: 2, Score: w, Shards: 2}); err == nil {
+		t.Fatal("Score+Shards accepted")
+	}
+	plain, err := CompileRegex([]string{"abc"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.MatchScored([]byte("abc")); err == nil {
+		t.Fatal("MatchScored on unscored machine succeeded")
+	}
+	if _, err := plain.NewScoredStream(nil); err == nil {
+		t.Fatal("NewScoredStream on unscored machine succeeded")
+	}
+	if plain.ScoreInfo() != nil {
+		t.Fatal("ScoreInfo non-nil on unscored machine")
+	}
+}
+
+// TestScoredStreamWriteResetStats: the io.Writer path matches Feed, Reset
+// clears carried state (pending scores included) so a refeed reproduces
+// the fresh result, and Stats accounts the fed bytes.
+func TestScoredStreamWriteResetStats(t *testing.T) {
+	m, input := scoredFixture(t, DefaultConfig())
+	want, err := m.MatchScored(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortScored(want)
+
+	var got []ScoredMatch
+	st, err := m.NewScoredStream(func(sm ScoredMatch) { got = append(got, sm) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(input); i += 9 {
+		end := i + 9
+		if end > len(input) {
+			end = len(input)
+		}
+		nw, err := st.Write(input[i:end])
+		if err != nil || nw != end-i {
+			t.Fatalf("Write = (%d, %v), want (%d, nil)", nw, err, end-i)
+		}
+	}
+	st.Flush()
+	sortScored(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Write-fed stream diverges from one-shot:\n got: %v\nwant: %v", got, want)
+	}
+	// Engine-level reports count every threshold-cleared report; the
+	// emitted matches are those max-merged per (end, pattern).
+	if st.Stats().Cycles == 0 || st.Stats().Reports < len(got) {
+		t.Fatalf("Stats() = %+v, want >= %d reports over >0 cycles", st.Stats(), len(got))
+	}
+
+	// Reset mid-stream: pending scores are dropped, and a full refeed
+	// reproduces the fresh result.
+	st.Reset()
+	got = got[:0]
+	st.Feed(input[:len(input)/2])
+	st.Reset()
+	got = got[:0]
+	st.Feed(input)
+	st.Flush()
+	sortScored(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-Reset stream diverges from one-shot:\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestScoredMachineFromFile: the file-path loading entry points carry the
+// weight table too.
+func TestScoredMachineFromFile(t *testing.T) {
+	m, input := scoredFixture(t, DefaultConfig())
+	path := t.TempDir() + "/align.impala"
+	var buf bytes.Buffer
+	if err := m.SaveArtifact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMachineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ScoreInfo() == nil {
+		t.Fatal("weight table lost through LoadMachineFile")
+	}
+	want, err := m.MatchScored(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.MatchScored(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortScored(want)
+	sortScored(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("file-loaded scored matches diverge")
+	}
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Alignment smoke test: run the scored DNA-read demo and assert the known
+# scores through the one-shot and streaming paths, then push the same
+# reference through the impalac -score / impala-sim artifact path and
+# assert the scored report survives the round trip. Run from the repository
+# root (CI job: align-smoke).
+set -eu
+
+workdir="$(mktemp -d)"
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+echo "== alignment example (one-shot + stream) =="
+go run ./examples/alignment | tee "$workdir/align.out"
+
+# One-shot ranking: the perfect read scores 12, single-edit reads clear the
+# threshold, the two-edit read is filtered.
+grep -q '^rank 1: exact .*score 12$' "$workdir/align.out" || { echo "exact read not ranked first at score 12"; exit 1; }
+grep -q '^rank 2: one-sub .*score 10$' "$workdir/align.out" || { echo "one-sub read missing at score 10"; exit 1; }
+grep -q '^filtered: two-sub' "$workdir/align.out" || { echo "two-sub read not filtered"; exit 1; }
+
+# Streaming: the same perfect read emits score 12 at its known end byte.
+grep -q '^stream: read ending at byte 20, score 12$' "$workdir/align.out" || { echo "stream score for the exact read missing"; exit 1; }
+
+echo "== scored artifact round trip (impalac -score -> impala-sim) =="
+go build -o "$workdir/impalac" ./cmd/impalac
+go build -o "$workdir/impala-sim" ./cmd/impala-sim
+
+"$workdir/impalac" -score lev -patterns 'ACGTTGCAACGT' -score-d 2 -score-threshold 9 \
+    -o "$workdir/align.impala" | tee "$workdir/impalac.out"
+grep -q 'score table' "$workdir/impalac.out" || { echo "impalac did not report a score table"; exit 1; }
+
+# The exact read planted after an 8-byte spacer ends at byte 20, score 12.
+printf 'TTTTTTTTACGTTGCAACGTTTTTTTTT' > "$workdir/reads.bin"
+"$workdir/impala-sim" -load "$workdir/align.impala" -v -in "$workdir/reads.bin" | tee "$workdir/sim.out"
+grep -q 'match: pattern 1 at byte 20 score 12' "$workdir/sim.out" || { echo "scored artifact match missing"; exit 1; }
+
+# The chunked session path reports the same scores.
+"$workdir/impala-sim" -load "$workdir/align.impala" -v -chunk 5 -in "$workdir/reads.bin" | tee "$workdir/sim-chunk.out"
+grep -q 'match: pattern 1 at byte 20 score 12' "$workdir/sim-chunk.out" || { echo "chunked scored match missing"; exit 1; }
+
+echo "smoke-align: PASS"
